@@ -1,0 +1,40 @@
+// Ablation (Section 3.4): keeping the old content of dirtied blocks in
+// the cache (saving the destage's old-data read on the data disk) vs
+// rereading old data from disk at destage time.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+  using namespace raidsim::bench;
+  BenchOptions defaults;
+  defaults.scale1 = 0.15;
+  const auto options = BenchOptions::parse(argc, argv, defaults);
+  banner("Ablation: old-data retention in the cache (parity organizations)",
+         "retention converts destage data RMWs into plain writes at the "
+         "cost of cache slots",
+         options);
+
+  const std::vector<std::int64_t> cache_mb{8, 16, 64};
+  for (const std::string trace : {"trace1", "trace2"}) {
+    std::vector<Series> series;
+    for (auto org : {Organization::kRaid5, Organization::kParityStriping}) {
+      for (bool retain : {true, false}) {
+        Series s{to_string(org) + (retain ? " +old" : " -old"), {}};
+        for (auto mb : cache_mb) {
+          SimulationConfig config;
+          config.organization = org;
+          config.cached = true;
+          config.cache_bytes = mb << 20;
+          config.retain_old_data = retain;
+          s.values.push_back(
+              run_config(config, trace, options).mean_response_ms());
+        }
+        series.push_back(std::move(s));
+      }
+    }
+    std::vector<std::string> xs;
+    for (auto mb : cache_mb) xs.push_back(std::to_string(mb) + " MB");
+    print_series_table("cache size", xs, trace, series);
+  }
+  return 0;
+}

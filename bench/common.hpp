@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/workloads.hpp"
+#include "util/table.hpp"
+
+namespace raidsim::bench {
+
+/// Options shared by every reproduction bench.
+///
+///   --scale1=<f>   fraction of trace 1 to replay (default 0.2)
+///   --scale2=<f>   fraction of trace 2 to replay (default 1.0)
+///   --full         replay both traces in full
+///   --seed=<n>     override the workload RNG seed
+///   --quick        quarter the default scales (CI smoke)
+struct BenchOptions {
+  double scale1 = 0.2;
+  double scale2 = 1.0;
+  std::uint64_t seed = 0;
+
+  /// Parse argv over per-bench defaults (heavier sweeps ship smaller
+  /// default scales so the whole suite stays fast).
+  static BenchOptions parse(int argc, char** argv, BenchOptions defaults);
+  static BenchOptions parse(int argc, char** argv);
+
+  WorkloadOptions workload_options(const std::string& trace,
+                                   double speed = 1.0) const;
+};
+
+/// Run one configuration against one of the paper's workloads.
+Metrics run_config(const SimulationConfig& config, const std::string& trace,
+                   const BenchOptions& options, double speed = 1.0);
+
+/// Standard bench banner: what is being reproduced and at what scale.
+/// Also derives the slug used for data export (see below).
+void banner(const std::string& experiment, const std::string& paper_claim,
+            const BenchOptions& options);
+
+/// Render a response-time table: one row per x value, one column pair per
+/// series, for both traces.
+struct Series {
+  std::string name;
+  std::vector<double> values;  // one per x
+};
+/// Prints the ASCII table; additionally, when the RAIDSIM_DATA_DIR
+/// environment variable names a directory, writes the same series as
+/// `<dir>/<experiment-slug>_<trace>.csv` for plotting.
+void print_series_table(const std::string& x_name,
+                        const std::vector<std::string>& x_values,
+                        const std::string& trace_name,
+                        const std::vector<Series>& series,
+                        const std::string& value_name = "response (ms)");
+
+}  // namespace raidsim::bench

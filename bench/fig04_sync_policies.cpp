@@ -1,0 +1,51 @@
+// Figure 4: response time for the five parity/data synchronization
+// policies (SI, RF, RF/PR, DF, DF/PR) vs array size, for RAID5 and
+// Parity Striping on both traces, uncached.
+//
+// Published shape: SI significantly worse than everything else; DF beats
+// RF; the /PR variants improve both; DF/PR best overall; the gaps narrow
+// for larger arrays.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+  using namespace raidsim::bench;
+  BenchOptions defaults;
+  defaults.scale1 = 0.05;  // 2 orgs x 5 policies x 4 sizes x 2 traces
+  defaults.scale2 = 0.5;
+  const auto options = BenchOptions::parse(argc, argv, defaults);
+  banner("Figure 4: synchronization policies vs array size (uncached)",
+         "SI clearly worst; DF < RF; /PR variants better; DF/PR best; "
+         "gaps narrow with larger arrays",
+         options);
+
+  const std::vector<int> sizes{5, 10, 15, 20};
+  const std::vector<SyncPolicy> policies{
+      SyncPolicy::kSimultaneousIssue, SyncPolicy::kReadFirst,
+      SyncPolicy::kReadFirstPriority, SyncPolicy::kDiskFirst,
+      SyncPolicy::kDiskFirstPriority};
+
+  for (auto org : {Organization::kRaid5, Organization::kParityStriping}) {
+    for (const std::string trace : {"trace1", "trace2"}) {
+      std::vector<Series> series;
+      for (auto policy : policies) {
+        Series s{to_string(policy), {}};
+        for (int n : sizes) {
+          SimulationConfig config;
+          config.organization = org;
+          config.array_data_disks = n;
+          config.sync = policy;
+          config.cached = false;
+          s.values.push_back(
+              run_config(config, trace, options).mean_response_ms());
+        }
+        series.push_back(std::move(s));
+      }
+      std::vector<std::string> xs;
+      for (int n : sizes) xs.push_back("N=" + std::to_string(n));
+      print_series_table("array size", xs,
+                         to_string(org) + " / " + trace, series);
+    }
+  }
+  return 0;
+}

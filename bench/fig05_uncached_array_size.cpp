@@ -1,0 +1,44 @@
+// Figure 5: response time vs array size N for the four organizations,
+// uncached, both traces.
+//
+// Published shape: Trace 1 -- Mirror < Base < RAID5 < ParStrip (RAID5
+// ~32% worse than Base at N=10; Mirror ~12% better; ParStrip deteriorates
+// at small N). Trace 2 -- Mirror best (~25% better than Base), RAID5
+// better than Base thanks to load balancing under heavy disk skew,
+// ParStrip worst.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+  using namespace raidsim::bench;
+  const auto options = BenchOptions::parse(argc, argv);
+  banner("Figure 5: response time vs array size (uncached)",
+         "Trace1: Mirror < Base < RAID5 (+32% at N=10) < ParStrip; "
+         "Trace2: RAID5 beats Base via load balancing",
+         options);
+
+  const std::vector<int> sizes{5, 10, 15, 20};
+  const std::vector<Organization> orgs{
+      Organization::kBase, Organization::kMirror, Organization::kRaid5,
+      Organization::kParityStriping};
+
+  for (const std::string trace : {"trace1", "trace2"}) {
+    std::vector<Series> series;
+    for (auto org : orgs) {
+      Series s{to_string(org), {}};
+      for (int n : sizes) {
+        SimulationConfig config;
+        config.organization = org;
+        config.array_data_disks = n;
+        config.cached = false;
+        const Metrics m = run_config(config, trace, options);
+        s.values.push_back(m.mean_response_ms());
+      }
+      series.push_back(std::move(s));
+    }
+    std::vector<std::string> xs;
+    for (int n : sizes) xs.push_back("N=" + std::to_string(n));
+    print_series_table("array size", xs, trace, series);
+  }
+  return 0;
+}

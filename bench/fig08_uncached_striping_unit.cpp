@@ -1,0 +1,40 @@
+// Figure 8: response time vs RAID5 striping unit (uncached, N = 10).
+//
+// Published shape: Trace 1 optimum around 8 blocks with little
+// difference from 1 to 16; Trace 2 optimum at 1 block (load balancing
+// dominates); 32+ blocks degrade markedly and very large units approach
+// Parity Striping.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+  using namespace raidsim::bench;
+  const auto options = BenchOptions::parse(argc, argv);
+  banner("Figure 8: response time vs striping unit (uncached RAID5, N=10)",
+         "Trace1 optimum ~8 blocks (flat 1..16); Trace2 optimum 1 block; "
+         ">=32 blocks degrades toward Parity Striping",
+         options);
+
+  const std::vector<int> units{1, 2, 4, 8, 16, 32, 64};
+  for (const std::string trace : {"trace1", "trace2"}) {
+    Series raid5{"RAID5", {}};
+    for (int unit : units) {
+      SimulationConfig config;
+      config.organization = Organization::kRaid5;
+      config.striping_unit_blocks = unit;
+      config.cached = false;
+      raid5.values.push_back(
+          run_config(config, trace, options).mean_response_ms());
+    }
+    // Parity Striping reference line (the "infinite unit" limit).
+    SimulationConfig ps;
+    ps.organization = Organization::kParityStriping;
+    const double ps_value = run_config(ps, trace, options).mean_response_ms();
+    Series reference{"ParStrip (ref)", std::vector<double>(units.size(), ps_value)};
+
+    std::vector<std::string> xs;
+    for (int unit : units) xs.push_back(std::to_string(unit) + " blk");
+    print_series_table("striping unit", xs, trace, {raid5, reference});
+  }
+  return 0;
+}

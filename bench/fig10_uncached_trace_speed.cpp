@@ -1,0 +1,45 @@
+// Figure 10: response time vs trace speed (0.5x, 1x, 2x), four
+// organizations, uncached.
+//
+// Published shape: RAID5 degrades gracefully as load doubles and ends up
+// better than mirrors at 2x; Parity Striping (and to a lesser degree
+// Base) degrade severely; at 0.5x on Trace 2 the Base organization beats
+// RAID5 because queueing vanishes and load balancing stops mattering.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+  using namespace raidsim::bench;
+  BenchOptions defaults;
+  defaults.scale1 = 0.1;
+  const auto options = BenchOptions::parse(argc, argv, defaults);
+  banner("Figure 10: response time vs trace speed (uncached)",
+         "RAID5 degrades gracefully (beats Mirror at 2x); ParStrip and "
+         "Base degrade severely; Base beats RAID5 at 0.5x on Trace 2",
+         options);
+
+  const std::vector<double> speeds{0.5, 1.0, 2.0};
+  const std::vector<Organization> orgs{
+      Organization::kBase, Organization::kMirror, Organization::kRaid5,
+      Organization::kParityStriping};
+
+  for (const std::string trace : {"trace1", "trace2"}) {
+    std::vector<Series> series;
+    for (auto org : orgs) {
+      Series s{to_string(org), {}};
+      for (double speed : speeds) {
+        SimulationConfig config;
+        config.organization = org;
+        config.cached = false;
+        s.values.push_back(
+            run_config(config, trace, options, speed).mean_response_ms());
+      }
+      series.push_back(std::move(s));
+    }
+    std::vector<std::string> xs;
+    for (double speed : speeds)
+      xs.push_back(TablePrinter::num(speed, 1) + "x");
+    print_series_table("trace speed", xs, trace, series);
+  }
+  return 0;
+}

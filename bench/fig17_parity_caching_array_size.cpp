@@ -1,0 +1,44 @@
+// Figure 17: response time vs array size for RAID5 vs RAID4 with parity
+// caching at equal total cache (N=5 -> 8 MB, N=10 -> 16 MB, N=20 -> 32 MB).
+//
+// Published shape: RAID5 wins at N=5 (RAID4 sacrifices one of six arms);
+// from N=10 upward RAID4 wins and the gap widens with N because a larger
+// fraction of its disks serve reads while the parity disk keeps up.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+  using namespace raidsim::bench;
+  BenchOptions defaults;
+  defaults.scale1 = 0.15;
+  const auto options = BenchOptions::parse(argc, argv, defaults);
+  banner("Figure 17: array size at equal total cache (RAID5 vs RAID4)",
+         "RAID5 ahead at N=5; RAID4 ahead from N=10, widening with N",
+         options);
+
+  struct Point {
+    int n;
+    std::int64_t cache_mb;
+  };
+  const std::vector<Point> points{{5, 8}, {10, 16}, {20, 32}};
+  for (const std::string trace : {"trace1", "trace2"}) {
+    Series r5{"RAID5", {}}, r4{"RAID4+parity", {}};
+    for (const auto& point : points) {
+      SimulationConfig config;
+      config.cached = true;
+      config.array_data_disks = point.n;
+      config.cache_bytes = point.cache_mb << 20;
+      config.organization = Organization::kRaid5;
+      r5.values.push_back(run_config(config, trace, options).mean_response_ms());
+      config.organization = Organization::kRaid4;
+      config.parity_caching = true;
+      r4.values.push_back(run_config(config, trace, options).mean_response_ms());
+    }
+    std::vector<std::string> xs;
+    for (const auto& point : points)
+      xs.push_back("N=" + std::to_string(point.n) + "/" +
+                   std::to_string(point.cache_mb) + "MB");
+    print_series_table("array size / cache", xs, trace, {r5, r4});
+  }
+  return 0;
+}

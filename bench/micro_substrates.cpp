@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the simulator substrates:
+// event queue, disk service model, NV cache, Fenwick-backed LRU stack,
+// and trace generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "cache/nv_cache.hpp"
+#include "disk/disk.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/lru_stack.hpp"
+#include "trace/synthetic.hpp"
+#include "util/fenwick.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace raidsim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < n; ++i)
+      eq.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    eq.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_DiskRandomReads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DiskGeometry geo;
+  const SeekModel seek = SeekModel::calibrate(SeekSpec{});
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue eq;
+    Disk disk(eq, geo, &seek, 0);
+    for (int i = 0; i < n; ++i) {
+      DiskRequest req;
+      req.kind = DiskOpKind::kRead;
+      req.start_block =
+          static_cast<std::int64_t>(rng.uniform_u64(
+              static_cast<std::uint64_t>(geo.total_blocks())));
+      disk.submit(std::move(req));
+    }
+    eq.run();
+    benchmark::DoNotOptimize(disk.stats().busy_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DiskRandomReads)->Arg(4096);
+
+void BM_NvCacheMixedOps(benchmark::State& state) {
+  Rng rng(2);
+  NvCache cache(4096, true);
+  for (auto _ : state) {
+    const std::int64_t block = rng.uniform_i64(0, 20000);
+    if (rng.bernoulli(0.3)) {
+      benchmark::DoNotOptimize(cache.write(block));
+    } else if (!cache.read(block)) {
+      benchmark::DoNotOptimize(cache.insert_clean(block));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvCacheMixedOps);
+
+void BM_FenwickAddSelect(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  FenwickTree tree(n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; i += 2) tree.add(i, 1);
+  for (auto _ : state) {
+    const auto i = static_cast<std::size_t>(rng.uniform_u64(n));
+    tree.add(i, 1);
+    benchmark::DoNotOptimize(
+        tree.select(1 + static_cast<std::int64_t>(
+                            rng.uniform_u64(
+                                static_cast<std::uint64_t>(tree.total())))));
+    tree.add(i, -1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FenwickAddSelect);
+
+void BM_LruStackTouchAtDepth(benchmark::State& state) {
+  LruStack stack;
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) stack.touch(rng.uniform_i64(0, 99999));
+  for (auto _ : state) {
+    const auto depth =
+        static_cast<std::size_t>(rng.uniform_u64(stack.size()));
+    const auto block = stack.at_depth(depth);
+    stack.touch(*block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruStackTouchAtDepth);
+
+void BM_SyntheticTraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    TraceProfile profile = TraceProfile::trace2();
+    profile.requests = 20000;
+    SyntheticTrace trace(profile);
+    std::uint64_t sum = 0;
+    while (auto rec = trace.next()) sum += static_cast<std::uint64_t>(rec->block);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SyntheticTraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Tables 1 and 2: disk/channel parameters and the characteristics of the
+// two (synthetic stand-in) traces, in the paper's format.
+//
+// Published values (Table 2):
+//                         Trace 1     Trace 2
+//   Duration              3hr 3min    1hr 40min
+//   # of disks            130         10
+//   # of I/O accesses     3,362,505   69,539
+//   # of blocks           4,467,719   143,105
+//   single block reads    2,977,914   48,339
+//   single block writes   312,961     17,557
+//   multiblock reads      47,324      2,029
+//   multiblock writes     24,306      2,098
+#include <iostream>
+
+#include "common.hpp"
+#include "disk/geometry.hpp"
+#include "disk/seek_model.hpp"
+#include "trace/trace_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+  using namespace raidsim::bench;
+  BenchOptions defaults;
+  defaults.scale1 = 1.0;  // statistics collection is cheap; run in full
+  const auto options = BenchOptions::parse(argc, argv, defaults);
+  banner("Tables 1-2: disk parameters and trace characteristics",
+         "synthetic stand-ins must reproduce the published Table 2 counts "
+         "(scaled by --scale)",
+         options);
+
+  {
+    DiskGeometry geo;
+    const SeekModel seek = SeekModel::calibrate(SeekSpec{});
+    TablePrinter t({"Table 1 parameter", "value"});
+    t.add_row({"Rotation speed", TablePrinter::num(geo.rpm, 0) + " rpm"});
+    t.add_row({"Average seek",
+               TablePrinter::num(seek.average_over_uniform(), 1) + " ms"});
+    t.add_row({"Maximal seek",
+               TablePrinter::num(seek.seek_time(geo.cylinders - 1), 1) + " ms"});
+    t.add_row({"Tracks per platter", std::to_string(geo.cylinders)});
+    t.add_row({"Sectors per track", std::to_string(geo.sectors_per_track)});
+    t.add_row({"Bytes per sector", std::to_string(geo.bytes_per_sector)});
+    t.add_row({"Number of platters",
+               std::to_string(geo.tracks_per_cylinder / 2)});
+    t.add_row({"Channel transfer rate", "10 MB/s"});
+    t.add_row({"Capacity",
+               TablePrinter::num(
+                   static_cast<double>(geo.capacity_bytes()) / 1e9, 2) +
+                   " GB"});
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  auto t1 = make_workload("trace1", options.workload_options("trace1"));
+  const TraceStats s1 = TraceStats::collect(*t1);
+  auto t2 = make_workload("trace2", options.workload_options("trace2"));
+  const TraceStats s2 = TraceStats::collect(*t2);
+  std::cout << "Table 2 (synthetic stand-ins; trace1 scaled by "
+            << options.scale1 << ", trace2 by " << options.scale2 << ")\n";
+  std::cout << TraceStats::table({&s1, &s2}, {"Trace 1", "Trace 2"});
+  return 0;
+}

@@ -1,0 +1,215 @@
+// Full-featured command-line front end to the simulator: every knob the
+// paper studies is a flag. The Swiss-army-knife companion to the focused
+// examples.
+//
+// Usage: raidsim_cli [flags]
+//   --trace=trace1|trace2     workload preset          (default trace2)
+//   --trace-file=<path>       replay a trace file instead of a preset
+//   --scale=<f>               fraction of the preset trace (default 0.25)
+//   --speed=<f>               arrival-rate multiplier   (default 1.0)
+//   --seed=<n>                workload RNG seed override
+//   --org=base|mirror|raid5|raid4|raid10|parstrip       (default raid5)
+//   --n=<disks>               array size N              (default 10)
+//   --su=<blocks>             RAID4/5 striping unit     (default 1)
+//   --sync=si|rf|rfpr|df|dfpr parity synchronization    (default df)
+//   --parity-placement=middle|end                       (default middle)
+//   --parity-fine-chunk=<blk> fine-grained ParStrip     (default 0 = off)
+//   --sched=fifo|sstf|scan    disk queue scheduling     (default fifo)
+//   --cache=<MB>              enable NV cache of this size
+//   --destage-period=<ms>     destage period            (default 300)
+//   --no-old-data             disable old-data retention
+//   --parity-caching          RAID4 parity caching
+//   --fail-disk=<d>           run array 0 degraded with disk d failed
+//   --rebuild                 rebuild the failed disk online
+//   --csv                     machine-readable result line
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "array/rebuild.hpp"
+#include "core/reliability.hpp"
+#include "core/simulator.hpp"
+#include "core/workloads.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace raidsim;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "raidsim_cli: " << message << " (--help for usage)\n";
+  std::exit(2);
+}
+
+Organization parse_org(const std::string& v) {
+  if (v == "base") return Organization::kBase;
+  if (v == "mirror") return Organization::kMirror;
+  if (v == "raid5") return Organization::kRaid5;
+  if (v == "raid4") return Organization::kRaid4;
+  if (v == "raid10") return Organization::kRaid10;
+  if (v == "parstrip") return Organization::kParityStriping;
+  fail("unknown organization: " + v);
+}
+
+SyncPolicy parse_sync(const std::string& v) {
+  if (v == "si") return SyncPolicy::kSimultaneousIssue;
+  if (v == "rf") return SyncPolicy::kReadFirst;
+  if (v == "rfpr") return SyncPolicy::kReadFirstPriority;
+  if (v == "df") return SyncPolicy::kDiskFirst;
+  if (v == "dfpr") return SyncPolicy::kDiskFirstPriority;
+  fail("unknown sync policy: " + v);
+}
+
+DiskScheduling parse_sched(const std::string& v) {
+  if (v == "fifo") return DiskScheduling::kFifo;
+  if (v == "sstf") return DiskScheduling::kSstf;
+  if (v == "scan") return DiskScheduling::kScan;
+  fail("unknown scheduling policy: " + v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimulationConfig config;
+  std::string trace_name = "trace2";
+  std::string trace_file;
+  WorkloadOptions workload;
+  workload.scale = 0.25;
+  int fail_disk = -1;
+  bool rebuild = false;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "see the header of examples/raidsim_cli.cpp for flags\n";
+      return 0;
+    } else if (const char* v = value("--trace=")) {
+      trace_name = v;
+    } else if (const char* v = value("--trace-file=")) {
+      trace_file = v;
+    } else if (const char* v = value("--scale=")) {
+      workload.scale = std::atof(v);
+    } else if (const char* v = value("--speed=")) {
+      workload.speed = std::atof(v);
+    } else if (const char* v = value("--seed=")) {
+      workload.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--org=")) {
+      config.organization = parse_org(v);
+    } else if (const char* v = value("--n=")) {
+      config.array_data_disks = std::atoi(v);
+    } else if (const char* v = value("--su=")) {
+      config.striping_unit_blocks = std::atoi(v);
+    } else if (const char* v = value("--sync=")) {
+      config.sync = parse_sync(v);
+    } else if (const char* v = value("--parity-placement=")) {
+      config.parity_placement = std::string(v) == "end"
+                                    ? ParityPlacement::kEndCylinders
+                                    : ParityPlacement::kMiddleCylinders;
+    } else if (const char* v = value("--parity-fine-chunk=")) {
+      config.parity_fine_grain_chunk_blocks = std::atoi(v);
+    } else if (const char* v = value("--sched=")) {
+      config.disk_scheduling = parse_sched(v);
+    } else if (const char* v = value("--cache=")) {
+      config.cached = true;
+      config.cache_bytes = static_cast<std::int64_t>(std::atoi(v)) << 20;
+    } else if (const char* v = value("--destage-period=")) {
+      config.destage_period_ms = std::atof(v);
+    } else if (arg == "--no-old-data") {
+      config.retain_old_data = false;
+    } else if (arg == "--parity-caching") {
+      config.parity_caching = true;
+    } else if (const char* v = value("--fail-disk=")) {
+      fail_disk = std::atoi(v);
+    } else if (arg == "--rebuild") {
+      rebuild = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      fail("unknown flag: " + arg);
+    }
+  }
+
+  try {
+    config.validate();
+    std::unique_ptr<TraceStream> trace;
+    if (!trace_file.empty()) {
+      trace = TraceReader::open(trace_file);
+      if (workload.speed != 1.0)
+        trace = std::make_unique<SpeedAdapter>(std::move(trace),
+                                               workload.speed);
+    } else {
+      trace = make_workload(trace_name, workload);
+    }
+
+    Simulator sim(config, trace->geometry());
+    std::unique_ptr<RebuildProcess> rebuilder;
+    if (fail_disk >= 0) {
+      sim.mutable_controller(0).fail_disk(fail_disk);
+      if (rebuild) {
+        rebuilder = std::make_unique<RebuildProcess>(
+            sim.event_queue(), sim.mutable_controller(0));
+        rebuilder->start(nullptr);
+      }
+    }
+    const Metrics m = sim.run(*trace);
+
+    if (csv) {
+      std::cout << config.describe() << ',' << m.requests << ','
+                << m.mean_response_ms() << ',' << m.response_read.mean()
+                << ',' << m.response_write.mean() << ','
+                << m.response_all.p95() << ',' << m.read_hit_ratio() << ','
+                << m.write_hit_ratio() << ',' << m.mean_disk_utilization()
+                << '\n';
+      return 0;
+    }
+
+    std::cout << config.describe() << "\n\n";
+    TablePrinter table({"metric", "value"});
+    table.add_row({"requests", std::to_string(m.requests)});
+    table.add_row({"mean response (ms)",
+                   TablePrinter::num(m.mean_response_ms())});
+    table.add_row({"read / write (ms)",
+                   TablePrinter::num(m.response_read.mean()) + " / " +
+                       TablePrinter::num(m.response_write.mean())});
+    table.add_row({"p50 / p95 / p99 (ms)",
+                   TablePrinter::num(m.response_all.p50()) + " / " +
+                       TablePrinter::num(m.response_all.p95()) + " / " +
+                       TablePrinter::num(m.response_all.p99())});
+    if (config.cached) {
+      table.add_row({"read / write hit",
+                     TablePrinter::num(100.0 * m.read_hit_ratio(), 1) +
+                         "% / " +
+                         TablePrinter::num(100.0 * m.write_hit_ratio(), 1) +
+                         "%"});
+    }
+    table.add_row({"mean / max disk util",
+                   TablePrinter::num(m.mean_disk_utilization(), 3) + " / " +
+                       TablePrinter::num(m.max_disk_utilization(), 3)});
+    table.add_row({"arrays x disks",
+                   std::to_string(m.arrays) + " x " +
+                       std::to_string(m.total_disks / std::max(1, m.arrays))});
+    if (fail_disk >= 0) {
+      table.add_row({"degraded reads",
+                     std::to_string(m.controller.degraded_reads)});
+      table.add_row({"degraded writes",
+                     std::to_string(m.controller.degraded_writes)});
+    }
+    const double mttdl_years =
+        system_mttdl_hours(config.organization, trace->geometry().data_disks,
+                           config.array_data_disks) /
+        (24.0 * 365.0);
+    table.add_row({"system MTTDL (years)", TablePrinter::num(mttdl_years, 1)});
+    table.print(std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "raidsim_cli: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Internal smoke harness (not part of the documented examples): runs a
+// tiny workload through every organization to sanity-check timings.
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "core/workloads.hpp"
+
+int main() {
+  using namespace raidsim;
+  for (auto org : {Organization::kBase, Organization::kMirror,
+                   Organization::kRaid5, Organization::kParityStriping}) {
+    for (bool cached : {false, true}) {
+      SimulationConfig config;
+      config.organization = org;
+      config.cached = cached;
+      WorkloadOptions options;
+      options.scale = 0.05;
+      auto trace = make_workload("trace2", options);
+      const Metrics m = run_simulation(config, *trace);
+      std::cout << config.describe() << ": mean=" << m.mean_response_ms()
+                << "ms read=" << m.response_read.mean()
+                << " write=" << m.response_write.mean()
+                << " util=" << m.mean_disk_utilization()
+                << " rhit=" << m.read_hit_ratio()
+                << " whit=" << m.write_hit_ratio() << " n=" << m.requests
+                << "\n";
+    }
+  }
+  // RAID4 with and without parity caching.
+  for (bool pc : {false, true}) {
+    SimulationConfig config;
+    config.organization = Organization::kRaid4;
+    config.cached = true;
+    config.parity_caching = pc;
+    WorkloadOptions options;
+    options.scale = 0.05;
+    auto trace = make_workload("trace2", options);
+    const Metrics m = run_simulation(config, *trace);
+    std::cout << config.describe() << ": mean=" << m.mean_response_ms()
+              << "ms util=" << m.mean_disk_utilization()
+              << " spools=" << m.controller.parity_spools
+              << " peak=" << m.controller.parity_queue_peak << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,386 @@
+#include "array/cached_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace raidsim {
+
+namespace {
+
+bool is_parity_org(Organization org) {
+  return org == Organization::kRaid4 || org == Organization::kRaid5 ||
+         org == Organization::kParityStriping;
+}
+
+}  // namespace
+
+CachedController::CachedController(EventQueue& eq, const Config& config,
+                                   const CacheConfig& cache_config)
+    : ArrayController(eq, config),
+      cache_(static_cast<std::size_t>(
+                 std::max<std::int64_t>(1, cache_config.cache_bytes /
+                                               config.disk_geometry.block_bytes())),
+             cache_config.retain_old_data &&
+                 is_parity_org(config.layout.organization)),
+      cache_config_(cache_config),
+      parity_org_(is_parity_org(config.layout.organization)) {
+  if (cache_config_.parity_caching &&
+      config.layout.organization != Organization::kRaid4)
+    throw std::invalid_argument(
+        "CachedController: parity caching requires the RAID4 organization");
+  schedule_destage_tick();
+}
+
+void CachedController::shutdown() {
+  shutdown_ = true;
+  if (destage_event_ != 0) {
+    eq_.cancel(destage_event_);
+    destage_event_ = 0;
+  }
+}
+
+void CachedController::submit(const ArrayRequest& request,
+                              std::function<void(SimTime)> on_complete) {
+  if (!on_complete) on_complete = [](SimTime) {};
+  if (request.is_write) {
+    submit_write(request, std::move(on_complete));
+  } else {
+    submit_read(request, std::move(on_complete));
+  }
+}
+
+void CachedController::submit_read(const ArrayRequest& request,
+                                   std::function<void(SimTime)> on_complete) {
+  ++stats_.read_requests;
+
+  // A multiblock request is a hit only when every block is cached
+  // (Section 4.3).
+  bool all_cached = true;
+  for (int i = 0; i < request.block_count; ++i)
+    all_cached = all_cached && cache_.contains(request.logical_block + i);
+  for (int i = 0; i < request.block_count; ++i)
+    cache_.read(request.logical_block + i);
+
+  const std::int64_t bytes = block_bytes(request.block_count);
+  if (all_cached) {
+    ++stats_.read_request_hits;
+    channel_->transfer(bytes, std::move(on_complete));
+    return;
+  }
+
+  // Miss: fetch the extent from disk; dirty LRU victims displaced by the
+  // fill must reach the disk before the response completes (Section 3.4).
+  auto extents = layout_->map_read(request.logical_block, request.block_count);
+  auto barrier = Barrier::create(
+      static_cast<int>(extents.size()),
+      [this, bytes, on_complete = std::move(on_complete)](SimTime) mutable {
+        channel_->transfer(bytes, std::move(on_complete));
+      });
+  for (auto extent : extents) {
+    extent.disk = choose_mirror_read_disk(extent);
+    disk_read(extent, DiskPriority::kNormal,
+              [this, extent, barrier](SimTime t) {
+                for (int i = 0; i < extent.block_count; ++i) {
+                  const std::int64_t block = extent.logical_start + i;
+                  const auto result = cache_.insert_clean(block);
+                  if (result.inserted && result.evicted_dirty) {
+                    barrier->expect(1);
+                    ++stats_.sync_victim_writes;
+                    victim_writeback(result.victim, DiskPriority::kNormal,
+                                     [barrier](SimTime tv) {
+                                       barrier->arrive(tv);
+                                     });
+                  }
+                }
+                barrier->arrive(t);
+              });
+  }
+}
+
+void CachedController::submit_write(const ArrayRequest& request,
+                                    std::function<void(SimTime)> on_complete) {
+  ++stats_.write_requests;
+  bool all_cached = true;
+  for (int i = 0; i < request.block_count; ++i)
+    all_cached = all_cached && cache_.contains(request.logical_block + i);
+  if (all_cached) ++stats_.write_request_hits;
+
+  auto state = std::make_shared<StalledWrite>();
+  state->blocks.reserve(static_cast<std::size_t>(request.block_count));
+  for (int i = 0; i < request.block_count; ++i)
+    state->blocks.push_back(request.logical_block + i);
+  state->on_complete = std::move(on_complete);
+
+  // Data cross the channel into the NV cache; the response completes once
+  // every block is safely cached (the destage to disk is asynchronous).
+  channel_->transfer(block_bytes(request.block_count),
+                     [this, state](SimTime) { try_cache_writes(state); });
+}
+
+void CachedController::try_cache_writes(std::shared_ptr<StalledWrite> write) {
+  while (write->next < write->blocks.size()) {
+    const auto result = cache_.write(write->blocks[write->next]);
+    if (!result.accepted) {
+      ++stats_.write_stalls;
+      stalled_.push_back(write);
+      return;
+    }
+    if (result.evicted_dirty) {
+      // Asynchronous writeback of the displaced dirty block; write
+      // responses do not wait for it.
+      ++stats_.sync_victim_writes;
+      victim_writeback(result.victim, DiskPriority::kNormal, nullptr);
+    }
+    ++write->next;
+  }
+  write->on_complete(eq_.now());
+}
+
+void CachedController::pump_stalled() {
+  // Retry parked writes in order; try_cache_writes re-appends a write
+  // that stalls again, so stop as soon as one fails to finish.
+  while (!stalled_.empty()) {
+    auto write = stalled_.front();
+    stalled_.pop_front();
+    try_cache_writes(write);
+    if (write->next < write->blocks.size()) break;  // still stalled
+  }
+}
+
+void CachedController::victim_writeback(std::int64_t block,
+                                        DiskPriority priority,
+                                        std::function<void(SimTime)> done) {
+  // The victim left the cache together with any old-data copy, so the
+  // parity update takes the full read-modify-write path. RAID4 victims
+  // bypass the spool (the paper's "serviced directly from disk" case).
+  auto plans = layout_->map_write(block, 1);
+  auto barrier = Barrier::create(
+      static_cast<int>(plans.size()),
+      done ? std::move(done) : [](SimTime) {});
+  auto never_cached = [](const PhysicalExtent&) { return false; };
+  for (const auto& plan : plans)
+    execute_update(plan, priority, sync_, never_cached,
+                   [barrier](SimTime t) { barrier->arrive(t); });
+}
+
+bool CachedController::old_cached_extent(const PhysicalExtent& extent) const {
+  if (extent.logical_start < 0) return false;
+  for (int i = 0; i < extent.block_count; ++i)
+    if (!cache_.has_old(extent.logical_start + i)) return false;
+  return true;
+}
+
+void CachedController::schedule_destage_tick() {
+  if (!cache_config_.periodic_destage || shutdown_) return;
+  destage_event_ = eq_.schedule_in(cache_config_.destage_period_ms,
+                                   [this] { destage_tick(); });
+}
+
+void CachedController::destage_tick() {
+  destage_event_ = 0;
+  auto dirty = cache_.collect_dirty();
+  std::sort(dirty.begin(), dirty.end());
+
+  // Group consecutive logical blocks into runs.
+  struct Run {
+    std::int64_t start;
+    int count;
+  };
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < dirty.size();) {
+    std::size_t j = i + 1;
+    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1 &&
+           static_cast<int>(j - i) < cache_config_.max_destage_run_blocks)
+      ++j;
+    runs.push_back(Run{dirty[i], static_cast<int>(j - i)});
+    i = j;
+  }
+
+  // Spread the destage writes progressively across the period so they
+  // interfere minimally with the read traffic (Section 3.4).
+  const double period = cache_config_.destage_period_ms;
+  const auto n = static_cast<double>(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run run = runs[i];
+    const double offset = period * (static_cast<double>(i) + 0.5) / n;
+    eq_.schedule_in(offset,
+                    [this, run] { issue_destage_run(run.start, run.count); });
+  }
+  schedule_destage_tick();
+}
+
+void CachedController::issue_destage_run(std::int64_t start_block, int count) {
+  // Blocks may have been destaged (victim path) or begun flight since the
+  // tick; re-derive the eligible sub-runs.
+  int i = 0;
+  while (i < count) {
+    while (i < count && !cache_.destage_eligible(start_block + i)) ++i;
+    if (i >= count) return;
+    int j = i;
+    while (j < count && cache_.destage_eligible(start_block + j)) ++j;
+
+    const std::int64_t sub_start = start_block + i;
+    const int sub_count = j - i;
+    auto plans = layout_->map_write(sub_start, sub_count);
+
+    bool use_spool = cache_config_.parity_caching && failed_disk_ < 0;
+    if (use_spool) {
+      // Reserve a spool slot for every parity block across all plans up
+      // front (coalescing with an existing entry releases the extra slot
+      // later). When the cache has no room for the parity update, this
+      // run is serviced directly from disk instead -- the paper's
+      // behaviour when the parity queue occupies the entire cache.
+      int needed = 0;
+      for (const auto& plan : plans)
+        if (plan.parity.valid()) needed += plan.parity.block_count;
+      int reserved = 0;
+      while (reserved < needed && cache_.try_reserve_parity_slot()) ++reserved;
+      if (reserved < needed) {
+        ++stats_.parity_reservation_failures;
+        for (int r = 0; r < reserved; ++r) cache_.release_parity_slot();
+        use_spool = false;
+      }
+    }
+
+    for (int b = 0; b < sub_count; ++b) cache_.begin_destage(sub_start + b);
+    stats_.destage_blocks += static_cast<std::uint64_t>(sub_count);
+
+    auto barrier = Barrier::create(
+        static_cast<int>(plans.size()),
+        [this, sub_start, sub_count](SimTime) {
+          for (int b = 0; b < sub_count; ++b) cache_.end_destage(sub_start + b);
+          pump_stalled();
+        });
+    for (const auto& plan : plans) {
+      stats_.destage_writes += static_cast<std::uint64_t>(plan.writes.size());
+      if (use_spool) {
+        execute_update_spooled(plan,
+                               [barrier](SimTime t) { barrier->arrive(t); });
+      } else {
+        execute_update(plan, DiskPriority::kNormal, sync_,
+                       [this](const PhysicalExtent& e) {
+                         return old_cached_extent(e);
+                       },
+                       [barrier](SimTime t) { barrier->arrive(t); });
+      }
+    }
+    i = j;
+  }
+}
+
+void CachedController::execute_update_spooled(
+    const StripeUpdate& update, std::function<void(SimTime)> done) {
+  // Data writes go to the data disks as in the plain cached path; the
+  // parity update is captured in the cache (as a full parity block for
+  // full stripes, as the xor of old and new data otherwise) and spooled
+  // to the dedicated parity disk asynchronously. The destage of the data
+  // is complete once the data are on disk -- the buffered parity is
+  // already stable in the NV cache.
+  std::vector<PhysicalExtent> pieces;
+  for (const auto& w : update.writes)
+    for (const auto& piece : split_at_cylinders(w)) pieces.push_back(piece);
+
+  auto completion =
+      Barrier::create(static_cast<int>(pieces.size()), std::move(done));
+
+  const PhysicalExtent parity = update.parity;
+  const bool full = update.full_stripe;
+  auto enqueue_parity = [this, parity, full](SimTime) {
+    if (!parity.valid()) return;
+    for (int b = 0; b < parity.block_count; ++b)
+      add_spool_entry(parity.start_block + b, full);
+  };
+
+  if (full) {
+    // Full stripe: parity computed from new data, available immediately.
+    enqueue_parity(eq_.now());
+    for (const auto& piece : pieces)
+      disk_write(piece, DiskPriority::kNormal,
+                 [completion](SimTime t) { completion->arrive(t); });
+    return;
+  }
+
+  // Partial update: the xor-delta needs the old data of every modified
+  // piece -- either already retained in the cache or read by the data
+  // disk's RMW pass.
+  int delta_inputs = 0;
+  std::vector<bool> piece_old_cached(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    piece_old_cached[i] = old_cached_extent(pieces[i]);
+    if (!piece_old_cached[i]) ++delta_inputs;
+  }
+  auto delta_barrier = Barrier::create(delta_inputs, enqueue_parity);
+  if (delta_inputs == 0) enqueue_parity(eq_.now());
+
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const auto& piece = pieces[i];
+    Disk& disk = *disks_[static_cast<std::size_t>(piece.disk)];
+    DiskRequest req;
+    req.start_block = piece.start_block;
+    req.block_count = piece.block_count;
+    req.priority = DiskPriority::kNormal;
+    if (piece_old_cached[i]) {
+      req.kind = DiskOpKind::kWrite;
+    } else {
+      req.kind = DiskOpKind::kReadModifyWrite;
+      req.gate = WriteGate::already_open();
+      req.on_read_done = [delta_barrier](SimTime t) {
+        delta_barrier->arrive(t);
+      };
+    }
+    req.on_complete = [completion](SimTime t) { completion->arrive(t); };
+    disk.submit(std::move(req));
+  }
+}
+
+void CachedController::add_spool_entry(std::int64_t parity_block,
+                                       bool full_stripe) {
+  auto it = spool_.find(parity_block);
+  if (it != spool_.end()) {
+    // Coalesce: a later full-stripe parity supersedes a pending delta;
+    // the reserved slot is shared, so release the extra reservation.
+    it->second = it->second || full_stripe;
+    cache_.release_parity_slot();
+    return;
+  }
+  spool_.emplace(parity_block, full_stripe);
+  stats_.parity_queue_peak = std::max(stats_.parity_queue_peak, spool_.size());
+  pump_spooler();
+}
+
+void CachedController::pump_spooler() {
+  if (spooling_ || spool_.empty()) return;
+  // SCAN: continue sweeping upward from the last serviced position,
+  // wrapping at the end (parity block number increases with cylinder).
+  auto it = spool_.lower_bound(scan_position_);
+  if (it == spool_.end()) it = spool_.begin();
+  const std::int64_t block = it->first;
+  const bool full = it->second;
+  spool_.erase(it);
+  spooling_ = true;
+  scan_position_ = block + 1;
+
+  const int parity_disk_index = layout_->total_disks() - 1;
+  Disk& disk = *disks_[static_cast<std::size_t>(parity_disk_index)];
+  DiskRequest req;
+  req.start_block = block;
+  req.block_count = 1;
+  req.priority = DiskPriority::kNormal;
+  if (full) {
+    req.kind = DiskOpKind::kWrite;
+  } else {
+    // Delta entry: the old parity must be read, xored, and rewritten.
+    req.kind = DiskOpKind::kReadModifyWrite;
+    req.gate = WriteGate::already_open();
+  }
+  req.on_complete = [this](SimTime) {
+    spooling_ = false;
+    cache_.release_parity_slot();
+    ++stats_.parity_spools;
+    pump_stalled();
+    pump_spooler();
+  };
+  disk.submit(std::move(req));
+}
+
+}  // namespace raidsim

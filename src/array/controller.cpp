@@ -1,0 +1,407 @@
+#include "array/controller.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace raidsim {
+
+std::string to_string(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kSimultaneousIssue: return "SI";
+    case SyncPolicy::kReadFirst: return "RF";
+    case SyncPolicy::kReadFirstPriority: return "RF/PR";
+    case SyncPolicy::kDiskFirst: return "DF";
+    case SyncPolicy::kDiskFirstPriority: return "DF/PR";
+  }
+  return "?";
+}
+
+std::shared_ptr<Barrier> Barrier::create(int count, Fire fire) {
+  assert(count >= 0);
+  auto barrier = std::shared_ptr<Barrier>(new Barrier(count, std::move(fire)));
+  return barrier;
+}
+
+void Barrier::arrive(SimTime now) {
+  assert(remaining_ > 0);
+  if (--remaining_ == 0 && fire_) {
+    auto fire = std::move(fire_);
+    fire_ = nullptr;
+    fire(now);
+  }
+}
+
+namespace {
+
+bool parity_has_priority(SyncPolicy policy) {
+  return policy == SyncPolicy::kReadFirstPriority ||
+         policy == SyncPolicy::kDiskFirstPriority;
+}
+
+bool is_disk_first(SyncPolicy policy) {
+  return policy == SyncPolicy::kDiskFirst ||
+         policy == SyncPolicy::kDiskFirstPriority;
+}
+
+bool is_read_first(SyncPolicy policy) {
+  return policy == SyncPolicy::kReadFirst ||
+         policy == SyncPolicy::kReadFirstPriority;
+}
+
+}  // namespace
+
+ArrayController::ArrayController(EventQueue& eq, const Config& config)
+    : eq_(eq),
+      disk_geometry_(config.disk_geometry),
+      seek_model_(SeekModel::calibrate(config.seek)),
+      layout_(make_layout(config.layout)),
+      sync_(config.sync) {
+  const int total = layout_->total_disks();
+  disks_.reserve(static_cast<std::size_t>(total));
+  for (int d = 0; d < total; ++d)
+    disks_.push_back(std::make_unique<Disk>(eq_, disk_geometry_, &seek_model_,
+                                            d, config.disk_scheduling));
+  channel_ = std::make_unique<Channel>(eq_, config.channel_mb_per_second);
+  buffers_ =
+      std::make_unique<BufferPool>(config.track_buffers_per_disk * total);
+}
+
+void ArrayController::fail_disk(int disk) {
+  if (disk >= layout_->total_disks())
+    throw std::invalid_argument("ArrayController: no such disk");
+  failed_disk_ = disk < 0 ? -1 : disk;
+  rebuild_watermark_ = 0;
+}
+
+void ArrayController::set_rebuild_watermark(std::int64_t blocks) {
+  rebuild_watermark_ = blocks;
+}
+
+bool ArrayController::is_degraded(const PhysicalExtent& extent) const {
+  return failed_disk_ >= 0 && extent.disk == failed_disk_ &&
+         extent.start_block + extent.block_count > rebuild_watermark_;
+}
+
+int ArrayController::choose_mirror_read_disk(
+    const PhysicalExtent& extent) const {
+  const int twin = layout_->mirror_of(extent.disk);
+  if (twin < 0) return extent.disk;
+  if (extent.disk == failed_disk_) return twin;
+  if (twin == failed_disk_) return extent.disk;
+  const int target =
+      disk_geometry_.locate_block(extent.start_block).cylinder;
+  const Disk& a = *disks_[static_cast<std::size_t>(extent.disk)];
+  const Disk& b = *disks_[static_cast<std::size_t>(twin)];
+  const int da = std::abs(a.current_cylinder() - target);
+  const int db = std::abs(b.current_cylinder() - target);
+  if (da != db) return da < db ? extent.disk : twin;
+  return a.queue_length() <= b.queue_length() ? extent.disk : twin;
+}
+
+void ArrayController::disk_read(const PhysicalExtent& extent,
+                                DiskPriority priority,
+                                std::function<void(SimTime)> done) {
+  assert(extent.valid());
+  if (is_degraded(extent)) {
+    // Reconstruct the content from the surviving members of the parity
+    // group(s) plus the parity (Mirror: the twin copy).
+    const auto groups = layout_->degraded_group(extent);
+    if (groups.empty()) {
+      // No redundancy: the data are lost. Complete immediately (an error
+      // return in a real system) and count it.
+      ++stats_.unrecoverable;
+      if (done) done(eq_.now());
+      return;
+    }
+    ++stats_.degraded_reads;
+    int ops = 0;
+    for (const auto& group : groups)
+      ops += static_cast<int>(group.member_reads.size()) +
+             (group.parity.valid() ? 1 : 0);
+    auto barrier = Barrier::create(ops, std::move(done));
+    for (const auto& group : groups) {
+      for (const auto& member : group.member_reads)
+        disk_read(member, priority,
+                  [barrier](SimTime t) { barrier->arrive(t); });
+      if (group.parity.valid())
+        disk_read(group.parity, priority,
+                  [barrier](SimTime t) { barrier->arrive(t); });
+    }
+    return;
+  }
+  Disk& disk = *disks_[static_cast<std::size_t>(extent.disk)];
+  DiskRequest req;
+  req.kind = DiskOpKind::kRead;
+  req.start_block = extent.start_block;
+  req.block_count = extent.block_count;
+  req.priority = priority;
+  req.on_complete = std::move(done);
+  disk.submit(std::move(req));
+}
+
+void ArrayController::disk_write(const PhysicalExtent& extent,
+                                 DiskPriority priority,
+                                 std::function<void(SimTime)> done) {
+  assert(extent.valid());
+  Disk& disk = *disks_[static_cast<std::size_t>(extent.disk)];
+  DiskRequest req;
+  req.kind = DiskOpKind::kWrite;
+  req.start_block = extent.start_block;
+  req.block_count = extent.block_count;
+  req.priority = priority;
+  req.on_complete = std::move(done);
+  disk.submit(std::move(req));
+}
+
+std::vector<PhysicalExtent> ArrayController::split_at_cylinders(
+    const PhysicalExtent& extent) const {
+  const int bpc = disk_geometry_.blocks_per_cylinder();
+  std::vector<PhysicalExtent> out;
+  std::int64_t pos = extent.start_block;
+  std::int64_t logical = extent.logical_start;
+  int remaining = extent.block_count;
+  while (remaining > 0) {
+    const std::int64_t within = pos % bpc;
+    const int take = static_cast<int>(
+        std::min<std::int64_t>(remaining, bpc - within));
+    out.push_back(PhysicalExtent{extent.disk, pos, take, logical});
+    pos += take;
+    if (logical >= 0) logical += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+bool ArrayController::rebuild_extent(const PhysicalExtent& extent,
+                                     DiskPriority priority,
+                                     std::function<void(SimTime)> done) {
+  const auto groups = layout_->degraded_group(extent);
+  if (groups.empty()) return false;
+  int reads = 0;
+  for (const auto& group : groups)
+    reads += static_cast<int>(group.member_reads.size()) +
+             (group.parity.valid() ? 1 : 0);
+  // Read the surviving members, then write the reconstructed content to
+  // the replacement disk (which occupies the failed slot).
+  auto write_back = [this, extent, priority,
+                     done = std::move(done)](SimTime) mutable {
+    Disk& replacement = *disks_[static_cast<std::size_t>(extent.disk)];
+    DiskRequest req;
+    req.kind = DiskOpKind::kWrite;
+    req.start_block = extent.start_block;
+    req.block_count = extent.block_count;
+    req.priority = priority;
+    req.on_complete = std::move(done);
+    replacement.submit(std::move(req));
+  };
+  auto barrier = Barrier::create(reads, std::move(write_back));
+  for (const auto& group : groups) {
+    for (const auto& member : group.member_reads)
+      disk_read(member, priority,
+                [barrier](SimTime t) { barrier->arrive(t); });
+    if (group.parity.valid())
+      disk_read(group.parity, priority,
+                [barrier](SimTime t) { barrier->arrive(t); });
+  }
+  return true;
+}
+
+StripeUpdate ArrayController::degrade_update(const StripeUpdate& update) {
+  StripeUpdate out = update;
+  // A failed parity disk simply stops being maintained: the remaining
+  // data writes become plain writes.
+  if (out.parity.valid() && is_degraded(out.parity)) {
+    out.parity = PhysicalExtent{};
+    out.reconstruct_reads.clear();
+    out.reconstruct = true;
+    out.full_stripe = true;
+  }
+  // Writes to the failed disk are dropped; the parity absorbs the new
+  // data instead: reconstruct-style update reading the surviving group
+  // members. (With multiple extents per plan this reads the failed
+  // extent's offsets only -- exact for the single-block writes that
+  // dominate OLTP.)
+  std::vector<PhysicalExtent> surviving;
+  std::vector<PhysicalExtent> dropped;
+  for (const auto& w : out.writes)
+    (is_degraded(w) ? dropped : surviving).push_back(w);
+  if (!dropped.empty()) {
+    ++stats_.degraded_writes;
+    out.writes = std::move(surviving);
+    if (out.parity.valid()) {
+      out.reconstruct = true;
+      out.full_stripe = false;
+      out.reconstruct_reads.clear();
+      for (const auto& w : dropped) {
+        for (const auto& group : layout_->degraded_group(w)) {
+          for (const auto& member : group.member_reads) {
+            // Members being rewritten in this plan need no old-data read.
+            bool written = false;
+            for (const auto& sw : out.writes)
+              written = written || (sw.disk == member.disk &&
+                                    sw.start_block <= member.start_block &&
+                                    member.start_block + member.block_count <=
+                                        sw.start_block + sw.block_count);
+            if (!written) out.reconstruct_reads.push_back(member);
+          }
+        }
+      }
+      if (out.reconstruct_reads.empty()) out.full_stripe = true;
+    } else if (out.writes.empty()) {
+      // Base organization (or double failure): nothing survives.
+      ++stats_.unrecoverable;
+    }
+  }
+  return out;
+}
+
+void ArrayController::execute_update(
+    const StripeUpdate& update, DiskPriority data_priority, SyncPolicy sync,
+    const std::function<bool(const PhysicalExtent&)>& old_data_cached,
+    std::function<void(SimTime)> done) {
+  if (failed_disk_ >= 0) {
+    const StripeUpdate degraded = degrade_update(update);
+    if (degraded.writes.empty() && !degraded.parity.valid()) {
+      // Nothing survives (Base organization): the write is lost.
+      if (done) done(eq_.now());
+      return;
+    }
+    execute_update_impl(degraded, data_priority, sync, old_data_cached,
+                        std::move(done));
+    return;
+  }
+  execute_update_impl(update, data_priority, sync, old_data_cached,
+                      std::move(done));
+}
+
+void ArrayController::execute_update_impl(
+    const StripeUpdate& update, DiskPriority data_priority, SyncPolicy sync,
+    const std::function<bool(const PhysicalExtent&)>& old_data_cached,
+    std::function<void(SimTime)> done) {
+  const DiskPriority parity_priority =
+      parity_has_priority(sync) ? DiskPriority::kParity : data_priority;
+
+  // ---- Plain-write plans: full stripes, Base/Mirror, reconstruct mode.
+  if (update.reconstruct || update.full_stripe) {
+    const int op_count = static_cast<int>(update.writes.size()) +
+                         (update.parity.valid() ? 1 : 0);
+    auto completion = Barrier::create(op_count, std::move(done));
+    for (const auto& w : update.writes)
+      disk_write(w, data_priority,
+                 [completion](SimTime t) { completion->arrive(t); });
+    if (update.parity.valid()) {
+      if (update.reconstruct_reads.empty()) {
+        // Full stripe: the parity is computed from the new data and
+        // written without any reads.
+        disk_write(update.parity, parity_priority,
+                   [completion](SimTime t) { completion->arrive(t); });
+      } else {
+        // Reconstruct: the parity write waits for the reads of the
+        // untouched data.
+        const PhysicalExtent parity = update.parity;
+        auto read_barrier = Barrier::create(
+            static_cast<int>(update.reconstruct_reads.size()),
+            [this, parity, parity_priority, completion](SimTime) {
+              disk_write(parity, parity_priority,
+                         [completion](SimTime t) { completion->arrive(t); });
+            });
+        for (const auto& r : update.reconstruct_reads)
+          disk_read(r, data_priority,
+                    [read_barrier](SimTime t) { read_barrier->arrive(t); });
+      }
+    }
+    return;
+  }
+
+  // ---- Read-modify-write plan (small writes).
+  assert(update.parity.valid());
+
+  std::vector<PhysicalExtent> data_pieces;
+  for (const auto& w : update.writes)
+    for (const auto& piece : split_at_cylinders(w)) data_pieces.push_back(piece);
+  std::vector<PhysicalExtent> parity_pieces = split_at_cylinders(update.parity);
+
+  const int total_ops =
+      static_cast<int>(data_pieces.size() + parity_pieces.size());
+  auto completion = Barrier::create(total_ops, std::move(done));
+
+  // The gate opens when the new parity is computable: every data piece
+  // whose old content is not already in the controller must finish its
+  // old-data read first.
+  auto gate = std::make_shared<WriteGate>();
+  int gate_inputs = 0;
+  std::vector<bool> piece_old_cached(data_pieces.size());
+  for (std::size_t i = 0; i < data_pieces.size(); ++i) {
+    piece_old_cached[i] = old_data_cached(data_pieces[i]);
+    if (!piece_old_cached[i]) ++gate_inputs;
+  }
+
+  // Issuing the parity access(es): immediately for SI; when all old data
+  // have been read for RF; when all data accesses have acquired their
+  // disks for DF.
+  auto issue_parity = [this, parity_pieces, parity_priority, gate,
+                       completion](SimTime) {
+    for (const auto& piece : parity_pieces) {
+      Disk& disk = *disks_[static_cast<std::size_t>(piece.disk)];
+      DiskRequest req;
+      req.kind = DiskOpKind::kReadModifyWrite;
+      req.start_block = piece.start_block;
+      req.block_count = piece.block_count;
+      req.priority = parity_priority;
+      req.gate = gate;
+      req.on_complete = [completion](SimTime t) { completion->arrive(t); };
+      disk.submit(std::move(req));
+    }
+  };
+
+  const bool read_first = is_read_first(sync);
+  auto read_barrier = Barrier::create(
+      gate_inputs, [gate, read_first, issue_parity](SimTime t) {
+        gate->open(t);
+        if (read_first) issue_parity(t);
+      });
+  if (gate_inputs == 0) {
+    // No reads to wait for (all old data cached): open now and, for RF,
+    // issue immediately.
+    gate->open(eq_.now());
+    if (read_first) issue_parity(eq_.now());
+  }
+
+  std::shared_ptr<Barrier> start_barrier;
+  if (is_disk_first(sync)) {
+    start_barrier =
+        Barrier::create(static_cast<int>(data_pieces.size()), issue_parity);
+  }
+
+  for (std::size_t i = 0; i < data_pieces.size(); ++i) {
+    const auto& piece = data_pieces[i];
+    Disk& disk = *disks_[static_cast<std::size_t>(piece.disk)];
+    DiskRequest req;
+    req.start_block = piece.start_block;
+    req.block_count = piece.block_count;
+    req.priority = data_priority;
+    if (piece_old_cached[i]) {
+      // Old content already buffered: plain in-place write.
+      req.kind = DiskOpKind::kWrite;
+    } else {
+      // Read the old data, rewrite a revolution later. The write phase
+      // needs nothing beyond the new data, which the controller already
+      // has, so its own gate is pre-opened.
+      req.kind = DiskOpKind::kReadModifyWrite;
+      req.gate = WriteGate::already_open();
+      req.on_read_done = [read_barrier](SimTime t) {
+        read_barrier->arrive(t);
+      };
+    }
+    if (start_barrier)
+      req.on_start = [start_barrier](SimTime t) { start_barrier->arrive(t); };
+    req.on_complete = [completion](SimTime t) { completion->arrive(t); };
+    disk.submit(std::move(req));
+  }
+
+  if (sync == SyncPolicy::kSimultaneousIssue) issue_parity(eq_.now());
+}
+
+}  // namespace raidsim

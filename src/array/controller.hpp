@@ -1,0 +1,211 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "disk/disk.hpp"
+#include "layout/layout.hpp"
+#include "sim/event_queue.hpp"
+
+namespace raidsim {
+
+/// Synchronization policies between the parity access and the data
+/// access(es) of an update (Section 3.3).
+enum class SyncPolicy {
+  kSimultaneousIssue,      // SI
+  kReadFirst,              // RF
+  kReadFirstPriority,      // RF/PR
+  kDiskFirst,              // DF (paper default, Table 4)
+  kDiskFirstPriority,      // DF/PR
+};
+
+std::string to_string(SyncPolicy policy);
+
+/// One request addressed to a single array (array-local logical blocks).
+struct ArrayRequest {
+  std::int64_t logical_block = 0;
+  int block_count = 1;
+  bool is_write = false;
+};
+
+/// Countdown latch: fires its callback (once) when `remaining` arrivals
+/// have occurred. Created with the full count; a zero count fires on
+/// creation.
+class Barrier {
+ public:
+  using Fire = std::function<void(SimTime)>;
+
+  static std::shared_ptr<Barrier> create(int count, Fire fire);
+
+  void arrive(SimTime now);
+  /// Add expected arrivals before any arrive() call brings it to zero.
+  void expect(int more) { remaining_ += more; }
+  int remaining() const { return remaining_; }
+
+ private:
+  Barrier(int count, Fire fire) : remaining_(count), fire_(std::move(fire)) {}
+  int remaining_;
+  Fire fire_;
+};
+
+/// Controller-level counters common to all array controllers.
+struct ControllerStats {
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+  // Cached controllers only: request-level hit accounting (a multiblock
+  // request counts as a hit only when every block is cached).
+  std::uint64_t read_request_hits = 0;
+  std::uint64_t write_request_hits = 0;
+  std::uint64_t destage_writes = 0;       // destage disk writes issued
+  std::uint64_t destage_blocks = 0;       // dirty blocks destaged
+  std::uint64_t sync_victim_writes = 0;   // dirty LRU victims written inline
+  std::uint64_t write_stalls = 0;         // writes delayed by a full cache
+  std::uint64_t parity_spools = 0;        // RAID4 parity updates written
+  std::uint64_t parity_reservation_failures = 0;
+  std::size_t parity_queue_peak = 0;
+  // Degraded-mode accounting (disk failure support).
+  std::uint64_t degraded_reads = 0;    // reads reconstructed from the group
+  std::uint64_t degraded_writes = 0;   // writes applied without the failed disk
+  std::uint64_t unrecoverable = 0;     // accesses lost (no redundancy)
+
+  double read_hit_ratio() const {
+    return read_requests ? static_cast<double>(read_request_hits) /
+                               static_cast<double>(read_requests)
+                         : 0.0;
+  }
+  double write_hit_ratio() const {
+    return write_requests ? static_cast<double>(write_request_hits) /
+                                static_cast<double>(write_requests)
+                          : 0.0;
+  }
+};
+
+/// Shared substrate of the uncached and cached controllers: the disks,
+/// the channel, the track-buffer pool, the layout, and the machinery to
+/// execute read plans and parity-group update plans with a given
+/// synchronization policy.
+class ArrayController {
+ public:
+  struct Config {
+    LayoutConfig layout;
+    DiskGeometry disk_geometry;
+    SeekSpec seek;
+    SyncPolicy sync = SyncPolicy::kDiskFirst;
+    DiskScheduling disk_scheduling = DiskScheduling::kFifo;
+    double channel_mb_per_second = 10.0;
+    int track_buffers_per_disk = 5;
+  };
+
+  ArrayController(EventQueue& eq, const Config& config);
+  virtual ~ArrayController() = default;
+
+  ArrayController(const ArrayController&) = delete;
+  ArrayController& operator=(const ArrayController&) = delete;
+
+  /// Submit a request at the current simulation time; `on_complete` fires
+  /// when the response is delivered to the host.
+  virtual void submit(const ArrayRequest& request,
+                      std::function<void(SimTime)> on_complete) = 0;
+
+  /// Mark one disk as failed: reads targeting it are reconstructed from
+  /// the surviving members of its parity group (or the mirror twin);
+  /// writes maintain the surviving data and parity only. Pass -1 to
+  /// clear (disk repaired/rebuilt). Only single failures are modelled --
+  /// a second failure in the same parity group would lose data.
+  void fail_disk(int disk);
+  int failed_disk() const { return failed_disk_; }
+
+  /// Online-rebuild watermark: physical blocks of the failed disk below
+  /// this bound have already been reconstructed onto the replacement and
+  /// are served normally again.
+  void set_rebuild_watermark(std::int64_t blocks);
+  std::int64_t rebuild_watermark() const { return rebuild_watermark_; }
+
+  /// Rebuild support: reconstruct one extent of the failed disk from the
+  /// surviving members of its parity group (or the mirror twin) and
+  /// write it to the replacement. `done` fires when the replacement
+  /// write completes. Returns false when the organization has no
+  /// redundancy to rebuild from.
+  bool rebuild_extent(const PhysicalExtent& extent, DiskPriority priority,
+                      std::function<void(SimTime)> done);
+
+  const Layout& layout() const { return *layout_; }
+  const std::vector<std::unique_ptr<Disk>>& disks() const { return disks_; }
+  const Channel& channel() const { return *channel_; }
+  const BufferPool& buffers() const { return *buffers_; }
+  const ControllerStats& stats() const { return stats_; }
+  const SeekModel& seek_model() const { return seek_model_; }
+
+ protected:
+  /// Choose which member of a mirrored pair serves a read: the disk whose
+  /// arm is nearest the target cylinder, breaking ties by queue length
+  /// (the paper's shortest-seek optimisation).
+  int choose_mirror_read_disk(const PhysicalExtent& extent) const;
+
+  /// True when `extent` must be served in degraded mode (on the failed
+  /// disk, above the rebuild watermark).
+  bool is_degraded(const PhysicalExtent& extent) const;
+
+  /// Issue a plain read of `extent`; `done` fires when the data are in
+  /// the controller (before any channel transfer). Extents on the failed
+  /// disk are transparently reconstructed from the surviving members of
+  /// their parity group.
+  void disk_read(const PhysicalExtent& extent, DiskPriority priority,
+                 std::function<void(SimTime)> done);
+
+  /// Issue a plain write of `extent`; `done` fires when it is on disk.
+  void disk_write(const PhysicalExtent& extent, DiskPriority priority,
+                  std::function<void(SimTime)> done);
+
+  /// Execute one parity-group update plan. `data_priority` applies to the
+  /// data accesses, and the parity access priority is raised for the /PR
+  /// policies. `old_data_cached(extent)` tells the engine whether the old
+  /// content of a data extent is already in the controller (cached
+  /// organizations retain old blocks), in which case the data access is a
+  /// plain write and the parity gate does not wait for it.
+  /// `done` fires once every access of the plan has completed.
+  void execute_update(const StripeUpdate& update, DiskPriority data_priority,
+                      SyncPolicy sync,
+                      const std::function<bool(const PhysicalExtent&)>&
+                          old_data_cached,
+                      std::function<void(SimTime)> done);
+
+  /// Split an extent at cylinder boundaries (RMW accesses must not cross
+  /// a cylinder).
+  std::vector<PhysicalExtent> split_at_cylinders(
+      const PhysicalExtent& extent) const;
+
+  std::int64_t block_bytes(int blocks) const {
+    return static_cast<std::int64_t>(blocks) * disk_geometry_.block_bytes();
+  }
+
+  EventQueue& eq_;
+  DiskGeometry disk_geometry_;
+  SeekModel seek_model_;
+  std::unique_ptr<Layout> layout_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::unique_ptr<Channel> channel_;
+  std::unique_ptr<BufferPool> buffers_;
+  /// Rewrite an update plan for single-failure operation: writes to the
+  /// failed disk are dropped and replaced by a reconstruct-style parity
+  /// update over the surviving members; a failed parity disk simply
+  /// stops being maintained.
+  StripeUpdate degrade_update(const StripeUpdate& update);
+
+  void execute_update_impl(const StripeUpdate& update,
+                           DiskPriority data_priority, SyncPolicy sync,
+                           const std::function<bool(const PhysicalExtent&)>&
+                               old_data_cached,
+                           std::function<void(SimTime)> done);
+
+  SyncPolicy sync_;
+  ControllerStats stats_;
+  int failed_disk_ = -1;
+  std::int64_t rebuild_watermark_ = 0;
+};
+
+}  // namespace raidsim

@@ -1,0 +1,60 @@
+#include "array/rebuild.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace raidsim {
+
+RebuildProcess::RebuildProcess(EventQueue& eq, ArrayController& controller,
+                               Options options)
+    : eq_(eq),
+      controller_(controller),
+      options_(options),
+      disk_(controller.failed_disk()) {
+  if (disk_ < 0)
+    throw std::logic_error("RebuildProcess: no failed disk to rebuild");
+  if (options_.blocks_per_pass < 1)
+    throw std::invalid_argument("RebuildProcess: blocks_per_pass < 1");
+  if (controller_.layout().organization() == Organization::kBase)
+    throw std::logic_error("RebuildProcess: Base has no redundancy");
+  total_ = controller_.layout().physical_blocks_used();
+}
+
+void RebuildProcess::start(std::function<void(SimTime)> on_complete) {
+  if (running_) throw std::logic_error("RebuildProcess: already running");
+  running_ = true;
+  on_complete_ = std::move(on_complete);
+  next_pass();
+}
+
+void RebuildProcess::next_pass() {
+  if (position_ >= total_) {
+    // Fully reconstructed: the replacement is consistent, clear the
+    // failure and report.
+    controller_.fail_disk(-1);
+    running_ = false;
+    if (on_complete_) {
+      auto fire = std::move(on_complete_);
+      on_complete_ = nullptr;
+      fire(eq_.now());
+    }
+    return;
+  }
+  const int take = static_cast<int>(std::min<std::int64_t>(
+      options_.blocks_per_pass, total_ - position_));
+  PhysicalExtent extent{disk_, position_, take};
+  const bool ok = controller_.rebuild_extent(
+      extent, options_.priority, [this, take](SimTime) {
+        position_ += take;
+        controller_.set_rebuild_watermark(position_);
+        if (options_.inter_pass_gap_ms > 0.0) {
+          eq_.schedule_in(options_.inter_pass_gap_ms,
+                          [this] { next_pass(); });
+        } else {
+          next_pass();
+        }
+      });
+  if (!ok) throw std::logic_error("RebuildProcess: reconstruction failed");
+}
+
+}  // namespace raidsim

@@ -1,0 +1,71 @@
+#include "array/uncached_controller.hpp"
+
+namespace raidsim {
+
+UncachedController::UncachedController(EventQueue& eq, const Config& config)
+    : ArrayController(eq, config) {}
+
+void UncachedController::submit(const ArrayRequest& request,
+                                std::function<void(SimTime)> on_complete) {
+  if (!on_complete) on_complete = [](SimTime) {};
+  if (request.is_write) {
+    submit_write(request, std::move(on_complete));
+  } else {
+    submit_read(request, std::move(on_complete));
+  }
+}
+
+void UncachedController::submit_read(const ArrayRequest& request,
+                                     std::function<void(SimTime)> on_complete) {
+  ++stats_.read_requests;
+  auto extents = layout_->map_read(request.logical_block, request.block_count);
+  auto barrier =
+      Barrier::create(static_cast<int>(extents.size()), std::move(on_complete));
+  for (auto extent : extents) {
+    extent.disk = choose_mirror_read_disk(extent);
+    const std::int64_t bytes = block_bytes(extent.block_count);
+    // Track buffer held from the start of the disk transfer until the
+    // data have drained onto the channel.
+    buffers_->acquire([this, extent, bytes, barrier] {
+      disk_read(extent, DiskPriority::kNormal,
+                [this, bytes, barrier](SimTime) {
+                  channel_->transfer(bytes, [this, barrier](SimTime t) {
+                    buffers_->release();
+                    barrier->arrive(t);
+                  });
+                });
+    });
+  }
+}
+
+void UncachedController::submit_write(const ArrayRequest& request,
+                                      std::function<void(SimTime)> on_complete) {
+  ++stats_.write_requests;
+  const std::int64_t bytes = block_bytes(request.block_count);
+  const ArrayRequest req = request;
+  auto done = std::move(on_complete);
+  // The write data first cross the channel into controller buffers; the
+  // disk (and parity) accesses follow. The response is complete when all
+  // of them are on disk. In the uncached organizations old data are never
+  // buffered ahead of time, so every small parity write takes the
+  // read-modify-write path.
+  buffers_->acquire([this, req, bytes, done = std::move(done)]() mutable {
+    channel_->transfer(bytes, [this, req, done = std::move(done)](
+                                  SimTime) mutable {
+      auto plans = layout_->map_write(req.logical_block, req.block_count);
+      auto barrier = Barrier::create(
+          static_cast<int>(plans.size()),
+          [this, done = std::move(done)](SimTime t) {
+            buffers_->release();
+            done(t);
+          });
+      auto never_cached = [](const PhysicalExtent&) { return false; };
+      for (const auto& plan : plans) {
+        execute_update(plan, DiskPriority::kNormal, sync_, never_cached,
+                       [barrier](SimTime t) { barrier->arrive(t); });
+      }
+    });
+  });
+}
+
+}  // namespace raidsim

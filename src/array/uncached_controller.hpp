@@ -1,0 +1,27 @@
+#pragma once
+
+#include "array/controller.hpp"
+
+namespace raidsim {
+
+/// Non-cached array controller (Sections 3.3-3.4): requests go straight
+/// to the disks. Track buffers decouple disk transfers from the channel;
+/// writes in parity organizations execute the read-modify-write plans
+/// under the configured synchronization policy; mirror reads use the
+/// shortest-seek optimisation; request completion requires the data (and
+/// parity or mirror copy) to be on disk.
+class UncachedController : public ArrayController {
+ public:
+  UncachedController(EventQueue& eq, const Config& config);
+
+  void submit(const ArrayRequest& request,
+              std::function<void(SimTime)> on_complete) override;
+
+ private:
+  void submit_read(const ArrayRequest& request,
+                   std::function<void(SimTime)> on_complete);
+  void submit_write(const ArrayRequest& request,
+                    std::function<void(SimTime)> on_complete);
+};
+
+}  // namespace raidsim

@@ -1,0 +1,199 @@
+#include "cache/nv_cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace raidsim {
+
+NvCache::NvCache(std::size_t capacity_blocks, bool retain_old_data)
+    : capacity_(capacity_blocks), retain_old_data_(retain_old_data) {
+  if (capacity_blocks == 0)
+    throw std::invalid_argument("NvCache: zero capacity");
+}
+
+bool NvCache::contains(std::int64_t block) const {
+  return index_.count(data_key(block)) > 0;
+}
+
+void NvCache::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void NvCache::erase_entry(LruList::iterator it) {
+  const std::int64_t key = it->key;
+  if (key % 2 == 1) {
+    old_set_.erase(key / 2);
+  } else {
+    dirty_set_.erase(key / 2);
+  }
+  index_.erase(key);
+  lru_.erase(it);
+}
+
+bool NvCache::make_room(bool allow_dirty, bool& evicted_dirty,
+                        std::int64_t& victim, const Entry* protect) {
+  evicted_dirty = false;
+  victim = -1;
+  if (size() < capacity_) return true;
+  if (lru_.empty()) return false;  // cache entirely pinned by parity slots
+  for (auto it = std::prev(lru_.end());; --it) {
+    if (&*it != protect && !it->in_flight && (allow_dirty || !it->dirty)) {
+      ++stats_.evictions;
+      const std::int64_t key = it->key;
+      if (key % 2 == 1) ++stats_.old_evictions;
+      if (it->dirty) {
+        ++stats_.dirty_evictions;
+        evicted_dirty = true;
+        victim = key / 2;
+        // A dirty data block leaving the cache makes its old copy useless.
+        if (auto old_it = index_.find(old_key(victim)); old_it != index_.end())
+          erase_entry(old_it->second);
+      }
+      erase_entry(it);
+      return true;
+    }
+    if (it == lru_.begin()) break;
+  }
+  return false;
+}
+
+bool NvCache::read(std::int64_t block) {
+  auto it = index_.find(data_key(block));
+  if (it != index_.end()) {
+    touch(it->second);
+    ++stats_.read_hits;
+    return true;
+  }
+  ++stats_.read_misses;
+  return false;
+}
+
+NvCache::InsertResult NvCache::insert_clean(std::int64_t block) {
+  InsertResult result;
+  if (contains(block)) {  // raced with another fetch of the same block
+    result.inserted = true;
+    return result;
+  }
+  if (!make_room(/*allow_dirty=*/true, result.evicted_dirty, result.victim)) {
+    ++stats_.stalls;
+    return result;
+  }
+  lru_.push_front(Entry{data_key(block), /*dirty=*/false});
+  index_[data_key(block)] = lru_.begin();
+  result.inserted = true;
+  return result;
+}
+
+NvCache::WriteResult NvCache::write(std::int64_t block) {
+  WriteResult result;
+  auto it = index_.find(data_key(block));
+  if (it != index_.end()) {
+    ++stats_.write_hits;
+    result.accepted = true;
+    result.hit = true;
+    Entry& entry = *it->second;
+    if (entry.in_flight) entry.redirtied = true;
+    if (!entry.dirty) {
+      // Capture the on-disk version so the destage will not need to
+      // re-read the old data (parity organizations only). Skipped when it
+      // would require evicting a dirty block.
+      if (retain_old_data_ && old_set_.count(block) == 0) {
+        bool evicted_dirty = false;
+        std::int64_t victim = -1;
+        if (make_room(/*allow_dirty=*/false, evicted_dirty, victim,
+                      /*protect=*/&entry)) {
+          lru_.push_front(Entry{old_key(block), /*dirty=*/false});
+          index_[old_key(block)] = lru_.begin();
+          old_set_.insert(block);
+          result.captured_old = true;
+          ++stats_.old_captures;
+        }
+      }
+      entry.dirty = true;
+      dirty_set_.insert(block);
+    }
+    touch(it->second);
+    return result;
+  }
+
+  ++stats_.write_misses;
+  if (!make_room(/*allow_dirty=*/true, result.evicted_dirty, result.victim)) {
+    ++stats_.stalls;
+    return result;  // accepted == false: controller must stall the write
+  }
+  lru_.push_front(Entry{data_key(block), /*dirty=*/true});
+  index_[data_key(block)] = lru_.begin();
+  dirty_set_.insert(block);
+  result.accepted = true;
+  return result;
+}
+
+std::vector<std::int64_t> NvCache::collect_dirty() const {
+  std::vector<std::int64_t> out;
+  out.reserve(dirty_set_.size());
+  for (std::int64_t block : dirty_set_) {
+    auto it = index_.find(data_key(block));
+    assert(it != index_.end());
+    if (!it->second->in_flight) out.push_back(block);
+  }
+  return out;
+}
+
+bool NvCache::is_dirty(std::int64_t block) const {
+  return dirty_set_.count(block) > 0;
+}
+
+bool NvCache::destage_eligible(std::int64_t block) const {
+  auto it = index_.find(data_key(block));
+  return it != index_.end() && it->second->dirty && !it->second->in_flight;
+}
+
+void NvCache::begin_destage(std::int64_t block) {
+  auto it = index_.find(data_key(block));
+  assert(it != index_.end() && it->second->dirty);
+  it->second->in_flight = true;
+  it->second->redirtied = false;
+}
+
+void NvCache::end_destage(std::int64_t block) {
+  auto it = index_.find(data_key(block));
+  if (it == index_.end()) return;  // evicted while in flight (shouldn't happen)
+  Entry& entry = *it->second;
+  entry.in_flight = false;
+  if (entry.redirtied) {
+    entry.redirtied = false;  // stays dirty; old copy now reflects disk
+    return;
+  }
+  entry.dirty = false;
+  dirty_set_.erase(block);
+  // The destage freed the old copy (Section 3.4: the destage process
+  // "frees up space in the cache by getting rid of blocks holding old
+  // data").
+  if (auto old_it = index_.find(old_key(block)); old_it != index_.end())
+    erase_entry(old_it->second);
+}
+
+void NvCache::abort_destage(std::int64_t block) {
+  auto it = index_.find(data_key(block));
+  if (it == index_.end()) return;
+  it->second->in_flight = false;
+  it->second->redirtied = false;
+}
+
+bool NvCache::try_reserve_parity_slot() {
+  bool evicted_dirty = false;
+  std::int64_t victim = -1;
+  if (!make_room(/*allow_dirty=*/false, evicted_dirty, victim)) {
+    ++stats_.stalls;
+    return false;
+  }
+  ++parity_slots_;
+  return true;
+}
+
+void NvCache::release_parity_slot() {
+  assert(parity_slots_ > 0);
+  --parity_slots_;
+}
+
+}  // namespace raidsim

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace raidsim {
+
+/// Non-volatile controller cache (Section 3.4). One instance per array;
+/// keys are array-local logical block numbers. The cache holds three
+/// kinds of entries, all competing for the same `capacity` slots:
+///
+///  * data blocks (clean or dirty), managed by strict LRU;
+///  * old-data copies, captured when a clean block is dirtied in parity
+///    organizations so the destage write does not have to re-read the old
+///    data from disk; they age through the same LRU list; and
+///  * parity-update slots (RAID4 parity caching), which are pinned (the
+///    spooler owns their order) and only accounted for capacity.
+///
+/// Dirty blocks and in-flight (being-destaged) blocks are never evicted;
+/// when no evictable entry exists, insertions fail and the controller
+/// stalls the request, which reproduces the paper's "writes have to wait
+/// for a block to become free" behaviour.
+class NvCache {
+ public:
+  NvCache(std::size_t capacity_blocks, bool retain_old_data);
+
+  struct Stats {
+    std::uint64_t read_hits = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_hits = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t old_evictions = 0;
+    std::uint64_t dirty_evictions = 0;   // evicted-dirty (sync writeback)
+    std::uint64_t stalls = 0;            // failed insertions
+    std::uint64_t old_captures = 0;
+
+    double read_hit_ratio() const {
+      const auto total = read_hits + read_misses;
+      return total ? static_cast<double>(read_hits) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+    double write_hit_ratio() const {
+      const auto total = write_hits + write_misses;
+      return total ? static_cast<double>(write_hits) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  // ------------------------------------------------------------- reads
+
+  /// Probe for a read. Hit: block moved to MRU, returns true.
+  /// Records hit/miss statistics.
+  bool read(std::int64_t block);
+
+  /// Probe without statistics or LRU movement.
+  bool contains(std::int64_t block) const;
+
+  struct InsertResult {
+    bool inserted = false;       // false: every entry is pinned (stall)
+    bool evicted_dirty = false;  // victim was dirty; caller must write it
+    std::int64_t victim = -1;    // block id of the dirty victim
+  };
+
+  /// Install a block fetched after a read miss (clean, MRU).
+  InsertResult insert_clean(std::int64_t block);
+
+  // ------------------------------------------------------------ writes
+
+  struct WriteResult {
+    bool accepted = false;
+    bool hit = false;
+    bool evicted_dirty = false;
+    std::int64_t victim = -1;
+    bool captured_old = false;
+  };
+
+  /// Apply a write. Hit: block dirtied in place (capturing the old copy
+  /// in parity mode when the block was clean). Miss: block installed
+  /// dirty at MRU, evicting per LRU.
+  WriteResult write(std::int64_t block);
+
+  // ----------------------------------------------------------- destage
+
+  /// Dirty blocks not currently being destaged, in no particular order.
+  std::vector<std::int64_t> collect_dirty() const;
+
+  bool is_dirty(std::int64_t block) const;
+
+  /// Dirty and not currently in flight (safe to begin_destage).
+  bool destage_eligible(std::int64_t block) const;
+  bool has_old(std::int64_t block) const { return old_set_.count(block) > 0; }
+  std::size_t dirty_count() const { return dirty_set_.size(); }
+
+  /// Mark a dirty block as being written back.
+  void begin_destage(std::int64_t block);
+
+  /// Destage write finished: block becomes clean unless re-dirtied while
+  /// in flight; its old-data entry is released.
+  void end_destage(std::int64_t block);
+
+  /// Cancel an announced destage (e.g. no parity slot available): the
+  /// block stays dirty and becomes eligible again.
+  void abort_destage(std::int64_t block);
+
+  // --------------------------------------------- parity slots (RAID4)
+
+  /// Reserve one pinned slot for a buffered parity update; may evict
+  /// clean data. Returns false (stall) when no evictable entry exists.
+  bool try_reserve_parity_slot();
+  void release_parity_slot();
+  std::size_t parity_slots() const { return parity_slots_; }
+
+  // ------------------------------------------------------------- misc
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size() + parity_slots_; }
+  std::size_t old_entries() const { return old_set_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::int64_t key;  // data: block*2, old copy: block*2+1
+    bool dirty = false;
+    bool in_flight = false;
+    bool redirtied = false;
+  };
+  using LruList = std::list<Entry>;
+
+  static std::int64_t data_key(std::int64_t block) { return block * 2; }
+  static std::int64_t old_key(std::int64_t block) { return block * 2 + 1; }
+
+  /// Evict one entry to make room. Returns false when nothing is
+  /// evictable. On success fills `evicted_dirty`/`victim` (never actually
+  /// evicts dirty entries unless `allow_dirty`). `protect`, when given,
+  /// names an entry that must not be chosen as the victim (used when
+  /// making room on behalf of an entry already in the cache).
+  bool make_room(bool allow_dirty, bool& evicted_dirty, std::int64_t& victim,
+                 const Entry* protect = nullptr);
+
+  void erase_entry(LruList::iterator it);
+  void touch(LruList::iterator it);
+
+  std::size_t capacity_;
+  bool retain_old_data_;
+  LruList lru_;  // front = MRU
+  std::unordered_map<std::int64_t, LruList::iterator> index_;
+  std::unordered_set<std::int64_t> dirty_set_;
+  std::unordered_set<std::int64_t> old_set_;
+  std::size_t parity_slots_ = 0;
+  Stats stats_;
+};
+
+}  // namespace raidsim

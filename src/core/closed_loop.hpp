@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+
+namespace raidsim {
+
+/// Closed-loop workload driver. Section 4.2.4 of the paper cautions that
+/// speeding up a trace does not model a faster system, "since
+/// transactions may have to wait for one I/O to finish before issuing
+/// another one" -- this driver models exactly that feedback: a fixed
+/// multiprogramming level of clients, each issuing its next I/O an
+/// exponential think time after the previous response returns. Addresses
+/// and read/write mix come from the synthetic profile of the named
+/// trace; its arrival process is ignored.
+struct ClosedLoopOptions {
+  int clients = 8;              // multiprogramming level
+  double think_time_ms = 50.0;  // mean think time between a client's I/Os
+  std::uint64_t requests = 20000;  // total completions to collect
+  std::string trace = "trace2";    // address/mix profile
+  std::uint64_t seed = 0;          // 0 = the profile's own seed
+};
+
+struct ClosedLoopResult {
+  Metrics metrics;
+  double throughput_io_per_s = 0.0;  // completions per second of sim time
+
+  double mean_response_ms() const { return metrics.mean_response_ms(); }
+};
+
+/// Run `options.requests` I/Os through `config` under the closed loop.
+ClosedLoopResult run_closed_loop(const SimulationConfig& config,
+                                 const ClosedLoopOptions& options);
+
+}  // namespace raidsim

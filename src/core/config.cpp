@@ -1,0 +1,88 @@
+#include "core/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace raidsim {
+
+void SimulationConfig::validate() const {
+  if (array_data_disks < 1)
+    throw std::invalid_argument("SimulationConfig: array_data_disks < 1");
+  if (striping_unit_blocks < 1)
+    throw std::invalid_argument("SimulationConfig: striping_unit_blocks < 1");
+  if (parity_fine_grain_chunk_blocks < 0)
+    throw std::invalid_argument(
+        "SimulationConfig: negative parity_fine_grain_chunk_blocks");
+  if (!disk_geometry.valid())
+    throw std::invalid_argument("SimulationConfig: invalid disk geometry");
+  if (channel_mb_per_second <= 0.0)
+    throw std::invalid_argument("SimulationConfig: channel rate <= 0");
+  if (track_buffers_per_disk < 1)
+    throw std::invalid_argument("SimulationConfig: track buffers < 1");
+  if (cached && cache_bytes < disk_geometry.block_bytes())
+    throw std::invalid_argument("SimulationConfig: cache smaller than a block");
+  if (cached && destage_period_ms <= 0.0)
+    throw std::invalid_argument("SimulationConfig: destage period <= 0");
+  if (parity_caching &&
+      (!cached || organization != Organization::kRaid4))
+    throw std::invalid_argument(
+        "SimulationConfig: parity caching requires cached RAID4");
+  if (organization == Organization::kRaid4 && !cached)
+    throw std::invalid_argument(
+        "SimulationConfig: the paper only evaluates RAID4 with a cache");
+}
+
+std::string SimulationConfig::describe() const {
+  std::ostringstream os;
+  os << to_string(organization) << " N=" << array_data_disks;
+  if (organization == Organization::kRaid5 ||
+      organization == Organization::kRaid4 ||
+      organization == Organization::kRaid10)
+    os << " SU=" << striping_unit_blocks;
+  if (organization == Organization::kParityStriping) {
+    os << " parity=" << to_string(parity_placement);
+    if (parity_fine_grain_chunk_blocks > 0)
+      os << " fine=" << parity_fine_grain_chunk_blocks;
+  }
+  if (organization != Organization::kBase &&
+      organization != Organization::kMirror)
+    os << " sync=" << to_string(sync);
+  if (cached) {
+    os << " cache=" << (cache_bytes >> 20) << "MB";
+    if (parity_caching) os << "+parity";
+  } else {
+    os << " uncached";
+  }
+  return os.str();
+}
+
+ArrayController::Config SimulationConfig::array_config(
+    int data_disks, std::int64_t data_blocks_per_disk) const {
+  ArrayController::Config cfg;
+  cfg.layout.organization = organization;
+  cfg.layout.data_disks = data_disks;
+  cfg.layout.data_blocks_per_disk = data_blocks_per_disk;
+  cfg.layout.physical_blocks_per_disk = disk_geometry.total_blocks();
+  cfg.layout.striping_unit_blocks = striping_unit_blocks;
+  cfg.layout.parity_placement = parity_placement;
+  cfg.layout.parity_fine_grain_chunk_blocks = parity_fine_grain_chunk_blocks;
+  cfg.disk_geometry = disk_geometry;
+  cfg.seek = seek;
+  cfg.sync = sync;
+  cfg.disk_scheduling = disk_scheduling;
+  cfg.channel_mb_per_second = channel_mb_per_second;
+  cfg.track_buffers_per_disk = track_buffers_per_disk;
+  return cfg;
+}
+
+CachedController::CacheConfig SimulationConfig::cache_config() const {
+  CachedController::CacheConfig cfg;
+  cfg.cache_bytes = cache_bytes;
+  cfg.destage_period_ms = destage_period_ms;
+  cfg.retain_old_data = retain_old_data;
+  cfg.parity_caching = parity_caching;
+  cfg.periodic_destage = periodic_destage;
+  return cfg;
+}
+
+}  // namespace raidsim

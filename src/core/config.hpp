@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "array/cached_controller.hpp"
+#include "array/controller.hpp"
+#include "disk/geometry.hpp"
+#include "disk/seek_model.hpp"
+#include "layout/layout.hpp"
+
+namespace raidsim {
+
+/// Complete configuration of one simulated I/O subsystem. Defaults
+/// reproduce the paper's Tables 1 and 4: N = 10, 4 KB blocks, Disk First
+/// synchronization, 1-block striping unit, middle-cylinder parity
+/// placement, 16 MB cache per array when caching is enabled.
+struct SimulationConfig {
+  Organization organization = Organization::kRaid5;
+  int array_data_disks = 10;  // N
+  int striping_unit_blocks = 1;
+  SyncPolicy sync = SyncPolicy::kDiskFirst;
+  ParityPlacement parity_placement = ParityPlacement::kMiddleCylinders;
+  /// Parity Striping only: > 0 rotates the parity-update load across the
+  /// disks at this chunk granularity (the paper's Section 5 future-work
+  /// variant); 0 = classic Parity Striping.
+  int parity_fine_grain_chunk_blocks = 0;
+
+  DiskGeometry disk_geometry;  // Table 1
+  SeekSpec seek;               // Table 1 (11.2 ms avg, 28 ms max)
+  /// Dispatch order within a disk's priority class. The paper services
+  /// requests in arrival order (FIFO); SSTF/SCAN for ablations.
+  DiskScheduling disk_scheduling = DiskScheduling::kFifo;
+  double channel_mb_per_second = 10.0;
+  int track_buffers_per_disk = 5;
+
+  bool cached = false;
+  std::int64_t cache_bytes = 16ll << 20;  // per array
+  double destage_period_ms = 300.0;
+  bool retain_old_data = true;
+  /// RAID4 with parity caching (Section 4.4). Requires `cached` and
+  /// organization == kRaid4.
+  bool parity_caching = false;
+  /// false = pure LRU writeback; ablation of the periodic destage policy.
+  bool periodic_destage = true;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+
+  /// One-line human-readable summary.
+  std::string describe() const;
+
+  ArrayController::Config array_config(int data_disks,
+                                       std::int64_t data_blocks_per_disk) const;
+  CachedController::CacheConfig cache_config() const;
+};
+
+}  // namespace raidsim

@@ -1,0 +1,36 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace raidsim {
+
+double Metrics::mean_disk_utilization() const {
+  if (disk_utilization.empty()) return 0.0;
+  double sum = 0.0;
+  for (double u : disk_utilization) sum += u;
+  return sum / static_cast<double>(disk_utilization.size());
+}
+
+double Metrics::max_disk_utilization() const {
+  double best = 0.0;
+  for (double u : disk_utilization) best = std::max(best, u);
+  return best;
+}
+
+double Metrics::disk_access_cv() const {
+  if (disk_accesses.empty()) return 0.0;
+  double mean = 0.0;
+  for (auto c : disk_accesses) mean += static_cast<double>(c);
+  mean /= static_cast<double>(disk_accesses.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (auto c : disk_accesses) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(disk_accesses.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace raidsim

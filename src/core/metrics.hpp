@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/controller.hpp"
+#include "cache/nv_cache.hpp"
+#include "disk/disk.hpp"
+#include "util/stats.hpp"
+
+namespace raidsim {
+
+/// Aggregate results of one simulation run. Response times are
+/// host-visible (arrival to response), in milliseconds -- the quantity
+/// every figure in the paper plots.
+struct Metrics {
+  LatencyRecorder response_all;
+  LatencyRecorder response_read;
+  LatencyRecorder response_write;
+
+  double elapsed_ms = 0.0;
+  std::uint64_t requests = 0;
+
+  int arrays = 0;
+  int total_disks = 0;
+
+  /// Physical accesses per disk, array-major (Figures 6 and 7).
+  std::vector<std::uint64_t> disk_accesses;
+  /// Utilization (busy fraction) per disk, array-major.
+  std::vector<double> disk_utilization;
+
+  DiskStats disk_totals;        // summed over all disks
+  ControllerStats controller;   // summed over all arrays
+  NvCache::Stats cache;         // summed over all arrays (cached runs)
+  double channel_utilization = 0.0;  // mean over arrays
+  std::uint64_t events_executed = 0;
+
+  double mean_response_ms() const { return response_all.mean(); }
+  double read_hit_ratio() const { return controller.read_hit_ratio(); }
+  double write_hit_ratio() const { return controller.write_hit_ratio(); }
+  double mean_disk_utilization() const;
+  double max_disk_utilization() const;
+  /// Coefficient of variation of per-disk access counts (load-balance
+  /// measure behind Figures 6-7).
+  double disk_access_cv() const;
+};
+
+}  // namespace raidsim

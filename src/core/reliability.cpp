@@ -1,0 +1,97 @@
+#include "core/reliability.hpp"
+
+#include <stdexcept>
+
+namespace raidsim {
+
+namespace {
+
+void check(int total_data_disks, int array_data_disks,
+           const ReliabilityParams& params) {
+  if (total_data_disks < 1 || array_data_disks < 1)
+    throw std::invalid_argument("reliability: non-positive disk counts");
+  if (params.disk_mttf_hours <= 0.0 || params.disk_mttr_hours <= 0.0)
+    throw std::invalid_argument("reliability: non-positive MTTF/MTTR");
+}
+
+}  // namespace
+
+double group_mttdl_hours(Organization org, int array_data_disks,
+                         const ReliabilityParams& params) {
+  check(1, array_data_disks, params);
+  const double mttf = params.disk_mttf_hours;
+  const double mttr = params.disk_mttr_hours;
+  const double n = static_cast<double>(array_data_disks);
+  switch (org) {
+    case Organization::kBase:
+      return mttf;  // one disk; any failure loses data
+    case Organization::kMirror:
+    case Organization::kRaid10:
+      return mttf * mttf / (2.0 * mttr);
+    case Organization::kRaid4:
+    case Organization::kRaid5:
+    case Organization::kParityStriping:
+      return mttf * mttf / ((n + 1.0) * n * mttr);
+  }
+  throw std::invalid_argument("reliability: unknown organization");
+}
+
+int disks_required(Organization org, int total_data_disks,
+                   int array_data_disks) {
+  check(total_data_disks, array_data_disks, ReliabilityParams{});
+  const int arrays =
+      (total_data_disks + array_data_disks - 1) / array_data_disks;
+  switch (org) {
+    case Organization::kBase:
+      return total_data_disks;
+    case Organization::kMirror:
+    case Organization::kRaid10:
+      return 2 * total_data_disks;
+    case Organization::kRaid4:
+    case Organization::kRaid5:
+    case Organization::kParityStriping:
+      return total_data_disks + arrays;  // one parity disk per array
+  }
+  throw std::invalid_argument("reliability: unknown organization");
+}
+
+double storage_overhead(Organization org, int array_data_disks) {
+  switch (org) {
+    case Organization::kBase:
+      return 0.0;
+    case Organization::kMirror:
+    case Organization::kRaid10:
+      return 1.0;
+    case Organization::kRaid4:
+    case Organization::kRaid5:
+    case Organization::kParityStriping:
+      return 1.0 / static_cast<double>(array_data_disks);
+  }
+  throw std::invalid_argument("reliability: unknown organization");
+}
+
+double system_mttdl_hours(Organization org, int total_data_disks,
+                          int array_data_disks,
+                          const ReliabilityParams& params) {
+  check(total_data_disks, array_data_disks, params);
+  switch (org) {
+    case Organization::kBase:
+      // Any of the D disks failing loses data.
+      return params.disk_mttf_hours / static_cast<double>(total_data_disks);
+    case Organization::kMirror:
+    case Organization::kRaid10:
+      return group_mttdl_hours(org, array_data_disks, params) /
+             static_cast<double>(total_data_disks);  // one pair per data disk
+    case Organization::kRaid4:
+    case Organization::kRaid5:
+    case Organization::kParityStriping: {
+      const int arrays =
+          (total_data_disks + array_data_disks - 1) / array_data_disks;
+      return group_mttdl_hours(org, array_data_disks, params) /
+             static_cast<double>(arrays);
+    }
+  }
+  throw std::invalid_argument("reliability: unknown organization");
+}
+
+}  // namespace raidsim

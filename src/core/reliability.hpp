@@ -1,0 +1,42 @@
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace raidsim {
+
+/// Analytic mean-time-to-data-loss model backing the paper's motivation
+/// (Section 1): with a 100,000-hour disk MTTF, a non-redundant system of
+/// more than 150 disks loses data in under 28 days on average, while
+/// redundant organizations survive any single failure and only lose data
+/// when a second failure strikes the same group before repair completes.
+///
+/// Standard exponential-failure / exponential-repair approximations:
+///   non-redundant, D disks:        MTTF / D
+///   mirrored pair:                 MTTF^2 / (2 MTTR)
+///   N+1 parity group:              MTTF^2 / ((N+1) N MTTR)
+/// A system of G independent groups has MTTDL_group / G.
+struct ReliabilityParams {
+  double disk_mttf_hours = 100000.0;  // paper's footnote assumption
+  double disk_mttr_hours = 24.0;      // repair/rebuild window
+};
+
+/// MTTDL of a single group (pair, parity group, or -- for Base -- one
+/// disk), in hours.
+double group_mttdl_hours(Organization org, int array_data_disks,
+                         const ReliabilityParams& params = {});
+
+/// MTTDL of a whole database of `total_data_disks` data-disk equivalents
+/// organised into arrays of `array_data_disks`, in hours.
+double system_mttdl_hours(Organization org, int total_data_disks,
+                          int array_data_disks,
+                          const ReliabilityParams& params = {});
+
+/// Physical disks needed to store `total_data_disks` worth of data.
+int disks_required(Organization org, int total_data_disks,
+                   int array_data_disks);
+
+/// Fractional storage overhead of the redundancy (1.0 for Mirror,
+/// 1/N for the parity organizations, 0 for Base).
+double storage_overhead(Organization org, int array_data_disks);
+
+}  // namespace raidsim

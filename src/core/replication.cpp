@@ -1,0 +1,60 @@
+#include "core/replication.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/simulator.hpp"
+
+namespace raidsim {
+
+double ReplicationResult::mean() const {
+  if (mean_response_ms.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : mean_response_ms) sum += v;
+  return sum / static_cast<double>(mean_response_ms.size());
+}
+
+double ReplicationResult::stddev() const {
+  const std::size_t n = mean_response_ms.size();
+  if (n < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double v : mean_response_ms) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double ReplicationResult::ci95_half_width() const {
+  const std::size_t n = mean_response_ms.size();
+  if (n < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n));
+}
+
+std::string ReplicationResult::summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << mean() << " +/- " << ci95_half_width() << " ms (n="
+     << mean_response_ms.size() << ")";
+  return os.str();
+}
+
+ReplicationResult run_replicated(const SimulationConfig& config,
+                                 const std::string& trace,
+                                 const WorkloadOptions& options,
+                                 int replications, std::uint64_t base_seed) {
+  if (replications < 1)
+    throw std::invalid_argument("run_replicated: replications < 1");
+  ReplicationResult result;
+  result.mean_response_ms.reserve(static_cast<std::size_t>(replications));
+  for (int i = 0; i < replications; ++i) {
+    WorkloadOptions per_run = options;
+    per_run.seed = base_seed + static_cast<std::uint64_t>(i);
+    auto stream = make_workload(trace, per_run);
+    Metrics m = run_simulation(config, *stream);
+    result.mean_response_ms.push_back(m.mean_response_ms());
+    result.metrics.push_back(std::move(m));
+  }
+  return result;
+}
+
+}  // namespace raidsim

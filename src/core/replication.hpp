@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/workloads.hpp"
+
+namespace raidsim {
+
+/// Summary of replicated runs of one configuration over independently
+/// seeded workloads: the sampling distribution of the mean response
+/// time. Used to separate real effects from synthetic-workload noise.
+struct ReplicationResult {
+  std::vector<double> mean_response_ms;  // one per replication
+  std::vector<Metrics> metrics;          // full metrics per replication
+
+  double mean() const;
+  /// Sample standard deviation of the per-replication means.
+  double stddev() const;
+  /// Half-width of the ~95% normal-approximation confidence interval of
+  /// the mean (1.96 * stddev / sqrt(n)).
+  double ci95_half_width() const;
+  std::string summary() const;  // "m ± h ms (n=..)"
+};
+
+/// Run `replications` simulations of `config` on the named workload,
+/// varying only the workload seed (base_seed + i; base_seed 0 uses the
+/// preset's own seed for replication 0).
+ReplicationResult run_replicated(const SimulationConfig& config,
+                                 const std::string& trace,
+                                 const WorkloadOptions& options,
+                                 int replications,
+                                 std::uint64_t base_seed = 1000);
+
+}  // namespace raidsim

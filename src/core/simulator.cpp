@@ -1,0 +1,211 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "array/cached_controller.hpp"
+#include "array/uncached_controller.hpp"
+
+namespace raidsim {
+
+namespace {
+
+void accumulate(DiskStats& total, const DiskStats& d) {
+  total.reads += d.reads;
+  total.writes += d.writes;
+  total.rmws += d.rmws;
+  total.busy_ms += d.busy_ms;
+  total.seek_ms += d.seek_ms;
+  total.latency_ms += d.latency_ms;
+  total.transfer_ms += d.transfer_ms;
+  total.hold_ms += d.hold_ms;
+  total.queue_ms += d.queue_ms;
+  total.held_rotations += d.held_rotations;
+}
+
+void accumulate(ControllerStats& total, const ControllerStats& c) {
+  total.read_requests += c.read_requests;
+  total.write_requests += c.write_requests;
+  total.read_request_hits += c.read_request_hits;
+  total.write_request_hits += c.write_request_hits;
+  total.destage_writes += c.destage_writes;
+  total.destage_blocks += c.destage_blocks;
+  total.sync_victim_writes += c.sync_victim_writes;
+  total.write_stalls += c.write_stalls;
+  total.parity_spools += c.parity_spools;
+  total.parity_reservation_failures += c.parity_reservation_failures;
+  total.parity_queue_peak =
+      std::max(total.parity_queue_peak, c.parity_queue_peak);
+}
+
+void accumulate(NvCache::Stats& total, const NvCache::Stats& c) {
+  total.read_hits += c.read_hits;
+  total.read_misses += c.read_misses;
+  total.write_hits += c.write_hits;
+  total.write_misses += c.write_misses;
+  total.evictions += c.evictions;
+  total.old_evictions += c.old_evictions;
+  total.dirty_evictions += c.dirty_evictions;
+  total.stalls += c.stalls;
+  total.old_captures += c.old_captures;
+}
+
+}  // namespace
+
+Simulator::Simulator(const SimulationConfig& config,
+                     const TraceGeometry& geometry)
+    : config_(config), geometry_(geometry) {
+  config_.validate();
+  const int n = config_.array_data_disks;
+  const int array_count = (geometry_.data_disks + n - 1) / n;
+  controllers_.reserve(static_cast<std::size_t>(array_count));
+  for (int a = 0; a < array_count; ++a) {
+    const int data_disks = std::min(n, geometry_.data_disks - a * n);
+    const auto array_cfg =
+        config_.array_config(data_disks, geometry_.blocks_per_disk);
+    if (config_.cached) {
+      controllers_.push_back(std::make_unique<CachedController>(
+          eq_, array_cfg, config_.cache_config()));
+    } else {
+      controllers_.push_back(
+          std::make_unique<UncachedController>(eq_, array_cfg));
+    }
+  }
+}
+
+Simulator::~Simulator() = default;
+
+int Simulator::total_disks() const {
+  int total = 0;
+  for (const auto& c : controllers_) total += c->layout().total_disks();
+  return total;
+}
+
+std::pair<int, std::int64_t> Simulator::route(std::int64_t db_block) const {
+  const int disk = geometry_.disk_of(db_block);
+  const std::int64_t offset = geometry_.offset_of(db_block);
+  const int array = disk / config_.array_data_disks;
+  const int local_disk = disk % config_.array_data_disks;
+  return {array, static_cast<std::int64_t>(local_disk) *
+                         geometry_.blocks_per_disk +
+                     offset};
+}
+
+void Simulator::dispatch(const TraceRecord& record,
+                         std::function<void(SimTime)> on_complete) {
+  auto [array, local_block] = route(record.block);
+  ArrayRequest request;
+  request.logical_block = local_block;
+  request.block_count = record.block_count;
+  request.is_write = record.is_write;
+
+  const SimTime arrival = eq_.now();
+  ++outstanding_;
+  controllers_[static_cast<std::size_t>(array)]->submit(
+      request, [this, arrival, is_write = record.is_write,
+                on_complete = std::move(on_complete)](SimTime t) {
+        const double response = t - arrival;
+        metrics_.response_all.add(response);
+        (is_write ? metrics_.response_write : metrics_.response_read)
+            .add(response);
+        ++metrics_.requests;
+        --outstanding_;
+        maybe_shutdown();
+        if (on_complete) on_complete(t);
+      });
+}
+
+void Simulator::submit(const TraceRecord& record,
+                       std::function<void(SimTime)> on_complete) {
+  if (record.block_count < 1 ||
+      record.block + record.block_count > geometry_.total_blocks())
+    throw std::out_of_range("Simulator: request outside the database");
+  dispatch(record, std::move(on_complete));
+}
+
+void Simulator::pump(TraceStream& trace) {
+  auto record = trace.next();
+  if (!record) {
+    trace_done_ = true;
+    maybe_shutdown();
+    return;
+  }
+  if (record->block_count < 1 ||
+      record->block + record->block_count > geometry_.total_blocks())
+    throw std::out_of_range("Simulator: trace record outside the database");
+  arrival_time_ += record->delta_ms;
+  eq_.schedule_at(arrival_time_, [this, rec = *record, &trace] {
+    dispatch(rec);
+    pump(trace);
+  });
+}
+
+void Simulator::maybe_shutdown() {
+  if (!trace_done_ || outstanding_ > 0) return;
+  for (auto& controller : controllers_) {
+    if (auto* cached = dynamic_cast<CachedController*>(controller.get()))
+      cached->shutdown();
+  }
+}
+
+Metrics Simulator::run(TraceStream& trace) {
+  if (ran_) throw std::logic_error("Simulator: run() may only be called once");
+  ran_ = true;
+  if (trace.geometry().data_disks != geometry_.data_disks ||
+      trace.geometry().blocks_per_disk != geometry_.blocks_per_disk)
+    throw std::invalid_argument("Simulator: trace geometry mismatch");
+
+  pump(trace);
+  while (eq_.step()) {
+  }
+  assert(outstanding_ == 0);
+  return finalize();
+}
+
+Metrics Simulator::drain_and_finalize() {
+  if (ran_)
+    throw std::logic_error("Simulator: already ran/finalized");
+  ran_ = true;
+  trace_done_ = true;
+  // Let in-flight work (and background destage of it) complete, then
+  // stop the periodic timers and drain.
+  while (outstanding_ > 0 && eq_.step()) {
+  }
+  maybe_shutdown();
+  while (eq_.step()) {
+  }
+  return finalize();
+}
+
+Metrics Simulator::finalize() {
+  metrics_.elapsed_ms = eq_.now();
+  metrics_.arrays = arrays();
+  metrics_.total_disks = total_disks();
+  metrics_.events_executed = eq_.executed();
+  double channel_util = 0.0;
+  for (const auto& controller : controllers_) {
+    accumulate(metrics_.controller, controller->stats());
+    for (const auto& disk : controller->disks()) {
+      const auto& stats = disk->stats();
+      accumulate(metrics_.disk_totals, stats);
+      metrics_.disk_accesses.push_back(stats.ops());
+      metrics_.disk_utilization.push_back(
+          stats.utilization(metrics_.elapsed_ms));
+    }
+    channel_util += controller->channel().utilization(metrics_.elapsed_ms);
+    if (const auto* cached =
+            dynamic_cast<const CachedController*>(controller.get()))
+      accumulate(metrics_.cache, cached->cache().stats());
+  }
+  metrics_.channel_utilization =
+      channel_util / static_cast<double>(controllers_.size());
+  return metrics_;
+}
+
+Metrics run_simulation(const SimulationConfig& config, TraceStream& trace) {
+  Simulator simulator(config, trace.geometry());
+  return simulator.run(trace);
+}
+
+}  // namespace raidsim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/record.hpp"
+
+namespace raidsim {
+
+/// Top-level trace-driven simulator. Partitions the traced database's
+/// original data disks into arrays of N (Section 3.2's equal-capacity
+/// comparison), builds one controller + channel + disks per array, and
+/// replays a trace through them.
+class Simulator {
+ public:
+  Simulator(const SimulationConfig& config, const TraceGeometry& geometry);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Replay the whole trace and return aggregate metrics. May be called
+  /// once per Simulator instance.
+  Metrics run(TraceStream& trace);
+
+  /// External driving (closed-loop workloads, failure drills): submit one
+  /// request at the current simulation time. The completion is recorded
+  /// in the run metrics and `on_complete` (optional) fires with it.
+  /// Drive the event queue via event_queue().step() and finish with
+  /// drain_and_finalize() instead of run().
+  void submit(const TraceRecord& record,
+              std::function<void(SimTime)> on_complete = nullptr);
+
+  /// End an externally driven run: stop periodic background processes,
+  /// drain the remaining events, and build the metrics.
+  Metrics drain_and_finalize();
+
+  int arrays() const { return static_cast<int>(controllers_.size()); }
+  int total_disks() const;
+  const ArrayController& controller(int array) const {
+    return *controllers_[static_cast<std::size_t>(array)];
+  }
+  /// Mutable access for failure injection and rebuild orchestration
+  /// (fail_disk, RebuildProcess) before or during a run.
+  ArrayController& mutable_controller(int array) {
+    return *controllers_[static_cast<std::size_t>(array)];
+  }
+  /// The simulation clock/queue, for co-scheduling background processes
+  /// (e.g. RebuildProcess) with the trace replay.
+  EventQueue& event_queue() { return eq_; }
+
+  /// Map a database block to (array index, array-local logical block).
+  std::pair<int, std::int64_t> route(std::int64_t db_block) const;
+
+ private:
+  void pump(TraceStream& trace);
+  void dispatch(const TraceRecord& record,
+                std::function<void(SimTime)> on_complete = nullptr);
+  void maybe_shutdown();
+  Metrics finalize();
+
+  SimulationConfig config_;
+  TraceGeometry geometry_;
+  EventQueue eq_;
+  std::vector<std::unique_ptr<ArrayController>> controllers_;
+  Metrics metrics_;
+  double arrival_time_ = 0.0;
+  std::uint64_t outstanding_ = 0;
+  bool trace_done_ = false;
+  bool ran_ = false;
+};
+
+/// Convenience: build a simulator for `config` and replay `trace`.
+Metrics run_simulation(const SimulationConfig& config, TraceStream& trace);
+
+}  // namespace raidsim

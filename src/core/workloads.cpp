@@ -1,0 +1,33 @@
+#include "core/workloads.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace raidsim {
+
+TraceProfile workload_profile(const std::string& name,
+                              const WorkloadOptions& options) {
+  if (options.scale <= 0.0 || options.scale > 1.0)
+    throw std::invalid_argument("WorkloadOptions: scale must be in (0, 1]");
+  if (options.speed <= 0.0)
+    throw std::invalid_argument("WorkloadOptions: speed must be positive");
+  TraceProfile profile = TraceProfile::by_name(name);
+  profile.requests = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(profile.requests) * options.scale));
+  if (profile.requests == 0) profile.requests = 1;
+  profile.duration_s *= options.scale;
+  if (options.seed != 0) profile.seed = options.seed;
+  return profile;
+}
+
+std::unique_ptr<TraceStream> make_workload(const std::string& name,
+                                           const WorkloadOptions& options) {
+  auto profile = workload_profile(name, options);
+  std::unique_ptr<TraceStream> stream =
+      std::make_unique<SyntheticTrace>(std::move(profile));
+  if (options.speed != 1.0)
+    stream = std::make_unique<SpeedAdapter>(std::move(stream), options.speed);
+  return stream;
+}
+
+}  // namespace raidsim

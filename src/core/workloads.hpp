@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/record.hpp"
+#include "trace/synthetic.hpp"
+
+namespace raidsim {
+
+/// Options for instantiating one of the paper's workloads.
+struct WorkloadOptions {
+  /// Fraction of the trace to replay, in (0, 1]. Scaling shortens both
+  /// the request count and the duration, preserving arrival rates and
+  /// all distributional properties.
+  double scale = 1.0;
+  /// Trace speed multiplier (Sections 4.2.4 / 4.4.3); 2.0 doubles the
+  /// arrival rate.
+  double speed = 1.0;
+  /// Override the preset RNG seed when nonzero.
+  std::uint64_t seed = 0;
+};
+
+/// Build the synthetic stand-in for one of the paper's traces
+/// ("trace1" or "trace2"), optionally scaled and speed-adjusted.
+std::unique_ptr<TraceStream> make_workload(const std::string& name,
+                                           const WorkloadOptions& options = {});
+
+/// The profile that `make_workload` would use (after scaling), for
+/// inspection and calibration tests.
+TraceProfile workload_profile(const std::string& name,
+                              const WorkloadOptions& options = {});
+
+}  // namespace raidsim

@@ -1,0 +1,268 @@
+#include "disk/disk.hpp"
+
+#include <cassert>
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace raidsim {
+
+std::shared_ptr<WriteGate> WriteGate::already_open() {
+  auto gate = std::make_shared<WriteGate>();
+  gate->open_ = true;
+  gate->ready_time_ = 0.0;
+  return gate;
+}
+
+void WriteGate::open(SimTime now) {
+  if (open_) return;
+  open_ = true;
+  ready_time_ = now;
+  if (waiter_) {
+    auto waiter = std::move(waiter_);
+    waiter_ = nullptr;
+    waiter(now);
+  }
+}
+
+std::string to_string(DiskScheduling scheduling) {
+  switch (scheduling) {
+    case DiskScheduling::kFifo: return "FIFO";
+    case DiskScheduling::kSstf: return "SSTF";
+    case DiskScheduling::kScan: return "SCAN";
+  }
+  return "?";
+}
+
+Disk::Disk(EventQueue& eq, const DiskGeometry& geometry, const SeekModel* seek,
+           int id, DiskScheduling scheduling)
+    : eq_(eq), geometry_(geometry), seek_(seek), id_(id),
+      scheduling_(scheduling) {
+  if (!geometry_.valid()) throw std::invalid_argument("Disk: bad geometry");
+  if (seek_ == nullptr) throw std::invalid_argument("Disk: null seek model");
+}
+
+void Disk::submit(DiskRequest req) {
+  assert(req.start_block >= 0 && req.block_count > 0);
+  assert(req.start_block + req.block_count <= geometry_.total_blocks());
+  queue_.push_back(Pending{std::move(req), eq_.now(), next_seq_++});
+  if (!busy_) start_next();
+}
+
+Disk::Pending Disk::pop_next() {
+  assert(!queue_.empty());
+  // Highest priority class present wins regardless of scheduling policy.
+  DiskPriority best_priority = DiskPriority::kDestage;
+  for (const auto& p : queue_)
+    best_priority = std::max(best_priority, p.req.priority);
+
+  auto cylinder_of = [this](const Pending& p) {
+    return geometry_.locate_block(p.req.start_block).cylinder;
+  };
+
+  std::size_t chosen = queue_.size();
+  switch (scheduling_) {
+    case DiskScheduling::kFifo: {
+      std::uint64_t best_seq = 0;
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].req.priority != best_priority) continue;
+        if (chosen == queue_.size() || queue_[i].seq < best_seq) {
+          chosen = i;
+          best_seq = queue_[i].seq;
+        }
+      }
+      break;
+    }
+    case DiskScheduling::kSstf: {
+      int best_dist = 0;
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].req.priority != best_priority) continue;
+        const int dist = std::abs(cylinder_of(queue_[i]) - head_cylinder_);
+        if (chosen == queue_.size() || dist < best_dist) {
+          chosen = i;
+          best_dist = dist;
+        }
+      }
+      break;
+    }
+    case DiskScheduling::kScan: {
+      // Elevator: nearest request at or beyond the head in the sweep
+      // direction; reverse when none remains.
+      for (int attempt = 0; attempt < 2 && chosen == queue_.size();
+           ++attempt) {
+        int best_dist = 0;
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+          if (queue_[i].req.priority != best_priority) continue;
+          const int delta = cylinder_of(queue_[i]) - head_cylinder_;
+          if (scan_upward_ ? delta < 0 : delta > 0) continue;
+          const int dist = std::abs(delta);
+          if (chosen == queue_.size() || dist < best_dist) {
+            chosen = i;
+            best_dist = dist;
+          }
+        }
+        if (chosen == queue_.size()) scan_upward_ = !scan_upward_;
+      }
+      break;
+    }
+  }
+  assert(chosen < queue_.size());
+  Pending p = std::move(queue_[chosen]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(chosen));
+  return p;
+}
+
+double Disk::rotational_latency(SimTime t, int sector) const {
+  const double rot = geometry_.rotation_ms();
+  const double target = static_cast<double>(sector) * geometry_.sector_time_ms();
+  double angle = std::fmod(t, rot);
+  double lat = target - angle;
+  if (lat < 0.0) lat += rot;
+  return lat;
+}
+
+Disk::TransferPlan Disk::plan_transfer(SimTime t, int head_cyl,
+                                       std::int64_t start_sector,
+                                       int sector_count) const {
+  TransferPlan plan;
+  const int spc = geometry_.sectors_per_cylinder();
+  const double sector_ms = geometry_.sector_time_ms();
+
+  std::int64_t pos = start_sector;
+  int remaining = sector_count;
+  bool first = true;
+  while (remaining > 0) {
+    const int cyl = geometry_.cylinder_of_sector(pos);
+    const int dist = std::abs(cyl - head_cyl);
+    const double seek = seek_->seek_time(dist);
+    t += seek;
+    plan.seek_ms += seek;
+    head_cyl = cyl;
+
+    const int within = static_cast<int>(pos % spc);
+    const int sector_in_track = within % geometry_.sectors_per_track;
+    const double lat = rotational_latency(t, sector_in_track);
+    t += lat;
+    plan.latency_ms += lat;
+    if (first) {
+      plan.transfer_start = t;
+      first = false;
+    }
+
+    const int chunk = std::min(remaining, spc - within);
+    const double xfer = static_cast<double>(chunk) * sector_ms;
+    t += xfer;
+    plan.transfer_ms += xfer;
+    pos += chunk;
+    remaining -= chunk;
+  }
+  plan.end_time = t;
+  plan.end_cylinder = head_cyl;
+  return plan;
+}
+
+void Disk::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  begin_service(pop_next());
+}
+
+void Disk::begin_service(Pending p) {
+  const SimTime start = eq_.now();
+  stats_.queue_ms += start - p.enqueue_time;
+  if (p.req.on_start) p.req.on_start(start);
+
+  const std::int64_t start_sector =
+      p.req.start_block * geometry_.block_sectors;
+  const int sector_count = p.req.block_count * geometry_.block_sectors;
+  const TransferPlan plan =
+      plan_transfer(start, head_cylinder_, start_sector, sector_count);
+  stats_.seek_ms += plan.seek_ms;
+  stats_.latency_ms += plan.latency_ms;
+
+  switch (p.req.kind) {
+    case DiskOpKind::kRead:
+    case DiskOpKind::kWrite: {
+      stats_.transfer_ms += plan.transfer_ms;
+      (p.req.kind == DiskOpKind::kRead ? stats_.reads : stats_.writes)++;
+      auto shared = std::make_shared<Pending>(std::move(p));
+      eq_.schedule_at(plan.end_time, [this, shared, start, plan] {
+        complete(*shared, start, plan.end_time, plan.end_cylinder);
+      });
+      break;
+    }
+    case DiskOpKind::kReadModifyWrite: {
+      // RMW extents must fit in one cylinder so the in-place rewrite lands
+      // exactly k revolutions after the read began.
+      const int spc = geometry_.sectors_per_cylinder();
+      if (start_sector / spc != (start_sector + sector_count - 1) / spc)
+        throw std::logic_error("Disk: RMW extent crosses a cylinder");
+      ++stats_.rmws;
+      stats_.transfer_ms += 2.0 * plan.transfer_ms;  // read + write passes
+
+      const double rot = geometry_.rotation_ms();
+      const int min_revs = std::max(
+          1, static_cast<int>(std::ceil(plan.transfer_ms / rot - 1e-9)));
+      auto shared = std::make_shared<Pending>(std::move(p));
+      eq_.schedule_at(plan.end_time, [this, shared, start, plan, sector_count,
+                                      min_revs] {
+        const SimTime read_done = eq_.now();
+        if (shared->req.on_read_done) shared->req.on_read_done(read_done);
+        auto& gate = shared->req.gate;
+        if (gate && !gate->is_open()) {
+          // Hold the disk: spin until the gate opens (SI policy behaviour).
+          gate->waiter_ = [this, shared, start, plan, sector_count,
+                           min_revs](SimTime opened) {
+            schedule_rmw_write(shared, start, plan.transfer_start,
+                               sector_count, plan.end_cylinder, min_revs,
+                               opened);
+          };
+        } else {
+          const SimTime earliest = gate ? gate->ready_time() : read_done;
+          schedule_rmw_write(shared, start, plan.transfer_start, sector_count,
+                             plan.end_cylinder, min_revs, earliest);
+        }
+      });
+      break;
+    }
+  }
+}
+
+void Disk::schedule_rmw_write(std::shared_ptr<Pending> p, SimTime service_start,
+                              SimTime transfer_start, int sector_count,
+                              int end_cylinder, int min_revolutions,
+                              SimTime earliest) {
+  const double rot = geometry_.rotation_ms();
+  int revs = min_revolutions;
+  if (earliest > transfer_start + static_cast<double>(revs) * rot) {
+    revs = static_cast<int>(
+        std::ceil((earliest - transfer_start) / rot - 1e-9));
+  }
+  const std::uint64_t held =
+      static_cast<std::uint64_t>(revs - min_revolutions);
+  stats_.held_rotations += held;
+  stats_.hold_ms += static_cast<double>(held) * rot;
+
+  const SimTime write_start =
+      transfer_start + static_cast<double>(revs) * rot;
+  const SimTime write_end =
+      write_start +
+      static_cast<double>(sector_count) * geometry_.sector_time_ms();
+  eq_.schedule_at(write_end, [this, p, service_start, write_end,
+                              end_cylinder] {
+    complete(*p, service_start, write_end, end_cylinder);
+  });
+}
+
+void Disk::complete(const Pending& p, SimTime service_start, SimTime end_time,
+                    int end_cylinder) {
+  head_cylinder_ = end_cylinder;
+  stats_.busy_ms += end_time - service_start;
+  if (p.req.on_complete) p.req.on_complete(end_time);
+  start_next();
+}
+
+}  // namespace raidsim

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <memory>
+#include <vector>
+
+#include "disk/geometry.hpp"
+#include "disk/seek_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace raidsim {
+
+/// Queueing priority at a disk. Higher values are served first;
+/// ties are FIFO. Destage (background) traffic yields to demand reads,
+/// and the /PR synchronization policies promote parity accesses.
+enum class DiskPriority : int {
+  kDestage = 0,
+  kNormal = 1,
+  kParity = 2,
+};
+
+/// Order in which queued requests are dispatched within a priority
+/// class. The paper's simulator services requests in arrival order
+/// (FIFO, the default); SSTF and SCAN are provided for scheduling
+/// ablations.
+enum class DiskScheduling {
+  kFifo,  // arrival order
+  kSstf,  // shortest seek time first
+  kScan,  // elevator: sweep up, reverse at the top
+};
+
+std::string to_string(DiskScheduling scheduling);
+
+enum class DiskOpKind {
+  kRead,
+  kWrite,
+  /// Read the extent, then rewrite it in place one or more full
+  /// revolutions later (small-write parity update path, Section 3.3).
+  kReadModifyWrite,
+};
+
+/// Synchronization gate for the write phase of a read-modify-write
+/// access: the in-place write may not begin before the gate opens (e.g.
+/// the new parity only exists once the old data have been read on the
+/// data disks). If the gate is still closed when the disk is ready to
+/// write, the disk is *held*, spinning through full revolutions until the
+/// gate opens -- exactly the behaviour the paper describes for the
+/// Simultaneous Issue policy.
+class WriteGate {
+ public:
+  /// An open gate never delays the write.
+  static std::shared_ptr<WriteGate> already_open();
+
+  void open(SimTime now);
+  bool is_open() const { return open_; }
+  SimTime ready_time() const { return ready_time_; }
+
+ private:
+  friend class Disk;
+  bool open_ = false;
+  SimTime ready_time_ = 0.0;
+  std::function<void(SimTime)> waiter_;
+};
+
+/// One access submitted to a disk. Addresses are in logical blocks local
+/// to this disk. Extents must be physically contiguous; the disk splits
+/// cylinder crossings internally (read/write only -- RMW extents must fit
+/// within one cylinder, which controllers guarantee by splitting).
+struct DiskRequest {
+  DiskOpKind kind = DiskOpKind::kRead;
+  std::int64_t start_block = 0;
+  int block_count = 1;
+  DiskPriority priority = DiskPriority::kNormal;
+  std::shared_ptr<WriteGate> gate;  // RMW only; null means always ready
+
+  /// Invoked when the access acquires the disk (seek begins). Used by the
+  /// Disk First synchronization policies.
+  std::function<void(SimTime)> on_start;
+  /// RMW only: invoked when the old data/parity have been read.
+  std::function<void(SimTime)> on_read_done;
+  /// Invoked when the access fully completes.
+  std::function<void(SimTime)> on_complete;
+};
+
+struct DiskStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+  double busy_ms = 0.0;
+  double seek_ms = 0.0;
+  double latency_ms = 0.0;   // rotational latency
+  double transfer_ms = 0.0;
+  double hold_ms = 0.0;      // time spent held waiting on write gates
+  double queue_ms = 0.0;     // cumulative queueing delay
+  std::uint64_t held_rotations = 0;  // extra full revolutions due to gates
+
+  std::uint64_t ops() const { return reads + writes + rmws; }
+  double utilization(SimTime elapsed) const {
+    return elapsed > 0.0 ? busy_ms / elapsed : 0.0;
+  }
+};
+
+/// Event-driven model of a single rotating disk drive with a FIFO
+/// priority queue, the calibrated seek curve, and continuous rotation
+/// (rotational position is a function of absolute simulation time; no
+/// spindle synchronization across disks, per Section 3.2).
+class Disk {
+ public:
+  Disk(EventQueue& eq, const DiskGeometry& geometry, const SeekModel* seek,
+       int id, DiskScheduling scheduling = DiskScheduling::kFifo);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  void submit(DiskRequest req);
+
+  int id() const { return id_; }
+  const DiskGeometry& geometry() const { return geometry_; }
+  bool busy() const { return busy_; }
+  /// Head position as of the most recent service completion/start.
+  int current_cylinder() const { return head_cylinder_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  const DiskStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    DiskRequest req;
+    SimTime enqueue_time;
+    std::uint64_t seq;
+  };
+
+  /// Select (and remove) the next request to service: the highest
+  /// priority class present, ordered within the class by the scheduling
+  /// policy.
+  Pending pop_next();
+
+  /// Timing of one contiguous transfer starting with the head at
+  /// `head_cyl` at time `t`.
+  struct TransferPlan {
+    SimTime transfer_start = 0.0;  // first data sector under the head
+    SimTime end_time = 0.0;
+    int end_cylinder = 0;
+    double seek_ms = 0.0;
+    double latency_ms = 0.0;
+    double transfer_ms = 0.0;
+  };
+  TransferPlan plan_transfer(SimTime t, int head_cyl, std::int64_t start_sector,
+                             int sector_count) const;
+
+  /// Rotational delay from time t until the start of `sector` (within a
+  /// track) passes under the head.
+  double rotational_latency(SimTime t, int sector) const;
+
+  void start_next();
+  void begin_service(Pending p);
+  void schedule_rmw_write(std::shared_ptr<Pending> p, SimTime service_start,
+                          SimTime transfer_start, int sector_count,
+                          int end_cylinder, int min_revolutions,
+                          SimTime earliest);
+  void complete(const Pending& p, SimTime service_start, SimTime end_time,
+                int end_cylinder);
+
+  EventQueue& eq_;
+  DiskGeometry geometry_;
+  const SeekModel* seek_;
+  int id_;
+  bool busy_ = false;
+  int head_cylinder_ = 0;
+  std::uint64_t next_seq_ = 0;
+  DiskScheduling scheduling_;
+  bool scan_upward_ = true;  // SCAN sweep direction
+  std::vector<Pending> queue_;
+  DiskStats stats_;
+};
+
+}  // namespace raidsim

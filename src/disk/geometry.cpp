@@ -1,0 +1,25 @@
+#include "disk/geometry.hpp"
+
+namespace raidsim {
+
+BlockAddress DiskGeometry::locate_block(std::int64_t block) const {
+  return locate_sector(block * block_sectors);
+}
+
+BlockAddress DiskGeometry::locate_sector(std::int64_t sector) const {
+  BlockAddress addr;
+  const int spc = sectors_per_cylinder();
+  addr.cylinder = static_cast<int>(sector / spc);
+  const int within = static_cast<int>(sector % spc);
+  addr.track = within / sectors_per_track;
+  addr.sector = within % sectors_per_track;
+  return addr;
+}
+
+bool DiskGeometry::valid() const {
+  return cylinders > 0 && tracks_per_cylinder > 0 && sectors_per_track > 0 &&
+         bytes_per_sector > 0 && rpm > 0.0 && block_sectors > 0 &&
+         sectors_per_track % block_sectors == 0;
+}
+
+}  // namespace raidsim

@@ -1,0 +1,68 @@
+#include "disk/seek_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace raidsim {
+
+SeekModel::SeekModel(double a, double b, double c, int cylinders)
+    : a_(a), b_(b), c_(c), cylinders_(cylinders) {
+  if (cylinders < 2) throw std::invalid_argument("SeekModel: cylinders < 2");
+}
+
+double SeekModel::seek_time(int distance) const {
+  assert(distance >= 0 && distance < cylinders_);
+  if (distance == 0) return 0.0;
+  const double x = static_cast<double>(distance - 1);
+  return a_ * std::sqrt(x) + b_ * x + c_;
+}
+
+double SeekModel::average_over_uniform() const {
+  const double c = static_cast<double>(cylinders_);
+  double avg = 0.0;
+  for (int d = 1; d < cylinders_; ++d) {
+    const double p = 2.0 * (c - static_cast<double>(d)) / (c * c);
+    avg += p * seek_time(d);
+  }
+  return avg;  // the d == 0 term contributes zero
+}
+
+SeekModel SeekModel::calibrate(const SeekSpec& spec) {
+  const int cyl = spec.cylinders;
+  if (cyl < 3) throw std::invalid_argument("SeekModel: need >= 3 cylinders");
+  const double c = spec.single_cylinder_ms;
+  const double cd = static_cast<double>(cyl);
+
+  // Moments of the uniform random-pair seek-distance distribution over
+  // d in [1, C-1]: weights p(d) = 2(C-d)/C^2.
+  double s_sqrt = 0.0;  // E[sqrt(d-1)]
+  double s_lin = 0.0;   // E[d-1]
+  double s_mass = 0.0;  // P(d >= 1)
+  for (int d = 1; d < cyl; ++d) {
+    const double p = 2.0 * (cd - static_cast<double>(d)) / (cd * cd);
+    s_sqrt += p * std::sqrt(static_cast<double>(d - 1));
+    s_lin += p * static_cast<double>(d - 1);
+    s_mass += p;
+  }
+
+  // Solve:
+  //   a*s_sqrt + b*s_lin = average - c*s_mass
+  //   a*sqrt(C-2) + b*(C-2) = max - c
+  const double rhs1 = spec.average_ms - c * s_mass;
+  const double rhs2 = spec.max_ms - c;
+  const double m21 = std::sqrt(static_cast<double>(cyl - 2));
+  const double m22 = static_cast<double>(cyl - 2);
+  const double det = s_sqrt * m22 - s_lin * m21;
+  if (std::abs(det) < 1e-12)
+    throw std::runtime_error("SeekModel: singular calibration system");
+  const double a = (rhs1 * m22 - rhs2 * s_lin) / det;
+  const double b = (s_sqrt * rhs2 - m21 * rhs1) / det;
+  if (a < 0.0 || b < 0.0)
+    throw std::runtime_error(
+        "SeekModel: calibration produced a non-monotonic seek curve; "
+        "check spec targets");
+  return SeekModel(a, b, c, cyl);
+}
+
+}  // namespace raidsim

@@ -1,0 +1,44 @@
+#pragma once
+
+namespace raidsim {
+
+/// Calibration targets for the seek-time curve.
+struct SeekSpec {
+  double average_ms = 11.2;         // Table 1: average seek
+  double max_ms = 28.0;             // Table 1: maximal seek
+  double single_cylinder_ms = 2.0;  // assumed settle time for a 1-cyl seek
+  int cylinders = 1260;
+};
+
+/// Seek-time model from Section 3.2 of the paper:
+///   t(0) = 0,   t(x) = a*sqrt(x-1) + b*(x-1) + c   for x >= 1.
+/// `calibrate` solves a and b exactly (2x2 linear system) so that the
+/// expected seek time under the uniform random-pair seek-distance
+/// distribution equals `average_ms` and t(cylinders-1) == max_ms, with
+/// c fixed to the single-cylinder seek time.
+class SeekModel {
+ public:
+  SeekModel(double a, double b, double c, int cylinders);
+
+  static SeekModel calibrate(const SeekSpec& spec);
+
+  /// Seek time in ms for a move of `distance` cylinders (>= 0).
+  double seek_time(int distance) const;
+
+  /// Expected seek time under the uniform random-pair distribution
+  /// P(d=0) = 1/C, P(d=k) = 2(C-k)/C^2; used by calibration and tests.
+  double average_over_uniform() const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double c() const { return c_; }
+  int cylinders() const { return cylinders_; }
+
+ private:
+  double a_;
+  double b_;
+  double c_;
+  int cylinders_;
+};
+
+}  // namespace raidsim

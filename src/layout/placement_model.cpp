@@ -1,0 +1,47 @@
+#include "layout/placement_model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace raidsim {
+
+namespace {
+void check(double write_fraction, int n) {
+  if (write_fraction < 0.0 || write_fraction > 1.0)
+    throw std::invalid_argument("placement model: write fraction not in [0,1]");
+  if (n < 1) throw std::invalid_argument("placement model: N < 1");
+}
+}  // namespace
+
+double data_area_access_share(int array_data_disks) {
+  check(0.0, array_data_disks);
+  const double n = static_cast<double>(array_data_disks);
+  return 1.0 / (n * n);
+}
+
+double parity_area_access_share(double write_fraction, int array_data_disks) {
+  check(write_fraction, array_data_disks);
+  return write_fraction / static_cast<double>(array_data_disks);
+}
+
+bool parity_hotter_than_data(double write_fraction, int array_data_disks) {
+  return parity_area_access_share(write_fraction, array_data_disks) >
+         data_area_access_share(array_data_disks);
+}
+
+ParityPlacement recommended_parity_placement(double write_fraction,
+                                             int array_data_disks) {
+  return parity_hotter_than_data(write_fraction, array_data_disks)
+             ? ParityPlacement::kMiddleCylinders
+             : ParityPlacement::kEndCylinders;
+}
+
+int placement_crossover_array_size(double write_fraction) {
+  check(write_fraction, 1);
+  if (write_fraction <= 0.0) return std::numeric_limits<int>::max();
+  // w > 1/N  <=>  N > 1/w: the smallest integer strictly above 1/w.
+  return static_cast<int>(std::floor(1.0 / write_fraction)) + 1;
+}
+
+}  // namespace raidsim

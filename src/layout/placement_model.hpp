@@ -1,0 +1,41 @@
+#pragma once
+
+#include "layout/layout.hpp"
+
+namespace raidsim {
+
+/// The paper's analytic parity-placement rule (Section 4.2.3).
+///
+/// Assuming accesses uniform over the disks of a Parity Striping array
+/// and over the data areas of each disk, each of the N data areas of a
+/// disk receives 1/N^2 of the array's accesses while a parity area
+/// receives w/N of them (w = write fraction). The parity area is
+/// therefore the hotter region -- and worth the middle cylinders -- iff
+/// w > 1/N; otherwise the data deserve the middle and the parity should
+/// sit at the end.
+///
+/// For the paper's Trace 1 (w = 0.1) the crossover is N = 10, which
+/// Figure 9 confirms ("the cutoff point occurs somewhere between N = 5
+/// and N = 10, probably closer to 10"); bench/fig09_parity_placement
+/// reproduces it.
+
+/// Access rate of one data area relative to the whole array.
+double data_area_access_share(int array_data_disks);
+
+/// Access rate of one parity area relative to the whole array.
+double parity_area_access_share(double write_fraction, int array_data_disks);
+
+/// True when the parity areas are hotter than the data areas
+/// (w > 1/N).
+bool parity_hotter_than_data(double write_fraction, int array_data_disks);
+
+/// The placement the model recommends for the given workload.
+ParityPlacement recommended_parity_placement(double write_fraction,
+                                             int array_data_disks);
+
+/// The array size at which the recommendation flips for a given write
+/// fraction (the smallest N for which the middle placement wins);
+/// returns a large value when w == 0.
+int placement_crossover_array_size(double write_fraction);
+
+}  // namespace raidsim

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace raidsim {
+
+EventId EventQueue::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+EventId EventQueue::schedule_in(SimTime delay, Callback cb) {
+  assert(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (live_.erase(e.id) == 0) continue;  // cancelled
+    assert(e.time >= now_);
+    now_ = e.time;
+    ++executed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t limit) {
+  std::uint64_t count = 0;
+  while ((limit == 0 || count < limit) && step()) ++count;
+  return count;
+}
+
+std::uint64_t EventQueue::run_until(SimTime until) {
+  std::uint64_t count = 0;
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (live_.find(top.id) == live_.end()) {  // cancelled, drop silently
+      heap_.pop();
+      continue;
+    }
+    if (top.time > until) break;
+    step();
+    ++count;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+}  // namespace raidsim

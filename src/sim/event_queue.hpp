@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace raidsim {
+
+/// Simulation time in milliseconds since the start of the run.
+using SimTime = double;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Discrete-event simulation kernel. Events are (time, callback) pairs;
+/// ties are broken by schedule order so that runs are fully deterministic.
+/// Cancellation is lazy: cancelled ids are skipped on pop.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `when` (clamped to now()).
+  EventId schedule_at(SimTime when, Callback cb);
+
+  /// Schedule `cb` `delay` ms from now.
+  EventId schedule_in(SimTime delay, Callback cb);
+
+  /// Cancel a pending event. Returns true if it had not yet run or been
+  /// cancelled; cancelling an already-run or unknown id is a no-op.
+  bool cancel(EventId id);
+
+  /// True when no runnable (non-cancelled) events remain.
+  bool empty() const { return live_.empty(); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return live_.size(); }
+
+  /// Run the next event; returns false if none remain.
+  bool step();
+
+  /// Run until the queue drains or `limit` events have executed
+  /// (limit == 0 means unbounded). Returns the number executed.
+  std::uint64_t run(std::uint64_t limit = 0);
+
+  /// Run events until simulation time would exceed `until`; events at
+  /// exactly `until` are executed, and now() advances to `until`.
+  /// Returns the number executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Total events executed over the lifetime of the queue.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;  // scheduled, not yet run or cancelled
+};
+
+}  // namespace raidsim

@@ -1,0 +1,70 @@
+#include "trace/lru_stack.hpp"
+
+#include <cassert>
+
+namespace raidsim {
+
+LruStack::LruStack(std::size_t initial_slots)
+    : capacity_(initial_slots < 16 ? 16 : initial_slots),
+      live_(capacity_),
+      block_at_slot_(capacity_, -1) {}
+
+void LruStack::touch(std::int64_t block) {
+  if (next_slot_ == capacity_) compact();
+  auto it = slot_of_.find(block);
+  if (it != slot_of_.end()) {
+    live_.add(it->second, -1);
+    block_at_slot_[it->second] = -1;
+    it->second = next_slot_;
+  } else {
+    slot_of_.emplace(block, next_slot_);
+  }
+  block_at_slot_[next_slot_] = block;
+  live_.add(next_slot_, +1);
+  ++next_slot_;
+}
+
+std::optional<std::int64_t> LruStack::at_depth(std::size_t d) const {
+  const std::size_t n = slot_of_.size();
+  if (d >= n) return std::nullopt;
+  // Depth d from the top == rank (n - d) from the bottom.
+  const auto rank = static_cast<std::int64_t>(n - d);
+  const std::size_t slot = live_.select(rank);
+  assert(block_at_slot_[slot] >= 0);
+  return block_at_slot_[slot];
+}
+
+std::optional<std::size_t> LruStack::depth_of(std::int64_t block) const {
+  auto it = slot_of_.find(block);
+  if (it == slot_of_.end()) return std::nullopt;
+  // Number of live slots strictly above (newer than) this one.
+  const std::int64_t newer =
+      live_.total() - live_.prefix_sum(it->second);
+  return static_cast<std::size_t>(newer);
+}
+
+void LruStack::compact() {
+  // Rebuild the slot array with live blocks packed in stack order.
+  const std::size_t n = slot_of_.size();
+  std::size_t new_capacity = capacity_;
+  while (new_capacity < 2 * n + 16) new_capacity *= 2;
+
+  std::vector<std::int64_t> packed;
+  packed.reserve(n);
+  for (std::size_t slot = 0; slot < capacity_; ++slot) {
+    if (block_at_slot_[slot] >= 0) packed.push_back(block_at_slot_[slot]);
+  }
+  assert(packed.size() == n);
+
+  capacity_ = new_capacity;
+  block_at_slot_.assign(capacity_, -1);
+  live_.reset(capacity_);
+  for (std::size_t i = 0; i < n; ++i) {
+    block_at_slot_[i] = packed[i];
+    slot_of_[packed[i]] = i;
+    live_.add(i, +1);
+  }
+  next_slot_ = n;
+}
+
+}  // namespace raidsim

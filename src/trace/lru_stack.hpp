@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/fenwick.hpp"
+
+namespace raidsim {
+
+/// LRU stack with O(log n) depth queries, used by the synthetic trace
+/// generator to realise a target stack-distance distribution (the
+/// standard model of temporal locality: an access at stack distance d
+/// hits in any LRU cache of size > d).
+///
+/// Implementation: each block occupies a timestamp slot; a Fenwick tree
+/// counts live slots, so "the block at depth d" is an order-statistics
+/// query. The slot array is compacted geometrically, giving amortised
+/// O(log n) per operation.
+class LruStack {
+ public:
+  explicit LruStack(std::size_t initial_slots = 4096);
+
+  /// Insert `block` at the top (most recently used), moving it if present.
+  void touch(std::int64_t block);
+
+  /// Block at depth d (0 = most recent). nullopt when d >= size().
+  std::optional<std::int64_t> at_depth(std::size_t d) const;
+
+  /// Depth of `block`, or nullopt when absent.
+  std::optional<std::size_t> depth_of(std::int64_t block) const;
+
+  bool contains(std::int64_t block) const {
+    return slot_of_.find(block) != slot_of_.end();
+  }
+
+  std::size_t size() const { return slot_of_.size(); }
+
+ private:
+  void compact();
+
+  std::size_t capacity_;
+  std::size_t next_slot_ = 0;
+  FenwickTree live_;
+  std::vector<std::int64_t> block_at_slot_;
+  std::unordered_map<std::int64_t, std::size_t> slot_of_;
+};
+
+}  // namespace raidsim

@@ -1,0 +1,31 @@
+#include "trace/record.hpp"
+
+#include <stdexcept>
+
+namespace raidsim {
+
+SpeedAdapter::SpeedAdapter(std::unique_ptr<TraceStream> inner, double speed)
+    : inner_(std::move(inner)), speed_(speed) {
+  if (!inner_) throw std::invalid_argument("SpeedAdapter: null stream");
+  if (speed <= 0.0) throw std::invalid_argument("SpeedAdapter: speed <= 0");
+}
+
+std::optional<TraceRecord> SpeedAdapter::next() {
+  auto rec = inner_->next();
+  if (rec) rec->delta_ms /= speed_;
+  return rec;
+}
+
+PrefixAdapter::PrefixAdapter(std::unique_ptr<TraceStream> inner,
+                             std::uint64_t limit)
+    : inner_(std::move(inner)), remaining_(limit) {
+  if (!inner_) throw std::invalid_argument("PrefixAdapter: null stream");
+}
+
+std::optional<TraceRecord> PrefixAdapter::next() {
+  if (remaining_ == 0) return std::nullopt;
+  --remaining_;
+  return inner_->next();
+}
+
+}  // namespace raidsim

@@ -1,0 +1,96 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace raidsim {
+
+void TraceWriter::write(TraceStream& stream, std::ostream& os) {
+  const auto& geo = stream.geometry();
+  os << "# raidsim trace\n";
+  os << "disks " << geo.data_disks << '\n';
+  os << "blocks_per_disk " << geo.blocks_per_disk << '\n';
+  while (auto rec = stream.next()) {
+    os << static_cast<std::int64_t>(rec->delta_ms * 1000.0) << ' '
+       << rec->block << ' ' << rec->block_count << ' '
+       << (rec->is_write ? 'W' : 'R') << '\n';
+  }
+}
+
+TraceReader::TraceReader(std::unique_ptr<std::istream> input)
+    : input_(std::move(input)) {
+  if (!input_ || !*input_)
+    throw std::runtime_error("TraceReader: cannot read input");
+  parse_header();
+}
+
+std::unique_ptr<TraceReader> TraceReader::open(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!file->is_open())
+    throw std::runtime_error("TraceReader: cannot open '" + path + "'");
+  return std::make_unique<TraceReader>(std::move(file));
+}
+
+void TraceReader::parse_header() {
+  bool have_disks = false;
+  bool have_blocks = false;
+  std::string line;
+  while (std::getline(*input_, line)) {
+    ++line_number_;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "disks") {
+      if (!(ls >> geometry_.data_disks) || geometry_.data_disks < 1)
+        throw std::runtime_error("TraceReader: bad 'disks' directive");
+      have_disks = true;
+    } else if (keyword == "blocks_per_disk") {
+      if (!(ls >> geometry_.blocks_per_disk) || geometry_.blocks_per_disk < 1)
+        throw std::runtime_error("TraceReader: bad 'blocks_per_disk'");
+      have_blocks = true;
+    } else {
+      // First data line; stash it for next().
+      pending_line_ = line;
+      pending_valid_ = true;
+      break;
+    }
+    if (have_disks && have_blocks) break;
+  }
+  if (!have_disks || !have_blocks)
+    throw std::runtime_error("TraceReader: missing header directives");
+}
+
+std::optional<TraceRecord> TraceReader::next() {
+  std::string line;
+  while (true) {
+    if (pending_valid_) {
+      line = std::move(pending_line_);
+      pending_valid_ = false;
+    } else if (!std::getline(*input_, line)) {
+      return std::nullopt;
+    } else {
+      ++line_number_;
+    }
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream ls(line);
+    std::int64_t delta_us = 0;
+    TraceRecord rec;
+    char type = 0;
+    if (!(ls >> delta_us >> rec.block >> rec.block_count >> type) ||
+        (type != 'R' && type != 'W') || rec.block_count < 1 || rec.block < 0 ||
+        delta_us < 0 ||
+        rec.block + rec.block_count > geometry_.total_blocks()) {
+      throw std::runtime_error("TraceReader: malformed record at line " +
+                               std::to_string(line_number_));
+    }
+    rec.delta_ms = static_cast<double>(delta_us) / 1000.0;
+    rec.is_write = (type == 'W');
+    return rec;
+  }
+}
+
+}  // namespace raidsim

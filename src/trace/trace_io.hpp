@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iosfwd>
+#include <istream>
+#include <memory>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace raidsim {
+
+/// Text trace format, one request per line:
+///
+///   # comment
+///   disks <n>
+///   blocks_per_disk <b>
+///   <delta_us> <block> <count> <R|W>
+///
+/// The two header directives must precede the first record. This lets
+/// users replay real traces (converted to this format) through the
+/// simulator in place of the synthetic workloads.
+class TraceWriter {
+ public:
+  /// Serialise everything remaining in `stream` to `os`.
+  static void write(TraceStream& stream, std::ostream& os);
+};
+
+/// Streaming reader for the text trace format.
+class TraceReader : public TraceStream {
+ public:
+  /// Reads from an owned istream (e.g. std::ifstream moved in via
+  /// unique_ptr). Throws std::runtime_error on malformed input.
+  explicit TraceReader(std::unique_ptr<std::istream> input);
+
+  /// Convenience: open a file by path.
+  static std::unique_ptr<TraceReader> open(const std::string& path);
+
+  const TraceGeometry& geometry() const override { return geometry_; }
+  std::optional<TraceRecord> next() override;
+
+ private:
+  void parse_header();
+
+  std::unique_ptr<std::istream> input_;
+  TraceGeometry geometry_;
+  std::string pending_line_;
+  bool pending_valid_ = false;
+  std::uint64_t line_number_ = 0;
+};
+
+}  // namespace raidsim

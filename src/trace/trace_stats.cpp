@@ -1,0 +1,101 @@
+#include "trace/trace_stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace raidsim {
+
+double TraceStats::write_fraction() const {
+  const std::uint64_t writes = single_block_writes + multiblock_writes;
+  return requests ? static_cast<double>(writes) / static_cast<double>(requests)
+                  : 0.0;
+}
+
+double TraceStats::single_block_fraction() const {
+  const std::uint64_t singles = single_block_reads + single_block_writes;
+  return requests
+             ? static_cast<double>(singles) / static_cast<double>(requests)
+             : 0.0;
+}
+
+double TraceStats::disk_skew_cv() const {
+  if (accesses_per_disk.empty()) return 0.0;
+  double mean = 0.0;
+  for (auto c : accesses_per_disk) mean += static_cast<double>(c);
+  mean /= static_cast<double>(accesses_per_disk.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (auto c : accesses_per_disk) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(accesses_per_disk.size());
+  return std::sqrt(var) / mean;
+}
+
+TraceStats TraceStats::collect(TraceStream& stream) {
+  TraceStats stats;
+  stats.geometry = stream.geometry();
+  stats.accesses_per_disk.assign(
+      static_cast<std::size_t>(stats.geometry.data_disks), 0);
+  while (auto rec = stream.next()) {
+    ++stats.requests;
+    stats.duration_ms += rec->delta_ms;
+    stats.blocks_transferred += static_cast<std::uint64_t>(rec->block_count);
+    if (rec->block_count == 1) {
+      (rec->is_write ? stats.single_block_writes : stats.single_block_reads)++;
+    } else {
+      (rec->is_write ? stats.multiblock_writes : stats.multiblock_reads)++;
+    }
+    const int disk = stats.geometry.disk_of(rec->block);
+    stats.accesses_per_disk[static_cast<std::size_t>(disk)]++;
+  }
+  return stats;
+}
+
+std::string TraceStats::table(const std::vector<const TraceStats*>& columns,
+                              const std::vector<std::string>& names) {
+  std::vector<std::string> header{""};
+  for (const auto& n : names) header.push_back(n);
+  TablePrinter printer(header);
+
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const auto* s : columns) cells.push_back(getter(*s));
+    printer.add_row(cells);
+  };
+  auto count = [](std::uint64_t v) { return std::to_string(v); };
+
+  row("Duration", [](const TraceStats& s) {
+    const auto total_s = static_cast<std::uint64_t>(s.duration_ms / 1000.0);
+    std::ostringstream os;
+    os << total_s / 3600 << "hr " << (total_s % 3600) / 60 << "min";
+    return os.str();
+  });
+  row("# of disks", [&](const TraceStats& s) {
+    return count(static_cast<std::uint64_t>(s.geometry.data_disks));
+  });
+  row("# of I/O accesses",
+      [&](const TraceStats& s) { return count(s.requests); });
+  row("# of blocks transferred",
+      [&](const TraceStats& s) { return count(s.blocks_transferred); });
+  row("# of single block reads",
+      [&](const TraceStats& s) { return count(s.single_block_reads); });
+  row("# of single block writes",
+      [&](const TraceStats& s) { return count(s.single_block_writes); });
+  row("# of multiblock reads",
+      [&](const TraceStats& s) { return count(s.multiblock_reads); });
+  row("# of multiblock writes",
+      [&](const TraceStats& s) { return count(s.multiblock_writes); });
+  row("Write fraction", [](const TraceStats& s) {
+    return TablePrinter::num(s.write_fraction(), 3);
+  });
+  row("Disk skew (CV)", [](const TraceStats& s) {
+    return TablePrinter::num(s.disk_skew_cv(), 3);
+  });
+  return printer.to_string();
+}
+
+}  // namespace raidsim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace raidsim {
+
+/// Aggregate trace characteristics in the shape of the paper's Table 2,
+/// plus per-disk access counts (Figures 6 and 7) and simple skew and
+/// locality diagnostics.
+struct TraceStats {
+  TraceGeometry geometry;
+  double duration_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t blocks_transferred = 0;
+  std::uint64_t single_block_reads = 0;
+  std::uint64_t single_block_writes = 0;
+  std::uint64_t multiblock_reads = 0;
+  std::uint64_t multiblock_writes = 0;
+  std::vector<std::uint64_t> accesses_per_disk;
+
+  double write_fraction() const;
+  double single_block_fraction() const;
+  /// Coefficient of variation of per-disk access counts (skew measure).
+  double disk_skew_cv() const;
+
+  /// Consume `stream` and accumulate statistics.
+  static TraceStats collect(TraceStream& stream);
+
+  /// Paper-style Table 2 rendering (one column per stats object).
+  static std::string table(const std::vector<const TraceStats*>& columns,
+                           const std::vector<std::string>& names);
+};
+
+}  // namespace raidsim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace raidsim {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-resolution log-spaced histogram for latency-like quantities.
+/// Buckets cover [min_value, max_value) geometrically; values outside are
+/// clamped into the edge buckets. Supports approximate quantiles.
+class Histogram {
+ public:
+  Histogram(double min_value, double max_value, std::size_t buckets);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return total_; }
+
+  /// Approximate q-quantile (q in [0,1]), linear interpolation within the
+  /// selected bucket. Returns 0 when empty.
+  double quantile(double q) const;
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  double bucket_lower_bound(std::size_t i) const;
+
+ private:
+  double min_value_;
+  double log_min_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Convenience aggregate for a response-time-like metric: streaming
+/// moments plus a histogram for percentiles.
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  void add(double ms);
+  void merge(const LatencyRecorder& other);
+
+  const OnlineStats& stats() const { return stats_; }
+  std::uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double p50() const { return hist_.quantile(0.50); }
+  double p95() const { return hist_.quantile(0.95); }
+  double p99() const { return hist_.quantile(0.99); }
+  double max() const { return stats_.max(); }
+
+ private:
+  OnlineStats stats_;
+  Histogram hist_;
+};
+
+}  // namespace raidsim

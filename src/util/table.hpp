@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace raidsim {
+
+/// Minimal ASCII table printer used by the reproduction benches to emit
+/// paper-style rows. Columns are sized to fit their widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streaming CSV writer (RFC-4180-ish quoting) for machine-readable
+/// experiment output.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os);
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace raidsim

@@ -1,0 +1,211 @@
+#include "array/cached_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+class CachedTest : public ::testing::Test {
+ protected:
+  ArrayController::Config config(Organization org, int n = 4) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = org;
+    cfg.layout.data_disks = n;
+    cfg.layout.data_blocks_per_disk = 1800;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+
+  CachedController::CacheConfig cache_config(std::int64_t blocks = 64) {
+    CachedController::CacheConfig cfg;
+    cfg.cache_bytes = blocks * 4096;
+    cfg.destage_period_ms = 50.0;
+    return cfg;
+  }
+
+  double run_request(CachedController& controller, EventQueue& eq,
+                     std::int64_t block, int count, bool write) {
+    double done = -1.0;
+    controller.submit(ArrayRequest{block, count, write},
+                      [&](SimTime t) { done = t; });
+    // Step precisely until the response, leaving background work pending.
+    while (done < 0.0 && eq.step()) {
+    }
+    EXPECT_GE(done, 0.0);
+    return done;
+  }
+
+  void drain(CachedController& controller, EventQueue& eq) {
+    eq.run_until(eq.now() + 5000.0);
+    controller.shutdown();
+    eq.run();
+  }
+};
+
+TEST_F(CachedTest, WriteCompletesAtChannelSpeed) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  const double done = run_request(c, eq, 5, 1, true);
+  // 4 KB over 10 MB/s: the response is just the channel transfer.
+  EXPECT_NEAR(done, 0.4096, 1e-9);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, ReadHitServedFromCache) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  run_request(c, eq, 5, 1, true);            // populate
+  const double start = eq.now();
+  const double done = run_request(c, eq, 5, 1, false);
+  EXPECT_NEAR(done - start, 0.4096, 1e-9);   // no disk access
+  EXPECT_EQ(c.stats().read_request_hits, 1u);
+  EXPECT_EQ(c.cache().stats().read_hits, 1u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, ReadMissFetchesAndCaches) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  const double done = run_request(c, eq, 7, 1, false);
+  EXPECT_GT(done, 1.0);  // had to visit the disk
+  EXPECT_EQ(c.stats().read_request_hits, 0u);
+  EXPECT_TRUE(c.cache().contains(7));
+  EXPECT_EQ(c.disks()[0]->stats().reads, 1u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, DestageWritesDirtyBlocksBack) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  run_request(c, eq, 5, 1, true);
+  EXPECT_EQ(c.cache().dirty_count(), 1u);
+  eq.run_until(eq.now() + 500.0);  // several destage periods
+  EXPECT_EQ(c.cache().dirty_count(), 0u);
+  EXPECT_EQ(c.disks()[0]->stats().writes, 1u);
+  EXPECT_GE(c.stats().destage_blocks, 1u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, DestageGroupsConsecutiveBlocks) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  // Dirty 8 consecutive blocks; they should destage as one disk write.
+  for (int i = 0; i < 8; ++i) run_request(c, eq, 100 + i, 1, true);
+  eq.run_until(eq.now() + 500.0);
+  EXPECT_EQ(c.cache().dirty_count(), 0u);
+  EXPECT_EQ(c.disks()[0]->stats().writes, 1u);
+  EXPECT_EQ(c.stats().destage_blocks, 8u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, MultiblockHitRequiresAllBlocks) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  run_request(c, eq, 10, 1, true);
+  run_request(c, eq, 11, 1, true);
+  // Blocks 10-12: 12 is missing -> request is a miss.
+  run_request(c, eq, 10, 3, false);
+  EXPECT_EQ(c.stats().read_request_hits, 0u);
+  // Now everything is cached.
+  run_request(c, eq, 10, 3, false);
+  EXPECT_EQ(c.stats().read_request_hits, 1u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, OldDataRetentionAvoidsDataDiskRmw) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kRaid5), cache_config());
+  // Read then write the same block: the old copy is captured, so the
+  // destage performs a plain data write; only the parity disk pays the
+  // read-modify-write rotation (Section 3.4).
+  run_request(c, eq, 5, 1, false);
+  run_request(c, eq, 5, 1, true);
+  eq.run_until(eq.now() + 500.0);
+  std::uint64_t rmws = 0, writes = 0;
+  for (const auto& disk : c.disks()) {
+    rmws += disk->stats().rmws;
+    writes += disk->stats().writes;
+  }
+  EXPECT_EQ(writes, 1u);  // plain data write
+  EXPECT_EQ(rmws, 1u);    // parity only
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, WriteMissDestageFallsBackToRmw) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kRaid5), cache_config());
+  run_request(c, eq, 5, 1, true);  // write miss: no old copy
+  eq.run_until(eq.now() + 500.0);
+  std::uint64_t rmws = 0, writes = 0;
+  for (const auto& disk : c.disks()) {
+    rmws += disk->stats().rmws;
+    writes += disk->stats().writes;
+  }
+  EXPECT_EQ(rmws, 2u);  // data and parity both read-modify-write
+  EXPECT_EQ(writes, 0u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, RetentionDisabledAlwaysRmws) {
+  EventQueue eq;
+  auto cache_cfg = cache_config();
+  cache_cfg.retain_old_data = false;  // ablation switch
+  CachedController c(eq, config(Organization::kRaid5), cache_cfg);
+  run_request(c, eq, 5, 1, false);
+  run_request(c, eq, 5, 1, true);
+  eq.run_until(eq.now() + 500.0);
+  std::uint64_t rmws = 0;
+  for (const auto& disk : c.disks()) rmws += disk->stats().rmws;
+  EXPECT_EQ(rmws, 2u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, PureLruModeWritesBackOnlyOnEviction) {
+  EventQueue eq;
+  auto cache_cfg = cache_config(4);  // tiny cache
+  cache_cfg.periodic_destage = false;
+  CachedController c(eq, config(Organization::kBase), cache_cfg);
+  run_request(c, eq, 5, 1, true);
+  eq.run_until(eq.now() + 500.0);
+  EXPECT_EQ(c.cache().dirty_count(), 1u);  // nothing destages it
+  // Fill the cache with reads until block 5 is evicted.
+  for (int i = 0; i < 6; ++i) run_request(c, eq, 200 + i * 3, 1, false);
+  eq.run_until(eq.now() + 500.0);
+  EXPECT_GT(c.stats().sync_victim_writes, 0u);
+  EXPECT_EQ(c.disks()[0]->stats().writes, 1u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, MirrorDestageWritesBothCopies) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kMirror), cache_config());
+  run_request(c, eq, 5, 1, true);
+  eq.run_until(eq.now() + 500.0);
+  EXPECT_EQ(c.disks()[0]->stats().writes, 1u);
+  EXPECT_EQ(c.disks()[1]->stats().writes, 1u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, RedirtiedBlockDestagesAgain) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  run_request(c, eq, 5, 1, true);
+  eq.run_until(eq.now() + 500.0);
+  EXPECT_EQ(c.cache().dirty_count(), 0u);
+  run_request(c, eq, 5, 1, true);
+  eq.run_until(eq.now() + 500.0);
+  EXPECT_EQ(c.cache().dirty_count(), 0u);
+  EXPECT_EQ(c.disks()[0]->stats().writes, 2u);
+  drain(c, eq);
+}
+
+TEST_F(CachedTest, ShutdownStopsDestageTimer) {
+  EventQueue eq;
+  CachedController c(eq, config(Organization::kBase), cache_config());
+  c.shutdown();
+  eq.run();  // must terminate: no periodic tick remains
+  EXPECT_TRUE(eq.empty());
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,229 @@
+// Degraded-mode operation and online rebuild: single disk failure,
+// reconstruction of reads from the surviving parity-group members,
+// parity-absorbing writes, and the RebuildProcess sweep.
+#include <gtest/gtest.h>
+
+#include "array/rebuild.hpp"
+#include "array/uncached_controller.hpp"
+
+namespace raidsim {
+namespace {
+
+class DegradedTest : public ::testing::Test {
+ protected:
+  ArrayController::Config config(Organization org, int n = 4) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = org;
+    cfg.layout.data_disks = n;
+    cfg.layout.data_blocks_per_disk = 1800;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+
+  double run_request(UncachedController& c, EventQueue& eq,
+                     std::int64_t block, int count, bool write) {
+    double done = -1.0;
+    c.submit(ArrayRequest{block, count, write}, [&](SimTime t) { done = t; });
+    eq.run();
+    EXPECT_GE(done, 0.0);
+    return done;
+  }
+
+  std::uint64_t total_reads(const UncachedController& c) {
+    std::uint64_t n = 0;
+    for (const auto& d : c.disks()) n += d->stats().reads;
+    return n;
+  }
+};
+
+TEST_F(DegradedTest, Raid5ReadReconstructsFromSurvivors) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  // Logical 0 -> row 0, column 0 -> some data disk; fail it.
+  const int victim = c.layout().map_read(0, 1)[0].disk;
+  c.fail_disk(victim);
+  run_request(c, eq, 0, 1, false);
+  // Reconstruction reads the 3 other data chunks + parity.
+  EXPECT_EQ(total_reads(c), 4u);
+  EXPECT_EQ(c.disks()[static_cast<std::size_t>(victim)]->stats().ops(), 0u);
+  EXPECT_EQ(c.stats().degraded_reads, 1u);
+}
+
+TEST_F(DegradedTest, Raid5DegradedReadWaitsForSlowestSurvivor) {
+  // Reconstruction completes when the LAST of the N surviving reads
+  // finishes: busy any one survivor and the whole degraded read stalls.
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  const int victim = c.layout().map_read(0, 1)[0].disk;
+  c.fail_disk(victim);
+  // Block 1 is on another disk of row 0; queue work there first.
+  const int survivor = c.layout().map_read(1, 1)[0].disk;
+  ASSERT_NE(survivor, victim);
+  c.submit(ArrayRequest{1, 1, false}, nullptr);
+  c.submit(ArrayRequest{1, 1, false}, nullptr);
+  const double slow = run_request(c, eq, 0, 1, false);
+
+  EventQueue eq2;
+  UncachedController healthy(eq2, config(Organization::kRaid5));
+  const double normal = run_request(healthy, eq2, 0, 1, false);
+  EXPECT_GT(slow, normal + 2.0);  // stuck behind the survivor's queue
+}
+
+TEST_F(DegradedTest, Raid5WriteToFailedDiskUpdatesParityOnly) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  const int victim = c.layout().map_read(0, 1)[0].disk;
+  c.fail_disk(victim);
+  run_request(c, eq, 0, 1, true);
+  EXPECT_EQ(c.stats().degraded_writes, 1u);
+  EXPECT_EQ(c.disks()[static_cast<std::size_t>(victim)]->stats().ops(), 0u);
+  // Reconstruct-style: read the other data members, write parity.
+  std::uint64_t writes = 0;
+  for (const auto& d : c.disks()) writes += d->stats().writes;
+  EXPECT_EQ(writes, 1u);          // parity only
+  EXPECT_EQ(total_reads(c), 3u);  // surviving columns
+}
+
+TEST_F(DegradedTest, Raid5FailedParityDiskMakesWritesPlain) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  // Parity of row 0 (block 0's row) lives on some disk; fail it.
+  const auto plan = c.layout().map_write(0, 1)[0];
+  c.fail_disk(plan.parity.disk);
+  run_request(c, eq, 0, 1, true);
+  std::uint64_t rmws = 0, writes = 0;
+  for (const auto& d : c.disks()) {
+    rmws += d->stats().rmws;
+    writes += d->stats().writes;
+  }
+  EXPECT_EQ(rmws, 0u);    // no parity to maintain, no RMW
+  EXPECT_EQ(writes, 1u);  // the data write proceeds plainly
+}
+
+TEST_F(DegradedTest, MirrorFailureFallsBackToTwin) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kMirror));
+  c.fail_disk(0);
+  run_request(c, eq, 0, 1, false);
+  EXPECT_EQ(c.disks()[1]->stats().reads, 1u);
+  run_request(c, eq, 0, 1, true);
+  // Write goes to the surviving twin only.
+  EXPECT_EQ(c.disks()[0]->stats().ops(), 0u);
+  EXPECT_EQ(c.disks()[1]->stats().writes, 1u);
+}
+
+TEST_F(DegradedTest, BaseFailureLosesData) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kBase));
+  c.fail_disk(0);
+  run_request(c, eq, 0, 1, false);
+  run_request(c, eq, 0, 1, true);
+  EXPECT_EQ(c.stats().unrecoverable, 2u);
+  EXPECT_EQ(c.disks()[0]->stats().ops(), 0u);
+}
+
+TEST_F(DegradedTest, ParityStripingReconstructsAcrossGroup) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kParityStriping));
+  const int victim = c.layout().map_read(0, 1)[0].disk;
+  c.fail_disk(victim);
+  run_request(c, eq, 0, 1, false);
+  EXPECT_EQ(c.stats().degraded_reads, 1u);
+  // N-1 = 3 surviving members + parity.
+  EXPECT_EQ(total_reads(c), 4u);
+}
+
+TEST_F(DegradedTest, WatermarkRestoresNormalService) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  const int victim = c.layout().map_read(0, 1)[0].disk;
+  c.fail_disk(victim);
+  c.set_rebuild_watermark(1000);  // block 0 maps below the watermark
+  run_request(c, eq, 0, 1, false);
+  EXPECT_EQ(c.stats().degraded_reads, 0u);
+  EXPECT_EQ(c.disks()[static_cast<std::size_t>(victim)]->stats().reads, 1u);
+}
+
+TEST_F(DegradedTest, FailDiskValidation) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  EXPECT_THROW(c.fail_disk(99), std::invalid_argument);
+  c.fail_disk(2);
+  EXPECT_EQ(c.failed_disk(), 2);
+  c.fail_disk(-1);
+  EXPECT_EQ(c.failed_disk(), -1);
+}
+
+class RebuildTest : public DegradedTest {
+ protected:
+  ArrayController::Config small_config(Organization org) {
+    auto cfg = config(org);
+    cfg.layout.data_blocks_per_disk = 360;  // 2 cylinders: fast rebuild
+    return cfg;
+  }
+};
+
+TEST_F(RebuildTest, RebuildsWholeDiskAndClearsFailure) {
+  EventQueue eq;
+  UncachedController c(eq, small_config(Organization::kRaid5));
+  c.fail_disk(1);
+  RebuildProcess rebuild(eq, c);
+  double completed = -1.0;
+  rebuild.start([&](SimTime t) { completed = t; });
+  eq.run();
+  EXPECT_GT(completed, 0.0);
+  EXPECT_FALSE(rebuild.running());
+  EXPECT_EQ(rebuild.blocks_rebuilt(), rebuild.blocks_total());
+  EXPECT_DOUBLE_EQ(rebuild.progress(), 1.0);
+  EXPECT_EQ(c.failed_disk(), -1);
+  // The replacement received the reconstructed writes.
+  EXPECT_GT(c.disks()[1]->stats().writes, 0u);
+  // Survivors supplied the data.
+  EXPECT_GT(c.disks()[0]->stats().reads, 0u);
+}
+
+TEST_F(RebuildTest, MirrorRebuildCopiesFromTwin) {
+  EventQueue eq;
+  UncachedController c(eq, small_config(Organization::kMirror));
+  c.fail_disk(2);
+  RebuildProcess rebuild(eq, c);
+  bool done = false;
+  rebuild.start([&](SimTime) { done = true; });
+  eq.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(c.disks()[3]->stats().reads,
+            c.disks()[2]->stats().writes);  // twin feeds the copy
+}
+
+TEST_F(RebuildTest, ForegroundTrafficContinuesDuringRebuild) {
+  EventQueue eq;
+  UncachedController c(eq, small_config(Organization::kRaid5));
+  c.fail_disk(0);
+  RebuildProcess rebuild(eq, c, {.inter_pass_gap_ms = 5.0});
+  bool rebuilt = false;
+  rebuild.start([&](SimTime) { rebuilt = true; });
+  int completed = 0;
+  for (int i = 0; i < 20; ++i)
+    c.submit(ArrayRequest{i * 17 % 1400, 1, i % 3 == 0}, [&](SimTime) {
+      ++completed;
+    });
+  eq.run();
+  EXPECT_TRUE(rebuilt);
+  EXPECT_EQ(completed, 20);
+}
+
+TEST_F(RebuildTest, RefusesWithoutFailure) {
+  EventQueue eq;
+  UncachedController c(eq, small_config(Organization::kRaid5));
+  EXPECT_THROW(RebuildProcess(eq, c), std::logic_error);
+}
+
+TEST_F(RebuildTest, RefusesBaseOrganization) {
+  EventQueue eq;
+  UncachedController c(eq, small_config(Organization::kBase));
+  c.fail_disk(0);
+  EXPECT_THROW(RebuildProcess(eq, c), std::logic_error);
+}
+
+}  // namespace
+}  // namespace raidsim

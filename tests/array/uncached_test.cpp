@@ -1,0 +1,216 @@
+#include "array/uncached_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+class UncachedTest : public ::testing::Test {
+ protected:
+  ArrayController::Config config(Organization org, int n = 4,
+                                 SyncPolicy sync = SyncPolicy::kDiskFirst) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = org;
+    cfg.layout.data_disks = n;
+    cfg.layout.data_blocks_per_disk = 1800;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    cfg.sync = sync;
+    return cfg;
+  }
+
+  double run_request(UncachedController& controller, EventQueue& eq,
+                     std::int64_t block, int count, bool write) {
+    double done = -1.0;
+    controller.submit(ArrayRequest{block, count, write},
+                      [&](SimTime t) { done = t; });
+    eq.run();
+    EXPECT_GE(done, 0.0);
+    return done;
+  }
+};
+
+TEST_F(UncachedTest, BaseReadTimingIsDiskPlusChannel) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kBase));
+  const double done = run_request(c, eq, 0, 1, false);
+  const auto& geo = c.disks()[0]->geometry();
+  // Block 0 at t=0: no seek, no latency, 8-sector transfer, then 4 KB on
+  // a 10 MB/s channel.
+  EXPECT_NEAR(done, 8.0 * geo.sector_time_ms() + 0.4096, 1e-9);
+  EXPECT_EQ(c.stats().read_requests, 1u);
+}
+
+TEST_F(UncachedTest, BaseWritePaysChannelThenDisk) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kBase));
+  const double done = run_request(c, eq, 0, 1, true);
+  const auto& geo = c.disks()[0]->geometry();
+  // Channel first (0.4096 ms), then the disk write with whatever
+  // rotational latency has accumulated.
+  EXPECT_GT(done, 0.4096 + 8.0 * geo.sector_time_ms() - 1e-9);
+  EXPECT_EQ(c.disks()[0]->stats().writes, 1u);
+  EXPECT_EQ(c.stats().write_requests, 1u);
+}
+
+TEST_F(UncachedTest, MirrorWritesBothCopies) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kMirror));
+  run_request(c, eq, 0, 1, true);
+  EXPECT_EQ(c.disks()[0]->stats().writes, 1u);
+  EXPECT_EQ(c.disks()[1]->stats().writes, 1u);
+}
+
+TEST_F(UncachedTest, MirrorReadUsesOneCopy) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kMirror));
+  run_request(c, eq, 0, 1, false);
+  EXPECT_EQ(c.disks()[0]->stats().reads + c.disks()[1]->stats().reads, 1u);
+}
+
+TEST_F(UncachedTest, MirrorReadPicksNearerArm) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kMirror));
+  // Park disk 0's arm far away by reading a far block from it first.
+  // Logical 900 (cylinder 5) maps to primary disk 0.
+  run_request(c, eq, 900, 1, false);
+  const bool disk0_far = c.disks()[0]->current_cylinder() > 0;
+  ASSERT_TRUE(disk0_far);
+  // Now read logical 0 (cylinder 0): the twin (disk 1, still at
+  // cylinder 0) must serve it.
+  run_request(c, eq, 0, 1, false);
+  EXPECT_EQ(c.disks()[1]->stats().reads, 1u);
+}
+
+TEST_F(UncachedTest, Raid5SmallWriteDoesTwoRmws) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  run_request(c, eq, 0, 1, true);
+  std::uint64_t rmws = 0, writes = 0;
+  for (const auto& disk : c.disks()) {
+    rmws += disk->stats().rmws;
+    writes += disk->stats().writes;
+  }
+  EXPECT_EQ(rmws, 2u);  // old data + old parity are both read in place
+  EXPECT_EQ(writes, 0u);
+}
+
+TEST_F(UncachedTest, Raid5SmallWriteSlowerThanBaseWrite) {
+  EventQueue eq1, eq2;
+  UncachedController base(eq1, config(Organization::kBase));
+  UncachedController raid5(eq2, config(Organization::kRaid5));
+  const double base_time = run_request(base, eq1, 0, 1, true);
+  const double raid5_time = run_request(raid5, eq2, 0, 1, true);
+  // The write penalty: at least one extra revolution.
+  EXPECT_GT(raid5_time, base_time + 10.0);
+}
+
+TEST_F(UncachedTest, Raid5FullStripeWritePlainWrites) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  run_request(c, eq, 0, 4, true);  // N=4, unit=1: one full row
+  std::uint64_t rmws = 0, writes = 0, reads = 0;
+  for (const auto& disk : c.disks()) {
+    rmws += disk->stats().rmws;
+    writes += disk->stats().writes;
+    reads += disk->stats().reads;
+  }
+  EXPECT_EQ(rmws, 0u);
+  EXPECT_EQ(reads, 0u);
+  EXPECT_EQ(writes, 5u);  // 4 data + 1 parity
+}
+
+TEST_F(UncachedTest, Raid5ReconstructWriteReadsUntouchedColumns) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  run_request(c, eq, 0, 2, true);  // half the stripe
+  std::uint64_t rmws = 0, writes = 0, reads = 0;
+  for (const auto& disk : c.disks()) {
+    rmws += disk->stats().rmws;
+    writes += disk->stats().writes;
+    reads += disk->stats().reads;
+  }
+  EXPECT_EQ(rmws, 0u);
+  EXPECT_EQ(reads, 2u);   // the two untouched columns
+  EXPECT_EQ(writes, 3u);  // 2 data + 1 parity
+}
+
+TEST_F(UncachedTest, ParityStripingSmallWriteDoesTwoRmws) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kParityStriping));
+  run_request(c, eq, 0, 1, true);
+  std::uint64_t rmws = 0;
+  for (const auto& disk : c.disks()) rmws += disk->stats().rmws;
+  EXPECT_EQ(rmws, 2u);
+}
+
+class SyncPolicyTest : public UncachedTest,
+                       public ::testing::WithParamInterface<SyncPolicy> {};
+
+TEST_P(SyncPolicyTest, SmallWriteCompletesUnderEveryPolicy) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5, 4, GetParam()));
+  const double done = run_request(c, eq, 7, 1, true);
+  EXPECT_GT(done, 0.0);
+  std::uint64_t rmws = 0;
+  for (const auto& disk : c.disks()) rmws += disk->stats().rmws;
+  EXPECT_EQ(rmws, 2u);
+}
+
+TEST_P(SyncPolicyTest, ManyConcurrentWritesAllComplete) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5, 4, GetParam()));
+  int completed = 0;
+  for (int i = 0; i < 40; ++i) {
+    c.submit(ArrayRequest{i * 37 % 7000, 1, true},
+             [&](SimTime) { ++completed; });
+  }
+  eq.run();
+  EXPECT_EQ(completed, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SyncPolicyTest,
+                         ::testing::Values(SyncPolicy::kSimultaneousIssue,
+                                           SyncPolicy::kReadFirst,
+                                           SyncPolicy::kReadFirstPriority,
+                                           SyncPolicy::kDiskFirst,
+                                           SyncPolicy::kDiskFirstPriority),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           name.erase(std::remove(name.begin(), name.end(), '/'),
+                                      name.end());
+                           return name;
+                         });
+
+TEST_F(UncachedTest, SimultaneousIssueHoldsParityDisk) {
+  // Make the data disk busy so its old-data read completes well after
+  // the parity disk has read the old parity: SI must spin the parity
+  // disk through held rotations.
+  EventQueue eq;
+  UncachedController c(eq,
+                       config(Organization::kRaid5, 4,
+                              SyncPolicy::kSimultaneousIssue));
+  // Logical 0 -> data disk d; queue three long reads on that disk first.
+  // Reads of logical 0 itself keep the same disk busy.
+  for (int i = 0; i < 3; ++i)
+    c.submit(ArrayRequest{0, 1, false}, nullptr);
+  c.submit(ArrayRequest{0, 1, true}, nullptr);
+  eq.run();
+  std::uint64_t held = 0;
+  for (const auto& disk : c.disks()) held += disk->stats().held_rotations;
+  EXPECT_GT(held, 0u);
+}
+
+TEST_F(UncachedTest, MultiblockReadSpansDisksAndCompletesOnce) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  int completions = 0;
+  c.submit(ArrayRequest{0, 4, false}, [&](SimTime) { ++completions; });
+  eq.run();
+  EXPECT_EQ(completions, 1);
+  std::uint64_t reads = 0;
+  for (const auto& disk : c.disks()) reads += disk->stats().reads;
+  EXPECT_EQ(reads, 4u);
+}
+
+}  // namespace
+}  // namespace raidsim

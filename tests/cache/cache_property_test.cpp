@@ -1,0 +1,136 @@
+// Randomised property tests of the NV cache against a reference model:
+// capacity is never exceeded, LRU victims match, and dirty/old-entry
+// bookkeeping stays consistent under arbitrary operation sequences.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/nv_cache.hpp"
+#include "util/rng.hpp"
+
+namespace raidsim {
+namespace {
+
+TEST(CacheProperty, CapacityNeverExceeded) {
+  Rng rng(5);
+  for (std::size_t capacity : {1u, 2u, 7u, 64u}) {
+    NvCache cache(capacity, true);
+    for (int op = 0; op < 5000; ++op) {
+      const std::int64_t block = rng.uniform_i64(0, 99);
+      switch (rng.uniform_u64(5)) {
+        case 0:
+          cache.read(block);
+          break;
+        case 1:
+          cache.write(block);
+          break;
+        case 2:
+          if (!cache.contains(block)) cache.insert_clean(block);
+          break;
+        case 3:
+          if (cache.destage_eligible(block)) {
+            cache.begin_destage(block);
+            if (rng.bernoulli(0.3)) cache.write(block);  // redirty
+            if (rng.bernoulli(0.5)) {
+              cache.end_destage(block);
+            } else {
+              cache.abort_destage(block);
+            }
+          }
+          break;
+        case 4:
+          if (rng.bernoulli(0.5)) {
+            cache.try_reserve_parity_slot();
+          } else if (cache.parity_slots() > 0) {
+            cache.release_parity_slot();
+          }
+          break;
+      }
+      ASSERT_LE(cache.size(), capacity) << "capacity " << capacity
+                                        << " op " << op;
+      ASSERT_LE(cache.dirty_count(), cache.size());
+      ASSERT_LE(cache.old_entries(), cache.size());
+    }
+  }
+}
+
+TEST(CacheProperty, DirtySetMatchesQueries) {
+  Rng rng(6);
+  NvCache cache(16, true);
+  std::unordered_set<std::int64_t> model_dirty;
+  for (int op = 0; op < 3000; ++op) {
+    const std::int64_t block = rng.uniform_i64(0, 39);
+    if (rng.bernoulli(0.5)) {
+      const auto result = cache.write(block);
+      if (result.accepted) model_dirty.insert(block);
+      if (result.evicted_dirty) model_dirty.erase(result.victim);
+    } else if (cache.destage_eligible(block)) {
+      cache.begin_destage(block);
+      cache.end_destage(block);
+      model_dirty.erase(block);
+    } else if (!cache.contains(block)) {
+      const auto result = cache.insert_clean(block);
+      if (result.evicted_dirty) model_dirty.erase(result.victim);
+    }
+    // Reads can evict nothing; probe consistency of a random block.
+    const std::int64_t probe = rng.uniform_i64(0, 39);
+    ASSERT_EQ(cache.is_dirty(probe), model_dirty.count(probe) > 0)
+        << "probe " << probe << " op " << op;
+  }
+  ASSERT_EQ(cache.dirty_count(), model_dirty.size());
+}
+
+TEST(CacheProperty, LruVictimMatchesReferenceModel) {
+  // Clean-only traffic: eviction order must be exact LRU.
+  NvCache cache(8, false);
+  std::list<std::int64_t> reference;  // front = MRU
+  Rng rng(7);
+  for (int op = 0; op < 4000; ++op) {
+    const std::int64_t block = rng.uniform_i64(0, 29);
+    if (cache.read(block)) {
+      reference.remove(block);
+      reference.push_front(block);
+    } else {
+      cache.insert_clean(block);
+      if (reference.size() == 8) reference.pop_back();
+      reference.push_front(block);
+    }
+    // The cached set must equal the reference set.
+    for (std::int64_t probe : reference)
+      ASSERT_TRUE(cache.contains(probe)) << "probe " << probe << " op " << op;
+    ASSERT_EQ(cache.size(), reference.size());
+  }
+}
+
+TEST(CacheProperty, OldEntriesAlwaysShadowDirtyBlocks) {
+  Rng rng(8);
+  NvCache cache(12, true);
+  for (int op = 0; op < 3000; ++op) {
+    const std::int64_t block = rng.uniform_i64(0, 23);
+    switch (rng.uniform_u64(3)) {
+      case 0:
+        if (!cache.contains(block)) cache.insert_clean(block);
+        break;
+      case 1:
+        cache.write(block);
+        break;
+      case 2:
+        if (cache.destage_eligible(block)) {
+          cache.begin_destage(block);
+          cache.end_destage(block);
+        }
+        break;
+    }
+    // An old copy may only exist for a block still present in the cache.
+    for (std::int64_t probe = 0; probe < 24; ++probe) {
+      if (cache.has_old(probe)) {
+        ASSERT_TRUE(cache.contains(probe)) << "probe " << probe;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,218 @@
+#include "cache/nv_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace raidsim {
+namespace {
+
+TEST(NvCache, ReadHitAndMissAccounting) {
+  NvCache cache(4, false);
+  EXPECT_FALSE(cache.read(1));
+  cache.insert_clean(1);
+  EXPECT_TRUE(cache.read(1));
+  EXPECT_EQ(cache.stats().read_hits, 1u);
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+}
+
+TEST(NvCache, LruEvictionOrder) {
+  NvCache cache(3, false);
+  cache.insert_clean(1);
+  cache.insert_clean(2);
+  cache.insert_clean(3);
+  cache.read(1);  // 1 becomes MRU; LRU order is now 2, 3, 1
+  cache.insert_clean(4);
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(NvCache, WriteMissInstallsDirty) {
+  NvCache cache(4, false);
+  const auto result = cache.write(7);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_FALSE(result.hit);
+  EXPECT_TRUE(cache.is_dirty(7));
+  EXPECT_EQ(cache.stats().write_misses, 1u);
+}
+
+TEST(NvCache, WriteHitDirtiesInPlace) {
+  NvCache cache(4, false);
+  cache.insert_clean(7);
+  const auto result = cache.write(7);
+  EXPECT_TRUE(result.hit);
+  EXPECT_TRUE(cache.is_dirty(7));
+  EXPECT_EQ(cache.size(), 1u);  // no old copy in non-parity mode
+}
+
+TEST(NvCache, DirtyEvictionReportsVictim) {
+  NvCache cache(2, false);
+  cache.write(1);
+  cache.insert_clean(2);
+  const auto result = cache.insert_clean(3);  // evicts dirty block 1
+  EXPECT_TRUE(result.inserted);
+  EXPECT_TRUE(result.evicted_dirty);
+  EXPECT_EQ(result.victim, 1);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(NvCache, OldDataCapturedOnDirtyingCleanBlock) {
+  NvCache cache(8, true);
+  cache.insert_clean(5);
+  const auto result = cache.write(5);
+  EXPECT_TRUE(result.captured_old);
+  EXPECT_TRUE(cache.has_old(5));
+  EXPECT_EQ(cache.size(), 2u);  // data + old copy
+  // A second write does not capture again.
+  const auto again = cache.write(5);
+  EXPECT_FALSE(again.captured_old);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(NvCache, NoOldCaptureForWriteMiss) {
+  NvCache cache(8, true);
+  cache.write(9);  // miss: the on-disk version is unknown
+  EXPECT_FALSE(cache.has_old(9));
+}
+
+TEST(NvCache, DestageCleansAndFreesOld) {
+  NvCache cache(8, true);
+  cache.insert_clean(5);
+  cache.write(5);
+  ASSERT_TRUE(cache.has_old(5));
+  cache.begin_destage(5);
+  cache.end_destage(5);
+  EXPECT_FALSE(cache.is_dirty(5));
+  EXPECT_FALSE(cache.has_old(5));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains(5));  // block remains cached clean
+}
+
+TEST(NvCache, RedirtyDuringDestageKeepsDirty) {
+  NvCache cache(8, true);
+  cache.write(5);
+  cache.begin_destage(5);
+  cache.write(5);  // re-dirtied in flight
+  cache.end_destage(5);
+  EXPECT_TRUE(cache.is_dirty(5));
+  // A later clean destage succeeds.
+  cache.begin_destage(5);
+  cache.end_destage(5);
+  EXPECT_FALSE(cache.is_dirty(5));
+}
+
+TEST(NvCache, InFlightBlocksNotEvicted) {
+  NvCache cache(2, false);
+  cache.write(1);
+  cache.write(2);
+  cache.begin_destage(1);
+  cache.begin_destage(2);
+  // Everything is dirty and in flight: insertion must stall.
+  const auto result = cache.insert_clean(3);
+  EXPECT_FALSE(result.inserted);
+  EXPECT_EQ(cache.stats().stalls, 1u);
+  cache.end_destage(1);
+  EXPECT_TRUE(cache.insert_clean(3).inserted);
+}
+
+TEST(NvCache, CollectDirtySkipsInFlight) {
+  NvCache cache(8, false);
+  cache.write(1);
+  cache.write(2);
+  cache.write(3);
+  cache.begin_destage(2);
+  auto dirty = cache.collect_dirty();
+  std::sort(dirty.begin(), dirty.end());
+  EXPECT_EQ(dirty, (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(cache.dirty_count(), 3u);
+  EXPECT_TRUE(cache.destage_eligible(1));
+  EXPECT_FALSE(cache.destage_eligible(2));
+  EXPECT_FALSE(cache.destage_eligible(99));
+}
+
+TEST(NvCache, AbortDestageLeavesDirty) {
+  NvCache cache(8, false);
+  cache.write(1);
+  cache.begin_destage(1);
+  cache.abort_destage(1);
+  EXPECT_TRUE(cache.is_dirty(1));
+  EXPECT_TRUE(cache.destage_eligible(1));
+}
+
+TEST(NvCache, ParitySlotsConsumeCapacity) {
+  NvCache cache(3, true);
+  EXPECT_TRUE(cache.try_reserve_parity_slot());
+  EXPECT_TRUE(cache.try_reserve_parity_slot());
+  EXPECT_TRUE(cache.try_reserve_parity_slot());
+  EXPECT_EQ(cache.parity_slots(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  // Full of pinned parity: nothing evictable.
+  EXPECT_FALSE(cache.try_reserve_parity_slot());
+  EXPECT_FALSE(cache.write(1).accepted);
+  cache.release_parity_slot();
+  EXPECT_TRUE(cache.write(1).accepted);
+}
+
+TEST(NvCache, ParityReservationEvictsCleanData) {
+  NvCache cache(2, true);
+  cache.insert_clean(1);
+  cache.insert_clean(2);
+  EXPECT_TRUE(cache.try_reserve_parity_slot());
+  EXPECT_EQ(cache.size(), 2u);  // one data entry evicted for the slot
+}
+
+TEST(NvCache, ParityReservationNeverEvictsDirty) {
+  NvCache cache(2, true);
+  cache.write(1);
+  cache.write(2);
+  EXPECT_FALSE(cache.try_reserve_parity_slot());
+  EXPECT_TRUE(cache.is_dirty(1));
+  EXPECT_TRUE(cache.is_dirty(2));
+}
+
+// Regression: dirtying a clean block at the LRU tail of a full cache
+// must not evict that block while capturing its old copy
+// (heap-use-after-free found by ASan during calibration).
+TEST(NvCache, OldCaptureDoesNotEvictTheBlockItself) {
+  NvCache cache(2, true);
+  cache.insert_clean(1);  // LRU order: 1 (tail after 2 arrives)
+  cache.insert_clean(2);
+  // Block 1 is the LRU tail; writing it needs a slot for the old copy.
+  const auto result = cache.write(1);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.is_dirty(1));
+}
+
+TEST(NvCache, DirtyVictimEvictionDropsItsOldCopy) {
+  NvCache cache(3, true);
+  cache.insert_clean(1);
+  cache.write(1);  // dirty + old copy -> 2 slots
+  cache.insert_clean(2);
+  // Insert forces eviction; the oldest evictable entries go first, and
+  // once the dirty block 1 is chosen its old copy must go with it.
+  cache.insert_clean(3);
+  cache.insert_clean(4);
+  EXPECT_FALSE(cache.has_old(1));
+  EXPECT_LE(cache.size(), 3u);
+}
+
+TEST(NvCache, CapacityValidation) {
+  EXPECT_THROW(NvCache(0, false), std::invalid_argument);
+}
+
+TEST(NvCache, HitRatios) {
+  NvCache cache(8, false);
+  cache.insert_clean(1);
+  cache.read(1);
+  cache.read(2);
+  EXPECT_NEAR(cache.stats().read_hit_ratio(), 0.5, 1e-12);
+  cache.write(1);
+  cache.write(3);
+  EXPECT_NEAR(cache.stats().write_hit_ratio(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,90 @@
+#include "channel/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace raidsim {
+namespace {
+
+TEST(Channel, TransferTimeMatchesRate) {
+  EventQueue eq;
+  Channel ch(eq, 10.0);  // 10 MB/s (Table 1)
+  // 4 KB block: 4096 B / 10e6 B/s = 0.4096 ms.
+  EXPECT_NEAR(ch.transfer_ms(4096), 0.4096, 1e-9);
+  EXPECT_NEAR(ch.transfer_ms(0), 0.0, 1e-12);
+}
+
+TEST(Channel, CompletionAtTransferEnd) {
+  EventQueue eq;
+  Channel ch(eq, 10.0);
+  double done = -1.0;
+  ch.transfer(4096, [&](SimTime t) { done = t; });
+  eq.run();
+  EXPECT_NEAR(done, 0.4096, 1e-9);
+}
+
+TEST(Channel, FifoSerialisation) {
+  EventQueue eq;
+  Channel ch(eq, 10.0);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i)
+    ch.transfer(4096, [&](SimTime t) { done.push_back(t); });
+  EXPECT_EQ(ch.queue_length(), 2u);
+  eq.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 0.4096, 1e-9);
+  EXPECT_NEAR(done[1], 0.8192, 1e-9);
+  EXPECT_NEAR(done[2], 1.2288, 1e-9);
+}
+
+TEST(Channel, UtilizationAndCounters) {
+  EventQueue eq;
+  Channel ch(eq, 10.0);
+  ch.transfer(4096, nullptr);
+  ch.transfer(4096, nullptr);
+  eq.run();
+  EXPECT_EQ(ch.transfers(), 2u);
+  EXPECT_NEAR(ch.busy_ms(), 0.8192, 1e-9);
+  EXPECT_NEAR(ch.utilization(1.6384), 0.5, 1e-9);
+}
+
+TEST(Channel, RejectsNonPositiveRate) {
+  EventQueue eq;
+  EXPECT_THROW(Channel(eq, 0.0), std::invalid_argument);
+  EXPECT_THROW(Channel(eq, -1.0), std::invalid_argument);
+}
+
+TEST(BufferPool, GrantsImmediatelyWhenAvailable) {
+  BufferPool pool(2);
+  int grants = 0;
+  pool.acquire([&] { ++grants; });
+  pool.acquire([&] { ++grants; });
+  EXPECT_EQ(grants, 2);
+  EXPECT_EQ(pool.available(), 0);
+}
+
+TEST(BufferPool, QueuesWhenExhaustedFifo) {
+  BufferPool pool(1);
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(0); });
+  pool.acquire([&] { order.push_back(1); });
+  pool.acquire([&] { order.push_back(2); });
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(pool.waiting(), 2u);
+  EXPECT_EQ(pool.stalls(), 2u);
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(pool.waiting(), 0u);
+  pool.release();
+  EXPECT_EQ(pool.available(), 1);
+}
+
+TEST(BufferPool, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(BufferPool(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

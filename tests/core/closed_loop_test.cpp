@@ -1,0 +1,87 @@
+#include "core/closed_loop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+ClosedLoopOptions small_options(int clients, double think_ms = 30.0) {
+  ClosedLoopOptions options;
+  options.clients = clients;
+  options.think_time_ms = think_ms;
+  options.requests = 3000;
+  options.trace = "trace2";
+  return options;
+}
+
+TEST(ClosedLoop, CompletesExactlyTheRequestedCount) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  const auto result = run_closed_loop(config, small_options(4));
+  EXPECT_EQ(result.metrics.requests, 3000u);
+  EXPECT_GT(result.mean_response_ms(), 0.0);
+  EXPECT_GT(result.throughput_io_per_s, 0.0);
+}
+
+TEST(ClosedLoop, MoreClientsMoreThroughput) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  const auto few = run_closed_loop(config, small_options(2));
+  const auto many = run_closed_loop(config, small_options(16));
+  EXPECT_GT(many.throughput_io_per_s, few.throughput_io_per_s * 2.0);
+}
+
+TEST(ClosedLoop, FeedbackBoundsResponseGrowth) {
+  // The closed loop self-throttles: response grows with the client count
+  // but, unlike an open loop beyond saturation, stays finite and roughly
+  // proportional to MPL / throughput (Little's law).
+  SimulationConfig config;
+  config.organization = Organization::kBase;
+  const auto result = run_closed_loop(config, small_options(16, 5.0));
+  const double outstanding =
+      result.throughput_io_per_s * result.mean_response_ms() / 1000.0;
+  EXPECT_LE(outstanding, 16.5);  // can never exceed the MPL
+  EXPECT_GT(outstanding, 1.0);
+}
+
+TEST(ClosedLoop, DeterministicForSeed) {
+  SimulationConfig config;
+  const auto a = run_closed_loop(config, small_options(4));
+  const auto b = run_closed_loop(config, small_options(4));
+  EXPECT_DOUBLE_EQ(a.mean_response_ms(), b.mean_response_ms());
+  EXPECT_DOUBLE_EQ(a.throughput_io_per_s, b.throughput_io_per_s);
+}
+
+TEST(ClosedLoop, Validation) {
+  SimulationConfig config;
+  auto options = small_options(0);
+  EXPECT_THROW(run_closed_loop(config, options), std::invalid_argument);
+  options = small_options(4);
+  options.requests = 2;
+  EXPECT_THROW(run_closed_loop(config, options), std::invalid_argument);
+  options = small_options(4);
+  options.think_time_ms = -1.0;
+  EXPECT_THROW(run_closed_loop(config, options), std::invalid_argument);
+}
+
+TEST(ClosedLoop, WorksCached) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid4;
+  config.cached = true;
+  config.parity_caching = true;
+  const auto result = run_closed_loop(config, small_options(8));
+  EXPECT_EQ(result.metrics.requests, 3000u);
+  EXPECT_GT(result.metrics.controller.parity_spools, 0u);
+}
+
+TEST(ClosedLoop, Raid10EndToEnd) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid10;
+  config.striping_unit_blocks = 4;
+  const auto result = run_closed_loop(config, small_options(8));
+  EXPECT_EQ(result.metrics.requests, 3000u);
+  EXPECT_EQ(result.metrics.total_disks, 20);  // 2N for N=10
+}
+
+}  // namespace
+}  // namespace raidsim

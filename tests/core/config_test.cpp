@@ -1,0 +1,91 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+TEST(Config, Table4Defaults) {
+  SimulationConfig config;
+  EXPECT_EQ(config.array_data_disks, 10);
+  EXPECT_EQ(config.striping_unit_blocks, 1);
+  EXPECT_EQ(config.sync, SyncPolicy::kDiskFirst);
+  EXPECT_EQ(config.parity_placement, ParityPlacement::kMiddleCylinders);
+  EXPECT_EQ(config.disk_geometry.block_bytes(), 4096);
+  EXPECT_EQ(config.cache_bytes, 16ll << 20);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, ValidationCatchesInconsistencies) {
+  SimulationConfig config;
+  config.array_data_disks = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = SimulationConfig{};
+  config.striping_unit_blocks = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = SimulationConfig{};
+  config.channel_mb_per_second = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = SimulationConfig{};
+  config.parity_caching = true;  // requires cached RAID4
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.cached = true;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.organization = Organization::kRaid4;
+  EXPECT_NO_THROW(config.validate());
+
+  config = SimulationConfig{};
+  config.organization = Organization::kRaid4;  // uncached RAID4 not studied
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = SimulationConfig{};
+  config.cached = true;
+  config.cache_bytes = 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Config, DescribeMentionsKeyParameters) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.striping_unit_blocks = 8;
+  EXPECT_NE(config.describe().find("RAID5"), std::string::npos);
+  EXPECT_NE(config.describe().find("SU=8"), std::string::npos);
+  EXPECT_NE(config.describe().find("uncached"), std::string::npos);
+
+  config.cached = true;
+  EXPECT_NE(config.describe().find("cache=16MB"), std::string::npos);
+
+  config.organization = Organization::kParityStriping;
+  EXPECT_NE(config.describe().find("parity=middle"), std::string::npos);
+}
+
+TEST(Config, ArrayConfigPropagation) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.striping_unit_blocks = 4;
+  config.sync = SyncPolicy::kReadFirst;
+  const auto array_cfg = config.array_config(7, 100000);
+  EXPECT_EQ(array_cfg.layout.data_disks, 7);
+  EXPECT_EQ(array_cfg.layout.data_blocks_per_disk, 100000);
+  EXPECT_EQ(array_cfg.layout.striping_unit_blocks, 4);
+  EXPECT_EQ(array_cfg.sync, SyncPolicy::kReadFirst);
+  EXPECT_EQ(array_cfg.layout.physical_blocks_per_disk,
+            config.disk_geometry.total_blocks());
+}
+
+TEST(Config, CacheConfigPropagation) {
+  SimulationConfig config;
+  config.cache_bytes = 8 << 20;
+  config.destage_period_ms = 123.0;
+  config.retain_old_data = false;
+  const auto cache_cfg = config.cache_config();
+  EXPECT_EQ(cache_cfg.cache_bytes, 8 << 20);
+  EXPECT_EQ(cache_cfg.destage_period_ms, 123.0);
+  EXPECT_FALSE(cache_cfg.retain_old_data);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,45 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+TEST(Metrics, EmptyDefaults) {
+  Metrics m;
+  EXPECT_EQ(m.mean_response_ms(), 0.0);
+  EXPECT_EQ(m.mean_disk_utilization(), 0.0);
+  EXPECT_EQ(m.max_disk_utilization(), 0.0);
+  EXPECT_EQ(m.disk_access_cv(), 0.0);
+  EXPECT_EQ(m.read_hit_ratio(), 0.0);
+}
+
+TEST(Metrics, UtilizationAggregates) {
+  Metrics m;
+  m.disk_utilization = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(m.mean_disk_utilization(), 0.25, 1e-12);
+  EXPECT_NEAR(m.max_disk_utilization(), 0.4, 1e-12);
+}
+
+TEST(Metrics, DiskAccessCv) {
+  Metrics m;
+  m.disk_accesses = {100, 100, 100, 100};
+  EXPECT_NEAR(m.disk_access_cv(), 0.0, 1e-12);
+  m.disk_accesses = {0, 200};
+  EXPECT_NEAR(m.disk_access_cv(), 1.0, 1e-12);  // sd=100, mean=100
+  m.disk_accesses = {0, 0, 0};
+  EXPECT_EQ(m.disk_access_cv(), 0.0);  // zero mean guarded
+}
+
+TEST(Metrics, HitRatiosDelegateToControllerStats) {
+  Metrics m;
+  m.controller.read_requests = 10;
+  m.controller.read_request_hits = 4;
+  m.controller.write_requests = 5;
+  m.controller.write_request_hits = 5;
+  EXPECT_NEAR(m.read_hit_ratio(), 0.4, 1e-12);
+  EXPECT_NEAR(m.write_hit_ratio(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace raidsim

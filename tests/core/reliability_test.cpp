@@ -1,0 +1,78 @@
+#include "core/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+TEST(Reliability, PaperFootnoteNumbers) {
+  // Section 1, footnote 1: with a 100,000-hour disk MTTF, the permanent
+  // storage of a system with over 150 disks has an MTTF below 28 days.
+  const double mttdl_150 =
+      system_mttdl_hours(Organization::kBase, 150, 10);
+  EXPECT_NEAR(mttdl_150 / 24.0, 27.8, 0.1);  // days
+  const double mttdl_151 =
+      system_mttdl_hours(Organization::kBase, 151, 10);
+  EXPECT_LT(mttdl_151 / 24.0, 28.0);
+}
+
+TEST(Reliability, RedundancyBuysOrdersOfMagnitude) {
+  const ReliabilityParams params;
+  const double base = system_mttdl_hours(Organization::kBase, 130, 10, params);
+  const double raid5 =
+      system_mttdl_hours(Organization::kRaid5, 130, 10, params);
+  const double mirror =
+      system_mttdl_hours(Organization::kMirror, 130, 10, params);
+  EXPECT_GT(raid5 / base, 100.0);  // two-plus orders of magnitude
+  EXPECT_GT(mirror / raid5, 1.0);  // pairs beat 11-disk parity groups
+}
+
+TEST(Reliability, GroupFormulas) {
+  ReliabilityParams params;
+  params.disk_mttf_hours = 100000.0;
+  params.disk_mttr_hours = 10.0;
+  EXPECT_DOUBLE_EQ(group_mttdl_hours(Organization::kBase, 10, params),
+                   100000.0);
+  EXPECT_DOUBLE_EQ(group_mttdl_hours(Organization::kMirror, 10, params),
+                   100000.0 * 100000.0 / 20.0);
+  EXPECT_DOUBLE_EQ(group_mttdl_hours(Organization::kRaid5, 10, params),
+                   100000.0 * 100000.0 / (11.0 * 10.0 * 10.0));
+  EXPECT_DOUBLE_EQ(
+      group_mttdl_hours(Organization::kParityStriping, 10, params),
+      group_mttdl_hours(Organization::kRaid5, 10, params));
+}
+
+TEST(Reliability, LargerGroupsAreLessReliable) {
+  // Section 4.2.1: "large arrays are less reliable".
+  EXPECT_GT(group_mttdl_hours(Organization::kRaid5, 5),
+            group_mttdl_hours(Organization::kRaid5, 20));
+}
+
+TEST(Reliability, DiskCountsMatchEqualCapacityComparison) {
+  // Section 3.2's example: trace 1 at N=5 -> 26 arrays of 6 disks = 156;
+  // N=10 -> 13 arrays of 11 = 143.
+  EXPECT_EQ(disks_required(Organization::kRaid5, 130, 5), 156);
+  EXPECT_EQ(disks_required(Organization::kRaid5, 130, 10), 143);
+  EXPECT_EQ(disks_required(Organization::kParityStriping, 130, 10), 143);
+  EXPECT_EQ(disks_required(Organization::kMirror, 130, 10), 260);
+  EXPECT_EQ(disks_required(Organization::kBase, 130, 10), 130);
+}
+
+TEST(Reliability, StorageOverhead) {
+  EXPECT_DOUBLE_EQ(storage_overhead(Organization::kBase, 10), 0.0);
+  EXPECT_DOUBLE_EQ(storage_overhead(Organization::kMirror, 10), 1.0);
+  EXPECT_DOUBLE_EQ(storage_overhead(Organization::kRaid5, 10), 0.1);
+  EXPECT_DOUBLE_EQ(storage_overhead(Organization::kRaid4, 5), 0.2);
+}
+
+TEST(Reliability, Validation) {
+  EXPECT_THROW(system_mttdl_hours(Organization::kBase, 0, 10),
+               std::invalid_argument);
+  ReliabilityParams bad;
+  bad.disk_mttr_hours = 0.0;
+  EXPECT_THROW(group_mttdl_hours(Organization::kRaid5, 10, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

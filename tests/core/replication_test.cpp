@@ -1,0 +1,51 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace raidsim {
+namespace {
+
+TEST(Replication, StatisticsOfKnownSamples) {
+  ReplicationResult r;
+  r.mean_response_ms = {10.0, 12.0, 14.0};
+  EXPECT_NEAR(r.mean(), 12.0, 1e-12);
+  EXPECT_NEAR(r.stddev(), 2.0, 1e-12);
+  EXPECT_NEAR(r.ci95_half_width(), 1.96 * 2.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NE(r.summary().find("n=3"), std::string::npos);
+}
+
+TEST(Replication, SingleSampleHasNoSpread) {
+  ReplicationResult r;
+  r.mean_response_ms = {5.0};
+  EXPECT_EQ(r.stddev(), 0.0);
+  EXPECT_EQ(r.ci95_half_width(), 0.0);
+}
+
+TEST(Replication, RunsIndependentSeeds) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  WorkloadOptions options;
+  options.scale = 0.02;
+  const auto result = run_replicated(config, "trace2", options, 3);
+  ASSERT_EQ(result.mean_response_ms.size(), 3u);
+  ASSERT_EQ(result.metrics.size(), 3u);
+  // Different seeds must give different (but same-order) results.
+  EXPECT_NE(result.mean_response_ms[0], result.mean_response_ms[1]);
+  EXPECT_GT(result.mean(), 0.0);
+  for (const auto& m : result.metrics)
+    EXPECT_EQ(m.requests, result.metrics[0].requests);
+  // Cross-seed spread should be moderate relative to the mean at this
+  // scale (sanity band, not a tight statistical claim).
+  EXPECT_LT(result.stddev(), result.mean());
+}
+
+TEST(Replication, RejectsZeroReplications) {
+  SimulationConfig config;
+  EXPECT_THROW(run_replicated(config, "trace2", {}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

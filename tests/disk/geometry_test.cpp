@@ -1,0 +1,89 @@
+#include "disk/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+TEST(Geometry, Table1Defaults) {
+  DiskGeometry g;
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.cylinders, 1260);
+  EXPECT_EQ(g.sectors_per_track, 48);
+  EXPECT_EQ(g.bytes_per_sector, 512);
+  EXPECT_DOUBLE_EQ(g.rpm, 5400.0);
+  // 5400 rpm -> 11.11 ms per revolution.
+  EXPECT_NEAR(g.rotation_ms(), 11.1111, 1e-3);
+  EXPECT_NEAR(g.sector_time_ms(), 11.1111 / 48.0, 1e-5);
+  // Paper: "total capacity of each disk is about 0.9 GByte".
+  EXPECT_NEAR(static_cast<double>(g.capacity_bytes()) / 1e9, 0.93, 0.05);
+}
+
+TEST(Geometry, DerivedCounts) {
+  DiskGeometry g;
+  EXPECT_EQ(g.sectors_per_cylinder(), 30 * 48);
+  EXPECT_EQ(g.blocks_per_track(), 6);       // 48 sectors / 8-sector blocks
+  EXPECT_EQ(g.blocks_per_cylinder(), 180);  // 30 tracks x 6
+  EXPECT_EQ(g.total_blocks(), 1260ll * 180);
+  EXPECT_EQ(g.block_bytes(), 4096);
+}
+
+TEST(Geometry, LocateBlockRoundTrip) {
+  DiskGeometry g;
+  for (std::int64_t block : {0ll, 1ll, 5ll, 6ll, 179ll, 180ll, 226799ll}) {
+    const BlockAddress addr = g.locate_block(block);
+    EXPECT_GE(addr.cylinder, 0);
+    EXPECT_LT(addr.cylinder, g.cylinders);
+    EXPECT_GE(addr.track, 0);
+    EXPECT_LT(addr.track, g.tracks_per_cylinder);
+    EXPECT_GE(addr.sector, 0);
+    EXPECT_LT(addr.sector, g.sectors_per_track);
+    // Invert the mapping.
+    const std::int64_t sector =
+        (static_cast<std::int64_t>(addr.cylinder) * g.tracks_per_cylinder +
+         addr.track) *
+            g.sectors_per_track +
+        addr.sector;
+    EXPECT_EQ(sector, block * g.block_sectors);
+  }
+}
+
+TEST(Geometry, LocateBlockLayout) {
+  DiskGeometry g;
+  // Block 0: cylinder 0, track 0, sector 0.
+  auto a = g.locate_block(0);
+  EXPECT_EQ(a.cylinder, 0);
+  EXPECT_EQ(a.track, 0);
+  EXPECT_EQ(a.sector, 0);
+  // Block 6 is the first block of track 1 (6 blocks per track).
+  a = g.locate_block(6);
+  EXPECT_EQ(a.cylinder, 0);
+  EXPECT_EQ(a.track, 1);
+  EXPECT_EQ(a.sector, 0);
+  // Block 180 is the first block of cylinder 1.
+  a = g.locate_block(180);
+  EXPECT_EQ(a.cylinder, 1);
+  EXPECT_EQ(a.track, 0);
+}
+
+TEST(Geometry, CylinderOfSector) {
+  DiskGeometry g;
+  EXPECT_EQ(g.cylinder_of_sector(0), 0);
+  EXPECT_EQ(g.cylinder_of_sector(g.sectors_per_cylinder() - 1), 0);
+  EXPECT_EQ(g.cylinder_of_sector(g.sectors_per_cylinder()), 1);
+}
+
+TEST(Geometry, InvalidConfigurations) {
+  DiskGeometry g;
+  g.cylinders = 0;
+  EXPECT_FALSE(g.valid());
+  g = DiskGeometry{};
+  g.block_sectors = 7;  // must divide sectors_per_track
+  EXPECT_FALSE(g.valid());
+  g = DiskGeometry{};
+  g.rpm = 0.0;
+  EXPECT_FALSE(g.valid());
+}
+
+}  // namespace
+}  // namespace raidsim

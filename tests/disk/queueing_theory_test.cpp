@@ -1,0 +1,120 @@
+// Cross-validation of the disk server against queueing theory: a single
+// disk fed Poisson arrivals of uniformly random single-block reads is an
+// M/G/1 queue, so the simulated mean response must match the
+// Pollaczek-Khinchine formula computed from the service-time moments.
+#include <gtest/gtest.h>
+
+#include "disk/disk.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace raidsim {
+namespace {
+
+struct ServiceMoments {
+  double mean = 0.0;
+  double second = 0.0;
+};
+
+/// Analytic service-time sample for a random read: seek over the
+/// uniform-pair distance distribution + uniform rotational latency +
+/// one-block transfer.
+ServiceMoments sample_service_moments(const DiskGeometry& geo,
+                                      const SeekModel& seek, int samples) {
+  Rng rng(4242);
+  OnlineStats stats;
+  double second = 0.0;
+  const double rotation = geo.rotation_ms();
+  const double transfer = 8.0 * geo.sector_time_ms();
+  int prev = static_cast<int>(rng.uniform_u64(
+      static_cast<std::uint64_t>(geo.cylinders)));
+  for (int i = 0; i < samples; ++i) {
+    const int next = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(geo.cylinders)));
+    const double s = seek.seek_time(std::abs(next - prev)) +
+                     rng.uniform() * rotation + transfer;
+    prev = next;
+    stats.add(s);
+    second += s * s;
+  }
+  return {stats.mean(), second / samples};
+}
+
+TEST(QueueingTheory, MatchesPollaczekKhinchine) {
+  EventQueue eq;
+  DiskGeometry geo;
+  const SeekModel seek = SeekModel::calibrate(SeekSpec{});
+  Disk disk(eq, geo, &seek, 0);
+
+  const auto moments = sample_service_moments(geo, seek, 200000);
+  const double target_rho = 0.5;
+  const double lambda = target_rho / moments.mean;  // arrivals per ms
+
+  // Open-loop Poisson arrivals of uniformly random single-block reads.
+  Rng rng(99);
+  const int n = 60000;
+  OnlineStats response;
+  double arrival = 0.0;
+  for (int i = 0; i < n; ++i) {
+    arrival += rng.exponential(1.0 / lambda);
+    const std::int64_t block = static_cast<std::int64_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(geo.total_blocks())));
+    eq.schedule_at(arrival, [&disk, &response, block, &eq] {
+      const double issued = eq.now();
+      DiskRequest req;
+      req.kind = DiskOpKind::kRead;
+      req.start_block = block;
+      req.on_complete = [&response, issued](SimTime t) {
+        response.add(t - issued);
+      };
+      disk.submit(std::move(req));
+    });
+  }
+  eq.run();
+  ASSERT_EQ(response.count(), static_cast<std::uint64_t>(n));
+
+  const double rho = lambda * moments.mean;
+  const double pk_wait = lambda * moments.second / (2.0 * (1.0 - rho));
+  const double pk_response = moments.mean + pk_wait;
+
+  // The simulated service process deviates mildly from i.i.d. (the seek
+  // depends on the previous landing position under queueing), so allow a
+  // 12% band.
+  EXPECT_NEAR(response.mean(), pk_response, pk_response * 0.12)
+      << "rho=" << rho << " E[S]=" << moments.mean
+      << " PK wait=" << pk_wait;
+  // Utilization must match rho closely (work conservation).
+  EXPECT_NEAR(disk.stats().utilization(eq.now()), rho, 0.03);
+}
+
+TEST(QueueingTheory, LowLoadResponseApproachesServiceTime) {
+  EventQueue eq;
+  DiskGeometry geo;
+  const SeekModel seek = SeekModel::calibrate(SeekSpec{});
+  Disk disk(eq, geo, &seek, 0);
+  const auto moments = sample_service_moments(geo, seek, 100000);
+
+  Rng rng(7);
+  OnlineStats response;
+  double arrival = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    arrival += rng.exponential(50.0 * moments.mean);  // rho = 0.02
+    const std::int64_t block = static_cast<std::int64_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(geo.total_blocks())));
+    eq.schedule_at(arrival, [&disk, &response, block, &eq] {
+      const double issued = eq.now();
+      DiskRequest req;
+      req.kind = DiskOpKind::kRead;
+      req.start_block = block;
+      req.on_complete = [&response, issued](SimTime t) {
+        response.add(t - issued);
+      };
+      disk.submit(std::move(req));
+    });
+  }
+  eq.run();
+  EXPECT_NEAR(response.mean(), moments.mean, moments.mean * 0.05);
+}
+
+}  // namespace
+}  // namespace raidsim

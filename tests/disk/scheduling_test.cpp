@@ -1,0 +1,124 @@
+// Disk queue scheduling policies: FIFO (the paper's model), SSTF, SCAN.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/disk.hpp"
+
+namespace raidsim {
+namespace {
+
+class SchedulingTest : public ::testing::Test {
+ protected:
+  SchedulingTest() : seek_(SeekModel::calibrate(SeekSpec{})) {}
+
+  std::unique_ptr<Disk> make(DiskScheduling scheduling) {
+    return std::make_unique<Disk>(eq_, geo_, &seek_, 0, scheduling);
+  }
+
+  /// Submit single-block reads at the first block of each cylinder and
+  /// return the order (by cylinder) in which they completed. The first
+  /// request occupies the disk (parking the head at `occupy_cyl`) so the
+  /// rest queue and are reordered by the policy.
+  std::vector<int> service_order(Disk& disk, const std::vector<int>& cyls,
+                                 int occupy_cyl = 0) {
+    std::vector<int> order;
+    DiskRequest head;
+    head.kind = DiskOpKind::kRead;
+    head.start_block =
+        static_cast<std::int64_t>(occupy_cyl) * geo_.blocks_per_cylinder();
+    disk.submit(std::move(head));
+    for (int cyl : cyls) {
+      DiskRequest req;
+      req.kind = DiskOpKind::kRead;
+      req.start_block =
+          static_cast<std::int64_t>(cyl) * geo_.blocks_per_cylinder();
+      req.on_complete = [&order, cyl](SimTime) { order.push_back(cyl); };
+      disk.submit(std::move(req));
+    }
+    eq_.run();
+    return order;
+  }
+
+  EventQueue eq_;
+  DiskGeometry geo_;
+  SeekModel seek_;
+};
+
+TEST_F(SchedulingTest, Names) {
+  EXPECT_EQ(to_string(DiskScheduling::kFifo), "FIFO");
+  EXPECT_EQ(to_string(DiskScheduling::kSstf), "SSTF");
+  EXPECT_EQ(to_string(DiskScheduling::kScan), "SCAN");
+}
+
+TEST_F(SchedulingTest, FifoServesArrivalOrder) {
+  auto disk = make(DiskScheduling::kFifo);
+  EXPECT_EQ(service_order(*disk, {900, 100, 500, 50}),
+            (std::vector<int>{900, 100, 500, 50}));
+}
+
+TEST_F(SchedulingTest, SstfServesNearestFirst) {
+  auto disk = make(DiskScheduling::kSstf);
+  // Head parks at cylinder 0 after the occupying read; SSTF then climbs.
+  EXPECT_EQ(service_order(*disk, {900, 100, 500, 50}),
+            (std::vector<int>{50, 100, 500, 900}));
+}
+
+TEST_F(SchedulingTest, ScanSweepsUpThenReverses) {
+  auto disk = make(DiskScheduling::kScan);
+  // Head parked at cylinder 300: the upward sweep takes 400 and 900,
+  // then reverses for 200 and 100.
+  EXPECT_EQ(service_order(*disk, {100, 400, 900, 200}, /*occupy_cyl=*/300),
+            (std::vector<int>{400, 900, 200, 100}));
+}
+
+TEST_F(SchedulingTest, SstfReducesTotalSeekVersusFifo) {
+  const std::vector<int> pattern{1200, 3, 1100, 7, 1000, 11, 900, 13};
+  auto run_policy = [&](DiskScheduling policy) {
+    EventQueue eq;
+    Disk disk(eq, geo_, &seek_, 0, policy);
+    DiskRequest head;
+    head.kind = DiskOpKind::kRead;
+    head.start_block = 0;
+    disk.submit(std::move(head));
+    for (int cyl : pattern) {
+      DiskRequest req;
+      req.kind = DiskOpKind::kRead;
+      req.start_block =
+          static_cast<std::int64_t>(cyl) * geo_.blocks_per_cylinder();
+      disk.submit(std::move(req));
+    }
+    eq.run();
+    return disk.stats().seek_ms;
+  };
+  EXPECT_LT(run_policy(DiskScheduling::kSstf),
+            run_policy(DiskScheduling::kFifo));
+}
+
+TEST_F(SchedulingTest, PriorityStillDominatesScheduling) {
+  auto disk = make(DiskScheduling::kSstf);
+  std::vector<int> order;
+  DiskRequest head;
+  head.kind = DiskOpKind::kRead;
+  head.start_block = 0;
+  disk->submit(std::move(head));
+  // A distant high-priority request must be served before a near
+  // low-priority one.
+  DiskRequest near;
+  near.kind = DiskOpKind::kRead;
+  near.start_block = geo_.blocks_per_cylinder();  // cylinder 1
+  near.priority = DiskPriority::kDestage;
+  near.on_complete = [&order](SimTime) { order.push_back(1); };
+  disk->submit(std::move(near));
+  DiskRequest far;
+  far.kind = DiskOpKind::kRead;
+  far.start_block = 1000ll * geo_.blocks_per_cylinder();
+  far.priority = DiskPriority::kNormal;
+  far.on_complete = [&order](SimTime) { order.push_back(1000); };
+  disk->submit(std::move(far));
+  eq_.run();
+  EXPECT_EQ(order, (std::vector<int>{1000, 1}));
+}
+
+}  // namespace
+}  // namespace raidsim

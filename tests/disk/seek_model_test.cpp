@@ -1,0 +1,68 @@
+#include "disk/seek_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+TEST(SeekModel, CalibrationHitsTargetsExactly) {
+  SeekSpec spec;  // Table 1: 11.2 ms average, 28 ms max
+  const SeekModel model = SeekModel::calibrate(spec);
+  EXPECT_NEAR(model.average_over_uniform(), spec.average_ms, 1e-9);
+  EXPECT_NEAR(model.seek_time(spec.cylinders - 1), spec.max_ms, 1e-9);
+  EXPECT_DOUBLE_EQ(model.seek_time(1), spec.single_cylinder_ms);
+}
+
+TEST(SeekModel, ZeroDistanceIsFree) {
+  const SeekModel model = SeekModel::calibrate(SeekSpec{});
+  EXPECT_DOUBLE_EQ(model.seek_time(0), 0.0);
+}
+
+TEST(SeekModel, MonotoneNonDecreasing) {
+  const SeekModel model = SeekModel::calibrate(SeekSpec{});
+  double prev = 0.0;
+  for (int d = 1; d < 1260; ++d) {
+    const double t = model.seek_time(d);
+    ASSERT_GE(t, prev) << "d=" << d;
+    prev = t;
+  }
+}
+
+TEST(SeekModel, PositiveCoefficients) {
+  const SeekModel model = SeekModel::calibrate(SeekSpec{});
+  EXPECT_GT(model.a(), 0.0);
+  EXPECT_GT(model.b(), 0.0);
+  EXPECT_GT(model.c(), 0.0);
+}
+
+TEST(SeekModel, SublinearShortSeeks) {
+  // The sqrt term dominates short seeks: doubling a short distance should
+  // much less than double the time above the settle constant.
+  const SeekModel model = SeekModel::calibrate(SeekSpec{});
+  const double t10 = model.seek_time(10) - model.seek_time(1);
+  const double t20 = model.seek_time(20) - model.seek_time(1);
+  EXPECT_LT(t20, 2.0 * t10);
+}
+
+TEST(SeekModel, CalibratesOtherGeometries) {
+  SeekSpec spec;
+  spec.cylinders = 2000;
+  spec.average_ms = 9.0;
+  spec.max_ms = 20.0;
+  spec.single_cylinder_ms = 1.5;
+  const SeekModel model = SeekModel::calibrate(spec);
+  EXPECT_NEAR(model.average_over_uniform(), 9.0, 1e-9);
+  EXPECT_NEAR(model.seek_time(1999), 20.0, 1e-9);
+}
+
+TEST(SeekModel, RejectsInfeasibleSpecs) {
+  SeekSpec spec;
+  spec.average_ms = 27.0;  // average nearly at max -> negative coefficients
+  EXPECT_THROW(SeekModel::calibrate(spec), std::runtime_error);
+  SeekSpec tiny;
+  tiny.cylinders = 2;
+  EXPECT_THROW(SeekModel::calibrate(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

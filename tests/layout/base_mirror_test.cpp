@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "layout/layout.hpp"
+
+namespace raidsim {
+namespace {
+
+constexpr std::int64_t kBlocks = 1000;
+constexpr std::int64_t kPhysical = 1200;
+
+TEST(BaseLayout, MapsDiskMajor) {
+  BaseLayout layout(4, kBlocks, kPhysical);
+  EXPECT_EQ(layout.total_disks(), 4);
+  EXPECT_EQ(layout.logical_capacity(), 4 * kBlocks);
+
+  auto exts = layout.map_read(0, 1);
+  ASSERT_EQ(exts.size(), 1u);
+  EXPECT_EQ(exts[0].disk, 0);
+  EXPECT_EQ(exts[0].start_block, 0);
+
+  exts = layout.map_read(kBlocks + 17, 1);
+  ASSERT_EQ(exts.size(), 1u);
+  EXPECT_EQ(exts[0].disk, 1);
+  EXPECT_EQ(exts[0].start_block, 17);
+  EXPECT_EQ(exts[0].logical_start, kBlocks + 17);
+}
+
+TEST(BaseLayout, SplitsAtDiskBoundary) {
+  BaseLayout layout(4, kBlocks, kPhysical);
+  auto exts = layout.map_read(kBlocks - 2, 5);
+  ASSERT_EQ(exts.size(), 2u);
+  EXPECT_EQ(exts[0].disk, 0);
+  EXPECT_EQ(exts[0].block_count, 2);
+  EXPECT_EQ(exts[1].disk, 1);
+  EXPECT_EQ(exts[1].start_block, 0);
+  EXPECT_EQ(exts[1].block_count, 3);
+}
+
+TEST(BaseLayout, WritesArePlainWithoutParity) {
+  BaseLayout layout(4, kBlocks, kPhysical);
+  auto plans = layout.map_write(5, 1);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_FALSE(plans[0].parity.valid());
+  EXPECT_TRUE(plans[0].full_stripe);
+  ASSERT_EQ(plans[0].writes.size(), 1u);
+  EXPECT_EQ(plans[0].writes[0].disk, 0);
+}
+
+TEST(BaseLayout, RangeChecks) {
+  BaseLayout layout(2, kBlocks, kPhysical);
+  EXPECT_THROW(layout.map_read(-1, 1), std::out_of_range);
+  EXPECT_THROW(layout.map_read(0, 0), std::out_of_range);
+  EXPECT_THROW(layout.map_read(2 * kBlocks, 1), std::out_of_range);
+  EXPECT_THROW(layout.map_read(2 * kBlocks - 1, 2), std::out_of_range);
+  EXPECT_NO_THROW(layout.map_read(2 * kBlocks - 1, 1));
+}
+
+TEST(BaseLayout, CapacityCheck) {
+  EXPECT_THROW(BaseLayout(2, kPhysical + 1, kPhysical), std::invalid_argument);
+  EXPECT_NO_THROW(BaseLayout(2, kPhysical, kPhysical));
+}
+
+TEST(MirrorLayout, PrimaryAndTwin) {
+  MirrorLayout layout(3, kBlocks, kPhysical);
+  EXPECT_EQ(layout.total_disks(), 6);
+  EXPECT_EQ(layout.mirror_of(0), 1);
+  EXPECT_EQ(layout.mirror_of(1), 0);
+  EXPECT_EQ(layout.mirror_of(4), 5);
+  EXPECT_EQ(layout.mirror_of(5), 4);
+
+  auto exts = layout.map_read(kBlocks + 3, 1);
+  ASSERT_EQ(exts.size(), 1u);
+  EXPECT_EQ(exts[0].disk, 2);  // logical disk 1 -> physical 2
+  EXPECT_EQ(exts[0].start_block, 3);
+}
+
+TEST(MirrorLayout, WritesGoToBothCopies) {
+  MirrorLayout layout(3, kBlocks, kPhysical);
+  auto plans = layout.map_write(kBlocks + 3, 2);
+  ASSERT_EQ(plans.size(), 1u);
+  const auto& plan = plans[0];
+  EXPECT_FALSE(plan.parity.valid());
+  EXPECT_TRUE(plan.full_stripe);
+  ASSERT_EQ(plan.writes.size(), 2u);
+  EXPECT_EQ(plan.writes[0].disk, 2);
+  EXPECT_EQ(plan.writes[1].disk, 3);
+  EXPECT_EQ(plan.writes[0].start_block, plan.writes[1].start_block);
+  EXPECT_EQ(plan.writes[0].block_count, 2);
+}
+
+TEST(MirrorLayout, LogicalIdentityPreserved) {
+  MirrorLayout layout(2, kBlocks, kPhysical);
+  auto plans = layout.map_write(7, 1);
+  ASSERT_EQ(plans.size(), 1u);
+  for (const auto& w : plans[0].writes) EXPECT_EQ(w.logical_start, 7);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,141 @@
+// Tests for the fine-grained Parity Striping variant (the paper's
+// Section 5 future-work idea): data placement identical to classic
+// Parity Striping, parity-update load rotated over all N+1 disks at
+// chunk granularity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "layout/layout.hpp"
+
+namespace raidsim {
+namespace {
+
+constexpr std::int64_t kBlocks = 1000;
+constexpr std::int64_t kPhysical = 1200;
+constexpr int kChunk = 16;
+
+ParityStripingLayout make_fine(int n = 4) {
+  return ParityStripingLayout(n, kBlocks, kPhysical,
+                              ParityPlacement::kMiddleCylinders, kChunk);
+}
+
+TEST(FineParityStriping, DataPlacementUnchanged) {
+  ParityStripingLayout classic(4, kBlocks, kPhysical,
+                               ParityPlacement::kMiddleCylinders);
+  ParityStripingLayout fine = make_fine();
+  for (std::int64_t block = 0; block < classic.logical_capacity();
+       block += 37) {
+    const auto a = classic.map_read(block, 1)[0];
+    const auto b = fine.map_read(block, 1)[0];
+    EXPECT_EQ(a.disk, b.disk);
+    EXPECT_EQ(a.start_block, b.start_block);
+  }
+}
+
+TEST(FineParityStriping, ParityNeverOnTheDataDisk) {
+  ParityStripingLayout fine = make_fine();
+  for (std::int64_t block = 0; block < fine.logical_capacity(); block += 7) {
+    const auto plans = fine.map_write(block, 1);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_NE(plans[0].parity.disk, plans[0].writes[0].disk);
+    EXPECT_GE(plans[0].parity.disk, 0);
+    EXPECT_LE(plans[0].parity.disk, 4);
+  }
+}
+
+TEST(FineParityStriping, ParityRotatesWithOffsetChunk) {
+  ParityStripingLayout fine = make_fine();
+  // Same disk and area across several chunks: the parity disk rotates
+  // (at least 3 distinct hosts over 5 chunks for this pair).
+  std::set<int> hosts;
+  for (int c = 0; c < 5; ++c)
+    hosts.insert(fine.map_write(c * kChunk, 1)[0].parity.disk);
+  EXPECT_GE(hosts.size(), 3u);
+  // Within a chunk it stays put.
+  EXPECT_EQ(fine.map_write(0, 1)[0].parity.disk,
+            fine.map_write(kChunk - 1, 1)[0].parity.disk);
+}
+
+TEST(FineParityStriping, ParityLoadBalancedAcrossDisks) {
+  ParityStripingLayout fine = make_fine();
+  std::map<int, int> parity_count;
+  for (std::int64_t block = 0; block < fine.logical_capacity(); ++block) {
+    parity_count[fine.map_write(block, 1)[0].parity.disk]++;
+  }
+  // All five disks receive parity updates, within ~25% of each other.
+  ASSERT_EQ(parity_count.size(), 5u);
+  int min = INT_MAX, max = 0;
+  for (const auto& [disk, count] : parity_count) {
+    min = std::min(min, count);
+    max = std::max(max, count);
+  }
+  EXPECT_LT(max, min * 5 / 4 + 2);
+}
+
+TEST(FineParityStriping, ClassicModeConcentratesParityPerGroup) {
+  ParityStripingLayout classic(4, kBlocks, kPhysical,
+                               ParityPlacement::kMiddleCylinders);
+  // In classic mode, all writes to disk 0's area 0 update parity on one
+  // fixed disk.
+  std::set<int> parity_disks;
+  for (std::int64_t o = 0; o < classic.area_blocks(); o += 11)
+    parity_disks.insert(classic.map_write(o, 1)[0].parity.disk);
+  EXPECT_EQ(parity_disks.size(), 1u);
+  // In fine-grained mode the same area's parity spreads over many disks.
+  ParityStripingLayout fine = make_fine();
+  std::set<int> fine_disks;
+  for (std::int64_t o = 0; o < fine.area_blocks(); o += 11)
+    fine_disks.insert(fine.map_write(o, 1)[0].parity.disk);
+  EXPECT_GE(fine_disks.size(), 4u);
+}
+
+TEST(FineParityStriping, ParityLocationsUniquePerGroup) {
+  // No two groups may share a parity block: for every (disk, offset) in
+  // the parity area, at most one group's parity lands there, i.e. the
+  // map (group, offset) -> (disk, parity pbn) is injective per offset.
+  ParityStripingLayout fine = make_fine();
+  for (std::int64_t offset = 0; offset < 3 * kChunk; ++offset) {
+    std::set<int> parity_disks;
+    for (int group = 0; group <= 4; ++group) {
+      const int disk = fine.parity_disk_of_group_at(group, offset);
+      EXPECT_TRUE(parity_disks.insert(disk).second)
+          << "offset " << offset << " group " << group;
+    }
+  }
+}
+
+TEST(FineParityStriping, GroupMembershipConsistentWithParityDisk) {
+  ParityStripingLayout fine = make_fine();
+  // A data area must never belong to the group whose parity its own disk
+  // hosts at that offset.
+  for (int disk = 0; disk <= 4; ++disk) {
+    for (int k = 0; k < 4; ++k) {
+      for (std::int64_t offset : {0l, 16l, 32l, 160l}) {
+        const int group = fine.group_of_at(disk, k, offset);
+        EXPECT_NE(fine.parity_disk_of_group_at(group, offset), disk);
+      }
+    }
+  }
+}
+
+TEST(FineParityStriping, WritesSplitAtChunkBoundaries) {
+  ParityStripingLayout fine = make_fine();
+  // Crossing from chunk 1 into chunk 2 on disk 0/area 0: parity hosts
+  // differ ((g+c) mod 5 gives 1 then 2 for this pair).
+  const auto plans = fine.map_write(2 * kChunk - 2, 4);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].writes[0].block_count, 2);
+  EXPECT_EQ(plans[1].writes[0].block_count, 2);
+  EXPECT_NE(plans[0].parity.disk, plans[1].parity.disk);
+}
+
+TEST(FineParityStriping, RejectsNegativeChunk) {
+  EXPECT_THROW(ParityStripingLayout(4, kBlocks, kPhysical,
+                                    ParityPlacement::kMiddleCylinders, -1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,177 @@
+// Property tests over every organization: the address map must be a
+// bijection from logical blocks onto per-disk physical blocks, parity
+// must never collide with data, and write plans must cover exactly the
+// written range.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "layout/layout.hpp"
+#include "util/rng.hpp"
+
+namespace raidsim {
+namespace {
+
+struct Param {
+  Organization org;
+  int data_disks;
+  int striping_unit;
+  ParityPlacement placement;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = to_string(info.param.org) + "_N" +
+                     std::to_string(info.param.data_disks) + "_U" +
+                     std::to_string(info.param.striping_unit);
+  if (info.param.org == Organization::kParityStriping)
+    name += std::string("_") + to_string(info.param.placement);
+  return name;
+}
+
+class LayoutProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr std::int64_t kBlocks = 600;
+  static constexpr std::int64_t kPhysical = 800;
+
+  std::unique_ptr<Layout> make() const {
+    LayoutConfig config;
+    config.organization = GetParam().org;
+    config.data_disks = GetParam().data_disks;
+    config.data_blocks_per_disk = kBlocks;
+    config.physical_blocks_per_disk = kPhysical;
+    config.striping_unit_blocks = GetParam().striping_unit;
+    config.parity_placement = GetParam().placement;
+    return make_layout(config);
+  }
+};
+
+TEST_P(LayoutProperty, MapIsInjectiveAndInBounds) {
+  auto layout = make();
+  std::set<std::pair<int, std::int64_t>> seen;
+  for (std::int64_t block = 0; block < layout->logical_capacity(); ++block) {
+    auto exts = layout->map_read(block, 1);
+    ASSERT_EQ(exts.size(), 1u);
+    const auto& e = exts[0];
+    ASSERT_GE(e.disk, 0);
+    ASSERT_LT(e.disk, layout->total_disks());
+    ASSERT_GE(e.start_block, 0);
+    ASSERT_LT(e.start_block, kPhysical);
+    ASSERT_EQ(e.block_count, 1);
+    ASSERT_EQ(e.logical_start, block);
+    ASSERT_TRUE(seen.emplace(e.disk, e.start_block).second)
+        << "logical " << block << " collides";
+  }
+}
+
+TEST_P(LayoutProperty, MultiblockReadsCoverRangeInOrder) {
+  auto layout = make();
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int count = static_cast<int>(rng.uniform_i64(1, 64));
+    const std::int64_t start =
+        rng.uniform_i64(0, layout->logical_capacity() - count);
+    auto exts = layout->map_read(start, count);
+    int total = 0;
+    std::int64_t next_logical = start;
+    for (const auto& e : exts) {
+      ASSERT_EQ(e.logical_start, next_logical);
+      // Must agree with the single-block map, block by block.
+      for (int i = 0; i < e.block_count; ++i) {
+        auto single = layout->map_read(e.logical_start + i, 1);
+        ASSERT_EQ(single[0].disk, e.disk);
+        ASSERT_EQ(single[0].start_block, e.start_block + i);
+      }
+      next_logical += e.block_count;
+      total += e.block_count;
+    }
+    ASSERT_EQ(total, count);
+  }
+}
+
+TEST_P(LayoutProperty, ParityNeverCollidesWithData) {
+  auto layout = make();
+  // Gather every data (disk, pbn) location.
+  std::set<std::pair<int, std::int64_t>> data_blocks;
+  for (std::int64_t block = 0; block < layout->logical_capacity(); ++block) {
+    const auto e = layout->map_read(block, 1)[0];
+    data_blocks.emplace(e.disk, e.start_block);
+  }
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int count = static_cast<int>(rng.uniform_i64(1, 16));
+    const std::int64_t start =
+        rng.uniform_i64(0, layout->logical_capacity() - count);
+    for (const auto& plan : layout->map_write(start, count)) {
+      if (!plan.parity.valid()) continue;
+      for (int i = 0; i < plan.parity.block_count; ++i) {
+        ASSERT_EQ(data_blocks.count(
+                      {plan.parity.disk, plan.parity.start_block + i}),
+                  0u)
+            << "parity overlaps data at disk " << plan.parity.disk;
+      }
+    }
+  }
+}
+
+TEST_P(LayoutProperty, WritePlansCoverExactlyTheWrittenRange) {
+  auto layout = make();
+  Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int count = static_cast<int>(rng.uniform_i64(1, 32));
+    const std::int64_t start =
+        rng.uniform_i64(0, layout->logical_capacity() - count);
+    std::multiset<std::pair<int, std::int64_t>> written;
+    const bool mirrored = GetParam().org == Organization::kMirror;
+    for (const auto& plan : layout->map_write(start, count)) {
+      for (const auto& w : plan.writes)
+        for (int i = 0; i < w.block_count; ++i)
+          written.emplace(w.disk, w.start_block + i);
+    }
+    ASSERT_EQ(written.size(),
+              static_cast<std::size_t>(count) * (mirrored ? 2 : 1));
+    // Each written location matches the read map of the logical range.
+    for (std::int64_t block = start; block < start + count; ++block) {
+      const auto e = layout->map_read(block, 1)[0];
+      ASSERT_EQ(written.count({e.disk, e.start_block}), 1u);
+    }
+  }
+}
+
+TEST_P(LayoutProperty, WritePlanParityDiskDistinctFromItsWrites) {
+  auto layout = make();
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int count = static_cast<int>(rng.uniform_i64(1, 8));
+    const std::int64_t start =
+        rng.uniform_i64(0, layout->logical_capacity() - count);
+    for (const auto& plan : layout->map_write(start, count)) {
+      if (!plan.parity.valid()) continue;
+      for (const auto& w : plan.writes) ASSERT_NE(w.disk, plan.parity.disk);
+      for (const auto& r : plan.reconstruct_reads)
+        ASSERT_NE(r.disk, plan.parity.disk);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, LayoutProperty,
+    ::testing::Values(
+        Param{Organization::kBase, 4, 1, ParityPlacement::kMiddleCylinders},
+        Param{Organization::kMirror, 3, 1, ParityPlacement::kMiddleCylinders},
+        Param{Organization::kRaid5, 4, 1, ParityPlacement::kMiddleCylinders},
+        Param{Organization::kRaid5, 5, 4, ParityPlacement::kMiddleCylinders},
+        Param{Organization::kRaid5, 10, 8, ParityPlacement::kMiddleCylinders},
+        Param{Organization::kRaid4, 4, 1, ParityPlacement::kMiddleCylinders},
+        Param{Organization::kRaid4, 5, 4, ParityPlacement::kMiddleCylinders},
+        Param{Organization::kParityStriping, 4, 1,
+              ParityPlacement::kMiddleCylinders},
+        Param{Organization::kParityStriping, 5, 1,
+              ParityPlacement::kEndCylinders},
+        Param{Organization::kParityStriping, 10, 1,
+              ParityPlacement::kMiddleCylinders}),
+    param_name);
+
+}  // namespace
+}  // namespace raidsim

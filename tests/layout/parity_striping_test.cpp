@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "layout/layout.hpp"
+
+namespace raidsim {
+namespace {
+
+constexpr std::int64_t kBlocks = 1000;
+constexpr std::int64_t kPhysical = 1200;
+
+TEST(ParityStriping, AreaGeometry) {
+  ParityStripingLayout layout(4, kBlocks, kPhysical,
+                              ParityPlacement::kMiddleCylinders);
+  EXPECT_EQ(layout.total_disks(), 5);
+  // 5 areas of ceil(1000/5) = 200 blocks.
+  EXPECT_EQ(layout.area_blocks(), 200);
+  EXPECT_EQ(layout.parity_slot(), 2);  // middle of 5 slots
+}
+
+TEST(ParityStriping, EndPlacementUsesLastSlot) {
+  ParityStripingLayout layout(4, kBlocks, kPhysical,
+                              ParityPlacement::kEndCylinders);
+  EXPECT_EQ(layout.parity_slot(), 4);
+}
+
+TEST(ParityStriping, PhysicalSlotSkipsParityArea) {
+  ParityStripingLayout layout(4, kBlocks, kPhysical,
+                              ParityPlacement::kMiddleCylinders);
+  // Parity slot 2: data areas 0,1 keep their slots; 2,3 shift past it.
+  EXPECT_EQ(layout.physical_slot(0), 0);
+  EXPECT_EQ(layout.physical_slot(1), 1);
+  EXPECT_EQ(layout.physical_slot(2), 3);
+  EXPECT_EQ(layout.physical_slot(3), 4);
+}
+
+TEST(ParityStriping, GroupsHaveOneMemberPerDisk) {
+  const int n = 4;
+  ParityStripingLayout layout(n, kBlocks, kPhysical,
+                              ParityPlacement::kMiddleCylinders);
+  // For each group g, exactly one data area on every disk != g.
+  for (int g = 0; g <= n; ++g) {
+    int members = 0;
+    for (int disk = 0; disk <= n; ++disk) {
+      int on_this_disk = 0;
+      for (int k = 0; k < n; ++k)
+        if (layout.group_of(disk, k) == g) ++on_this_disk;
+      if (disk == g) {
+        EXPECT_EQ(on_this_disk, 0) << "group's own parity disk holds data";
+      } else {
+        EXPECT_EQ(on_this_disk, 1);
+      }
+      members += on_this_disk;
+    }
+    EXPECT_EQ(members, n);
+  }
+}
+
+TEST(ParityStriping, SequentialDataStaysOnOneDisk) {
+  ParityStripingLayout layout(4, kBlocks, kPhysical,
+                              ParityPlacement::kMiddleCylinders);
+  // Consecutive logical blocks within one disk's data span stay on that
+  // disk -- the defining property versus RAID5 (Section 2.2).
+  auto a = layout.map_read(0, 1);
+  auto b = layout.map_read(1, 1);
+  EXPECT_EQ(a[0].disk, b[0].disk);
+  EXPECT_EQ(b[0].start_block, a[0].start_block + 1);
+}
+
+TEST(ParityStriping, WritePlanTargetsGroupParity) {
+  const int n = 4;
+  ParityStripingLayout layout(n, kBlocks, kPhysical,
+                              ParityPlacement::kMiddleCylinders);
+  // Block in disk 1, area 2, offset 5: logical = 1*(4*200) + 2*200 + 5.
+  const std::int64_t logical = 1 * (4 * 200) + 2 * 200 + 5;
+  auto plans = layout.map_write(logical, 1);
+  ASSERT_EQ(plans.size(), 1u);
+  const auto& plan = plans[0];
+  EXPECT_FALSE(plan.reconstruct);
+  ASSERT_EQ(plan.writes.size(), 1u);
+  EXPECT_EQ(plan.writes[0].disk, 1);
+  const int group = layout.group_of(1, 2);
+  EXPECT_EQ(plan.parity.disk, group);
+  EXPECT_NE(plan.parity.disk, 1);
+  // Parity lives at the parity slot at the same offset.
+  EXPECT_EQ(plan.parity.start_block,
+            static_cast<std::int64_t>(layout.parity_slot()) * 200 + 5);
+}
+
+TEST(ParityStriping, SplitsAtAreaBoundary) {
+  ParityStripingLayout layout(4, kBlocks, kPhysical,
+                              ParityPlacement::kMiddleCylinders);
+  // Crossing from area 0 into area 1 on the same disk: two plans with
+  // different parity groups.
+  auto plans = layout.map_write(199, 2);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_NE(plans[0].parity.disk, plans[1].parity.disk);
+  EXPECT_EQ(plans[0].writes[0].disk, plans[1].writes[0].disk);
+}
+
+TEST(ParityStriping, CapacityValidation) {
+  // 5 areas of ceil(1200/5) = 240 > 1200/5 exactly 240*5 = 1200 fits.
+  EXPECT_NO_THROW(ParityStripingLayout(4, 1200, 1200,
+                                       ParityPlacement::kMiddleCylinders));
+  EXPECT_THROW(
+      ParityStripingLayout(4, 1201, 1200, ParityPlacement::kMiddleCylinders),
+      std::invalid_argument);
+}
+
+TEST(ParityStriping, MiddleVsEndMoveOnlyParity) {
+  ParityStripingLayout mid(4, kBlocks, kPhysical,
+                           ParityPlacement::kMiddleCylinders);
+  ParityStripingLayout end(4, kBlocks, kPhysical,
+                           ParityPlacement::kEndCylinders);
+  // Same logical block, same disk; physical position differs when the
+  // data area sits past the middle parity slot.
+  auto m = mid.map_read(2 * 200 + 5, 1);   // disk 0, area 2
+  auto e = end.map_read(2 * 200 + 5, 1);
+  EXPECT_EQ(m[0].disk, e[0].disk);
+  EXPECT_EQ(m[0].start_block, 3 * 200 + 5);  // shifted past middle parity
+  EXPECT_EQ(e[0].start_block, 2 * 200 + 5);  // parity at end, no shift
+}
+
+}  // namespace
+}  // namespace raidsim

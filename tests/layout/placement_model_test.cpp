@@ -1,0 +1,50 @@
+#include "layout/placement_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+TEST(PlacementModel, PaperRuleForTrace1) {
+  // Section 4.2.3: for w = 0.1, place parity in the middle for N > 10,
+  // at the end for N < 10.
+  EXPECT_EQ(recommended_parity_placement(0.1, 5),
+            ParityPlacement::kEndCylinders);
+  EXPECT_EQ(recommended_parity_placement(0.1, 15),
+            ParityPlacement::kMiddleCylinders);
+  EXPECT_EQ(recommended_parity_placement(0.1, 20),
+            ParityPlacement::kMiddleCylinders);
+  // At exactly N = 1/w the shares tie; the model keeps the end.
+  EXPECT_EQ(recommended_parity_placement(0.1, 10),
+            ParityPlacement::kEndCylinders);
+  EXPECT_EQ(placement_crossover_array_size(0.1), 11);
+}
+
+TEST(PlacementModel, AccessShares) {
+  // N = 10, w = 0.1: data area 1/100, parity area 0.1/10 = 1/100 (tie).
+  EXPECT_DOUBLE_EQ(data_area_access_share(10), 0.01);
+  EXPECT_DOUBLE_EQ(parity_area_access_share(0.1, 10), 0.01);
+  EXPECT_FALSE(parity_hotter_than_data(0.1, 10));
+  EXPECT_TRUE(parity_hotter_than_data(0.28, 10));  // trace 2's mix
+}
+
+TEST(PlacementModel, WriteHeavyWorkloadsAlwaysMiddle) {
+  for (int n = 2; n <= 30; ++n)
+    EXPECT_TRUE(parity_hotter_than_data(0.6, n)) << "N=" << n;
+}
+
+TEST(PlacementModel, ReadOnlyNeverMiddle) {
+  for (int n = 2; n <= 30; ++n)
+    EXPECT_EQ(recommended_parity_placement(0.0, n),
+              ParityPlacement::kEndCylinders);
+  EXPECT_GT(placement_crossover_array_size(0.0), 1000000);
+}
+
+TEST(PlacementModel, Validation) {
+  EXPECT_THROW(parity_area_access_share(-0.1, 10), std::invalid_argument);
+  EXPECT_THROW(parity_area_access_share(1.1, 10), std::invalid_argument);
+  EXPECT_THROW(data_area_access_share(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

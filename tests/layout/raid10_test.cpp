@@ -1,0 +1,111 @@
+// Tests for the striped-mirroring (RAID 1+0) extension layout.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/layout.hpp"
+
+namespace raidsim {
+namespace {
+
+constexpr std::int64_t kBlocks = 1000;
+constexpr std::int64_t kPhysical = 1200;
+
+TEST(Raid10, StripesAcrossPairs) {
+  Raid10Layout layout(4, kBlocks, kPhysical, /*unit=*/1);
+  EXPECT_EQ(layout.total_disks(), 8);
+  // Consecutive blocks rotate over the primaries (even disk indices).
+  std::set<int> disks;
+  for (std::int64_t block = 0; block < 4; ++block) {
+    const auto ext = layout.map_read(block, 1)[0];
+    EXPECT_EQ(ext.disk % 2, 0);
+    disks.insert(ext.disk);
+  }
+  EXPECT_EQ(disks.size(), 4u);
+}
+
+TEST(Raid10, StripingUnitRespected) {
+  Raid10Layout layout(4, kBlocks, kPhysical, /*unit=*/8);
+  const auto a = layout.map_read(0, 1)[0];
+  const auto b = layout.map_read(7, 1)[0];
+  const auto c = layout.map_read(8, 1)[0];
+  EXPECT_EQ(a.disk, b.disk);  // same chunk
+  EXPECT_NE(a.disk, c.disk);  // next chunk, next pair
+}
+
+TEST(Raid10, RowAdvancesAfterFullStripe) {
+  Raid10Layout layout(4, kBlocks, kPhysical, /*unit=*/2);
+  // Blocks 0..7 fill row 0 (4 pairs x 2 blocks); block 8 starts row 1 on
+  // pair 0.
+  const auto first = layout.map_read(0, 1)[0];
+  const auto next_row = layout.map_read(8, 1)[0];
+  EXPECT_EQ(first.disk, next_row.disk);
+  EXPECT_EQ(next_row.start_block, first.start_block + 2);
+}
+
+TEST(Raid10, WritesHitBothCopiesPlainly) {
+  Raid10Layout layout(4, kBlocks, kPhysical, 1);
+  const auto plans = layout.map_write(5, 1);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_FALSE(plans[0].parity.valid());
+  EXPECT_TRUE(plans[0].full_stripe);
+  ASSERT_EQ(plans[0].writes.size(), 2u);
+  EXPECT_EQ(plans[0].writes[1].disk, plans[0].writes[0].disk ^ 1);
+  EXPECT_EQ(plans[0].writes[0].start_block, plans[0].writes[1].start_block);
+}
+
+TEST(Raid10, DegradedReadUsesTwin) {
+  Raid10Layout layout(4, kBlocks, kPhysical, 1);
+  const auto ext = layout.map_read(0, 1)[0];
+  const auto groups = layout.degraded_group(ext);
+  ASSERT_EQ(groups.size(), 1u);
+  ASSERT_EQ(groups[0].member_reads.size(), 1u);
+  EXPECT_EQ(groups[0].member_reads[0].disk, ext.disk ^ 1);
+  EXPECT_FALSE(groups[0].parity.valid());
+}
+
+TEST(Raid10, MapIsInjective) {
+  Raid10Layout layout(3, 300, kPhysical, 4);
+  std::set<std::pair<int, std::int64_t>> seen;
+  for (std::int64_t block = 0; block < layout.logical_capacity(); ++block) {
+    const auto ext = layout.map_read(block, 1)[0];
+    ASSERT_TRUE(seen.emplace(ext.disk, ext.start_block).second);
+    ASSERT_LT(ext.start_block, kPhysical);
+  }
+}
+
+TEST(Raid10, BalancesSkewedAddresses) {
+  // A hot region confined to one "original disk" range spreads over all
+  // pairs under striping -- the motivation for the extension.
+  Raid10Layout striped(4, kBlocks, kPhysical, 1);
+  MirrorLayout plain(4, kBlocks, kPhysical);
+  std::set<int> striped_disks, plain_disks;
+  for (std::int64_t block = 0; block < 100; ++block) {  // one hot range
+    striped_disks.insert(striped.map_read(block, 1)[0].disk);
+    plain_disks.insert(plain.map_read(block, 1)[0].disk);
+  }
+  EXPECT_EQ(plain_disks.size(), 1u);
+  EXPECT_EQ(striped_disks.size(), 4u);
+}
+
+TEST(Raid10, Validation) {
+  EXPECT_THROW(Raid10Layout(4, kBlocks, kPhysical, 0), std::invalid_argument);
+  EXPECT_THROW(Raid10Layout(4, kPhysical - 1, kPhysical, 64),
+               std::invalid_argument);
+}
+
+TEST(Raid10, FactoryAndName) {
+  LayoutConfig config;
+  config.organization = Organization::kRaid10;
+  config.data_disks = 4;
+  config.data_blocks_per_disk = kBlocks;
+  config.physical_blocks_per_disk = kPhysical;
+  config.striping_unit_blocks = 2;
+  auto layout = make_layout(config);
+  EXPECT_EQ(layout->organization(), Organization::kRaid10);
+  EXPECT_EQ(layout->total_disks(), 8);
+  EXPECT_EQ(to_string(Organization::kRaid10), "RAID10");
+}
+
+}  // namespace
+}  // namespace raidsim

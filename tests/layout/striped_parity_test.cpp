@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "layout/layout.hpp"
+
+namespace raidsim {
+namespace {
+
+constexpr std::int64_t kBlocks = 1000;
+constexpr std::int64_t kPhysical = 1200;
+
+TEST(Raid5, ParityRotatesOverAllDisks) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 1);
+  std::map<int, int> parity_count;
+  for (std::int64_t row = 0; row < 100; ++row)
+    ++parity_count[layout.parity_disk(row)];
+  EXPECT_EQ(parity_count.size(), 5u);  // all N+1 disks hold parity
+  for (const auto& [disk, count] : parity_count) EXPECT_EQ(count, 20);
+}
+
+TEST(Raid4, ParityFixedOnLastDisk) {
+  StripedParityLayout layout(Organization::kRaid4, 4, kBlocks, kPhysical, 1);
+  for (std::int64_t row = 0; row < 50; ++row)
+    EXPECT_EQ(layout.parity_disk(row), 4);
+}
+
+TEST(Raid5, DataDiskSkipsParityDisk) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 1);
+  for (std::int64_t row = 0; row < 30; ++row) {
+    const int p = layout.parity_disk(row);
+    std::set<int> disks;
+    for (int col = 0; col < 4; ++col) {
+      const int d = layout.data_disk(row, col);
+      EXPECT_NE(d, p);
+      disks.insert(d);
+    }
+    EXPECT_EQ(disks.size(), 4u);  // all distinct
+  }
+}
+
+TEST(Raid5, SingleBlockReadMapping) {
+  // N=4, unit=2: logical block L -> chunk L/2, row chunk/4.
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 2);
+  auto exts = layout.map_read(0, 1);
+  ASSERT_EQ(exts.size(), 1u);
+  EXPECT_EQ(exts[0].disk, layout.data_disk(0, 0));
+  EXPECT_EQ(exts[0].start_block, 0);
+
+  // Block 9 -> chunk 4, offset 1 -> row 1, column 0.
+  exts = layout.map_read(9, 1);
+  ASSERT_EQ(exts.size(), 1u);
+  EXPECT_EQ(exts[0].disk, layout.data_disk(1, 0));
+  EXPECT_EQ(exts[0].start_block, 1 * 2 + 1);
+}
+
+TEST(Raid5, SingleBlockWriteIsReadModifyWrite) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 1);
+  auto plans = layout.map_write(5, 1);
+  ASSERT_EQ(plans.size(), 1u);
+  const auto& plan = plans[0];
+  EXPECT_FALSE(plan.reconstruct);
+  EXPECT_FALSE(plan.full_stripe);
+  ASSERT_EQ(plan.writes.size(), 1u);
+  ASSERT_TRUE(plan.parity.valid());
+  EXPECT_EQ(plan.parity.disk, layout.parity_disk(1));  // block 5 -> row 1
+  EXPECT_EQ(plan.parity.start_block, plan.writes[0].start_block);
+  EXPECT_NE(plan.parity.disk, plan.writes[0].disk);
+}
+
+TEST(Raid5, FullStripeWriteHasNoReads) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 2);
+  // Row 0 holds logical blocks [0, 8).
+  auto plans = layout.map_write(0, 8);
+  ASSERT_EQ(plans.size(), 1u);
+  const auto& plan = plans[0];
+  EXPECT_TRUE(plan.full_stripe);
+  EXPECT_TRUE(plan.reconstruct);
+  EXPECT_TRUE(plan.reconstruct_reads.empty());
+  EXPECT_EQ(plan.writes.size(), 4u);
+  ASSERT_TRUE(plan.parity.valid());
+  EXPECT_EQ(plan.parity.block_count, 2);
+}
+
+TEST(Raid5, HalfStripeTriggersReconstruct) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 1);
+  // Writing 2 of 4 blocks in a row: exactly half -> reconstruct.
+  auto plans = layout.map_write(0, 2);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_TRUE(plans[0].reconstruct);
+  EXPECT_FALSE(plans[0].full_stripe);
+  EXPECT_EQ(plans[0].reconstruct_reads.size(), 2u);  // the untouched columns
+  for (const auto& r : plans[0].reconstruct_reads) {
+    EXPECT_NE(r.disk, plans[0].parity.disk);
+    for (const auto& w : plans[0].writes) EXPECT_NE(r.disk, w.disk);
+  }
+}
+
+TEST(Raid5, MultiRowWriteSplitsPlans) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 1);
+  // 6 blocks from block 2: row 0 cols 2-3, row 1 cols 0-3 (full).
+  auto plans = layout.map_write(2, 6);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_TRUE(plans[0].reconstruct);   // half of row 0
+  EXPECT_TRUE(plans[1].full_stripe);   // all of row 1
+}
+
+TEST(Raid5, ParityExtentCoversTouchedOffsets) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 8);
+  // Blocks 3..6 of chunk 0: parity must cover offsets [3, 7).
+  auto plans = layout.map_write(3, 4);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].parity.start_block, 3);
+  EXPECT_EQ(plans[0].parity.block_count, 4);
+}
+
+TEST(Raid5, SequentialChunksRotateDisks) {
+  StripedParityLayout layout(Organization::kRaid5, 4, kBlocks, kPhysical, 1);
+  // Within a row, consecutive logical blocks go to different disks.
+  auto a = layout.map_read(0, 1);
+  auto b = layout.map_read(1, 1);
+  EXPECT_NE(a[0].disk, b[0].disk);
+}
+
+TEST(Raid5, StripingUnitValidation) {
+  EXPECT_THROW(
+      StripedParityLayout(Organization::kRaid5, 4, kBlocks, kPhysical, 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      StripedParityLayout(Organization::kBase, 4, kBlocks, kPhysical, 1),
+      std::invalid_argument);
+  // Rows must fit the physical disk: unit 7 -> ceil(1000/7)*7 = 1001 <= 1200 OK,
+  // but a database as large as the disk with a non-dividing unit fails.
+  EXPECT_THROW(
+      StripedParityLayout(Organization::kRaid5, 4, kPhysical - 1, kPhysical, 64),
+      std::invalid_argument);
+}
+
+TEST(Raid4, WritePlansTargetDedicatedParityDisk) {
+  StripedParityLayout layout(Organization::kRaid4, 4, kBlocks, kPhysical, 1);
+  for (std::int64_t block : {0ll, 7ll, 123ll, 999ll}) {
+    auto plans = layout.map_write(block, 1);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].parity.disk, 4);
+  }
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,84 @@
+// Edge cases of the event kernel beyond the basics: cancellation from
+// within callbacks, self-rescheduling patterns, and run_until interplay
+// with cancelled heads.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace raidsim {
+namespace {
+
+TEST(EventQueueEdge, CancelFromWithinEarlierEvent) {
+  EventQueue eq;
+  bool later_ran = false;
+  const EventId later = eq.schedule_at(5.0, [&] { later_ran = true; });
+  eq.schedule_at(1.0, [&] { EXPECT_TRUE(eq.cancel(later)); });
+  eq.run();
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueueEdge, CancelSelfIsHarmlessNoOp) {
+  EventQueue eq;
+  EventId self = 0;
+  int runs = 0;
+  self = eq.schedule_at(1.0, [&] {
+    ++runs;
+    EXPECT_FALSE(eq.cancel(self));  // already executing
+  });
+  eq.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueEdge, RescheduleChainAdvancesTime) {
+  EventQueue eq;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(eq.now());
+    if (times.size() < 4) eq.schedule_in(2.5, tick);
+  };
+  eq.schedule_at(1.0, tick);
+  eq.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.5, 6.0, 8.5}));
+}
+
+TEST(EventQueueEdge, RunUntilThenRunContinues) {
+  EventQueue eq;
+  int count = 0;
+  for (double t : {1.0, 2.0, 3.0}) eq.schedule_at(t, [&] { ++count; });
+  eq.run_until(1.5);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(eq.now(), 1.5);
+  eq.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueueEdge, CancelledEventsDoNotAdvanceClockViaRunUntil) {
+  EventQueue eq;
+  const EventId id = eq.schedule_at(10.0, [] {});
+  eq.cancel(id);
+  eq.run_until(5.0);
+  EXPECT_EQ(eq.now(), 5.0);
+  eq.run();
+  EXPECT_EQ(eq.now(), 5.0);  // nothing left to execute
+}
+
+TEST(EventQueueEdge, ManyEventsStableOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  // Interleave two time points; each point must preserve FIFO.
+  for (int i = 0; i < 100; ++i) {
+    eq.schedule_at(i % 2 == 0 ? 1.0 : 2.0, [&order, i] { order.push_back(i); });
+  }
+  eq.run();
+  ASSERT_EQ(order.size(), 100u);
+  // All even indices (t=1) precede all odd ones (t=2), each in order.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)] % 2, 0);
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_LT(order[static_cast<std::size_t>(i - 1)], order[static_cast<std::size_t>(i)]);
+    EXPECT_LT(order[static_cast<std::size_t>(49 + i)], order[static_cast<std::size_t>(50 + i)]);
+  }
+}
+
+}  // namespace
+}  // namespace raidsim

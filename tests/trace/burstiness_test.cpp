@@ -1,0 +1,74 @@
+// Arrival-process properties of the synthetic generator: bursts,
+// clusters, and burst disk-affinity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/synthetic.hpp"
+
+namespace raidsim {
+namespace {
+
+TraceProfile flat_profile() {
+  TraceProfile p = TraceProfile::trace2();
+  p.requests = 30000;
+  p.duration_s = 3000.0;
+  p.multiblock_fraction = 0.0;
+  p.single_write_fraction = 0.0;
+  p.read_reuse_prob = 0.0;  // every access fresh: affinity fully visible
+  return p;
+}
+
+double same_disk_fraction(TraceProfile profile) {
+  SyntheticTrace trace(profile);
+  const auto& geo = profile.geometry;
+  int same = 0, total = 0;
+  int prev = -1;
+  while (auto rec = trace.next()) {
+    const int disk = geo.disk_of(rec->block);
+    if (prev >= 0 && rec->delta_ms < 5.0) {  // within a burst
+      ++total;
+      same += disk == prev;
+    }
+    prev = disk;
+  }
+  return total ? static_cast<double>(same) / total : 0.0;
+}
+
+TEST(Burstiness, AffinityConcentratesBurstsOnDisks) {
+  TraceProfile with = flat_profile();
+  with.burst_disk_affinity = 0.6;
+  TraceProfile without = flat_profile();
+  without.burst_disk_affinity = 0.0;
+  const double f_with = same_disk_fraction(with);
+  const double f_without = same_disk_fraction(without);
+  EXPECT_GT(f_with, f_without + 0.3);
+}
+
+TEST(Burstiness, InterArrivalsAreBimodal) {
+  TraceProfile p = flat_profile();
+  SyntheticTrace trace(p);
+  std::uint64_t tiny = 0, large = 0, n = 0;
+  while (auto rec = trace.next()) {
+    ++n;
+    if (rec->delta_ms < 4.0 * p.intra_burst_gap_ms) ++tiny;
+    if (rec->delta_ms > 40.0 * p.intra_burst_gap_ms) ++large;
+  }
+  // Most arrivals are intra-burst, but a clear population of long gaps
+  // separates bursts/clusters.
+  EXPECT_GT(static_cast<double>(tiny) / n, 0.6);
+  EXPECT_GT(static_cast<double>(large) / n, 0.01);
+}
+
+TEST(Burstiness, ClusteringPreservesTotalDuration) {
+  TraceProfile p = TraceProfile::trace1();
+  p.requests = 50000;
+  p.duration_s = 50000.0 / TraceProfile::trace1().arrival_rate_per_s();
+  SyntheticTrace trace(p);
+  double total = 0.0;
+  while (auto rec = trace.next()) total += rec->delta_ms;
+  EXPECT_NEAR(total / 1000.0, p.duration_s, p.duration_s * 0.25);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,86 @@
+// Calibration invariants of the synthetic trace presets: the analytic
+// stack-depth mixtures must hit the paper's published hit-ratio anchors
+// (Figure 11), since the simulated LRU cache hit ratio at C blocks is
+// approximately reuse_probability * P(stack depth < C).
+//
+// Trace 1 runs 13 arrays at the default N=10, so a per-array cache of C
+// blocks corresponds to a global stack depth of ~13C.
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace raidsim {
+namespace {
+
+constexpr double kBlocksPerMb = 256.0;  // 4 KB blocks
+
+TEST(Calibration, Trace1ReadHitAnchors) {
+  const TraceProfile p = TraceProfile::trace1();
+  const double arrays = 13.0;
+  // Paper: ~9% at 8 MB/array.
+  const double hit_8mb =
+      p.read_reuse_prob * p.read_depth.cdf(arrays * 8 * kBlocksPerMb);
+  EXPECT_GT(hit_8mb, 0.05);
+  EXPECT_LT(hit_8mb, 0.15);
+  // Paper: ~54% at 256 MB/array.
+  const double hit_256mb =
+      p.read_reuse_prob * p.read_depth.cdf(arrays * 256 * kBlocksPerMb);
+  EXPECT_GT(hit_256mb, 0.40);
+  EXPECT_LT(hit_256mb, 0.62);
+}
+
+TEST(Calibration, Trace1WriteHitHighForLargeCaches) {
+  const TraceProfile p = TraceProfile::trace1();
+  // Paper: "the write hit ratio is almost one for large caches because
+  // blocks are usually read by the transaction before being updated."
+  const double hit_32mb =
+      p.write_reuse_prob * p.write_depth.cdf(13.0 * 32 * kBlocksPerMb);
+  EXPECT_GT(hit_32mb, 0.80);
+}
+
+TEST(Calibration, Trace2ReadHitAnchors) {
+  const TraceProfile p = TraceProfile::trace2();
+  // Paper: < 1% at 8 MB (single array).
+  const double hit_8mb = p.read_reuse_prob * p.read_depth.cdf(8 * kBlocksPerMb);
+  EXPECT_LT(hit_8mb, 0.03);
+  // Paper: ~40% at 256 MB.
+  const double hit_256mb =
+      p.read_reuse_prob * p.read_depth.cdf(256 * kBlocksPerMb);
+  EXPECT_GT(hit_256mb, 0.28);
+  EXPECT_LT(hit_256mb, 0.50);
+}
+
+TEST(Calibration, Trace2WriteHitBand) {
+  const TraceProfile p = TraceProfile::trace2();
+  // Paper: ~20% at 8 MB rising past 60% at 256 MB.
+  const double hit_8mb =
+      p.write_reuse_prob * p.write_depth.cdf(8 * kBlocksPerMb);
+  EXPECT_GT(hit_8mb, 0.12);
+  EXPECT_LT(hit_8mb, 0.32);
+  const double hit_256mb =
+      p.write_reuse_prob * p.write_depth.cdf(256 * kBlocksPerMb);
+  EXPECT_GT(hit_256mb, 0.50);
+}
+
+TEST(Calibration, Trace2MoreSkewedThanTrace1) {
+  // Section 3.2: "Trace 2 exhibits more disk access skew than Trace 1."
+  EXPECT_GT(TraceProfile::trace2().disk_skew_sigma,
+            TraceProfile::trace1().disk_skew_sigma);
+}
+
+TEST(Calibration, Trace1MoreLocalThanTrace2) {
+  // Section 3.2: "Trace 2 has less locality and larger working sets."
+  const TraceProfile t1 = TraceProfile::trace1();
+  const TraceProfile t2 = TraceProfile::trace2();
+  EXPECT_GT(t1.read_reuse_prob, t2.read_reuse_prob);
+  EXPECT_GT(t1.sequential_prob, t2.sequential_prob);
+}
+
+TEST(Calibration, ArrivalRatesMatchTable2) {
+  // Table 2: 3.36 M I/Os in 3h03m and 69.5 k in 1h40m.
+  EXPECT_NEAR(TraceProfile::trace1().arrival_rate_per_s(), 306.0, 5.0);
+  EXPECT_NEAR(TraceProfile::trace2().arrival_rate_per_s(), 11.6, 0.5);
+}
+
+}  // namespace
+}  // namespace raidsim

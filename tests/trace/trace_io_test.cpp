@@ -1,0 +1,105 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/synthetic.hpp"
+
+namespace raidsim {
+namespace {
+
+std::unique_ptr<std::istream> text(const std::string& s) {
+  return std::make_unique<std::istringstream>(s);
+}
+
+TEST(TraceIo, ReadsWellFormedTrace) {
+  TraceReader reader(text("# comment\n"
+                          "disks 2\n"
+                          "blocks_per_disk 100\n"
+                          "1500 5 1 R\n"
+                          "0 105 3 W\n"));
+  EXPECT_EQ(reader.geometry().data_disks, 2);
+  EXPECT_EQ(reader.geometry().blocks_per_disk, 100);
+
+  auto r = reader.next();
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->delta_ms, 1.5, 1e-12);
+  EXPECT_EQ(r->block, 5);
+  EXPECT_EQ(r->block_count, 1);
+  EXPECT_FALSE(r->is_write);
+
+  r = reader.next();
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->block, 105);
+  EXPECT_EQ(r->block_count, 3);
+  EXPECT_TRUE(r->is_write);
+
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  TraceReader reader(text("disks 1\nblocks_per_disk 10\n\n# x\n0 0 1 R\n\n"));
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(TraceIo, MissingHeaderThrows) {
+  EXPECT_THROW(TraceReader(text("0 0 1 R\n")), std::runtime_error);
+  EXPECT_THROW(TraceReader(text("disks 4\n0 0 1 R\n")), std::runtime_error);
+  EXPECT_THROW(TraceReader(text("")), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedRecordsThrow) {
+  auto make = [](const std::string& record) {
+    return TraceReader(text("disks 1\nblocks_per_disk 10\n" + record));
+  };
+  {
+    auto r = make("0 0 1 X\n");  // bad access type
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    auto r = make("0 20 1 R\n");  // block beyond the database
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    auto r = make("0 9 2 R\n");  // extent runs past the end
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    auto r = make("-5 0 1 R\n");  // negative delta
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    auto r = make("garbage\n");
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesRecords) {
+  TraceProfile profile = TraceProfile::trace2();
+  profile.requests = 500;
+  SyntheticTrace original(profile);
+
+  std::ostringstream os;
+  TraceWriter::write(original, os);
+
+  SyntheticTrace reference(profile);
+  TraceReader reader(text(os.str()));
+  EXPECT_EQ(reader.geometry().data_disks, profile.geometry.data_disks);
+  std::uint64_t n = 0;
+  while (auto r = reader.next()) {
+    const auto ref = reference.next();
+    ASSERT_TRUE(ref);
+    ASSERT_EQ(r->block, ref->block);
+    ASSERT_EQ(r->block_count, ref->block_count);
+    ASSERT_EQ(r->is_write, ref->is_write);
+    // Deltas are stored at microsecond resolution.
+    ASSERT_NEAR(r->delta_ms, ref->delta_ms, 1e-3);
+    ++n;
+  }
+  EXPECT_EQ(n, 500u);
+}
+
+}  // namespace
+}  // namespace raidsim

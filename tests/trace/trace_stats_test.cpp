@@ -1,0 +1,83 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace raidsim {
+namespace {
+
+/// Hand-built trace stream for exact accounting tests.
+class FixedStream : public TraceStream {
+ public:
+  FixedStream(TraceGeometry geo, std::deque<TraceRecord> records)
+      : geo_(geo), records_(std::move(records)) {}
+  const TraceGeometry& geometry() const override { return geo_; }
+  std::optional<TraceRecord> next() override {
+    if (records_.empty()) return std::nullopt;
+    TraceRecord r = records_.front();
+    records_.pop_front();
+    return r;
+  }
+
+ private:
+  TraceGeometry geo_;
+  std::deque<TraceRecord> records_;
+};
+
+TEST(TraceStats, CountsByKind) {
+  TraceGeometry geo{2, 100};
+  FixedStream stream(geo, {
+                              {10.0, 0, 1, false},   // single read, disk 0
+                              {5.0, 150, 1, true},   // single write, disk 1
+                              {2.5, 10, 4, false},   // multiblock read
+                              {0.0, 20, 2, true},    // multiblock write
+                          });
+  const TraceStats stats = TraceStats::collect(stream);
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.single_block_reads, 1u);
+  EXPECT_EQ(stats.single_block_writes, 1u);
+  EXPECT_EQ(stats.multiblock_reads, 1u);
+  EXPECT_EQ(stats.multiblock_writes, 1u);
+  EXPECT_EQ(stats.blocks_transferred, 8u);
+  EXPECT_NEAR(stats.duration_ms, 17.5, 1e-12);
+  EXPECT_NEAR(stats.write_fraction(), 0.5, 1e-12);
+  EXPECT_NEAR(stats.single_block_fraction(), 0.5, 1e-12);
+  ASSERT_EQ(stats.accesses_per_disk.size(), 2u);
+  EXPECT_EQ(stats.accesses_per_disk[0], 3u);
+  EXPECT_EQ(stats.accesses_per_disk[1], 1u);
+}
+
+TEST(TraceStats, SkewCv) {
+  TraceGeometry geo{2, 100};
+  {
+    FixedStream balanced(geo, {{0, 0, 1, false}, {0, 150, 1, false}});
+    EXPECT_NEAR(TraceStats::collect(balanced).disk_skew_cv(), 0.0, 1e-12);
+  }
+  {
+    FixedStream skewed(geo, {{0, 0, 1, false}, {0, 1, 1, false}});
+    EXPECT_NEAR(TraceStats::collect(skewed).disk_skew_cv(), 1.0, 1e-12);
+  }
+}
+
+TEST(TraceStats, EmptyStream) {
+  TraceGeometry geo{1, 10};
+  FixedStream empty(geo, {});
+  const TraceStats stats = TraceStats::collect(empty);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.write_fraction(), 0.0);
+  EXPECT_EQ(stats.disk_skew_cv(), 0.0);
+}
+
+TEST(TraceStats, TableRendering) {
+  TraceGeometry geo{1, 100};
+  FixedStream stream(geo, {{1000.0, 3, 1, true}});
+  const TraceStats stats = TraceStats::collect(stream);
+  const std::string out = TraceStats::table({&stats}, {"T"});
+  EXPECT_NE(out.find("# of I/O accesses"), std::string::npos);
+  EXPECT_NE(out.find("Write fraction"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raidsim

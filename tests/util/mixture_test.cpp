@@ -1,0 +1,61 @@
+#include "util/mixture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace raidsim {
+namespace {
+
+TEST(Mixture, ValidatesComponents) {
+  EXPECT_THROW(LognormalMixture({}), std::invalid_argument);
+  EXPECT_THROW(LognormalMixture({{-1.0, 10.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(LognormalMixture({{1.0, -10.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(LognormalMixture({{1.0, 10.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(LognormalMixture({{0.0, 10.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Mixture, CdfMonotoneFromZeroToOne) {
+  LognormalMixture m({{0.4, 100.0, 1.0}, {0.6, 10000.0, 1.5}});
+  EXPECT_EQ(m.cdf(0.0), 0.0);
+  EXPECT_EQ(m.cdf(-5.0), 0.0);
+  double prev = 0.0;
+  for (double x = 1.0; x < 1e8; x *= 3.0) {
+    const double c = m.cdf(x);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(m.cdf(1e12), 1.0, 1e-6);
+}
+
+TEST(Mixture, SingleComponentMedian) {
+  LognormalMixture m({{1.0, 500.0, 1.2}});
+  EXPECT_NEAR(m.cdf(500.0), 0.5, 1e-9);
+}
+
+TEST(Mixture, EmpiricalCdfMatchesAnalytic) {
+  LognormalMixture m({{0.3, 50.0, 0.8}, {0.7, 5000.0, 1.2}});
+  Rng rng(123);
+  const int n = 100000;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = m.sample(rng);
+  std::sort(xs.begin(), xs.end());
+  for (double probe : {50.0, 500.0, 5000.0, 50000.0}) {
+    const auto below = std::lower_bound(xs.begin(), xs.end(), probe) -
+                       xs.begin();
+    EXPECT_NEAR(static_cast<double>(below) / n, m.cdf(probe), 0.01)
+        << "probe=" << probe;
+  }
+}
+
+TEST(Mixture, WeightsNeedNotBeNormalised) {
+  LognormalMixture a({{2.0, 100.0, 1.0}, {6.0, 1000.0, 1.0}});
+  LognormalMixture b({{0.25, 100.0, 1.0}, {0.75, 1000.0, 1.0}});
+  for (double x : {10.0, 100.0, 1000.0, 10000.0})
+    EXPECT_NEAR(a.cdf(x), b.cdf(x), 1e-12);
+}
+
+}  // namespace
+}  // namespace raidsim

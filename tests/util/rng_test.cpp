@@ -1,0 +1,203 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace raidsim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 9.0);
+    ASSERT_GE(u, 3.0);
+    ASSERT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.uniform_u64(17), 17u);
+}
+
+TEST(Rng, UniformU64RoughlyUniform) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_u64(10)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformI64Inclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_i64(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / 100000.0, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(19);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal(std::log(100.0), 1.0);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 100.0, 5.0);
+}
+
+TEST(Rng, GeometricMeanAndSupport) {
+  Rng rng(23);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = rng.geometric(0.25);
+    ASSERT_GE(k, 1u);
+    sum += static_cast<double>(k);
+  }
+  EXPECT_NEAR(sum / 100000.0, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricProbabilityOneAlwaysOne) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, ThrowsOnBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 0.8);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 100; ++k) total += zipf.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilityMonotoneInRank) {
+  ZipfSampler zipf(50, 0.9);
+  for (std::uint64_t k = 1; k < 50; ++k)
+    EXPECT_LT(zipf.probability(k), zipf.probability(k - 1));
+}
+
+TEST(Zipf, SamplesWithinRangeAndSkewed) {
+  ZipfSampler zipf(64, 0.9);
+  Rng rng(37);
+  std::map<std::uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto k = zipf.sample(rng);
+    ASSERT_LT(k, 64u);
+    ++counts[k];
+  }
+  // Rank 0 should match its analytic probability reasonably well.
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), zipf.probability(0), 0.03);
+  // And dominate the tail.
+  EXPECT_GT(counts[0], counts[40] * 5);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::uint64_t k = 0; k < 10; ++k)
+    EXPECT_NEAR(zipf.probability(k), 0.1, 1e-9);
+}
+
+TEST(Alias, MatchesWeightsEmpirically) {
+  AliasSampler alias({1.0, 2.0, 3.0, 4.0});
+  Rng rng(41);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[alias.sample(rng)];
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), (i + 1) / 10.0, 0.01);
+}
+
+TEST(Alias, NormalisedProbabilities) {
+  AliasSampler alias({2.0, 6.0});
+  EXPECT_NEAR(alias.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(alias.probability(1), 0.75, 1e-12);
+}
+
+TEST(Alias, ThrowsOnBadWeights) {
+  EXPECT_THROW(AliasSampler({}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Alias, SingleElement) {
+  AliasSampler alias({5.0});
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alias.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace raidsim

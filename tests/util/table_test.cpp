@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace raidsim {
+namespace {
+
+TEST(Table, RendersHeaderAndCells) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::num(0.5, 3), "0.500");
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  TablePrinter t({"x"});
+  t.add_row({"looooooong"});
+  const std::string out = t.to_string();
+  // Each row line must have the same length.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Csv, PlainCells) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a,b", "say \"hi\"", "multi\nline"});
+  EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+}
+
+}  // namespace
+}  // namespace raidsim
