@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fine_parity_striping.dir/abl_fine_parity_striping.cpp.o"
+  "CMakeFiles/abl_fine_parity_striping.dir/abl_fine_parity_striping.cpp.o.d"
+  "abl_fine_parity_striping"
+  "abl_fine_parity_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fine_parity_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

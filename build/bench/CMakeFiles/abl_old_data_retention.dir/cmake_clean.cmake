@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_old_data_retention.dir/abl_old_data_retention.cpp.o"
+  "CMakeFiles/abl_old_data_retention.dir/abl_old_data_retention.cpp.o.d"
+  "abl_old_data_retention"
+  "abl_old_data_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_old_data_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_old_data_retention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_skew_sensitivity.dir/abl_skew_sensitivity.cpp.o"
+  "CMakeFiles/abl_skew_sensitivity.dir/abl_skew_sensitivity.cpp.o.d"
+  "abl_skew_sensitivity"
+  "abl_skew_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_skew_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

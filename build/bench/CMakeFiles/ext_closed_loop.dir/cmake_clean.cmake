@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_closed_loop.dir/ext_closed_loop.cpp.o"
+  "CMakeFiles/ext_closed_loop.dir/ext_closed_loop.cpp.o.d"
+  "ext_closed_loop"
+  "ext_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_degraded_rebuild.dir/ext_degraded_rebuild.cpp.o"
+  "CMakeFiles/ext_degraded_rebuild.dir/ext_degraded_rebuild.cpp.o.d"
+  "ext_degraded_rebuild"
+  "ext_degraded_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_degraded_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reliability.dir/ext_reliability.cpp.o"
+  "CMakeFiles/ext_reliability.dir/ext_reliability.cpp.o.d"
+  "ext_reliability"
+  "ext_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_access_distribution.dir/fig06_07_access_distribution.cpp.o"
+  "CMakeFiles/fig06_07_access_distribution.dir/fig06_07_access_distribution.cpp.o.d"
+  "fig06_07_access_distribution"
+  "fig06_07_access_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_access_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_uncached_striping_unit.cpp" "bench/CMakeFiles/fig08_uncached_striping_unit.dir/fig08_uncached_striping_unit.cpp.o" "gcc" "bench/CMakeFiles/fig08_uncached_striping_unit.dir/fig08_uncached_striping_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/raidsim_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/raidsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/raidsim_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/raidsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/raidsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/raidsim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/raidsim_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/raidsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/raidsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/raidsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

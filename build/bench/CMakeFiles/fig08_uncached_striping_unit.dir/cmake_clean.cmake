@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_uncached_striping_unit.dir/fig08_uncached_striping_unit.cpp.o"
+  "CMakeFiles/fig08_uncached_striping_unit.dir/fig08_uncached_striping_unit.cpp.o.d"
+  "fig08_uncached_striping_unit"
+  "fig08_uncached_striping_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_uncached_striping_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

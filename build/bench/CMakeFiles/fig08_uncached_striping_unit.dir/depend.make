@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_uncached_striping_unit.
+# This may be replaced when dependencies are built.

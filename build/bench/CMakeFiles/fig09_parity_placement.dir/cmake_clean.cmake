@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_parity_placement.dir/fig09_parity_placement.cpp.o"
+  "CMakeFiles/fig09_parity_placement.dir/fig09_parity_placement.cpp.o.d"
+  "fig09_parity_placement"
+  "fig09_parity_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_parity_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

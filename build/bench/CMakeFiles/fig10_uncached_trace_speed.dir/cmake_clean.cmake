@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_uncached_trace_speed.dir/fig10_uncached_trace_speed.cpp.o"
+  "CMakeFiles/fig10_uncached_trace_speed.dir/fig10_uncached_trace_speed.cpp.o.d"
+  "fig10_uncached_trace_speed"
+  "fig10_uncached_trace_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_uncached_trace_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_uncached_trace_speed.
+# This may be replaced when dependencies are built.

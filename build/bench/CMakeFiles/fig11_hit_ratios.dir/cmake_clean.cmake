@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hit_ratios.dir/fig11_hit_ratios.cpp.o"
+  "CMakeFiles/fig11_hit_ratios.dir/fig11_hit_ratios.cpp.o.d"
+  "fig11_hit_ratios"
+  "fig11_hit_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hit_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

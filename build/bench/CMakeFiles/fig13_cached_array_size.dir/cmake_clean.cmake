@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cached_array_size.dir/fig13_cached_array_size.cpp.o"
+  "CMakeFiles/fig13_cached_array_size.dir/fig13_cached_array_size.cpp.o.d"
+  "fig13_cached_array_size"
+  "fig13_cached_array_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cached_array_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_cached_striping_unit.
+# This may be replaced when dependencies are built.

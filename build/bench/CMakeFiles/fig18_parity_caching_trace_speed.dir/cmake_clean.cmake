@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_parity_caching_trace_speed.dir/fig18_parity_caching_trace_speed.cpp.o"
+  "CMakeFiles/fig18_parity_caching_trace_speed.dir/fig18_parity_caching_trace_speed.cpp.o.d"
+  "fig18_parity_caching_trace_speed"
+  "fig18_parity_caching_trace_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_parity_caching_trace_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_parity_caching_trace_speed.
+# This may be replaced when dependencies are built.

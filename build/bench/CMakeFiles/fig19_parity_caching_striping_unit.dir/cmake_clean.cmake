@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_parity_caching_striping_unit.dir/fig19_parity_caching_striping_unit.cpp.o"
+  "CMakeFiles/fig19_parity_caching_striping_unit.dir/fig19_parity_caching_striping_unit.cpp.o.d"
+  "fig19_parity_caching_striping_unit"
+  "fig19_parity_caching_striping_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_parity_caching_striping_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

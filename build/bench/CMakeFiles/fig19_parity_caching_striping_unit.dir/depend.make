@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_parity_caching_striping_unit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_bench_common.dir/common.cpp.o"
+  "CMakeFiles/raidsim_bench_common.dir/common.cpp.o.d"
+  "libraidsim_bench_common.a"
+  "libraidsim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraidsim_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_spot_analysis.dir/hot_spot_analysis.cpp.o"
+  "CMakeFiles/hot_spot_analysis.dir/hot_spot_analysis.cpp.o.d"
+  "hot_spot_analysis"
+  "hot_spot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_spot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

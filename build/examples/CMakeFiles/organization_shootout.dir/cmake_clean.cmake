@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/organization_shootout.dir/organization_shootout.cpp.o"
+  "CMakeFiles/organization_shootout.dir/organization_shootout.cpp.o.d"
+  "organization_shootout"
+  "organization_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/organization_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

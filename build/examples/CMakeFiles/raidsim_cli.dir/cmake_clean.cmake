@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_cli.dir/raidsim_cli.cpp.o"
+  "CMakeFiles/raidsim_cli.dir/raidsim_cli.cpp.o.d"
+  "raidsim_cli"
+  "raidsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/cached_controller.cpp" "src/array/CMakeFiles/raidsim_array.dir/cached_controller.cpp.o" "gcc" "src/array/CMakeFiles/raidsim_array.dir/cached_controller.cpp.o.d"
+  "/root/repo/src/array/controller.cpp" "src/array/CMakeFiles/raidsim_array.dir/controller.cpp.o" "gcc" "src/array/CMakeFiles/raidsim_array.dir/controller.cpp.o.d"
+  "/root/repo/src/array/rebuild.cpp" "src/array/CMakeFiles/raidsim_array.dir/rebuild.cpp.o" "gcc" "src/array/CMakeFiles/raidsim_array.dir/rebuild.cpp.o.d"
+  "/root/repo/src/array/uncached_controller.cpp" "src/array/CMakeFiles/raidsim_array.dir/uncached_controller.cpp.o" "gcc" "src/array/CMakeFiles/raidsim_array.dir/uncached_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/raidsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/raidsim_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/raidsim_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/raidsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/raidsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/raidsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

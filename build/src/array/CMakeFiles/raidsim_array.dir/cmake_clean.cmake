@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_array.dir/cached_controller.cpp.o"
+  "CMakeFiles/raidsim_array.dir/cached_controller.cpp.o.d"
+  "CMakeFiles/raidsim_array.dir/controller.cpp.o"
+  "CMakeFiles/raidsim_array.dir/controller.cpp.o.d"
+  "CMakeFiles/raidsim_array.dir/rebuild.cpp.o"
+  "CMakeFiles/raidsim_array.dir/rebuild.cpp.o.d"
+  "CMakeFiles/raidsim_array.dir/uncached_controller.cpp.o"
+  "CMakeFiles/raidsim_array.dir/uncached_controller.cpp.o.d"
+  "libraidsim_array.a"
+  "libraidsim_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraidsim_array.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_cache.dir/nv_cache.cpp.o"
+  "CMakeFiles/raidsim_cache.dir/nv_cache.cpp.o.d"
+  "libraidsim_cache.a"
+  "libraidsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_channel.dir/channel.cpp.o"
+  "CMakeFiles/raidsim_channel.dir/channel.cpp.o.d"
+  "libraidsim_channel.a"
+  "libraidsim_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_core.dir/closed_loop.cpp.o"
+  "CMakeFiles/raidsim_core.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/raidsim_core.dir/config.cpp.o"
+  "CMakeFiles/raidsim_core.dir/config.cpp.o.d"
+  "CMakeFiles/raidsim_core.dir/metrics.cpp.o"
+  "CMakeFiles/raidsim_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/raidsim_core.dir/reliability.cpp.o"
+  "CMakeFiles/raidsim_core.dir/reliability.cpp.o.d"
+  "CMakeFiles/raidsim_core.dir/replication.cpp.o"
+  "CMakeFiles/raidsim_core.dir/replication.cpp.o.d"
+  "CMakeFiles/raidsim_core.dir/simulator.cpp.o"
+  "CMakeFiles/raidsim_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/raidsim_core.dir/workloads.cpp.o"
+  "CMakeFiles/raidsim_core.dir/workloads.cpp.o.d"
+  "libraidsim_core.a"
+  "libraidsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

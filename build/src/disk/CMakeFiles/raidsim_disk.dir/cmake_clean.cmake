@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_disk.dir/disk.cpp.o"
+  "CMakeFiles/raidsim_disk.dir/disk.cpp.o.d"
+  "CMakeFiles/raidsim_disk.dir/geometry.cpp.o"
+  "CMakeFiles/raidsim_disk.dir/geometry.cpp.o.d"
+  "CMakeFiles/raidsim_disk.dir/seek_model.cpp.o"
+  "CMakeFiles/raidsim_disk.dir/seek_model.cpp.o.d"
+  "libraidsim_disk.a"
+  "libraidsim_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

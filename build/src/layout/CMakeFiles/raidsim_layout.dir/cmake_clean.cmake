@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_layout.dir/layout.cpp.o"
+  "CMakeFiles/raidsim_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/raidsim_layout.dir/placement_model.cpp.o"
+  "CMakeFiles/raidsim_layout.dir/placement_model.cpp.o.d"
+  "libraidsim_layout.a"
+  "libraidsim_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/raidsim_sim.dir/event_queue.cpp.o.d"
+  "libraidsim_sim.a"
+  "libraidsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

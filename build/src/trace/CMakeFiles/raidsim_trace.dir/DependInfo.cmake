@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/lru_stack.cpp" "src/trace/CMakeFiles/raidsim_trace.dir/lru_stack.cpp.o" "gcc" "src/trace/CMakeFiles/raidsim_trace.dir/lru_stack.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/raidsim_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/raidsim_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/raidsim_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/raidsim_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/raidsim_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/raidsim_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/raidsim_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/raidsim_trace.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/raidsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_trace.dir/lru_stack.cpp.o"
+  "CMakeFiles/raidsim_trace.dir/lru_stack.cpp.o.d"
+  "CMakeFiles/raidsim_trace.dir/record.cpp.o"
+  "CMakeFiles/raidsim_trace.dir/record.cpp.o.d"
+  "CMakeFiles/raidsim_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/raidsim_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/raidsim_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/raidsim_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/raidsim_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/raidsim_trace.dir/trace_stats.cpp.o.d"
+  "libraidsim_trace.a"
+  "libraidsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

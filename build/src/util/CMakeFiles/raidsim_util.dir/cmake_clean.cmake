@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim_util.dir/fenwick.cpp.o"
+  "CMakeFiles/raidsim_util.dir/fenwick.cpp.o.d"
+  "CMakeFiles/raidsim_util.dir/mixture.cpp.o"
+  "CMakeFiles/raidsim_util.dir/mixture.cpp.o.d"
+  "CMakeFiles/raidsim_util.dir/rng.cpp.o"
+  "CMakeFiles/raidsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/raidsim_util.dir/stats.cpp.o"
+  "CMakeFiles/raidsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/raidsim_util.dir/table.cpp.o"
+  "CMakeFiles/raidsim_util.dir/table.cpp.o.d"
+  "libraidsim_util.a"
+  "libraidsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

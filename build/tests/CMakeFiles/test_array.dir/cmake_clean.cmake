@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array.dir/array/buffer_pressure_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/buffer_pressure_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/cached_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/cached_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/channel_contention_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/channel_contention_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/controller_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/controller_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/degraded_cached_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/degraded_cached_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/degraded_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/degraded_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/parity_caching_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/parity_caching_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/sync_timing_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/sync_timing_test.cpp.o.d"
+  "CMakeFiles/test_array.dir/array/uncached_test.cpp.o"
+  "CMakeFiles/test_array.dir/array/uncached_test.cpp.o.d"
+  "test_array"
+  "test_array.pdb"
+  "test_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/closed_loop_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/closed_loop_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/conservation_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/conservation_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/reliability_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/reliability_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/replication_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/replication_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/simulator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/simulator_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

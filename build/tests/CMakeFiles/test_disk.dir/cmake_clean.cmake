@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk.dir/disk/disk_test.cpp.o"
+  "CMakeFiles/test_disk.dir/disk/disk_test.cpp.o.d"
+  "CMakeFiles/test_disk.dir/disk/geometry_test.cpp.o"
+  "CMakeFiles/test_disk.dir/disk/geometry_test.cpp.o.d"
+  "CMakeFiles/test_disk.dir/disk/queueing_theory_test.cpp.o"
+  "CMakeFiles/test_disk.dir/disk/queueing_theory_test.cpp.o.d"
+  "CMakeFiles/test_disk.dir/disk/scheduling_test.cpp.o"
+  "CMakeFiles/test_disk.dir/disk/scheduling_test.cpp.o.d"
+  "CMakeFiles/test_disk.dir/disk/seek_model_test.cpp.o"
+  "CMakeFiles/test_disk.dir/disk/seek_model_test.cpp.o.d"
+  "test_disk"
+  "test_disk.pdb"
+  "test_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout.dir/layout/base_mirror_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/base_mirror_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/fine_parity_striping_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/fine_parity_striping_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/layout_property_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/layout_property_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/parity_striping_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/parity_striping_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/placement_model_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/placement_model_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/raid10_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/raid10_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/striped_parity_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/striped_parity_test.cpp.o.d"
+  "test_layout"
+  "test_layout.pdb"
+  "test_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
