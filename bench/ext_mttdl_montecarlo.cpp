@@ -1,0 +1,96 @@
+// Extension: Monte-Carlo validation of the analytic MTTDL model
+// (Section 1 and the Section 4.2.1 reliability/rebuild trade-off).
+// Simulates thousands of whole failure/repair lifetimes per
+// organization at the paper's parameters (100,000 h disk MTTF, 24 h
+// repair) and compares the simulated mean time to data loss against
+// the closed-form approximations of core/reliability.hpp. Agreement
+// within the 95% confidence interval -- and always within 2x on a log
+// scale -- validates both the formulas and the fault subsystem's loss
+// semantics (HealthMonitor::causes_data_loss shares them).
+#include <iostream>
+#include <string>
+
+#include "common.hpp"
+#include "fault/mttdl_sim.hpp"
+
+namespace {
+
+using namespace raidsim;
+
+constexpr double kHoursPerYear = 24.0 * 365.0;
+
+void add_row(TablePrinter& table, const std::string& label,
+             const MttdlConfig& config, int lifetimes) {
+  const MttdlEstimate est = simulate_mttdl(config, lifetimes);
+  table.add_row(
+      {label, std::to_string(config.total_data_disks),
+       std::to_string(config.array_data_disks),
+       TablePrinter::num(est.analytic_hours / kHoursPerYear, 2),
+       TablePrinter::num(est.mean_hours / kHoursPerYear, 2),
+       TablePrinter::num(est.ci_low_hours / kHoursPerYear, 2) + ".." +
+           TablePrinter::num(est.ci_high_hours / kHoursPerYear, 2),
+       TablePrinter::num(est.ratio(), 3),
+       est.agrees_within(2.0) ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace raidsim::bench;
+  const auto options = BenchOptions::parse(argc, argv);
+  banner("Extension: Monte-Carlo MTTDL vs the analytic model",
+         "Section 1: redundant organizations only lose data when a second "
+         "failure strikes a group inside the first's repair window",
+         options);
+
+  const int lifetimes = 1000;
+  MttdlConfig base;  // paper parameters: 100,000 h MTTF, 24 h MTTR
+  if (options.seed) base.seed = options.seed;
+
+  TablePrinter table({"organization", "D", "N", "analytic (yr)",
+                      "simulated (yr)", "95% CI (yr)", "sim/analytic",
+                      "within 2x"});
+
+  // Base: no redundancy, MTTDL = MTTF / D. Doubling the database
+  // halves the expected lifetime.
+  for (int d : {50, 100, 200}) {
+    auto cfg = base;
+    cfg.organization = Organization::kBase;
+    cfg.total_data_disks = d;
+    cfg.array_data_disks = 10;
+    add_row(table, "Base", cfg, lifetimes);
+  }
+
+  // Mirror and RAID5 at two array sizes each (the acceptance bar).
+  for (int n : {4, 10}) {
+    auto cfg = base;
+    cfg.organization = Organization::kMirror;
+    cfg.total_data_disks = n;
+    cfg.array_data_disks = n;
+    add_row(table, "Mirrored", cfg, lifetimes);
+  }
+  for (int n : {4, 10, 20}) {
+    auto cfg = base;
+    cfg.organization = Organization::kRaid5;
+    cfg.total_data_disks = n;
+    cfg.array_data_disks = n;
+    add_row(table, "RAID5", cfg, lifetimes);
+  }
+  {
+    auto cfg = base;
+    cfg.organization = Organization::kParityStriping;
+    cfg.total_data_disks = 10;
+    cfg.array_data_disks = 10;
+    add_row(table, "Parity Striping", cfg, lifetimes);
+  }
+
+  table.print(std::cout);
+  std::cout
+      << "\nEach row is " << lifetimes
+      << " independent simulated lifetimes (exponential failures and "
+         "repairs, only the failure/repair epochs are drawn).\n"
+         "Base scales as MTTF/D; the redundant organizations sit orders "
+         "of magnitude higher and shrink as group size grows, matching "
+         "Section 4.2.1's large-array reliability caveat.\n";
+  return 0;
+}

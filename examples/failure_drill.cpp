@@ -1,18 +1,23 @@
-// Failure drill: walk one array through its availability story --
-// healthy service, a disk failure, degraded service, an online rebuild,
-// and full recovery -- printing response times and the degraded-mode
-// counters at each stage. Exercises fail_disk(), the degraded read/write
-// paths, RebuildProcess, and the reliability model in one narrative.
+// Scripted failure drill: walk one array through the full automatic
+// recovery pipeline -- healthy service, an injected whole-disk failure
+// with no spare on hand (degraded service), a hot spare arriving
+// (HealthMonitor launches the rebuild), online reconstruction under
+// foreground load, and full recovery -- printing the response-time
+// delta of each phase and the monitor's event log. Ends with a scrub
+// epilogue: a planted latent sector error found and repaired by the
+// patrol read.
 //
 // Usage: failure_drill [raid5|parstrip|mirror|raid10] [N]
 #include <iostream>
 #include <string>
 
-#include "array/rebuild.hpp"
 #include "core/closed_loop.hpp"
 #include "core/reliability.hpp"
 #include "core/simulator.hpp"
 #include "core/workloads.hpp"
+#include "fault/health_monitor.hpp"
+#include "fault/mttdl_sim.hpp"
+#include "fault/scrub.hpp"
 #include "trace/synthetic.hpp"
 #include "util/table.hpp"
 
@@ -26,6 +31,19 @@ Organization parse_org(const std::string& name) {
   if (name == "mirror") return Organization::kMirror;
   if (name == "raid10") return Organization::kRaid10;
   throw std::invalid_argument("unknown organization: " + name);
+}
+
+std::string to_string(HealthMonitor::EventKind kind) {
+  switch (kind) {
+    case HealthMonitor::EventKind::kDiskFailure: return "disk failure";
+    case HealthMonitor::EventKind::kDataLoss: return "DATA LOSS";
+    case HealthMonitor::EventKind::kSpareAllocated: return "spare allocated";
+    case HealthMonitor::EventKind::kSpareExhausted: return "spare pool empty";
+    case HealthMonitor::EventKind::kRebuildStarted: return "rebuild started";
+    case HealthMonitor::EventKind::kRebuildCompleted:
+      return "rebuild completed";
+  }
+  return "?";
 }
 
 struct StageResult {
@@ -108,43 +126,94 @@ int main(int argc, char** argv) {
   Rng rng(2718);
 
   Simulator sim(config, profile.geometry);
-  std::cout << "Failure drill: " << config.describe() << "\n"
-            << "Analytic MTTDL of this group: "
-            << TablePrinter::num(
-                   group_mttdl_hours(org, n) / (24.0 * 365.0), 1)
-            << " years (100,000 h disk MTTF, 24 h repair)\n\n";
 
-  TablePrinter table({"stage", "mean response (ms)", "degraded reads",
-                      "degraded writes"});
+  // Reliability context: the analytic MTTDL of this group, cross-checked
+  // by a quick Monte-Carlo run (see bench/ext_mttdl_montecarlo for the
+  // full validation).
+  MttdlConfig mttdl;
+  mttdl.organization = org;
+  mttdl.total_data_disks = n;
+  mttdl.array_data_disks = n;
+  const auto estimate = simulate_mttdl(mttdl, 400);
+  const double hours_per_year = 24.0 * 365.0;
+  // system_mttdl_hours, not group_mttdl_hours: a mirrored array of N
+  // data disks is N independent pairs (groups), so the array-level
+  // figure is the per-pair MTTDL divided by N. The Monte-Carlo estimate
+  // simulates the whole array and must be compared at the same level.
+  std::cout << "Failure drill: " << config.describe() << "\n"
+            << "Analytic MTTDL of this array: "
+            << TablePrinter::num(system_mttdl_hours(org, n, n) /
+                                     hours_per_year,
+                                 1)
+            << " years (100,000 h disk MTTF, 24 h repair); Monte-Carlo "
+            << "cross-check: "
+            << TablePrinter::num(estimate.mean_hours / hours_per_year, 1)
+            << " years (" << estimate.lifetimes << " lifetimes, ratio "
+            << TablePrinter::num(estimate.ratio(), 2) << ")\n\n";
+
+  // The monitor starts with an EMPTY spare pool: the injected failure
+  // leaves the array degraded until the drill delivers a spare.
+  HealthMonitor::Options monitor_options;
+  monitor_options.hot_spares = 0;
+  monitor_options.spare_swap_ms = 500.0;  // spindle-up after delivery
+  monitor_options.rebuild.blocks_per_pass = 30;
+  HealthMonitor monitor(sim.event_queue(), sim.mutable_controller(0),
+                        monitor_options);
+
+  TablePrinter table({"phase", "mean response (ms)", "vs healthy",
+                      "degraded reads", "degraded writes"});
+  double healthy_ms = 0.0;
   auto record = [&](const std::string& stage, const StageResult& r) {
+    if (healthy_ms == 0.0) healthy_ms = r.mean_ms;
     table.add_row({stage, TablePrinter::num(r.mean_ms),
+                   TablePrinter::num(r.mean_ms - healthy_ms, 2) + " ms",
                    std::to_string(r.degraded_reads),
                    std::to_string(r.degraded_writes)});
   };
 
   record("1. healthy", drive(sim, addresses, rng, kStageRequests));
 
-  sim.mutable_controller(0).fail_disk(0);
-  record("2. disk 0 failed (degraded)",
+  // Inject a whole-disk failure. With the spare pool empty the monitor
+  // records the exhaustion and leaves the array degraded.
+  monitor.on_disk_failure(0, 0);
+  record("2. disk 0 failed, no spare (degraded)",
          drive(sim, addresses, rng, kStageRequests));
 
-  RebuildProcess::Options rebuild_options;
-  rebuild_options.blocks_per_pass = 30;
-  RebuildProcess rebuild(sim.event_queue(), sim.mutable_controller(0),
-                         rebuild_options);
-  bool rebuilt = false;
-  rebuild.start([&](SimTime) { rebuilt = true; });
-  record("3. rebuilding (foreground continues)",
+  // The replacement disk arrives: the monitor allocates it and starts
+  // the rebuild on its own.
+  monitor.add_spares(1);
+  record("3. spare arrived, rebuilding (foreground continues)",
          drive(sim, addresses, rng, kStageRequests));
-  std::cout << "   rebuild progress during stage 3: "
-            << TablePrinter::num(100.0 * rebuild.progress(), 1) << "%\n";
 
   // Let the rebuild finish quietly, then measure recovered service.
-  while (!rebuilt && sim.event_queue().step()) {
+  while (monitor.rebuilds_completed() == 0 && sim.event_queue().step()) {
   }
   record("4. recovered", drive(sim, addresses, rng, kStageRequests));
-
   table.print(std::cout);
+
+  std::cout << "\nMonitor event log:\n";
+  TablePrinter events({"time (s)", "event", "disk"});
+  for (const auto& e : monitor.events())
+    events.add_row({TablePrinter::num(e.time / 1000.0, 2), to_string(e.kind),
+                    e.disk >= 0 ? std::to_string(e.disk) : "-"});
+  events.print(std::cout);
+
+  // Epilogue: a latent sector error on a surviving disk, found and
+  // repaired in place by one background scrub sweep.
+  auto& controller = sim.mutable_controller(0);
+  const auto extent = controller.layout().map_read(42, 1)[0];
+  controller.disks()[static_cast<std::size_t>(extent.disk)]
+      ->plant_media_error(extent.start_block);
+  ScrubProcess scrub(sim.event_queue(), controller);
+  scrub.start();
+  while (scrub.running() && sim.event_queue().step()) {
+  }
+  std::cout << "\nScrub epilogue: planted 1 latent sector error on disk "
+            << extent.disk << "; sweep found " << scrub.stats().errors_found
+            << ", repaired " << controller.stats().media_repairs
+            << " (reconstruct-and-rewrite), "
+            << scrub.stats().blocks_scrubbed << " blocks patrolled.\n";
+
   sim.drain_and_finalize();
   return 0;
 }

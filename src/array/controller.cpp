@@ -57,7 +57,10 @@ ArrayController::ArrayController(EventQueue& eq, const Config& config)
       disk_geometry_(config.disk_geometry),
       seek_model_(SeekModel::calibrate(config.seek)),
       layout_(make_layout(config.layout)),
-      sync_(config.sync) {
+      sync_(config.sync),
+      fault_(config.fault) {
+  if (fault_.retry_budget < 0 || fault_.retry_backoff_ms < 0.0)
+    throw std::invalid_argument("ArrayController: negative fault policy");
   const int total = layout_->total_disks();
   disks_.reserve(static_cast<std::size_t>(total));
   for (int d = 0; d < total; ++d)
@@ -131,28 +134,126 @@ void ArrayController::disk_read(const PhysicalExtent& extent,
     }
     return;
   }
-  Disk& disk = *disks_[static_cast<std::size_t>(extent.disk)];
-  DiskRequest req;
-  req.kind = DiskOpKind::kRead;
-  req.start_block = extent.start_block;
-  req.block_count = extent.block_count;
-  req.priority = priority;
-  req.on_complete = std::move(done);
-  disk.submit(std::move(req));
+  submit_op(extent, /*is_write=*/false, priority, std::move(done), 0);
 }
 
 void ArrayController::disk_write(const PhysicalExtent& extent,
                                  DiskPriority priority,
                                  std::function<void(SimTime)> done) {
   assert(extent.valid());
+  submit_op(extent, /*is_write=*/true, priority, std::move(done), 0);
+}
+
+void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
+                                DiskPriority priority,
+                                std::function<void(SimTime)> done,
+                                int attempt) {
+  // Retries re-enter here after a backoff, during which the target disk
+  // may have been declared dead: reads fall back to reconstruction,
+  // writes to the dead region are absorbed (the rebuild regenerates
+  // their content from the surviving members).
+  if (is_degraded(extent)) {
+    if (is_write) {
+      if (done) done(eq_.now());
+      return;
+    }
+    disk_read(extent, priority, std::move(done));
+    return;
+  }
   Disk& disk = *disks_[static_cast<std::size_t>(extent.disk)];
   DiskRequest req;
-  req.kind = DiskOpKind::kWrite;
+  req.kind = is_write ? DiskOpKind::kWrite : DiskOpKind::kRead;
   req.start_block = extent.start_block;
   req.block_count = extent.block_count;
   req.priority = priority;
-  req.on_complete = std::move(done);
+  req.on_complete = done;
+  req.on_error = [this, extent, is_write, priority, done = std::move(done),
+                  attempt](SimTime t, DiskError error) mutable {
+    if (error == DiskError::kMedia && !is_write) {
+      ++stats_.media_errors;
+      // The data are reconstructed from the group and rewritten in
+      // place (sector remap); the reconstruction also serves the read.
+      repair_media_error(extent, priority, std::move(done));
+      return;
+    }
+    if (error == DiskError::kTransient && attempt < fault_.retry_budget) {
+      ++stats_.transient_retries;
+      const double backoff =
+          fault_.retry_backoff_ms * static_cast<double>(1 << attempt);
+      eq_.schedule_in(backoff, [this, extent, is_write, priority,
+                                done = std::move(done), attempt]() mutable {
+        submit_op(extent, is_write, priority, std::move(done), attempt + 1);
+      });
+      return;
+    }
+    handle_retry_exhaustion(extent, is_write, priority, std::move(done), t);
+  };
   disk.submit(std::move(req));
+}
+
+void ArrayController::handle_retry_exhaustion(const PhysicalExtent& extent,
+                                              bool is_write,
+                                              DiskPriority priority,
+                                              std::function<void(SimTime)> done,
+                                              SimTime now) {
+  ++stats_.retry_exhaustions;
+  if (disk_dead_handler_) {
+    // The handler (HealthMonitor) owns the failure bookkeeping: it
+    // marks the disk failed, allocates a spare, and detects data loss.
+    disk_dead_handler_(extent.disk, now);
+  } else if (failed_disk_ < 0) {
+    fail_disk(extent.disk);
+  }
+  if (failed_disk_ == extent.disk) {
+    // The disk is now formally failed: serve the op in degraded mode.
+    if (is_write) {
+      if (done) done(eq_.now());
+    } else {
+      disk_read(extent, priority, std::move(done));
+    }
+    return;
+  }
+  // A second concurrent failure the single-failure controller cannot
+  // degrade around: the access is lost (the HealthMonitor records the
+  // data-loss event; the op still completes so the host is released).
+  ++stats_.unrecoverable;
+  if (done) done(eq_.now());
+}
+
+void ArrayController::repair_media_error(const PhysicalExtent& extent,
+                                         DiskPriority priority,
+                                         std::function<void(SimTime)> done) {
+  const auto groups = layout_->degraded_group(extent);
+  Disk& disk = *disks_[static_cast<std::size_t>(extent.disk)];
+  if (groups.empty()) {
+    // No redundancy: the sectors are remapped but their content is gone.
+    ++stats_.media_losses;
+    ++stats_.unrecoverable;
+    disk.clear_media_errors(extent.start_block, extent.block_count);
+    if (done) done(eq_.now());
+    return;
+  }
+  int reads = 0;
+  for (const auto& group : groups)
+    reads += static_cast<int>(group.member_reads.size()) +
+             (group.parity.valid() ? 1 : 0);
+  auto rewrite = [this, extent, priority,
+                  done = std::move(done)](SimTime) mutable {
+    disk_write(extent, priority,
+               [this, done = std::move(done)](SimTime t) {
+                 ++stats_.media_repairs;
+                 if (done) done(t);
+               });
+  };
+  auto barrier = Barrier::create(reads, std::move(rewrite));
+  for (const auto& group : groups) {
+    for (const auto& member : group.member_reads)
+      disk_read(member, priority,
+                [barrier](SimTime t) { barrier->arrive(t); });
+    if (group.parity.valid())
+      disk_read(group.parity, priority,
+                [barrier](SimTime t) { barrier->arrive(t); });
+  }
 }
 
 std::vector<PhysicalExtent> ArrayController::split_at_cylinders(

@@ -71,6 +71,12 @@ struct ControllerStats {
   std::uint64_t degraded_reads = 0;    // reads reconstructed from the group
   std::uint64_t degraded_writes = 0;   // writes applied without the failed disk
   std::uint64_t unrecoverable = 0;     // accesses lost (no redundancy)
+  // Fault-handling accounting (transient retry + media repair paths).
+  std::uint64_t transient_retries = 0;   // ops re-queued after a timeout
+  std::uint64_t retry_exhaustions = 0;   // ops whose retry budget ran out
+  std::uint64_t media_errors = 0;        // latent sector errors hit by reads
+  std::uint64_t media_repairs = 0;       // reconstruct-and-rewrite remaps
+  std::uint64_t media_losses = 0;        // media errors with no redundancy
 
   double read_hit_ratio() const {
     return read_requests ? static_cast<double>(read_request_hits) /
@@ -90,6 +96,14 @@ struct ControllerStats {
 /// synchronization policy.
 class ArrayController {
  public:
+  /// Transient-error handling policy: a timed-out op is re-queued with
+  /// exponential backoff (backoff doubles per attempt) until the budget
+  /// is exhausted, at which point the disk is declared dead.
+  struct FaultPolicy {
+    int retry_budget = 3;
+    double retry_backoff_ms = 5.0;
+  };
+
   struct Config {
     LayoutConfig layout;
     DiskGeometry disk_geometry;
@@ -98,6 +112,7 @@ class ArrayController {
     DiskScheduling disk_scheduling = DiskScheduling::kFifo;
     double channel_mb_per_second = 10.0;
     int track_buffers_per_disk = 5;
+    FaultPolicy fault;
   };
 
   ArrayController(EventQueue& eq, const Config& config);
@@ -132,6 +147,33 @@ class ArrayController {
   /// redundancy to rebuild from.
   bool rebuild_extent(const PhysicalExtent& extent, DiskPriority priority,
                       std::function<void(SimTime)> done);
+
+  /// Patrol-read one extent through the fault-aware read path
+  /// (ScrubProcess): a latent sector error it hits is repaired in place
+  /// by repair_media_error, and a degraded extent is reconstructed.
+  void scrub_extent(const PhysicalExtent& extent, DiskPriority priority,
+                    std::function<void(SimTime)> done) {
+    disk_read(extent, priority, std::move(done));
+  }
+
+  /// Repair a latent sector error in place: reconstruct the extent from
+  /// the surviving members of its parity group (or the mirror twin) and
+  /// rewrite it on its own disk, remapping the bad sectors. Without
+  /// redundancy the data are lost (counted) and the blocks remapped
+  /// empty. `done` fires when the rewrite (or loss accounting) is done.
+  void repair_media_error(const PhysicalExtent& extent, DiskPriority priority,
+                          std::function<void(SimTime)> done);
+
+  /// Invoked when a disk exhausts its transient-retry budget and is
+  /// declared dead. The handler owns the reaction (typically a
+  /// HealthMonitor marking the failure and orchestrating recovery);
+  /// without one the controller marks the disk failed itself when no
+  /// other failure is outstanding.
+  void set_disk_dead_handler(std::function<void(int disk, SimTime)> handler) {
+    disk_dead_handler_ = std::move(handler);
+  }
+
+  const FaultPolicy& fault_policy() const { return fault_; }
 
   const Layout& layout() const { return *layout_; }
   const std::vector<std::unique_ptr<Disk>>& disks() const { return disks_; }
@@ -202,8 +244,19 @@ class ArrayController {
                                old_data_cached,
                            std::function<void(SimTime)> done);
 
+  /// Fault-aware submission of a plain read/write: installs the
+  /// transient-retry and media-repair handlers around the disk op.
+  void submit_op(const PhysicalExtent& extent, bool is_write,
+                 DiskPriority priority, std::function<void(SimTime)> done,
+                 int attempt);
+  void handle_retry_exhaustion(const PhysicalExtent& extent, bool is_write,
+                               DiskPriority priority,
+                               std::function<void(SimTime)> done, SimTime now);
+
   SyncPolicy sync_;
   ControllerStats stats_;
+  FaultPolicy fault_;
+  std::function<void(int, SimTime)> disk_dead_handler_;
   int failed_disk_ = -1;
   std::int64_t rebuild_watermark_ = 0;
 };

@@ -22,17 +22,31 @@ RebuildProcess::RebuildProcess(EventQueue& eq, ArrayController& controller,
 
 void RebuildProcess::start(std::function<void(SimTime)> on_complete) {
   if (running_) throw std::logic_error("RebuildProcess: already running");
+  if (completed_ || aborted_)
+    throw std::logic_error("RebuildProcess: already finished");
+  if (controller_.failed_disk() != disk_)
+    throw std::logic_error("RebuildProcess: failed disk changed before start");
   running_ = true;
   on_complete_ = std::move(on_complete);
   next_pass();
 }
 
 void RebuildProcess::next_pass() {
+  if (controller_.failed_disk() != disk_) {
+    // The failure state was cleared (or moved to another disk) under
+    // us: the sweep's watermark bookkeeping no longer applies. Stop
+    // without touching the controller and without firing on_complete.
+    running_ = false;
+    aborted_ = true;
+    on_complete_ = nullptr;
+    return;
+  }
   if (position_ >= total_) {
     // Fully reconstructed: the replacement is consistent, clear the
     // failure and report.
     controller_.fail_disk(-1);
     running_ = false;
+    completed_ = true;
     if (on_complete_) {
       auto fire = std::move(on_complete_);
       on_complete_ = nullptr;
@@ -45,6 +59,12 @@ void RebuildProcess::next_pass() {
   PhysicalExtent extent{disk_, position_, take};
   const bool ok = controller_.rebuild_extent(
       extent, options_.priority, [this, take](SimTime) {
+        if (controller_.failed_disk() != disk_) {
+          running_ = false;
+          aborted_ = true;
+          on_complete_ = nullptr;
+          return;
+        }
         position_ += take;
         controller_.set_rebuild_watermark(position_);
         if (options_.inter_pass_gap_ms > 0.0) {

@@ -42,10 +42,18 @@ class RebuildProcess {
 
   /// Begin the sweep; `on_complete` fires when the entire used span of
   /// the disk has been reconstructed (the controller's failure state is
-  /// cleared first).
+  /// cleared first). A process runs at most once: calling start() while
+  /// running, after completion, or after an abort throws.
   void start(std::function<void(SimTime)> on_complete);
 
   bool running() const { return running_; }
+  /// True once the sweep has fully reconstructed the disk.
+  bool completed() const { return completed_; }
+  /// True when the sweep stopped early because the controller's failure
+  /// state was cleared or moved to another disk mid-sweep (e.g. a
+  /// second failure superseding this rebuild). on_complete does not
+  /// fire for an aborted sweep.
+  bool aborted() const { return aborted_; }
   std::int64_t blocks_rebuilt() const { return position_; }
   std::int64_t blocks_total() const { return total_; }
   double progress() const {
@@ -64,6 +72,8 @@ class RebuildProcess {
   std::int64_t position_ = 0;
   std::int64_t total_ = 0;
   bool running_ = false;
+  bool completed_ = false;
+  bool aborted_ = false;
   std::function<void(SimTime)> on_complete_;
 };
 

@@ -19,6 +19,8 @@ void SimulationConfig::validate() const {
     throw std::invalid_argument("SimulationConfig: channel rate <= 0");
   if (track_buffers_per_disk < 1)
     throw std::invalid_argument("SimulationConfig: track buffers < 1");
+  if (disk_retry_budget < 0 || disk_retry_backoff_ms < 0.0)
+    throw std::invalid_argument("SimulationConfig: negative retry policy");
   if (cached && cache_bytes < disk_geometry.block_bytes())
     throw std::invalid_argument("SimulationConfig: cache smaller than a block");
   if (cached && destage_period_ms <= 0.0)
@@ -72,6 +74,8 @@ ArrayController::Config SimulationConfig::array_config(
   cfg.disk_scheduling = disk_scheduling;
   cfg.channel_mb_per_second = channel_mb_per_second;
   cfg.track_buffers_per_disk = track_buffers_per_disk;
+  cfg.fault.retry_budget = disk_retry_budget;
+  cfg.fault.retry_backoff_ms = disk_retry_backoff_ms;
   return cfg;
 }
 

@@ -34,6 +34,12 @@ struct SimulationConfig {
   double channel_mb_per_second = 10.0;
   int track_buffers_per_disk = 5;
 
+  /// Fault handling (fault-injection support): transient errors are
+  /// retried with exponential backoff until the budget runs out, at
+  /// which point the disk is declared dead.
+  int disk_retry_budget = 3;
+  double disk_retry_backoff_ms = 5.0;
+
   bool cached = false;
   std::int64_t cache_bytes = 16ll << 20;  // per array
   double destage_period_ms = 300.0;

@@ -22,6 +22,8 @@ void accumulate(DiskStats& total, const DiskStats& d) {
   total.hold_ms += d.hold_ms;
   total.queue_ms += d.queue_ms;
   total.held_rotations += d.held_rotations;
+  total.transient_faults += d.transient_faults;
+  total.media_faults += d.media_faults;
 }
 
 void accumulate(ControllerStats& total, const ControllerStats& c) {
@@ -37,6 +39,14 @@ void accumulate(ControllerStats& total, const ControllerStats& c) {
   total.parity_reservation_failures += c.parity_reservation_failures;
   total.parity_queue_peak =
       std::max(total.parity_queue_peak, c.parity_queue_peak);
+  total.degraded_reads += c.degraded_reads;
+  total.degraded_writes += c.degraded_writes;
+  total.unrecoverable += c.unrecoverable;
+  total.transient_retries += c.transient_retries;
+  total.retry_exhaustions += c.retry_exhaustions;
+  total.media_errors += c.media_errors;
+  total.media_repairs += c.media_repairs;
+  total.media_losses += c.media_losses;
 }
 
 void accumulate(NvCache::Stats& total, const NvCache::Stats& c) {

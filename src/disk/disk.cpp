@@ -34,6 +34,15 @@ std::string to_string(DiskScheduling scheduling) {
   return "?";
 }
 
+std::string to_string(DiskError error) {
+  switch (error) {
+    case DiskError::kNone: return "none";
+    case DiskError::kTransient: return "transient";
+    case DiskError::kMedia: return "media";
+  }
+  return "?";
+}
+
 Disk::Disk(EventQueue& eq, const DiskGeometry& geometry, const SeekModel* seek,
            int id, DiskScheduling scheduling)
     : eq_(eq), geometry_(geometry), seek_(seek), id_(id),
@@ -257,11 +266,57 @@ void Disk::schedule_rmw_write(std::shared_ptr<Pending> p, SimTime service_start,
   });
 }
 
+void Disk::plant_media_error(std::int64_t block) {
+  assert(block >= 0 && block < geometry_.total_blocks());
+  bad_blocks_.insert(block);
+}
+
+bool Disk::has_media_error(std::int64_t start_block, int block_count) const {
+  for (int i = 0; i < block_count; ++i)
+    if (bad_blocks_.count(start_block + i)) return true;
+  return false;
+}
+
+int Disk::media_errors_in(std::int64_t start_block, int block_count) const {
+  int n = 0;
+  for (int i = 0; i < block_count; ++i)
+    if (bad_blocks_.count(start_block + i)) ++n;
+  return n;
+}
+
+void Disk::clear_media_errors(std::int64_t start_block, int block_count) {
+  for (int i = 0; i < block_count; ++i) bad_blocks_.erase(start_block + i);
+}
+
 void Disk::complete(const Pending& p, SimTime service_start, SimTime end_time,
                     int end_cylinder) {
   head_cylinder_ = end_cylinder;
   stats_.busy_ms += end_time - service_start;
-  if (p.req.on_complete) p.req.on_complete(end_time);
+
+  // Fault disposition: only requests that installed an error handler
+  // participate; the evaluator is consulted first (it may plant media
+  // errors as a side effect), then reads are checked against the
+  // latent-error set. The op has already consumed its mechanical
+  // service time -- a timeout holds the spindle just like a success.
+  DiskError error = DiskError::kNone;
+  if (p.req.on_error) {
+    if (fault_evaluator_) error = fault_evaluator_(p.req);
+    if (error == DiskError::kNone && p.req.kind == DiskOpKind::kRead &&
+        has_media_error(p.req.start_block, p.req.block_count))
+      error = DiskError::kMedia;
+  }
+  if (error == DiskError::kNone && p.req.kind != DiskOpKind::kRead) {
+    // A successful (re)write remaps any latent-error sectors it covers.
+    clear_media_errors(p.req.start_block, p.req.block_count);
+  }
+
+  if (error != DiskError::kNone) {
+    (error == DiskError::kTransient ? stats_.transient_faults
+                                    : stats_.media_faults)++;
+    p.req.on_error(end_time, error);
+  } else if (p.req.on_complete) {
+    p.req.on_complete(end_time);
+  }
   start_next();
 }
 

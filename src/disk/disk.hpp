@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "disk/geometry.hpp"
@@ -40,6 +41,21 @@ enum class DiskOpKind {
   /// revolutions later (small-write parity update path, Section 3.3).
   kReadModifyWrite,
 };
+
+/// Failure modes an access can report (fault-injection support). Faults
+/// are only delivered to requests that install an `on_error` handler;
+/// legacy submitters see every access succeed.
+enum class DiskError {
+  kNone,
+  /// Timeout/aborted command: the op consumed its mechanical service
+  /// time but returned no data. Retryable.
+  kTransient,
+  /// Latent sector error: one or more blocks of a read are unreadable.
+  /// Persistent until the extent is rewritten (sector remap).
+  kMedia,
+};
+
+std::string to_string(DiskError error);
 
 /// Synchronization gate for the write phase of a read-modify-write
 /// access: the in-place write may not begin before the gate opens (e.g.
@@ -82,6 +98,10 @@ struct DiskRequest {
   std::function<void(SimTime)> on_read_done;
   /// Invoked when the access fully completes.
   std::function<void(SimTime)> on_complete;
+  /// Invoked INSTEAD of on_complete when the access faults (transient
+  /// timeout or media error). Requests without a handler opt out of
+  /// fault injection entirely and always complete.
+  std::function<void(SimTime, DiskError)> on_error;
 };
 
 struct DiskStats {
@@ -95,6 +115,8 @@ struct DiskStats {
   double hold_ms = 0.0;      // time spent held waiting on write gates
   double queue_ms = 0.0;     // cumulative queueing delay
   std::uint64_t held_rotations = 0;  // extra full revolutions due to gates
+  std::uint64_t transient_faults = 0;  // ops failed with a transient timeout
+  std::uint64_t media_faults = 0;      // reads that hit a latent sector error
 
   std::uint64_t ops() const { return reads + writes + rmws; }
   double utilization(SimTime elapsed) const {
@@ -115,6 +137,24 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   void submit(DiskRequest req);
+
+  /// Fault-injection hook, consulted once per access that carries an
+  /// `on_error` handler (after the mechanical service completes). May
+  /// plant media errors on this disk as a side effect. Null = no faults.
+  using FaultEvaluator = std::function<DiskError(const DiskRequest&)>;
+  void set_fault_evaluator(FaultEvaluator evaluator) {
+    fault_evaluator_ = std::move(evaluator);
+  }
+
+  /// Latent sector errors: a planted block makes any fault-aware read
+  /// covering it fail with DiskError::kMedia until the block is
+  /// rewritten (any successful write or RMW clears the blocks it
+  /// covers, modelling sector remapping).
+  void plant_media_error(std::int64_t block);
+  bool has_media_error(std::int64_t start_block, int block_count) const;
+  int media_errors_in(std::int64_t start_block, int block_count) const;
+  void clear_media_errors(std::int64_t start_block, int block_count);
+  std::size_t media_error_count() const { return bad_blocks_.size(); }
 
   int id() const { return id_; }
   const DiskGeometry& geometry() const { return geometry_; }
@@ -173,6 +213,8 @@ class Disk {
   bool scan_upward_ = true;  // SCAN sweep direction
   std::vector<Pending> queue_;
   DiskStats stats_;
+  FaultEvaluator fault_evaluator_;
+  std::unordered_set<std::int64_t> bad_blocks_;
 };
 
 }  // namespace raidsim

@@ -1,0 +1,152 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace raidsim {
+
+double FaultInjectorConfig::hours_to_ms(double hours, double acceleration) {
+  if (acceleration <= 0.0)
+    throw std::invalid_argument("FaultInjectorConfig: bad acceleration");
+  return hours * 3600.0 * 1000.0 / acceleration;
+}
+
+FaultInjector::FaultInjector(EventQueue& eq, HealthMonitor& monitor,
+                             std::vector<ArrayController*> arrays,
+                             const FaultInjectorConfig& config)
+    : eq_(eq),
+      monitor_(monitor),
+      arrays_(std::move(arrays)),
+      config_(config),
+      rng_(config.seed) {
+  if (arrays_.empty())
+    throw std::invalid_argument("FaultInjector: no arrays");
+  if (config_.disk_failure_mean_ms < 0.0 ||
+      config_.latent_error_mean_ms < 0.0 ||
+      config_.media_error_per_block_read < 0.0 ||
+      config_.media_error_per_block_read > 1.0 ||
+      config_.transient_error_per_op < 0.0 ||
+      config_.transient_error_per_op > 1.0)
+    throw std::invalid_argument("FaultInjector: bad config");
+  failure_events_.resize(arrays_.size());
+  latent_events_.resize(arrays_.size());
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    const std::size_t disks = arrays_[a]->disks().size();
+    failure_events_[a].assign(disks, 0);
+    latent_events_[a].assign(disks, 0);
+  }
+  // A rebuilt disk is a fresh unit: restart its failure clock.
+  monitor_.on_disk_recovered = [this](int array, int disk, SimTime) {
+    if (armed_) rearm_disk(array, disk);
+  };
+}
+
+Disk& FaultInjector::disk_at(int array, int disk) {
+  return *arrays_.at(static_cast<std::size_t>(array))
+              ->disks()
+              .at(static_cast<std::size_t>(disk));
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    for (std::size_t d = 0; d < arrays_[a]->disks().size(); ++d) {
+      Disk* disk = arrays_[a]->disks()[d].get();
+      if (config_.transient_error_per_op > 0.0 ||
+          config_.media_error_per_block_read > 0.0) {
+        disk->set_fault_evaluator([this, disk](const DiskRequest& req) {
+          if (config_.transient_error_per_op > 0.0 &&
+              rng_.bernoulli(config_.transient_error_per_op))
+            return DiskError::kTransient;
+          if (req.kind == DiskOpKind::kRead &&
+              config_.media_error_per_block_read > 0.0) {
+            // Silent medium degradation surfacing under a read: plant
+            // the bad block; the disk's own latent-error check turns
+            // it into DiskError::kMedia on this very access.
+            for (int i = 0; i < req.block_count; ++i) {
+              if (rng_.bernoulli(config_.media_error_per_block_read)) {
+                disk->plant_media_error(req.start_block + i);
+                ++latent_errors_planted_;
+              }
+            }
+          }
+          return DiskError::kNone;
+        });
+      }
+      schedule_failure(static_cast<int>(a), static_cast<int>(d));
+      schedule_latent(static_cast<int>(a), static_cast<int>(d));
+    }
+  }
+}
+
+void FaultInjector::stop() {
+  if (!armed_) return;
+  armed_ = false;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    for (std::size_t d = 0; d < arrays_[a]->disks().size(); ++d) {
+      arrays_[a]->disks()[d]->set_fault_evaluator(nullptr);
+      if (failure_events_[a][d]) eq_.cancel(failure_events_[a][d]);
+      if (latent_events_[a][d]) eq_.cancel(latent_events_[a][d]);
+      failure_events_[a][d] = 0;
+      latent_events_[a][d] = 0;
+    }
+  }
+}
+
+void FaultInjector::schedule_failure(int array, int disk) {
+  if (config_.disk_failure_mean_ms <= 0.0) return;
+  const auto a = static_cast<std::size_t>(array);
+  const auto d = static_cast<std::size_t>(disk);
+  failure_events_[a][d] = eq_.schedule_in(
+      rng_.exponential(config_.disk_failure_mean_ms), [this, array, disk] {
+        if (!armed_) return;
+        failure_events_[static_cast<std::size_t>(array)]
+                       [static_cast<std::size_t>(disk)] = 0;
+        const auto& failed = monitor_.failed_disks(array);
+        if (std::find(failed.begin(), failed.end(), disk) != failed.end())
+          return;  // already down; the clock restarts after recovery
+        ++disk_failures_injected_;
+        monitor_.on_disk_failure(array, disk);
+      });
+}
+
+void FaultInjector::schedule_latent(int array, int disk) {
+  if (config_.latent_error_mean_ms <= 0.0) return;
+  const auto a = static_cast<std::size_t>(array);
+  const auto d = static_cast<std::size_t>(disk);
+  latent_events_[a][d] = eq_.schedule_in(
+      rng_.exponential(config_.latent_error_mean_ms), [this, array, disk] {
+        if (!armed_) return;
+        const auto& failed = monitor_.failed_disks(array);
+        if (std::find(failed.begin(), failed.end(), disk) == failed.end()) {
+          const std::int64_t span =
+              arrays_[static_cast<std::size_t>(array)]
+                  ->layout()
+                  .physical_blocks_used();
+          plant_latent_error(
+              array, disk,
+              static_cast<std::int64_t>(rng_.uniform_u64(
+                  static_cast<std::uint64_t>(std::max<std::int64_t>(span, 1)))));
+        }
+        schedule_latent(array, disk);
+      });
+}
+
+void FaultInjector::rearm_disk(int array, int disk) {
+  const auto a = static_cast<std::size_t>(array);
+  const auto d = static_cast<std::size_t>(disk);
+  if (failure_events_[a][d]) {
+    eq_.cancel(failure_events_[a][d]);
+    failure_events_[a][d] = 0;
+  }
+  if (armed_) schedule_failure(array, disk);
+}
+
+void FaultInjector::plant_latent_error(int array, int disk,
+                                       std::int64_t block) {
+  disk_at(array, disk).plant_media_error(block);
+  ++latent_errors_planted_;
+}
+
+}  // namespace raidsim

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/health_monitor.hpp"
+#include "util/rng.hpp"
+
+namespace raidsim {
+
+/// Stochastic fault model driven off the shared EventQueue with a
+/// deterministic seeded RNG. Three fault classes (docs/fault_model.md):
+///   whole-disk failures   exponential inter-arrival per disk (MTTF)
+///   latent sector errors  planted per disk at an exponential rate, or
+///                         per block read with a fixed probability;
+///                         persistent until the block is rewritten
+///   transient timeouts    per-op probability; retried by the
+///                         controller with exponential backoff
+/// All rates are in simulation milliseconds; hours_to_ms() converts the
+/// paper's hour-scale MTTF figures, optionally accelerated so failures
+/// land inside short simulated windows.
+struct FaultInjectorConfig {
+  /// Mean sim-ms between whole-disk failures of one disk (exponential).
+  /// 0 disables whole-disk failure injection.
+  double disk_failure_mean_ms = 0.0;
+  /// Mean sim-ms between latent sector errors planted on one disk.
+  /// 0 disables background latent-error planting.
+  double latent_error_mean_ms = 0.0;
+  /// Probability, per block read, that the medium has silently degraded
+  /// under the data: the block is planted as a latent error and the
+  /// read faults with DiskError::kMedia.
+  double media_error_per_block_read = 0.0;
+  /// Probability that any fault-aware op times out (retryable).
+  double transient_error_per_op = 0.0;
+  std::uint64_t seed = 0x5eedULL;
+
+  /// Convert an MTTF/MTTR in hours to sim-ms, sped up by
+  /// `acceleration` (e.g. 1e6 makes a 100,000 h MTTF land around
+  /// 360,000 sim-ms -- inside a simulated drill).
+  static double hours_to_ms(double hours, double acceleration = 1.0);
+};
+
+/// Installs the fault model onto a set of arrays and reports whole-disk
+/// failures to a HealthMonitor, which orchestrates recovery. Wires the
+/// monitor's on_disk_recovered hook to re-arm the failure clock of a
+/// rebuilt disk. Call stop() before draining the event queue: the
+/// latent-error clocks reschedule themselves forever.
+class FaultInjector {
+ public:
+  FaultInjector(EventQueue& eq, HealthMonitor& monitor,
+                std::vector<ArrayController*> arrays,
+                const FaultInjectorConfig& config);
+  FaultInjector(EventQueue& eq, HealthMonitor& monitor,
+                ArrayController& array, const FaultInjectorConfig& config)
+      : FaultInjector(eq, monitor, std::vector<ArrayController*>{&array},
+                      config) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector() { stop(); }
+
+  /// Install the per-op fault evaluators and start the failure and
+  /// latent-error clocks. Idempotent.
+  void arm();
+  /// Cancel every pending injector event and uninstall the evaluators
+  /// (so the event queue can drain).
+  void stop();
+  /// Restart the whole-disk failure clock of one disk (automatic after
+  /// a monitored rebuild completes).
+  void rearm_disk(int array, int disk);
+
+  /// Immediately plant one latent sector error.
+  void plant_latent_error(int array, int disk, std::int64_t block);
+
+  std::uint64_t disk_failures_injected() const {
+    return disk_failures_injected_;
+  }
+  std::uint64_t latent_errors_planted() const {
+    return latent_errors_planted_;
+  }
+  bool armed() const { return armed_; }
+
+ private:
+  void schedule_failure(int array, int disk);
+  void schedule_latent(int array, int disk);
+  Disk& disk_at(int array, int disk);
+
+  EventQueue& eq_;
+  HealthMonitor& monitor_;
+  std::vector<ArrayController*> arrays_;
+  FaultInjectorConfig config_;
+  Rng rng_;
+  bool armed_ = false;
+  // Pending event ids, per array per disk, for cancellation/rearming.
+  std::vector<std::vector<EventId>> failure_events_;
+  std::vector<std::vector<EventId>> latent_events_;
+  std::uint64_t disk_failures_injected_ = 0;
+  std::uint64_t latent_errors_planted_ = 0;
+};
+
+}  // namespace raidsim

@@ -1,0 +1,98 @@
+#include "fault/scrub.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace raidsim {
+
+ScrubProcess::ScrubProcess(EventQueue& eq, ArrayController& controller,
+                           Options options)
+    : eq_(eq),
+      controller_(controller),
+      options_(options),
+      span_(controller.layout().physical_blocks_used()) {
+  if (options_.blocks_per_pass < 1)
+    throw std::invalid_argument("ScrubProcess: blocks_per_pass < 1");
+  if (options_.inter_pass_gap_ms < 0.0)
+    throw std::invalid_argument("ScrubProcess: negative gap");
+}
+
+double ScrubProcess::sweep_progress() const {
+  const double total = static_cast<double>(span_) *
+                       static_cast<double>(controller_.layout().total_disks());
+  if (total <= 0.0) return 1.0;
+  return (static_cast<double>(disk_) * static_cast<double>(span_) +
+          static_cast<double>(position_)) /
+         total;
+}
+
+void ScrubProcess::start() {
+  if (running_) throw std::logic_error("ScrubProcess: already running");
+  running_ = true;
+  stop_requested_ = false;
+  disk_ = 0;
+  position_ = 0;
+  next_pass();
+}
+
+void ScrubProcess::stop() {
+  stop_requested_ = true;
+  if (pending_) {
+    eq_.cancel(pending_);
+    pending_ = 0;
+    running_ = false;
+  }
+}
+
+void ScrubProcess::next_pass() {
+  pending_ = 0;
+  if (stop_requested_) {
+    running_ = false;
+    return;
+  }
+  const int total_disks = controller_.layout().total_disks();
+  // Skip the failed disk: its content is being reconstructed by the
+  // rebuild, which rewrites (and thereby remaps) every block anyway.
+  while (disk_ < total_disks && controller_.failed_disk() == disk_) {
+    ++stats_.disks_skipped;
+    ++disk_;
+    position_ = 0;
+  }
+  if (disk_ >= total_disks) {
+    ++stats_.sweeps_completed;
+    disk_ = 0;
+    position_ = 0;
+    if (options_.sweep_interval_ms < 0.0) {
+      running_ = false;
+      return;
+    }
+    pending_ = eq_.schedule_in(options_.sweep_interval_ms,
+                               [this] { next_pass(); });
+    return;
+  }
+  const int take = static_cast<int>(
+      std::min<std::int64_t>(options_.blocks_per_pass, span_ - position_));
+  const PhysicalExtent extent{disk_, position_, take};
+  stats_.errors_found += static_cast<std::uint64_t>(
+      controller_.disks()[static_cast<std::size_t>(disk_)]->media_errors_in(
+          position_, take));
+  // The read goes through the controller's fault-aware path: a latent
+  // error it hits is reconstructed from the group and rewritten in
+  // place (ControllerStats::media_repairs counts the remaps).
+  controller_.scrub_extent(extent, options_.priority, [this, take](SimTime) {
+    stats_.blocks_scrubbed += static_cast<std::uint64_t>(take);
+    position_ += take;
+    if (position_ >= span_) {
+      ++disk_;
+      position_ = 0;
+    }
+    if (options_.inter_pass_gap_ms > 0.0) {
+      pending_ = eq_.schedule_in(options_.inter_pass_gap_ms,
+                                 [this] { next_pass(); });
+    } else {
+      next_pass();
+    }
+  });
+}
+
+}  // namespace raidsim

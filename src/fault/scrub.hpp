@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+
+#include "array/controller.hpp"
+
+namespace raidsim {
+
+/// Background media scrub (patrol read), modelled on RebuildProcess:
+/// sweeps every disk of the array in SCAN order (ascending block
+/// address, one disk after another) at kDestage priority, reading
+/// `blocks_per_pass` blocks per pass so foreground traffic always wins
+/// the queue. A read that hits a latent sector error is repaired by the
+/// controller's reconstruct-and-rewrite path (remap), converting silent
+/// media degradation into a short, bounded repair long before a second
+/// disk failure could make it unreconstructable -- the scrubbing role
+/// Thomasian's RAID surveys treat as a first-class determinant of
+/// MTTDL.
+class ScrubProcess {
+ public:
+  struct Options {
+    /// Blocks read per pass (one track by default).
+    int blocks_per_pass = 6;
+    /// Pause between passes, throttling scrub aggressiveness.
+    double inter_pass_gap_ms = 0.0;
+    /// Queueing priority of scrub reads (background by default).
+    DiskPriority priority = DiskPriority::kDestage;
+    /// Gap between the end of one full-array sweep and the start of the
+    /// next; negative = run a single sweep and stop.
+    double sweep_interval_ms = -1.0;
+  };
+
+  struct Stats {
+    std::uint64_t blocks_scrubbed = 0;
+    std::uint64_t errors_found = 0;     // latent errors detected by scrub
+    std::uint64_t sweeps_completed = 0;
+    std::uint64_t disks_skipped = 0;    // failed disks bypassed mid-sweep
+  };
+
+  ScrubProcess(EventQueue& eq, ArrayController& controller, Options options);
+  ScrubProcess(EventQueue& eq, ArrayController& controller)
+      : ScrubProcess(eq, controller, Options{}) {}
+
+  ScrubProcess(const ScrubProcess&) = delete;
+  ScrubProcess& operator=(const ScrubProcess&) = delete;
+
+  /// Begin sweeping. Throws if already running.
+  void start();
+  /// Stop after the in-flight pass (cancels any scheduled one).
+  void stop();
+
+  bool running() const { return running_; }
+  const Stats& stats() const { return stats_; }
+  /// Sweep position, for progress reporting.
+  int current_disk() const { return disk_; }
+  double sweep_progress() const;
+
+ private:
+  void next_pass();
+
+  EventQueue& eq_;
+  ArrayController& controller_;
+  Options options_;
+  std::int64_t span_;  // blocks to scrub per disk
+  int disk_ = 0;
+  std::int64_t position_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  EventId pending_ = 0;
+  Stats stats_;
+};
+
+}  // namespace raidsim

@@ -1,0 +1,101 @@
+// RebuildProcess restart-safety: a process runs at most once, start()
+// is guarded against misuse, and a failure state that is cleared or
+// moved mid-sweep aborts the sweep instead of corrupting the
+// controller's watermark.
+#include <gtest/gtest.h>
+
+#include "array/rebuild.hpp"
+#include "array/uncached_controller.hpp"
+
+namespace raidsim {
+namespace {
+
+class RebuildGuardTest : public ::testing::Test {
+ protected:
+  ArrayController::Config config() {
+    ArrayController::Config cfg;
+    cfg.layout.organization = Organization::kRaid5;
+    cfg.layout.data_disks = 4;
+    cfg.layout.data_blocks_per_disk = 360;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+
+  RebuildProcess::Options options() {
+    RebuildProcess::Options opt;
+    opt.blocks_per_pass = 60;
+    return opt;
+  }
+};
+
+TEST_F(RebuildGuardTest, StartWhileRunningThrows) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  c.fail_disk(1);
+  RebuildProcess rebuild(eq, c, options());
+  rebuild.start([](SimTime) {});
+  EXPECT_TRUE(rebuild.running());
+  EXPECT_THROW(rebuild.start([](SimTime) {}), std::logic_error);
+  eq.run();
+  EXPECT_TRUE(rebuild.completed());
+}
+
+TEST_F(RebuildGuardTest, StartAfterCompletionThrows) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  c.fail_disk(1);
+  RebuildProcess rebuild(eq, c, options());
+  int completions = 0;
+  rebuild.start([&](SimTime) { ++completions; });
+  eq.run();
+  ASSERT_EQ(completions, 1);
+  ASSERT_TRUE(rebuild.completed());
+  EXPECT_EQ(c.failed_disk(), -1);
+  // Restarting a finished process would re-sweep a healthy disk.
+  EXPECT_THROW(rebuild.start([](SimTime) {}), std::logic_error);
+}
+
+TEST_F(RebuildGuardTest, FailureClearedMidSweepAbortsWithoutCompletion) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  c.fail_disk(1);
+  RebuildProcess rebuild(eq, c, options());
+  int completions = 0;
+  rebuild.start([&](SimTime) { ++completions; });
+  // The failure state is yanked away while the first passes are still
+  // in flight (e.g. an operator swap outside the process's control).
+  eq.schedule_in(1.0, [&] { c.fail_disk(-1); });
+  eq.run();
+
+  EXPECT_TRUE(rebuild.aborted());
+  EXPECT_FALSE(rebuild.completed());
+  EXPECT_FALSE(rebuild.running());
+  EXPECT_EQ(completions, 0);  // on_complete must not fire for an abort
+  EXPECT_LT(rebuild.blocks_rebuilt(), rebuild.blocks_total());
+  EXPECT_THROW(rebuild.start([](SimTime) {}), std::logic_error);
+}
+
+TEST_F(RebuildGuardTest, FailureMovedToAnotherDiskMidSweepAborts) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  c.fail_disk(1);
+  RebuildProcess rebuild(eq, c, options());
+  int completions = 0;
+  rebuild.start([&](SimTime) { ++completions; });
+  eq.schedule_in(1.0, [&] { c.fail_disk(3); });
+  eq.run();
+  EXPECT_TRUE(rebuild.aborted());
+  EXPECT_EQ(completions, 0);
+}
+
+TEST_F(RebuildGuardTest, FailedDiskChangedBeforeStartThrows) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  c.fail_disk(1);
+  RebuildProcess rebuild(eq, c, options());
+  c.fail_disk(-1);  // repaired before the sweep began
+  EXPECT_THROW(rebuild.start([](SimTime) {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace raidsim

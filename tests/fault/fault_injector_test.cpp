@@ -1,0 +1,171 @@
+// FaultInjector + the controller retry/backoff path: transient storms
+// below the retry budget complete without data loss; a disk that
+// exhausts its budget is declared dead and auto-recovered; whole-disk
+// failure clocks fire stochastically and re-arm after rebuild.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "array/uncached_controller.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace raidsim {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  ArrayController::Config config(Organization org, int n = 4,
+                                 int retry_budget = 8,
+                                 std::int64_t blocks_per_disk = 360) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = org;
+    cfg.layout.data_disks = n;
+    cfg.layout.data_blocks_per_disk = blocks_per_disk;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    cfg.fault.retry_budget = retry_budget;
+    cfg.fault.retry_backoff_ms = 1.0;
+    return cfg;
+  }
+
+  HealthMonitor::Options monitor_options(int spares = 1) {
+    HealthMonitor::Options opt;
+    opt.hot_spares = spares;
+    opt.rebuild.blocks_per_pass = 60;
+    return opt;
+  }
+
+  /// Issue `count` sequential single-block reads/writes and run to
+  /// completion; returns how many completed.
+  int drive(UncachedController& c, EventQueue& eq, int count) {
+    int completed = 0;
+    for (int i = 0; i < count; ++i) {
+      c.submit(ArrayRequest{(i * 37) % 1200, 1, i % 3 == 0},
+               [&](SimTime) { ++completed; });
+    }
+    eq.run();
+    return completed;
+  }
+};
+
+TEST_F(FaultInjectorTest, TransientStormBelowBudgetCompletesWithoutLoss) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  HealthMonitor monitor(eq, c, monitor_options());
+  FaultInjectorConfig fc;
+  fc.transient_error_per_op = 0.3;  // heavy storm, but budget is 8
+  fc.seed = 42;
+  FaultInjector injector(eq, monitor, c, fc);
+  injector.arm();
+
+  const int completed = drive(c, eq, 100);
+  injector.stop();
+  eq.run();
+
+  EXPECT_EQ(completed, 100);
+  EXPECT_GT(c.stats().transient_retries, 0u);
+  EXPECT_EQ(c.stats().retry_exhaustions, 0u);
+  EXPECT_EQ(c.stats().unrecoverable, 0u);
+  EXPECT_FALSE(monitor.data_loss());
+  EXPECT_EQ(c.failed_disk(), -1);
+}
+
+TEST_F(FaultInjectorTest, RetryExhaustionDeclaresDiskDeadAndRecovers) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5, 4, /*budget=*/2));
+  HealthMonitor monitor(eq, c, monitor_options());
+  const int victim = c.layout().map_read(0, 1)[0].disk;
+  // Deterministic hard hang of one disk: every op times out.
+  c.disks()[static_cast<std::size_t>(victim)]->set_fault_evaluator(
+      [](const DiskRequest&) { return DiskError::kTransient; });
+
+  double done = -1.0;
+  c.submit(ArrayRequest{0, 1, false}, [&](SimTime t) { done = t; });
+  eq.run_until(5000.0);
+
+  EXPECT_GE(done, 0.0);  // served via reconstruction after the disk died
+  EXPECT_GE(c.stats().retry_exhaustions, 1u);
+  EXPECT_EQ(c.stats().transient_retries, 2u);
+  EXPECT_FALSE(monitor.data_loss());
+  // The monitor saw the death and launched the rebuild; the rebuild
+  // writes to the replacement (evaluator cleared = unit swapped).
+  c.disks()[static_cast<std::size_t>(victim)]->set_fault_evaluator(nullptr);
+  eq.run();
+  EXPECT_EQ(monitor.rebuilds_completed(), 1);
+  EXPECT_EQ(c.failed_disk(), -1);
+}
+
+TEST_F(FaultInjectorTest, WholeDiskFailuresFireAndRearmAfterRebuild) {
+  EventQueue eq;
+  // A tiny disk span keeps rebuild windows (~100 ms) far below the
+  // failure interarrival time, so repairs win the race to data loss.
+  UncachedController c(eq, config(Organization::kRaid5, 4, 8,
+                                  /*blocks_per_disk=*/60));
+  HealthMonitor monitor(eq, c, monitor_options(/*spares=*/100));
+  FaultInjectorConfig fc;
+  fc.disk_failure_mean_ms = 50000.0;
+  fc.seed = 4;  // a seed whose repairs all win the race to data loss
+  FaultInjector injector(eq, monitor, c, fc);
+  injector.arm();
+
+  eq.run_until(500000.0);
+  injector.stop();
+  eq.run();
+
+  EXPECT_GT(injector.disk_failures_injected(), 1u);
+  EXPECT_GT(monitor.rebuilds_completed(), 1);
+  EXPECT_FALSE(monitor.data_loss());
+  // Rebuilt disks return to service and can fail again: the re-armed
+  // failure clocks make the same disk fail across multiple generations.
+  int max_failures_one_disk = 0;
+  for (int d = 0; d < c.layout().total_disks(); ++d) {
+    int n = 0;
+    for (const auto& e : monitor.events())
+      if (e.kind == HealthMonitor::EventKind::kDiskFailure && e.disk == d) ++n;
+    max_failures_one_disk = std::max(max_failures_one_disk, n);
+  }
+  EXPECT_GE(max_failures_one_disk, 2);
+}
+
+TEST_F(FaultInjectorTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run_once = [this](std::uint64_t seed) {
+    EventQueue eq;
+    UncachedController c(eq, config(Organization::kRaid5));
+    HealthMonitor monitor(eq, c, monitor_options(8));
+    FaultInjectorConfig fc;
+    fc.disk_failure_mean_ms = 30000.0;
+    fc.transient_error_per_op = 0.05;
+    fc.seed = seed;
+    FaultInjector injector(eq, monitor, c, fc);
+    injector.arm();
+    int completed = 0;
+    for (int i = 0; i < 50; ++i)
+      c.submit(ArrayRequest{(i * 91) % 1200, 1, i % 2 == 0},
+               [&](SimTime) { ++completed; });
+    eq.run_until(200000.0);
+    injector.stop();
+    eq.run();
+    return std::make_tuple(completed, injector.disk_failures_injected(),
+                           c.stats().transient_retries, eq.executed());
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(std::get<3>(run_once(99)), std::get<3>(run_once(100)));
+}
+
+TEST_F(FaultInjectorTest, HoursToMsConversion) {
+  EXPECT_DOUBLE_EQ(FaultInjectorConfig::hours_to_ms(1.0), 3600000.0);
+  EXPECT_DOUBLE_EQ(FaultInjectorConfig::hours_to_ms(100000.0, 1e6), 360000.0);
+  EXPECT_THROW(FaultInjectorConfig::hours_to_ms(1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST_F(FaultInjectorTest, ConfigValidation) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  HealthMonitor monitor(eq, c, monitor_options());
+  FaultInjectorConfig fc;
+  fc.transient_error_per_op = 1.5;
+  EXPECT_THROW(FaultInjector(eq, monitor, c, fc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,101 @@
+// Monte-Carlo MTTDL simulation vs the analytic model
+// (core/reliability.hpp). Reliability parameters are scaled down
+// (MTTF = 10,000 h instead of the paper's 100,000 h) so each lifetime
+// ends after a few hundred failure/repair cycles at most. MTTR stays
+// << MTTF/(N+1), keeping the analytic first-order approximation inside
+// a few percent of the exact Markov value -- shrinking MTTF further
+// would make the *approximation* (not the simulation) the outlier.
+#include <gtest/gtest.h>
+
+#include "fault/mttdl_sim.hpp"
+
+namespace raidsim {
+namespace {
+
+MttdlConfig fast_config(Organization org, int total, int per_array) {
+  MttdlConfig cfg;
+  cfg.organization = org;
+  cfg.total_data_disks = total;
+  cfg.array_data_disks = per_array;
+  cfg.params.disk_mttf_hours = 10000.0;
+  cfg.params.disk_mttr_hours = 24.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(MttdlSimTest, MirrorAgreesWithAnalytic) {
+  const auto est = simulate_mttdl(fast_config(Organization::kMirror, 4, 4),
+                                  2000);
+  EXPECT_EQ(est.lifetimes, 2000);
+  EXPECT_GT(est.analytic_hours, 0.0);
+  EXPECT_TRUE(est.agrees_within(1.3)) << "ratio " << est.ratio();
+  EXPECT_LT(est.ci_low_hours, est.mean_hours);
+  EXPECT_GT(est.ci_high_hours, est.mean_hours);
+}
+
+TEST(MttdlSimTest, Raid5AgreesWithAnalyticAtTwoArraySizes) {
+  for (const int n : {4, 10}) {
+    const auto est =
+        simulate_mttdl(fast_config(Organization::kRaid5, n, n), 2000);
+    EXPECT_TRUE(est.agrees_within(1.3))
+        << "N=" << n << " ratio " << est.ratio();
+    // Larger groups are less reliable: the analytic prediction holds in
+    // the simulated means too.
+    EXPECT_GT(est.analytic_hours, 0.0);
+  }
+}
+
+TEST(MttdlSimTest, Raid10MatchesMirrorSemantics) {
+  const auto mirror = simulate_mttdl(fast_config(Organization::kMirror, 6, 6),
+                                     1500);
+  const auto raid10 = simulate_mttdl(fast_config(Organization::kRaid10, 6, 6),
+                                     1500);
+  EXPECT_DOUBLE_EQ(mirror.analytic_hours, raid10.analytic_hours);
+  EXPECT_TRUE(raid10.agrees_within(1.3)) << raid10.ratio();
+}
+
+TEST(MttdlSimTest, BaseScalesAsMttfOverD) {
+  const auto est = simulate_mttdl(fast_config(Organization::kBase, 10, 10),
+                                  2000);
+  EXPECT_DOUBLE_EQ(est.analytic_hours, 10000.0 / 10.0);  // MTTF / D
+  EXPECT_TRUE(est.agrees_within(1.15)) << est.ratio();
+
+  // Doubling D halves the expected lifetime.
+  const auto wide = simulate_mttdl(fast_config(Organization::kBase, 20, 10),
+                                   2000);
+  EXPECT_DOUBLE_EQ(wide.analytic_hours, 10000.0 / 20.0);
+  EXPECT_NEAR(est.mean_hours / wide.mean_hours, 2.0, 0.3);
+}
+
+TEST(MttdlSimTest, FixedRepairWindowStillAgrees) {
+  auto cfg = fast_config(Organization::kRaid5, 10, 10);
+  cfg.exponential_repair = false;
+  const auto est = simulate_mttdl(cfg, 2000);
+  EXPECT_TRUE(est.agrees_within(1.3)) << est.ratio();
+}
+
+TEST(MttdlSimTest, DeterministicForAFixedSeed) {
+  const auto a = simulate_mttdl(fast_config(Organization::kRaid5, 10, 10), 500);
+  const auto b = simulate_mttdl(fast_config(Organization::kRaid5, 10, 10), 500);
+  EXPECT_DOUBLE_EQ(a.mean_hours, b.mean_hours);
+  EXPECT_DOUBLE_EQ(a.stddev_hours, b.stddev_hours);
+
+  auto other = fast_config(Organization::kRaid5, 10, 10);
+  other.seed = 12;
+  EXPECT_NE(a.mean_hours, simulate_mttdl(other, 500).mean_hours);
+}
+
+TEST(MttdlSimTest, LifetimesArePositive) {
+  const auto cfg = fast_config(Organization::kMirror, 2, 2);
+  Rng rng(cfg.seed);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_GT(simulate_lifetime_hours(cfg, rng), 0.0);
+}
+
+TEST(MttdlSimTest, Validation) {
+  EXPECT_THROW(simulate_mttdl(fast_config(Organization::kRaid5, 10, 10), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim
