@@ -28,7 +28,41 @@ CachedController::CachedController(EventQueue& eq, const Config& config,
       config.layout.organization != Organization::kRaid4)
     throw std::invalid_argument(
         "CachedController: parity caching requires the RAID4 organization");
+  if (cache_config_.intent_journal && parity_org_) {
+    journal_owned_ = std::make_unique<IntentJournal>();
+    attach_journal(journal_owned_.get());
+  }
   schedule_destage_tick();
+}
+
+void CachedController::crash_halt(bool preserve_nvram) {
+  if (crashed()) return;
+  ArrayController::crash_halt(preserve_nvram);  // disks + journal
+  if (destage_event_ != 0) {
+    eq_.cancel(destage_event_);
+    destage_event_ = 0;
+  }
+  stats_.crash_aborted_host_writes +=
+      static_cast<std::uint64_t>(stalled_.size());
+  stalled_.clear();
+  // The parity spool never survives: the queued XOR deltas are computed
+  // in controller volatile memory, not in the NV cache. Losing them mid
+  // stripe-update is precisely the write hole -- the data blocks stay
+  // safely dirty in NVRAM, but the parity update they were part of is
+  // gone. crash_reset() zeroes the parity slots the entries reserved.
+  spool_.clear();
+  spooling_ = false;
+  spooling_block_ = -1;
+  spooling_entry_ = SpoolEntry{};
+  cache_.crash_reset(preserve_nvram);
+  if (!preserve_nvram && auditor_) auditor_->wipe_nvram();
+}
+
+void CachedController::crash_restart() {
+  if (!crashed()) return;
+  ArrayController::crash_restart();
+  schedule_destage_tick();
+  pump_spooler();
 }
 
 void CachedController::shutdown() {
@@ -41,6 +75,7 @@ void CachedController::shutdown() {
 
 void CachedController::submit(const ArrayRequest& request,
                               std::function<void(SimTime)> on_complete) {
+  if (crashed()) return;  // controller down: the request dies unanswered
   if (!on_complete) on_complete = [](SimTime) {};
   if (request.is_write) {
     submit_write(request, std::move(on_complete));
@@ -86,6 +121,7 @@ void CachedController::submit_read(const ArrayRequest& request,
                   if (result.inserted && result.evicted_dirty) {
                     barrier->expect(1);
                     ++stats_.sync_victim_writes;
+                    if (auditor_) auditor_->nvram_evict(result.victim);
                     victim_writeback(result.victim, DiskPriority::kNormal,
                                      [barrier](SimTime tv) {
                                        barrier->arrive(tv);
@@ -118,17 +154,33 @@ void CachedController::submit_write(const ArrayRequest& request,
 }
 
 void CachedController::try_cache_writes(std::shared_ptr<StalledWrite> write) {
+  if (crashed()) {
+    // Channel transfer landed after the crash: the request dies with the
+    // controller (the host never hears back).
+    ++stats_.crash_aborted_host_writes;
+    return;
+  }
   while (write->next < write->blocks.size()) {
-    const auto result = cache_.write(write->blocks[write->next]);
+    const std::int64_t block = write->blocks[write->next];
+    const auto result = cache_.write(block);
     if (!result.accepted) {
       ++stats_.write_stalls;
       stalled_.push_back(write);
       return;
     }
+    if (auditor_) {
+      // The old copy (if captured) snapshots the pre-write disk content;
+      // acceptance into the NV cache IS the host acknowledgement.
+      if (result.captured_old) auditor_->old_captured(block);
+      const std::uint64_t gen = auditor_->host_write(block);
+      auditor_->nvram_put(block, gen);
+      auditor_->acknowledge(block, gen);
+    }
     if (result.evicted_dirty) {
       // Asynchronous writeback of the displaced dirty block; write
       // responses do not wait for it.
       ++stats_.sync_victim_writes;
+      if (auditor_) auditor_->nvram_evict(result.victim);
       victim_writeback(result.victim, DiskPriority::kNormal, nullptr);
     }
     ++write->next;
@@ -178,6 +230,7 @@ void CachedController::schedule_destage_tick() {
 
 void CachedController::destage_tick() {
   destage_event_ = 0;
+  if (crashed()) return;
   auto dirty = cache_.collect_dirty();
   std::sort(dirty.begin(), dirty.end());
 
@@ -210,6 +263,9 @@ void CachedController::destage_tick() {
 }
 
 void CachedController::issue_destage_run(std::int64_t start_block, int count) {
+  // A destage offset scheduled before a crash may fire after it: the
+  // crash already discarded this work.
+  if (crashed()) return;
   // Blocks may have been destaged (victim path) or begun flight since the
   // tick; re-derive the eligible sub-runs.
   int i = 0;
@@ -280,23 +336,72 @@ void CachedController::execute_update_spooled(
   for (const auto& w : update.writes)
     for (const auto& piece : split_at_cylinders(w)) pieces.push_back(piece);
 
-  auto completion =
-      Barrier::create(static_cast<int>(pieces.size()), std::move(done));
+  const bool full = update.full_stripe;
+
+  // Per-piece delta source, also needed for the audit covers below.
+  std::vector<bool> piece_old_cached(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i)
+    piece_old_cached[i] = !full && old_cached_extent(pieces[i]);
+
+  std::vector<ParityCover> covers;
+  if (auditor_) {
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      const auto& piece = pieces[i];
+      if (piece.logical_start < 0) continue;
+      for (int b = 0; b < piece.block_count; ++b) {
+        ParityCover c;
+        c.block = piece.logical_start + b;
+        c.gen = auditor_->current_gen(c.block);
+        c.assumed_old_gen = piece_old_cached[i]
+                                ? auditor_->old_copy_gen(c.block)
+                                : auditor_->disk_gen(c.block);
+        covers.push_back(c);
+      }
+    }
+  }
+
+  // Intent journal: the update retires only when the data writes AND the
+  // spooled parity have both landed (the spool entry carries the parity
+  // arrival as an on_durable callback).
+  std::function<void(SimTime)> intent_arrive;
+  if (journal_ && !crashed() && update.parity.valid() &&
+      !update.writes.empty()) {
+    const std::uint64_t id = journal_->open(update, eq_.now());
+    ++stats_.journal_intents;
+    auto pending = std::make_shared<int>(2);
+    intent_arrive = [this, id, pending](SimTime t) {
+      if (--*pending == 0 && journal_) journal_->close(id, t);
+    };
+  }
+
+  auto completion = Barrier::create(
+      static_cast<int>(pieces.size()),
+      [intent_arrive, done = std::move(done)](SimTime t) {
+        if (intent_arrive) intent_arrive(t);
+        if (done) done(t);
+      });
 
   const PhysicalExtent parity = update.parity;
-  const bool full = update.full_stripe;
-  auto enqueue_parity = [this, parity, full](SimTime) {
+  auto enqueue_parity = [this, parity, full, covers = std::move(covers),
+                         intent_arrive](SimTime) {
     if (!parity.valid()) return;
-    for (int b = 0; b < parity.block_count; ++b)
-      add_spool_entry(parity.start_block + b, full);
+    for (int b = 0; b < parity.block_count; ++b) {
+      const bool first = b == 0;
+      add_spool_entry(parity.start_block + b, full,
+                      first ? covers : std::vector<ParityCover>{},
+                      first ? intent_arrive : nullptr);
+    }
   };
 
   if (full) {
     // Full stripe: parity computed from new data, available immediately.
     enqueue_parity(eq_.now());
-    for (const auto& piece : pieces)
-      disk_write(piece, DiskPriority::kNormal,
-                 [completion](SimTime t) { completion->arrive(t); });
+    for (const auto& piece : pieces) {
+      auto tap = audit_data_write(
+          piece, [completion](SimTime t) { completion->arrive(t); });
+      disk_write(piece, DiskPriority::kNormal, std::move(tap.on_complete),
+                 std::move(tap.on_power_fail));
+    }
     return;
   }
 
@@ -304,11 +409,8 @@ void CachedController::execute_update_spooled(
   // piece -- either already retained in the cache or read by the data
   // disk's RMW pass.
   int delta_inputs = 0;
-  std::vector<bool> piece_old_cached(pieces.size());
-  for (std::size_t i = 0; i < pieces.size(); ++i) {
-    piece_old_cached[i] = old_cached_extent(pieces[i]);
+  for (std::size_t i = 0; i < pieces.size(); ++i)
     if (!piece_old_cached[i]) ++delta_inputs;
-  }
   auto delta_barrier = Barrier::create(delta_inputs, enqueue_parity);
   if (delta_inputs == 0) enqueue_parity(eq_.now());
 
@@ -328,37 +430,50 @@ void CachedController::execute_update_spooled(
         delta_barrier->arrive(t);
       };
     }
-    req.on_complete = [completion](SimTime t) { completion->arrive(t); };
+    auto tap = audit_data_write(
+        piece, [completion](SimTime t) { completion->arrive(t); });
+    req.on_complete = std::move(tap.on_complete);
+    req.on_power_fail = std::move(tap.on_power_fail);
     disk.submit(std::move(req));
   }
 }
 
 void CachedController::add_spool_entry(std::int64_t parity_block,
-                                       bool full_stripe) {
+                                       bool full_stripe,
+                                       std::vector<ParityCover> covers,
+                                       std::function<void(SimTime)> on_durable) {
   auto it = spool_.find(parity_block);
   if (it != spool_.end()) {
     // Coalesce: a later full-stripe parity supersedes a pending delta;
     // the reserved slot is shared, so release the extra reservation.
-    it->second = it->second || full_stripe;
+    it->second.full_stripe = it->second.full_stripe || full_stripe;
+    for (auto& c : covers) it->second.covers.push_back(std::move(c));
+    if (on_durable) it->second.on_durable.push_back(std::move(on_durable));
     cache_.release_parity_slot();
     return;
   }
-  spool_.emplace(parity_block, full_stripe);
+  SpoolEntry entry;
+  entry.full_stripe = full_stripe;
+  entry.covers = std::move(covers);
+  if (on_durable) entry.on_durable.push_back(std::move(on_durable));
+  spool_.emplace(parity_block, std::move(entry));
   stats_.parity_queue_peak = std::max(stats_.parity_queue_peak, spool_.size());
   pump_spooler();
 }
 
 void CachedController::pump_spooler() {
-  if (spooling_ || spool_.empty()) return;
+  if (spooling_ || spool_.empty() || crashed()) return;
   // SCAN: continue sweeping upward from the last serviced position,
   // wrapping at the end (parity block number increases with cylinder).
   auto it = spool_.lower_bound(scan_position_);
   if (it == spool_.end()) it = spool_.begin();
   const std::int64_t block = it->first;
-  const bool full = it->second;
+  spooling_entry_ = std::move(it->second);
   spool_.erase(it);
   spooling_ = true;
+  spooling_block_ = block;
   scan_position_ = block + 1;
+  const bool full = spooling_entry_.full_stripe;
 
   const int parity_disk_index = layout_->total_disks() - 1;
   Disk& disk = *disks_[static_cast<std::size_t>(parity_disk_index)];
@@ -373,10 +488,16 @@ void CachedController::pump_spooler() {
     req.kind = DiskOpKind::kReadModifyWrite;
     req.gate = WriteGate::already_open();
   }
-  req.on_complete = [this](SimTime) {
+  req.on_complete = [this, full](SimTime t) {
+    SpoolEntry entry = std::move(spooling_entry_);
     spooling_ = false;
+    spooling_block_ = -1;
+    spooling_entry_ = SpoolEntry{};
     cache_.release_parity_slot();
     ++stats_.parity_spools;
+    if (auditor_)
+      for (const auto& c : entry.covers) auditor_->parity_durable(c, full);
+    for (auto& cb : entry.on_durable) cb(t);
     pump_stalled();
     pump_spooler();
   };

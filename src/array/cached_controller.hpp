@@ -39,6 +39,10 @@ class CachedController : public ArrayController {
     /// false = pure LRU writeback (dirty blocks leave only as eviction
     /// victims); used by the destage-policy ablation.
     bool periodic_destage = true;
+    /// Write-hole closure: record every stripe-update intent in an NVRAM
+    /// journal before issuing its disk writes (parity organizations
+    /// only). Costs no simulated time; recovery replays open intents.
+    bool intent_journal = false;
   };
 
   CachedController(EventQueue& eq, const Config& config,
@@ -50,6 +54,13 @@ class CachedController : public ArrayController {
   /// Cancel the periodic destage timer (call once the workload is fully
   /// drained; in-flight work still completes).
   void shutdown();
+
+  /// Controller crash: in addition to the base-class behaviour (disks
+  /// lose power, journal survives or wipes), parked writes are dropped,
+  /// the destage timer stops, and the NV cache either survives with its
+  /// in-flight destage state reset (`preserve_nvram`) or is wiped.
+  void crash_halt(bool preserve_nvram) override;
+  void crash_restart() override;
 
   const NvCache& cache() const { return cache_; }
   std::size_t parity_queue_length() const { return spool_.size(); }
@@ -84,8 +95,17 @@ class CachedController : public ArrayController {
 
   bool old_cached_extent(const PhysicalExtent& extent) const;
 
-  // RAID4 parity spool.
-  void add_spool_entry(std::int64_t parity_block, bool full_stripe);
+  // RAID4 parity spool. Entries carry the audit covers of the stripe
+  // update that buffered them plus callbacks to fire when the parity
+  // lands (the journal's parity-durable arrival).
+  struct SpoolEntry {
+    bool full_stripe = false;
+    std::vector<ParityCover> covers;
+    std::vector<std::function<void(SimTime)>> on_durable;
+  };
+  void add_spool_entry(std::int64_t parity_block, bool full_stripe,
+                       std::vector<ParityCover> covers,
+                       std::function<void(SimTime)> on_durable);
   void pump_spooler();
 
   NvCache cache_;
@@ -94,12 +114,14 @@ class CachedController : public ArrayController {
   EventId destage_event_ = 0;
   bool shutdown_ = false;
   std::deque<std::shared_ptr<StalledWrite>> stalled_;
+  std::unique_ptr<IntentJournal> journal_owned_;
 
-  // Parity spool state: key = physical block on the parity disk; value =
-  // full-stripe flag (plain write vs read-modify-write).
-  std::map<std::int64_t, bool> spool_;
+  // Parity spool state: key = physical block on the parity disk.
+  std::map<std::int64_t, SpoolEntry> spool_;
   std::int64_t scan_position_ = 0;
   bool spooling_ = false;
+  std::int64_t spooling_block_ = -1;  // in-service entry (crash requeue)
+  SpoolEntry spooling_entry_;
 };
 
 }  // namespace raidsim

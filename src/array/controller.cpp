@@ -139,15 +139,21 @@ void ArrayController::disk_read(const PhysicalExtent& extent,
 
 void ArrayController::disk_write(const PhysicalExtent& extent,
                                  DiskPriority priority,
-                                 std::function<void(SimTime)> done) {
+                                 std::function<void(SimTime)> done,
+                                 std::function<void(SimTime, int)> on_power_fail) {
   assert(extent.valid());
-  submit_op(extent, /*is_write=*/true, priority, std::move(done), 0);
+  submit_op(extent, /*is_write=*/true, priority, std::move(done), 0,
+            std::move(on_power_fail));
 }
 
 void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
                                 DiskPriority priority,
                                 std::function<void(SimTime)> done,
-                                int attempt) {
+                                int attempt,
+                                std::function<void(SimTime, int)> on_power_fail) {
+  // A crashed controller issues nothing; the host request this op served
+  // died with the crash (its completion simply never fires).
+  if (crashed_) return;
   // Retries re-enter here after a backoff, during which the target disk
   // may have been declared dead: reads fall back to reconstruction,
   // writes to the dead region are absorbed (the rebuild regenerates
@@ -167,8 +173,10 @@ void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
   req.block_count = extent.block_count;
   req.priority = priority;
   req.on_complete = done;
+  req.on_power_fail = on_power_fail;
   req.on_error = [this, extent, is_write, priority, done = std::move(done),
-                  attempt](SimTime t, DiskError error) mutable {
+                  attempt, on_power_fail = std::move(on_power_fail)](
+                     SimTime t, DiskError error) mutable {
     if (error == DiskError::kMedia && !is_write) {
       ++stats_.media_errors;
       // The data are reconstructed from the group and rewritten in
@@ -181,8 +189,11 @@ void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
       const double backoff =
           fault_.retry_backoff_ms * static_cast<double>(1 << attempt);
       eq_.schedule_in(backoff, [this, extent, is_write, priority,
-                                done = std::move(done), attempt]() mutable {
-        submit_op(extent, is_write, priority, std::move(done), attempt + 1);
+                                done = std::move(done), attempt,
+                                on_power_fail =
+                                    std::move(on_power_fail)]() mutable {
+        submit_op(extent, is_write, priority, std::move(done), attempt + 1,
+                  std::move(on_power_fail));
       });
       return;
     }
@@ -254,6 +265,141 @@ void ArrayController::repair_media_error(const PhysicalExtent& extent,
       disk_read(group.parity, priority,
                 [barrier](SimTime t) { barrier->arrive(t); });
   }
+}
+
+void ArrayController::crash_halt(bool preserve_nvram) {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  // Every disk loses power at the same instant: queues discarded,
+  // in-flight transfers keep only their durable prefix.
+  for (auto& disk : disks_) {
+    const auto report = disk->power_fail();
+    stats_.crash_dropped_ops += report.queued_ops + report.inflight_ops;
+    stats_.crash_discarded_write_blocks += report.write_blocks_lost;
+  }
+  if (journal_) journal_->power_loss(preserve_nvram);
+}
+
+void ArrayController::crash_restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  for (auto& disk : disks_) disk->power_on();
+}
+
+void ArrayController::note_recovery(double ms, std::uint64_t intents_replayed,
+                                    bool full) {
+  stats_.recovery_ms += ms;
+  stats_.journal_replays += intents_replayed;
+  if (full) ++stats_.full_resyncs;
+}
+
+ArrayController::ResyncIssue ArrayController::resync_stripe(
+    const PhysicalExtent& extent, DiskPriority priority,
+    std::function<void(SimTime)> done) {
+  ResyncIssue issue;
+  const auto groups = layout_->degraded_group(extent);
+  if (groups.empty()) {
+    if (done) done(eq_.now());
+    return issue;
+  }
+  issue.ok = true;
+
+  auto finish = [this, extent, done = std::move(done)](SimTime t) mutable {
+    if (auditor_ && extent.logical_start >= 0)
+      for (int i = 0; i < extent.block_count; ++i)
+        auditor_->resync_block(extent.logical_start + i);
+    if (done) done(t);
+  };
+
+  int parity_extents = 0;
+  for (const auto& g : groups)
+    if (g.parity.valid()) ++parity_extents;
+  if (parity_extents == 0) {
+    // No parity here (Mirror/Base): nothing to resynchronize.
+    finish(eq_.now());
+    return issue;
+  }
+
+  // Read the extent itself plus every other member of its group(s), then
+  // recompute the parity from the full content and rewrite it.
+  int reads = 1;
+  issue.read_blocks = extent.block_count;
+  for (const auto& g : groups) {
+    for (const auto& m : g.member_reads) {
+      ++reads;
+      issue.read_blocks += m.block_count;
+    }
+    if (g.parity.valid()) issue.write_blocks += g.parity.block_count;
+  }
+  ++stats_.resync_stripes;
+  stats_.resync_read_blocks += static_cast<std::uint64_t>(issue.read_blocks);
+  stats_.resync_write_blocks += static_cast<std::uint64_t>(issue.write_blocks);
+
+  auto write_parities = [this, groups, priority, parity_extents,
+                         finish = std::move(finish)](SimTime) mutable {
+    auto parity_barrier = Barrier::create(parity_extents, std::move(finish));
+    for (const auto& g : groups)
+      if (g.parity.valid())
+        disk_write(g.parity, priority, [parity_barrier](SimTime t) {
+          parity_barrier->arrive(t);
+        });
+  };
+  auto read_barrier = Barrier::create(reads, std::move(write_parities));
+  disk_read(extent, priority,
+            [read_barrier](SimTime t) { read_barrier->arrive(t); });
+  for (const auto& g : groups)
+    for (const auto& m : g.member_reads)
+      disk_read(m, priority,
+                [read_barrier](SimTime t) { read_barrier->arrive(t); });
+  return issue;
+}
+
+ArrayController::AuditTap ArrayController::audit_data_write(
+    const PhysicalExtent& extent, std::function<void(SimTime)> inner) {
+  AuditTap tap;
+  if (auditor_ == nullptr || extent.logical_start < 0) {
+    tap.on_complete = std::move(inner);
+    return tap;
+  }
+  std::vector<std::uint64_t> gens(
+      static_cast<std::size_t>(extent.block_count));
+  for (int i = 0; i < extent.block_count; ++i)
+    gens[static_cast<std::size_t>(i)] =
+        auditor_->current_gen(extent.logical_start + i);
+  WriteAuditHooks* auditor = auditor_;
+  const std::int64_t logical = extent.logical_start;
+  tap.on_complete = [auditor, logical, gens,
+                     inner = std::move(inner)](SimTime t) {
+    for (std::size_t i = 0; i < gens.size(); ++i)
+      auditor->data_durable(logical + static_cast<std::int64_t>(i), gens[i]);
+    if (inner) inner(t);
+  };
+  tap.on_power_fail = [auditor, logical, gens](SimTime, int durable) {
+    for (int i = 0; i < durable; ++i)
+      auditor->data_durable(logical + i, gens[static_cast<std::size_t>(i)]);
+  };
+  return tap;
+}
+
+std::vector<ParityCover> ArrayController::parity_covers(
+    const std::vector<PhysicalExtent>& writes,
+    const std::function<bool(const PhysicalExtent&)>& old_data_cached) const {
+  std::vector<ParityCover> covers;
+  if (auditor_ == nullptr) return covers;
+  for (const auto& w : writes) {
+    if (w.logical_start < 0) continue;
+    const bool cached = old_data_cached && old_data_cached(w);
+    for (int i = 0; i < w.block_count; ++i) {
+      ParityCover c;
+      c.block = w.logical_start + i;
+      c.gen = auditor_->current_gen(c.block);
+      c.assumed_old_gen = cached ? auditor_->old_copy_gen(c.block)
+                                 : auditor_->disk_gen(c.block);
+      covers.push_back(c);
+    }
+  }
+  return covers;
 }
 
 std::vector<PhysicalExtent> ArrayController::split_at_cylinders(
@@ -362,6 +508,18 @@ void ArrayController::execute_update(
     const StripeUpdate& update, DiskPriority data_priority, SyncPolicy sync,
     const std::function<bool(const PhysicalExtent&)>& old_data_cached,
     std::function<void(SimTime)> done) {
+  if (journal_ && !crashed_ && update.parity.valid() &&
+      !update.writes.empty()) {
+    // Record the stripe-update intent before any disk I/O is issued; it
+    // retires only when the whole plan (data AND parity) has landed. An
+    // intent still open at a crash marks its stripe for recovery resync.
+    const std::uint64_t id = journal_->open(update, eq_.now());
+    ++stats_.journal_intents;
+    done = [this, id, done = std::move(done)](SimTime t) {
+      if (journal_) journal_->close(id, t);
+      if (done) done(t);
+    };
+  }
   if (failed_disk_ >= 0) {
     const StripeUpdate degraded = degrade_update(update);
     if (degraded.writes.empty() && !degraded.parity.valid()) {
@@ -389,24 +547,35 @@ void ArrayController::execute_update_impl(
     const int op_count = static_cast<int>(update.writes.size()) +
                          (update.parity.valid() ? 1 : 0);
     auto completion = Barrier::create(op_count, std::move(done));
-    for (const auto& w : update.writes)
-      disk_write(w, data_priority,
-                 [completion](SimTime t) { completion->arrive(t); });
+    for (const auto& w : update.writes) {
+      auto tap = audit_data_write(
+          w, [completion](SimTime t) { completion->arrive(t); });
+      disk_write(w, data_priority, std::move(tap.on_complete),
+                 std::move(tap.on_power_fail));
+    }
     if (update.parity.valid()) {
+      // The parity is recomputed from full content here, so its coverage
+      // advances unconditionally (no stale-delta poisoning).
+      auto covers = parity_covers(update.writes, nullptr);
+      auto parity_done = [this, covers = std::move(covers),
+                          completion](SimTime t) {
+        if (auditor_)
+          for (const auto& c : covers) auditor_->parity_durable(c, true);
+        completion->arrive(t);
+      };
       if (update.reconstruct_reads.empty()) {
         // Full stripe: the parity is computed from the new data and
         // written without any reads.
-        disk_write(update.parity, parity_priority,
-                   [completion](SimTime t) { completion->arrive(t); });
+        disk_write(update.parity, parity_priority, std::move(parity_done));
       } else {
         // Reconstruct: the parity write waits for the reads of the
         // untouched data.
         const PhysicalExtent parity = update.parity;
         auto read_barrier = Barrier::create(
             static_cast<int>(update.reconstruct_reads.size()),
-            [this, parity, parity_priority, completion](SimTime) {
-              disk_write(parity, parity_priority,
-                         [completion](SimTime t) { completion->arrive(t); });
+            [this, parity, parity_priority,
+             parity_done = std::move(parity_done)](SimTime) mutable {
+              disk_write(parity, parity_priority, std::move(parity_done));
             });
         for (const auto& r : update.reconstruct_reads)
           disk_read(r, data_priority,
@@ -439,11 +608,34 @@ void ArrayController::execute_update_impl(
     if (!piece_old_cached[i]) ++gate_inputs;
   }
 
+  // Audit bookkeeping: the parity advances by an XOR delta computed
+  // against each block's old content -- the retained cache copy for
+  // cached pieces, the on-disk content (RMW read) otherwise. The covers
+  // are marked only when every parity piece has landed.
+  std::vector<ParityCover> covers;
+  if (auditor_) {
+    for (std::size_t i = 0; i < data_pieces.size(); ++i) {
+      const auto& piece = data_pieces[i];
+      if (piece.logical_start < 0) continue;
+      for (int b = 0; b < piece.block_count; ++b) {
+        ParityCover c;
+        c.block = piece.logical_start + b;
+        c.gen = auditor_->current_gen(c.block);
+        c.assumed_old_gen = piece_old_cached[i]
+                                ? auditor_->old_copy_gen(c.block)
+                                : auditor_->disk_gen(c.block);
+        covers.push_back(c);
+      }
+    }
+  }
+  auto parity_remaining =
+      std::make_shared<int>(static_cast<int>(parity_pieces.size()));
+
   // Issuing the parity access(es): immediately for SI; when all old data
   // have been read for RF; when all data accesses have acquired their
   // disks for DF.
   auto issue_parity = [this, parity_pieces, parity_priority, gate,
-                       completion](SimTime) {
+                       completion, covers, parity_remaining](SimTime) {
     for (const auto& piece : parity_pieces) {
       Disk& disk = *disks_[static_cast<std::size_t>(piece.disk)];
       DiskRequest req;
@@ -452,7 +644,12 @@ void ArrayController::execute_update_impl(
       req.block_count = piece.block_count;
       req.priority = parity_priority;
       req.gate = gate;
-      req.on_complete = [completion](SimTime t) { completion->arrive(t); };
+      req.on_complete = [this, completion, covers,
+                         parity_remaining](SimTime t) {
+        if (--*parity_remaining == 0 && auditor_)
+          for (const auto& c : covers) auditor_->parity_durable(c, false);
+        completion->arrive(t);
+      };
       disk.submit(std::move(req));
     }
   };
@@ -498,7 +695,10 @@ void ArrayController::execute_update_impl(
     }
     if (start_barrier)
       req.on_start = [start_barrier](SimTime t) { start_barrier->arrive(t); };
-    req.on_complete = [completion](SimTime t) { completion->arrive(t); };
+    auto tap = audit_data_write(
+        piece, [completion](SimTime t) { completion->arrive(t); });
+    req.on_complete = std::move(tap.on_complete);
+    req.on_power_fail = std::move(tap.on_power_fail);
     disk.submit(std::move(req));
   }
 

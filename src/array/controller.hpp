@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "array/crash_hooks.hpp"
+#include "array/intent_journal.hpp"
 #include "channel/channel.hpp"
 #include "disk/disk.hpp"
 #include "layout/layout.hpp"
@@ -77,6 +79,18 @@ struct ControllerStats {
   std::uint64_t media_errors = 0;        // latent sector errors hit by reads
   std::uint64_t media_repairs = 0;       // reconstruct-and-rewrite remaps
   std::uint64_t media_losses = 0;        // media errors with no redundancy
+  // Crash & recovery accounting (power-loss injection support).
+  std::uint64_t crashes = 0;                      // crash_halt() invocations
+  std::uint64_t crash_dropped_ops = 0;            // disk ops killed by crashes
+  std::uint64_t crash_discarded_write_blocks = 0; // write blocks never landing
+  std::uint64_t crash_aborted_host_writes = 0;    // stalled hosts dropped
+  std::uint64_t journal_intents = 0;     // stripe-update intents opened
+  std::uint64_t journal_replays = 0;     // intents replayed by recovery
+  std::uint64_t resync_stripes = 0;      // stripes resynchronized
+  std::uint64_t resync_read_blocks = 0;  // blocks read by resync passes
+  std::uint64_t resync_write_blocks = 0; // parity blocks rewritten by resync
+  std::uint64_t full_resyncs = 0;        // recoveries that walked the array
+  double recovery_ms = 0.0;              // cumulative recovery wall time
 
   double read_hit_ratio() const {
     return read_requests ? static_cast<double>(read_request_hits) /
@@ -175,6 +189,52 @@ class ArrayController {
 
   const FaultPolicy& fault_policy() const { return fault_; }
 
+  // ---------------------------------------------- crash & recovery API
+
+  /// Attach a shadow-model integrity auditor (src/crash). Pure
+  /// bookkeeping: hooks fire on every step of a logical write's life and
+  /// consume no simulated time. Null detaches.
+  void set_auditor(WriteAuditHooks* auditor) { auditor_ = auditor; }
+  WriteAuditHooks* auditor() const { return auditor_; }
+
+  /// Attach an NVRAM intent journal (write-hole closure); the cached
+  /// controller owns one internally when CacheConfig::intent_journal is
+  /// set, but a caller may also attach an external journal to either
+  /// controller. Null detaches.
+  void attach_journal(IntentJournal* journal) { journal_ = journal; }
+  IntentJournal* journal() const { return journal_; }
+
+  /// Controller crash at the current instant: every disk loses power
+  /// (queued + in-flight ops die; partial writes keep only their durable
+  /// prefix), further submissions are refused, and the journal (if any)
+  /// survives or is wiped per `preserve_nvram`. Host requests in flight
+  /// never complete -- the crash ate them.
+  virtual void crash_halt(bool preserve_nvram);
+
+  /// Power the controller back up (disks spin up empty-queued). Recovery
+  /// -- journal replay or full resync -- is driven externally by a
+  /// RecoveryProcess; the controller serves I/O immediately, as a real
+  /// array does while its background resync runs.
+  virtual void crash_restart();
+  bool crashed() const { return crashed_; }
+
+  /// Resynchronize the parity group(s) covering one data extent: read
+  /// the extent and its surviving group members, recompute the parity,
+  /// rewrite it, and mark the auditor's shadow model consistent. Returns
+  /// the I/O cost. `ok == false` means the organization has no parity
+  /// group here (nothing to resync); `done` still fires.
+  struct ResyncIssue {
+    bool ok = false;
+    int read_blocks = 0;
+    int write_blocks = 0;
+  };
+  ResyncIssue resync_stripe(const PhysicalExtent& extent,
+                            DiskPriority priority,
+                            std::function<void(SimTime)> done);
+
+  /// Recovery bookkeeping callback (RecoveryProcess reports here).
+  void note_recovery(double ms, std::uint64_t intents_replayed, bool full);
+
   const Layout& layout() const { return *layout_; }
   const std::vector<std::unique_ptr<Disk>>& disks() const { return disks_; }
   const Channel& channel() const { return *channel_; }
@@ -200,8 +260,11 @@ class ArrayController {
                  std::function<void(SimTime)> done);
 
   /// Issue a plain write of `extent`; `done` fires when it is on disk.
+  /// `on_power_fail` (optional) is invoked instead when a crash kills the
+  /// write, with the durable leading-block count.
   void disk_write(const PhysicalExtent& extent, DiskPriority priority,
-                  std::function<void(SimTime)> done);
+                  std::function<void(SimTime)> done,
+                  std::function<void(SimTime, int)> on_power_fail = nullptr);
 
   /// Execute one parity-group update plan. `data_priority` applies to the
   /// data accesses, and the parity access priority is raised for the /PR
@@ -248,7 +311,30 @@ class ArrayController {
   /// transient-retry and media-repair handlers around the disk op.
   void submit_op(const PhysicalExtent& extent, bool is_write,
                  DiskPriority priority, std::function<void(SimTime)> done,
-                 int attempt);
+                 int attempt,
+                 std::function<void(SimTime, int)> on_power_fail = nullptr);
+
+  /// Audit instrumentation for one data-write extent: the returned
+  /// callbacks wrap the disk op so the auditor learns exactly which
+  /// blocks became durable -- all of them on completion, the leading
+  /// prefix on a mid-write power failure. Generations are sampled at
+  /// issue time (the content being written NOW, not whatever the host
+  /// writes later). No-ops when no auditor is attached.
+  struct AuditTap {
+    std::function<void(SimTime)> on_complete;
+    std::function<void(SimTime, int)> on_power_fail;
+  };
+  AuditTap audit_data_write(const PhysicalExtent& extent,
+                            std::function<void(SimTime)> inner);
+
+  /// Build the parity-cover records for the data extents of an update:
+  /// which generation each block's parity delta was computed against
+  /// (the retained old copy for cached pieces, the on-disk content for
+  /// pieces whose old data the RMW pass reads). Empty without an auditor.
+  std::vector<ParityCover> parity_covers(
+      const std::vector<PhysicalExtent>& writes,
+      const std::function<bool(const PhysicalExtent&)>& old_data_cached)
+      const;
   void handle_retry_exhaustion(const PhysicalExtent& extent, bool is_write,
                                DiskPriority priority,
                                std::function<void(SimTime)> done, SimTime now);
@@ -259,6 +345,9 @@ class ArrayController {
   std::function<void(int, SimTime)> disk_dead_handler_;
   int failed_disk_ = -1;
   std::int64_t rebuild_watermark_ = 0;
+  WriteAuditHooks* auditor_ = nullptr;
+  IntentJournal* journal_ = nullptr;
+  bool crashed_ = false;
 };
 
 }  // namespace raidsim

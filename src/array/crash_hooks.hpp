@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+
+#include "layout/layout.hpp"
+#include "sim/event_queue.hpp"
+
+namespace raidsim {
+
+/// How a parity update covers one logical data block. A read-modify-write
+/// parity update applies an XOR delta (new content xor old content); the
+/// delta is only correct when the "old" content it was computed against
+/// is exactly what the parity currently covers. `assumed_old_gen` records
+/// which generation the controller used as the old copy when it planned
+/// the update -- captured from the NV-cache old-data slot or from the
+/// on-disk state at plan-issue time.
+struct ParityCover {
+  std::int64_t block = -1;            // array-local logical block
+  std::uint64_t gen = 0;              // generation the update installs
+  std::uint64_t assumed_old_gen = 0;  // generation the delta was built from
+};
+
+/// Bookkeeping interface the controllers call on every step of a logical
+/// write's life: host acceptance, NV-cache residency, data landing on the
+/// medium, parity coverage advancing. Implementations (the shadow-model
+/// auditor in src/crash) mirror the array's durable state so that silent
+/// write-hole corruption and lost writes become counted, attributable
+/// events. Every hook is pure bookkeeping and consumes zero simulated
+/// time, so attaching an auditor never perturbs the event timeline --
+/// journal-on and journal-off runs of the same seed stay cycle-identical
+/// up to the crash instant.
+class WriteAuditHooks {
+ public:
+  virtual ~WriteAuditHooks() = default;
+
+  /// A host write touched this logical block; returns the new content
+  /// generation (monotonic per block).
+  virtual std::uint64_t host_write(std::int64_t block) = 0;
+
+  /// The controller acknowledged generation `gen` of `block` to the host
+  /// (cache accept for the cached controller, full completion for the
+  /// uncached one). Acked data that later exists nowhere durable is a
+  /// lost write.
+  virtual void acknowledge(std::int64_t block, std::uint64_t gen) = 0;
+
+  /// Latest generation the host has written to `block` (0 = never).
+  virtual std::uint64_t current_gen(std::int64_t block) const = 0;
+
+  /// Generation currently on the data disk for `block`.
+  virtual std::uint64_t disk_gen(std::int64_t block) const = 0;
+
+  /// Generation of the retained old copy for `block` (falls back to the
+  /// on-disk generation when no capture was recorded).
+  virtual std::uint64_t old_copy_gen(std::int64_t block) const = 0;
+
+  /// The NV-cache captured the pre-write content of `block` (old-data
+  /// retention for the parity delta).
+  virtual void old_captured(std::int64_t block) = 0;
+
+  /// Generation `gen` of `block` now resides in NVRAM (dirty, durable
+  /// across crashes while the battery holds).
+  virtual void nvram_put(std::int64_t block, std::uint64_t gen) = 0;
+
+  /// `block` was evicted from NVRAM without reaching the disk first
+  /// (clean eviction after destage is NOT reported here).
+  virtual void nvram_evict(std::int64_t block) = 0;
+
+  /// Crash with non-surviving NVRAM: all cache residency is gone.
+  virtual void wipe_nvram() = 0;
+
+  /// Generation `gen` of `block` reached the data disk.
+  virtual void data_durable(std::int64_t block, std::uint64_t gen) = 0;
+
+  /// The parity covering `cover.block` advanced. `recompute` means the
+  /// parity was rebuilt from full-stripe content (reconstruct write);
+  /// otherwise an XOR delta built against `cover.assumed_old_gen` was
+  /// applied, which poisons the cover when that assumption was stale.
+  virtual void parity_durable(const ParityCover& cover, bool recompute) = 0;
+
+  /// Recovery resynchronized the stripe containing `block`: parity now
+  /// covers exactly the on-disk content.
+  virtual void resync_block(std::int64_t block) = 0;
+};
+
+}  // namespace raidsim

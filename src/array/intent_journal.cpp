@@ -1,0 +1,61 @@
+#include "array/intent_journal.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace raidsim {
+
+std::uint64_t IntentJournal::open(const StripeUpdate& update, SimTime now) {
+  Intent intent;
+  intent.id = next_id_++;
+  intent.opened_at = now;
+  intent.writes = update.writes;
+  intent.parity = update.parity;
+  open_.emplace(intent.id, std::move(intent));
+  ++stats_.opened;
+  stats_.peak_open = std::max(stats_.peak_open, open_.size());
+  return next_id_ - 1;
+}
+
+void IntentJournal::close(std::uint64_t id, SimTime /*now*/) {
+  if (open_.erase(id) > 0) ++stats_.closed;
+}
+
+void IntentJournal::power_loss(bool nvram_survives) {
+  if (nvram_survives) return;  // battery held; the intents are still there
+  open_.clear();
+  wiped_ = true;
+  ++stats_.wipes;
+}
+
+void IntentJournal::clear() {
+  open_.clear();
+  wiped_ = false;
+}
+
+std::vector<IntentJournal::Intent> IntentJournal::snapshot() const {
+  std::vector<Intent> intents;
+  intents.reserve(open_.size());
+  for (const auto& [id, intent] : open_) intents.push_back(intent);
+  return intents;
+}
+
+std::vector<PhysicalExtent> IntentJournal::dirty_stripe_extents() const {
+  // The "bitmap" keys a stripe by its parity extent's location; one data
+  // extent per key is enough -- resync_stripe rebuilds the whole group.
+  std::set<std::pair<int, std::int64_t>> seen;
+  std::vector<PhysicalExtent> extents;
+  for (const auto& [id, intent] : open_) {
+    if (intent.writes.empty()) continue;
+    const auto key = intent.parity.valid()
+                         ? std::make_pair(intent.parity.disk,
+                                          intent.parity.start_block)
+                         : std::make_pair(intent.writes.front().disk,
+                                          intent.writes.front().start_block);
+    if (seen.insert(key).second) extents.push_back(intent.writes.front());
+  }
+  return extents;
+}
+
+}  // namespace raidsim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "sim/event_queue.hpp"
+
+namespace raidsim {
+
+/// NVRAM intent journal + dirty-stripe bitmap (write-hole closure).
+///
+/// Before issuing the data/parity writes of a stripe update, the cached
+/// controller opens an intent recording which extents are about to
+/// change; the intent closes only when BOTH the data and the parity have
+/// landed. An intent still open at a crash marks a stripe whose parity
+/// may disagree with its data -- the recovery process resynchronizes
+/// exactly those stripes instead of the whole array.
+///
+/// The journal models a battery-backed NVRAM region: it survives a crash
+/// when `nvram_survives` (Section 3.4's NV assumption), and is wiped --
+/// forcing the full-array resync fallback -- when not. Bookkeeping costs
+/// zero simulated time (the paper's NV-cache writes are free too), so
+/// enabling the journal does not perturb the event timeline.
+class IntentJournal {
+ public:
+  struct Intent {
+    std::uint64_t id = 0;
+    SimTime opened_at = 0.0;
+    std::vector<PhysicalExtent> writes;  // data extents of the update
+    PhysicalExtent parity;               // invalid when no parity
+  };
+
+  struct Stats {
+    std::uint64_t opened = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t wipes = 0;       // crashes that destroyed the journal
+    std::size_t peak_open = 0;
+  };
+
+  /// Record a stripe update about to be issued; returns the intent id.
+  std::uint64_t open(const StripeUpdate& update, SimTime now);
+
+  /// Data and parity are both durable; the intent is retired.
+  void close(std::uint64_t id, SimTime now);
+
+  /// Controller crash. Surviving NVRAM keeps the open intents (recovery
+  /// replays them); otherwise the journal is wiped and recovery must fall
+  /// back to a full-array resync.
+  void power_loss(bool nvram_survives);
+
+  /// Recovery replayed (or abandoned) the journal; start clean.
+  void clear();
+
+  std::size_t open_intents() const { return open_.size(); }
+  bool wiped() const { return wiped_; }
+  const Stats& stats() const { return stats_; }
+  std::vector<Intent> snapshot() const;
+
+  /// Dirty-stripe bitmap view: one representative data extent per
+  /// distinct parity extent among the open intents. Resyncing each
+  /// returned extent's parity group covers every stripe the journal
+  /// marks dirty.
+  std::vector<PhysicalExtent> dirty_stripe_extents() const;
+  std::size_t dirty_stripes() const { return dirty_stripe_extents().size(); }
+
+ private:
+  std::map<std::uint64_t, Intent> open_;
+  std::uint64_t next_id_ = 1;
+  bool wiped_ = false;
+  Stats stats_;
+};
+
+}  // namespace raidsim

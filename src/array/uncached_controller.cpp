@@ -7,6 +7,7 @@ UncachedController::UncachedController(EventQueue& eq, const Config& config)
 
 void UncachedController::submit(const ArrayRequest& request,
                                 std::function<void(SimTime)> on_complete) {
+  if (crashed()) return;  // controller down: the request dies unanswered
   if (!on_complete) on_complete = [](SimTime) {};
   if (request.is_write) {
     submit_write(request, std::move(on_complete));
@@ -52,10 +53,29 @@ void UncachedController::submit_write(const ArrayRequest& request,
   buffers_->acquire([this, req, bytes, done = std::move(done)]() mutable {
     channel_->transfer(bytes, [this, req, done = std::move(done)](
                                   SimTime) mutable {
+      if (crashed()) {  // crash raced the channel transfer
+        buffers_->release();
+        return;
+      }
+      // Audit bookkeeping: the host content exists only in volatile
+      // controller buffers until the disk writes land, and the host is
+      // acknowledged only after they all have -- so the uncached
+      // controller has no lost-write window, just the write hole.
+      std::vector<std::uint64_t> gens;
+      if (auditor_) {
+        gens.reserve(static_cast<std::size_t>(req.block_count));
+        for (int i = 0; i < req.block_count; ++i)
+          gens.push_back(auditor_->host_write(req.logical_block + i));
+      }
       auto plans = layout_->map_write(req.logical_block, req.block_count);
       auto barrier = Barrier::create(
           static_cast<int>(plans.size()),
-          [this, done = std::move(done)](SimTime t) {
+          [this, req, gens = std::move(gens),
+           done = std::move(done)](SimTime t) {
+            if (auditor_)
+              for (int i = 0; i < req.block_count; ++i)
+                auditor_->acknowledge(req.logical_block + i,
+                                      gens[static_cast<std::size_t>(i)]);
             buffers_->release();
             done(t);
           });

@@ -196,4 +196,32 @@ void NvCache::release_parity_slot() {
   --parity_slots_;
 }
 
+void NvCache::crash_reset(bool preserve) {
+  if (!preserve) {
+    lru_.clear();
+    index_.clear();
+    dirty_set_.clear();
+    old_set_.clear();
+    parity_slots_ = 0;
+    return;
+  }
+  // Battery NVRAM: contents survive, but every in-flight destage died
+  // with its disk write -- the blocks stay dirty and become eligible
+  // again -- and old-data captures are invalidated (ambiguous after the
+  // crash; the next destage re-reads old content from disk). Parity
+  // slots empty too: the spooled XOR deltas they reserve space for live
+  // in controller volatile memory and did not survive.
+  parity_slots_ = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key % 2 == 1) {
+      auto victim = it++;
+      erase_entry(victim);
+      continue;
+    }
+    it->in_flight = false;
+    it->redirtied = false;
+    ++it;
+  }
+}
+
 }  // namespace raidsim

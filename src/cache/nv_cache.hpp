@@ -116,6 +116,18 @@ class NvCache {
   void release_parity_slot();
   std::size_t parity_slots() const { return parity_slots_; }
 
+  // ------------------------------------------------------------- crash
+
+  /// Controller crash. `preserve` models battery-backed NVRAM: the data
+  /// contents survive, but in-flight destage state is reset (the disk
+  /// writes died with the power) and old-data captures are dropped --
+  /// after a crash the controller cannot know whether a destage's data
+  /// write landed, so retained old copies are no longer a safe delta
+  /// source. Pinned parity slots are released in both modes -- the
+  /// spooled parity deltas they back live in controller volatile memory
+  /// and never survive. Without `preserve` everything is wiped.
+  void crash_reset(bool preserve);
+
   // ------------------------------------------------------------- misc
 
   std::size_t capacity() const { return capacity_; }

@@ -86,6 +86,7 @@ CachedController::CacheConfig SimulationConfig::cache_config() const {
   cfg.retain_old_data = retain_old_data;
   cfg.parity_caching = parity_caching;
   cfg.periodic_destage = periodic_destage;
+  cfg.intent_journal = intent_journal;
   return cfg;
 }
 

@@ -49,6 +49,10 @@ struct SimulationConfig {
   bool parity_caching = false;
   /// false = pure LRU writeback; ablation of the periodic destage policy.
   bool periodic_destage = true;
+  /// Cached arrays only: record stripe-update intents in an NVRAM journal
+  /// so a crash-recovery pass can resync exactly the dirty stripes
+  /// instead of the whole array (see docs/fault_model.md).
+  bool intent_journal = false;
 
   /// Throws std::invalid_argument when inconsistent.
   void validate() const;

@@ -24,6 +24,7 @@ void accumulate(DiskStats& total, const DiskStats& d) {
   total.held_rotations += d.held_rotations;
   total.transient_faults += d.transient_faults;
   total.media_faults += d.media_faults;
+  total.power_fail_drops += d.power_fail_drops;
 }
 
 void accumulate(ControllerStats& total, const ControllerStats& c) {
@@ -47,6 +48,17 @@ void accumulate(ControllerStats& total, const ControllerStats& c) {
   total.media_errors += c.media_errors;
   total.media_repairs += c.media_repairs;
   total.media_losses += c.media_losses;
+  total.crashes += c.crashes;
+  total.crash_dropped_ops += c.crash_dropped_ops;
+  total.crash_discarded_write_blocks += c.crash_discarded_write_blocks;
+  total.crash_aborted_host_writes += c.crash_aborted_host_writes;
+  total.journal_intents += c.journal_intents;
+  total.journal_replays += c.journal_replays;
+  total.resync_stripes += c.resync_stripes;
+  total.resync_read_blocks += c.resync_read_blocks;
+  total.resync_write_blocks += c.resync_write_blocks;
+  total.full_resyncs += c.full_resyncs;
+  total.recovery_ms += c.recovery_ms;
 }
 
 void accumulate(NvCache::Stats& total, const NvCache::Stats& c) {

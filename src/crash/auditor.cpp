@@ -1,0 +1,178 @@
+#include "crash/auditor.hpp"
+
+#include <algorithm>
+
+namespace raidsim {
+
+namespace {
+
+bool has_parity(Organization org) {
+  return org == Organization::kRaid4 || org == Organization::kRaid5 ||
+         org == Organization::kParityStriping;
+}
+
+}  // namespace
+
+ShadowAuditor::ShadowAuditor(ArrayController& controller)
+    : controller_(controller),
+      parity_org_(has_parity(controller.layout().organization())) {
+  controller_.set_auditor(this);
+}
+
+ShadowAuditor::~ShadowAuditor() {
+  if (controller_.auditor() == this) controller_.set_auditor(nullptr);
+}
+
+std::uint64_t ShadowAuditor::lookup(
+    const std::unordered_map<std::int64_t, std::uint64_t>& map,
+    std::int64_t block) {
+  auto it = map.find(block);
+  return it == map.end() ? 0 : it->second;
+}
+
+std::pair<ShadowAuditor::StripeKey, bool> ShadowAuditor::stripe_key(
+    std::int64_t block) const {
+  auto it = block_stripe_.find(block);
+  if (it != block_stripe_.end()) return it->second;
+  std::pair<StripeKey, bool> key{{-1, -1}, false};
+  if (parity_org_) {
+    const auto plans = controller_.layout().map_write(block, 1);
+    if (!plans.empty() && plans.front().parity.valid()) {
+      key.first = {plans.front().parity.disk,
+                   plans.front().parity.start_block};
+      key.second = true;
+      stripe_members_[key.first].insert(block);
+    }
+  }
+  block_stripe_.emplace(block, key);
+  return key;
+}
+
+std::uint64_t ShadowAuditor::host_write(std::int64_t block) {
+  stripe_key(block);  // register stripe membership
+  return ++model_[block];
+}
+
+void ShadowAuditor::acknowledge(std::int64_t block, std::uint64_t gen) {
+  auto& acked = acked_[block];
+  acked = std::max(acked, gen);
+}
+
+std::uint64_t ShadowAuditor::current_gen(std::int64_t block) const {
+  auto it = model_.find(block);
+  return it == model_.end() ? 0 : it->second;
+}
+
+std::uint64_t ShadowAuditor::disk_gen(std::int64_t block) const {
+  return lookup(disk_, block);
+}
+
+std::uint64_t ShadowAuditor::old_copy_gen(std::int64_t block) const {
+  auto it = old_copy_.find(block);
+  return it == old_copy_.end() ? disk_gen(block) : it->second;
+}
+
+void ShadowAuditor::old_captured(std::int64_t block) {
+  old_copy_[block] = disk_gen(block);
+}
+
+void ShadowAuditor::nvram_put(std::int64_t block, std::uint64_t gen) {
+  nvram_[block] = gen;
+}
+
+void ShadowAuditor::nvram_evict(std::int64_t block) {
+  nvram_.erase(block);
+}
+
+void ShadowAuditor::wipe_nvram() {
+  nvram_.clear();
+  old_copy_.clear();
+}
+
+void ShadowAuditor::data_durable(std::int64_t block, std::uint64_t gen) {
+  disk_[block] = gen;
+}
+
+void ShadowAuditor::parity_durable(const ParityCover& cover, bool recompute) {
+  if (cover.block < 0) return;
+  if (recompute) {
+    // Parity rebuilt from full content: coverage re-established no
+    // matter what it was before.
+    cover_[cover.block] = cover.gen;
+    poisoned_.erase(cover.block);
+    return;
+  }
+  // XOR delta: only correct when computed against exactly what the
+  // parity covers. A stale assumption corrupts the parity for good
+  // (until a recompute/resync) -- the cover is poisoned.
+  if (poisoned_.count(cover.block) == 0 &&
+      lookup(cover_, cover.block) == cover.assumed_old_gen) {
+    cover_[cover.block] = cover.gen;
+  } else {
+    poisoned_.insert(cover.block);
+  }
+}
+
+void ShadowAuditor::resync_block(std::int64_t block) {
+  // A stripe resync recomputes the parity from the on-disk content of
+  // the WHOLE group: every member the model tracks is healed, and stale
+  // old-data captures stop being a valid delta source.
+  const auto key = stripe_key(block);
+  if (!key.second) return;
+  for (std::int64_t member : stripe_members_[key.first]) {
+    cover_[member] = lookup(disk_, member);
+    poisoned_.erase(member);
+    old_copy_.erase(member);
+  }
+}
+
+bool ShadowAuditor::on_failed_disk(std::int64_t block) const {
+  if (controller_.failed_disk() < 0) return false;
+  const auto extents = controller_.layout().map_read(block, 1);
+  return !extents.empty() && extents.front().disk == controller_.failed_disk();
+}
+
+bool ShadowAuditor::block_inconsistent(std::int64_t block) const {
+  if (!parity_org_) return false;
+  if (poisoned_.count(block) > 0) return true;
+  return lookup(cover_, block) != lookup(disk_, block);
+}
+
+ShadowAuditor::Report ShadowAuditor::audit() const {
+  Report report;
+  std::set<StripeKey> bad_stripes;
+  for (const auto& [block, gen] : model_) {
+    if (on_failed_disk(block)) {
+      ++report.degraded_skipped;
+      continue;
+    }
+    ++report.blocks_checked;
+    const std::uint64_t acked = lookup(acked_, block);
+    if (acked > std::max(lookup(disk_, block), lookup(nvram_, block)))
+      ++report.lost_writes;
+    if (block_inconsistent(block)) {
+      ++report.write_holes;
+      const auto key = stripe_key(block);
+      if (key.second) bad_stripes.insert(key.first);
+    }
+  }
+  report.stripes_inconsistent =
+      static_cast<std::uint64_t>(bad_stripes.size());
+  return report;
+}
+
+std::int64_t ShadowAuditor::first_inconsistent_block() const {
+  for (const auto& [block, gen] : model_)
+    if (block_inconsistent(block)) return block;
+  return -1;
+}
+
+std::uint64_t ShadowAuditor::parity_cover_gen(std::int64_t block) const {
+  return lookup(cover_, block);
+}
+
+std::uint64_t ShadowAuditor::nvram_gen(std::int64_t block) const {
+  return lookup(nvram_, block);
+}
+
+}  // namespace raidsim

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "array/controller.hpp"
+#include "array/crash_hooks.hpp"
+
+namespace raidsim {
+
+/// Shadow-model integrity auditor: mirrors every logical write into an
+/// in-memory model of the array's durable state and verifies, on demand,
+/// that each stripe's parity XOR-matches its data blocks and that every
+/// acknowledged write still exists somewhere durable. Silent write-hole
+/// corruption and lost writes become counted, attributable events.
+///
+/// The model tracks content *generations* rather than bytes. Per logical
+/// block b it records:
+///
+///   model[b]    latest generation the host wrote,
+///   acked[b]    latest generation acknowledged to the host,
+///   disk[b]     generation on the data disk,
+///   nvram[b]    generation held dirty in the NV cache,
+///   cover[b]    generation the parity currently covers, and
+///   old_copy[b] generation of the retained old-data capture.
+///
+/// Parity is linear (XOR), so per-block coverage tracking is exact: a
+/// delta update advances cover[b] only when it was computed against
+/// exactly cover[b]'s content (otherwise the cover is *poisoned* -- the
+/// real parity no longer matches any consistent stripe state), and a
+/// recompute write re-establishes coverage unconditionally. A block
+/// whose cover disagrees with its disk content is a write hole: rebuild
+/// of a lost member would reconstruct garbage there. An acked generation
+/// newer than both disk and NVRAM is a lost write.
+///
+/// All hooks are pure bookkeeping with zero simulated time, so attaching
+/// the auditor never changes the event timeline.
+///
+/// Limitations (documented, asserted nowhere): audits are meaningful
+/// when the array is quiescent -- an in-flight stripe update legitimately
+/// holds cover != disk for its duration (that transient IS the crash
+/// window the auditor is built to catch); and the model does not follow
+/// whole-disk rebuilds onto spares (audit before injecting one).
+class ShadowAuditor : public WriteAuditHooks {
+ public:
+  /// Attaches itself to the controller (set_auditor) for its lifetime.
+  explicit ShadowAuditor(ArrayController& controller);
+  ~ShadowAuditor() override;
+
+  ShadowAuditor(const ShadowAuditor&) = delete;
+  ShadowAuditor& operator=(const ShadowAuditor&) = delete;
+
+  // WriteAuditHooks:
+  std::uint64_t host_write(std::int64_t block) override;
+  void acknowledge(std::int64_t block, std::uint64_t gen) override;
+  std::uint64_t current_gen(std::int64_t block) const override;
+  std::uint64_t disk_gen(std::int64_t block) const override;
+  std::uint64_t old_copy_gen(std::int64_t block) const override;
+  void old_captured(std::int64_t block) override;
+  void nvram_put(std::int64_t block, std::uint64_t gen) override;
+  void nvram_evict(std::int64_t block) override;
+  void wipe_nvram() override;
+  void data_durable(std::int64_t block, std::uint64_t gen) override;
+  void parity_durable(const ParityCover& cover, bool recompute) override;
+  void resync_block(std::int64_t block) override;
+
+  struct Report {
+    std::uint64_t blocks_checked = 0;
+    std::uint64_t write_holes = 0;      // blocks whose parity cover is wrong
+    std::uint64_t lost_writes = 0;      // acked data existing nowhere durable
+    std::uint64_t stripes_inconsistent = 0;  // distinct stripes with holes
+    std::uint64_t degraded_skipped = 0; // blocks on a failed disk (unverifiable)
+    bool clean() const { return write_holes == 0 && lost_writes == 0; }
+  };
+
+  /// Verify every block the model has ever seen. Run while quiescent.
+  Report audit() const;
+
+  /// Lowest touched block whose parity cover disagrees with its disk
+  /// content (or is poisoned), -1 when none. Cheap probe used to detect
+  /// the open crash window deterministically: while a stripe update is
+  /// in flight this is transiently >= 0 -- crash then.
+  std::int64_t first_inconsistent_block() const;
+
+  std::uint64_t parity_cover_gen(std::int64_t block) const;
+  std::uint64_t nvram_gen(std::int64_t block) const;
+  bool poisoned(std::int64_t block) const {
+    return poisoned_.count(block) > 0;
+  }
+
+ private:
+  using StripeKey = std::pair<int, std::int64_t>;
+
+  static std::uint64_t lookup(
+      const std::unordered_map<std::int64_t, std::uint64_t>& map,
+      std::int64_t block);
+
+  /// Parity-extent key of the stripe containing `block`; cached (layout
+  /// mapping is static). Second == false when the organization has no
+  /// parity for this block.
+  std::pair<StripeKey, bool> stripe_key(std::int64_t block) const;
+
+  bool block_inconsistent(std::int64_t block) const;
+  bool on_failed_disk(std::int64_t block) const;
+
+  ArrayController& controller_;
+  bool parity_org_;
+
+  std::map<std::int64_t, std::uint64_t> model_;  // ordered: deterministic scans
+  std::unordered_map<std::int64_t, std::uint64_t> acked_;
+  std::unordered_map<std::int64_t, std::uint64_t> disk_;
+  std::unordered_map<std::int64_t, std::uint64_t> nvram_;
+  std::unordered_map<std::int64_t, std::uint64_t> cover_;
+  std::unordered_map<std::int64_t, std::uint64_t> old_copy_;
+  std::unordered_set<std::int64_t> poisoned_;
+
+  // Stripe topology, built lazily: resyncing any member heals the group.
+  mutable std::map<std::int64_t, std::pair<StripeKey, bool>> block_stripe_;
+  mutable std::map<StripeKey, std::set<std::int64_t>> stripe_members_;
+};
+
+}  // namespace raidsim

@@ -1,0 +1,58 @@
+#include "crash/crash_injector.hpp"
+
+#include <stdexcept>
+
+namespace raidsim {
+
+CrashInjector::CrashInjector(EventQueue& eq, ArrayController& controller)
+    : CrashInjector(eq, controller, Options()) {}
+
+CrashInjector::CrashInjector(EventQueue& eq, ArrayController& controller,
+                             const Options& options)
+    : eq_(eq),
+      controller_(controller),
+      options_(options),
+      recovery_(eq, controller, options.recovery),
+      rng_(options.seed) {
+  if (options_.restart_delay_ms < 0.0)
+    throw std::invalid_argument("CrashInjector: restart_delay_ms < 0");
+}
+
+void CrashInjector::arm() {
+  if (options_.crash_mean_ms <= 0.0)
+    throw std::logic_error("CrashInjector: arm() needs crash_mean_ms > 0");
+  crash_at(eq_.now() + rng_.exponential(options_.crash_mean_ms));
+}
+
+void CrashInjector::crash_at(SimTime when) {
+  const std::uint64_t epoch = ++epoch_;
+  eq_.schedule_at(when, [this, epoch] {
+    if (epoch == epoch_) crash_now();
+  });
+}
+
+void CrashInjector::crash_now() {
+  if (down_) return;
+  ++epoch_;  // kill any scheduled crash
+  down_ = true;
+  ++crashes_;
+  controller_.crash_halt(options_.nvram_survives_crash);
+  eq_.schedule_in(options_.restart_delay_ms,
+                  [this] { restart(eq_.now()); });
+}
+
+void CrashInjector::restart(SimTime t) {
+  controller_.crash_restart();
+  down_ = false;
+  auto recovered = [this](SimTime when) {
+    if (on_recovered_) on_recovered_(when);
+    if (options_.crash_mean_ms > 0.0) arm();
+  };
+  if (options_.auto_recover) {
+    recovery_.start(recovered);
+  } else {
+    recovered(t);
+  }
+}
+
+}  // namespace raidsim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "array/controller.hpp"
+#include "crash/recovery.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace raidsim {
+
+/// Kills the array controller at a chosen (or stochastically armed)
+/// instant and drives the restart/recovery sequence:
+///
+///   crash     -> ArrayController::crash_halt(nvram_survives_crash):
+///                every disk loses power (queued ops dropped, the
+///                in-flight write persists only a sector-granularity
+///                durable prefix), stalled host requests die unanswered,
+///                and the NV cache + intent journal either survive
+///                (battery-backed NVRAM) or are wiped (volatile cache).
+///   restart   -> after `restart_delay_ms` the disks power back on and
+///                the controller resumes (crash_restart).
+///   recovery  -> with `auto_recover`, a RecoveryProcess replays the
+///                intent journal (or runs the configured full-array
+///                fallback) before `on_recovered` fires.
+class CrashInjector {
+ public:
+  struct Options {
+    /// Battery-backed NVRAM: cache contents and intent journal survive
+    /// the crash. When false both are wiped (volatile write cache).
+    bool nvram_survives_crash = true;
+    /// Downtime between crash_halt and crash_restart.
+    double restart_delay_ms = 50.0;
+    /// Run a RecoveryProcess automatically after restart.
+    bool auto_recover = true;
+    RecoveryProcess::Options recovery;
+    /// Mean of the exponential crash inter-arrival used by arm();
+    /// <= 0 disables stochastic arming.
+    double crash_mean_ms = 0.0;
+    std::uint64_t seed = 0xc4a5'4e57'0b5e'11d1ULL;
+  };
+
+  CrashInjector(EventQueue& eq, ArrayController& controller);
+  CrashInjector(EventQueue& eq, ArrayController& controller,
+                const Options& options);
+
+  /// Schedule a stochastic crash exponential(crash_mean_ms) from now.
+  /// Re-arms itself after each recovery while crash_mean_ms > 0.
+  void arm();
+
+  /// Crash immediately.
+  void crash_now();
+
+  /// Crash at an absolute simulated time (>= now).
+  void crash_at(SimTime when);
+
+  /// Cancel any scheduled (armed or crash_at) crash that has not fired.
+  void disarm() { ++epoch_; }
+
+  /// Fires after restart -- and, with auto_recover, after the recovery
+  /// process finished resyncing.
+  void set_on_recovered(std::function<void(SimTime)> cb) {
+    on_recovered_ = std::move(cb);
+  }
+
+  bool down() const { return down_; }
+  std::uint64_t crashes() const { return crashes_; }
+  const RecoveryProcess::Stats& last_recovery() const {
+    return recovery_.stats();
+  }
+
+ private:
+  void restart(SimTime t);
+
+  EventQueue& eq_;
+  ArrayController& controller_;
+  Options options_;
+  RecoveryProcess recovery_;
+  Rng rng_;
+  std::function<void(SimTime)> on_recovered_;
+  bool down_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t epoch_ = 0;  // invalidates stale scheduled crashes
+};
+
+}  // namespace raidsim

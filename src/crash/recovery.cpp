@@ -1,0 +1,101 @@
+#include "crash/recovery.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace raidsim {
+
+RecoveryProcess::RecoveryProcess(EventQueue& eq, ArrayController& controller)
+    : RecoveryProcess(eq, controller, Options()) {}
+
+RecoveryProcess::RecoveryProcess(EventQueue& eq, ArrayController& controller,
+                                 const Options& options)
+    : eq_(eq), controller_(controller), options_(options) {
+  if (options_.stripes_per_pass <= 0)
+    throw std::invalid_argument("RecoveryProcess: stripes_per_pass <= 0");
+}
+
+std::vector<PhysicalExtent> RecoveryProcess::full_array_worklist() const {
+  // Walk the logical space, keeping one representative data extent per
+  // distinct parity extent (= per parity group).
+  std::set<std::pair<int, std::int64_t>> seen;
+  std::vector<PhysicalExtent> work;
+  const Layout& layout = controller_.layout();
+  for (std::int64_t b = 0; b < layout.logical_capacity(); ++b) {
+    const auto plans = layout.map_write(b, 1);
+    if (plans.empty() || !plans.front().parity.valid() ||
+        plans.front().writes.empty())
+      continue;
+    const auto& parity = plans.front().parity;
+    if (seen.insert({parity.disk, parity.start_block}).second)
+      work.push_back(plans.front().writes.front());
+  }
+  return work;
+}
+
+void RecoveryProcess::start(std::function<void(SimTime)> on_complete) {
+  if (running_) throw std::logic_error("RecoveryProcess: already running");
+  running_ = true;
+  started_ = eq_.now();
+  on_complete_ = std::move(on_complete);
+  stats_ = Stats{};
+
+  IntentJournal* journal = controller_.journal();
+  if (journal && !journal->wiped() && journal->open_intents() > 0) {
+    stats_.used_journal = true;
+    stats_.intents_replayed =
+        static_cast<std::uint64_t>(journal->open_intents());
+    worklist_ = journal->dirty_stripe_extents();
+    journal->clear();
+  } else if (options_.full_resync_fallback) {
+    stats_.full_resync = true;
+    worklist_ = full_array_worklist();
+    if (journal) journal->clear();  // reset a wiped journal for new intents
+  } else {
+    if (journal && journal->wiped()) journal->clear();
+    worklist_.clear();
+  }
+
+  next_ = 0;
+  outstanding_ = 0;
+  if (worklist_.empty()) {
+    finish(eq_.now());
+    return;
+  }
+  pump();
+}
+
+void RecoveryProcess::pump() {
+  while (outstanding_ < options_.stripes_per_pass &&
+         next_ < worklist_.size()) {
+    const PhysicalExtent extent = worklist_[next_++];
+    ++outstanding_;
+    const auto issue = controller_.resync_stripe(
+        extent, options_.priority, [this](SimTime t) {
+          --outstanding_;
+          ++stats_.stripes_resynced;
+          if (next_ < worklist_.size()) {
+            pump();
+          } else if (outstanding_ == 0) {
+            finish(t);
+          }
+        });
+    stats_.read_blocks += static_cast<std::uint64_t>(issue.read_blocks);
+    stats_.write_blocks += static_cast<std::uint64_t>(issue.write_blocks);
+  }
+}
+
+void RecoveryProcess::finish(SimTime t) {
+  stats_.recovery_ms = t - started_;
+  running_ = false;
+  controller_.note_recovery(stats_.recovery_ms, stats_.intents_replayed,
+                            stats_.full_resync);
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb(t);
+  }
+}
+
+}  // namespace raidsim

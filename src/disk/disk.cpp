@@ -54,6 +54,13 @@ Disk::Disk(EventQueue& eq, const DiskGeometry& geometry, const SeekModel* seek,
 void Disk::submit(DiskRequest req) {
   assert(req.start_block >= 0 && req.block_count > 0);
   assert(req.start_block + req.block_count <= geometry_.total_blocks());
+  if (powered_off_) {
+    // Stray submission against a dead disk (e.g. a retry backoff that
+    // fired after the crash): refused, nothing reaches the medium.
+    ++stats_.power_fail_drops;
+    if (req.on_power_fail) req.on_power_fail(eq_.now(), 0);
+    return;
+  }
   queue_.push_back(Pending{std::move(req), eq_.now(), next_seq_++});
   if (!busy_) start_next();
 }
@@ -198,7 +205,14 @@ void Disk::begin_service(Pending p) {
       stats_.transfer_ms += plan.transfer_ms;
       (p.req.kind == DiskOpKind::kRead ? stats_.reads : stats_.writes)++;
       auto shared = std::make_shared<Pending>(std::move(p));
-      eq_.schedule_at(plan.end_time, [this, shared, start, plan] {
+      active_ = shared;
+      if (shared->req.kind == DiskOpKind::kWrite) {
+        active_write_start_ = plan.transfer_start;
+        active_write_end_ = plan.end_time;
+      }
+      const std::uint64_t epoch = power_epoch_;
+      eq_.schedule_at(plan.end_time, [this, shared, start, plan, epoch] {
+        if (epoch != power_epoch_) return;  // killed by a power failure
         complete(*shared, start, plan.end_time, plan.end_cylinder);
       });
       break;
@@ -216,15 +230,19 @@ void Disk::begin_service(Pending p) {
       const int min_revs = std::max(
           1, static_cast<int>(std::ceil(plan.transfer_ms / rot - 1e-9)));
       auto shared = std::make_shared<Pending>(std::move(p));
+      active_ = shared;
+      const std::uint64_t epoch = power_epoch_;
       eq_.schedule_at(plan.end_time, [this, shared, start, plan, sector_count,
-                                      min_revs] {
+                                      min_revs, epoch] {
+        if (epoch != power_epoch_) return;  // killed by a power failure
         const SimTime read_done = eq_.now();
         if (shared->req.on_read_done) shared->req.on_read_done(read_done);
         auto& gate = shared->req.gate;
         if (gate && !gate->is_open()) {
           // Hold the disk: spin until the gate opens (SI policy behaviour).
           gate->waiter_ = [this, shared, start, plan, sector_count,
-                           min_revs](SimTime opened) {
+                           min_revs, epoch](SimTime opened) {
+            if (epoch != power_epoch_) return;
             schedule_rmw_write(shared, start, plan.transfer_start,
                                sector_count, plan.end_cylinder, min_revs,
                                opened);
@@ -260,10 +278,61 @@ void Disk::schedule_rmw_write(std::shared_ptr<Pending> p, SimTime service_start,
   const SimTime write_end =
       write_start +
       static_cast<double>(sector_count) * geometry_.sector_time_ms();
+  active_write_start_ = write_start;
+  active_write_end_ = write_end;
+  const std::uint64_t epoch = power_epoch_;
   eq_.schedule_at(write_end, [this, p, service_start, write_end,
-                              end_cylinder] {
+                              end_cylinder, epoch] {
+    if (epoch != power_epoch_) return;  // killed by a power failure
     complete(*p, service_start, write_end, end_cylinder);
   });
+}
+
+Disk::PowerFailReport Disk::power_fail() {
+  PowerFailReport report;
+  if (powered_off_) return report;
+  powered_off_ = true;
+  ++power_epoch_;  // invalidates every scheduled completion/waiter
+
+  for (auto& p : queue_) {
+    ++report.queued_ops;
+    if (p.req.kind != DiskOpKind::kRead)
+      report.write_blocks_lost += static_cast<std::uint64_t>(p.req.block_count);
+    if (p.req.on_power_fail) p.req.on_power_fail(eq_.now(), 0);
+  }
+  queue_.clear();
+
+  if (busy_ && active_) {
+    ++report.inflight_ops;
+    int durable = 0;
+    if (active_->req.kind != DiskOpKind::kRead && active_write_start_ >= 0.0) {
+      // The head lays down sectors front-to-back through the write
+      // window; the prefix already under the head is on the medium.
+      const double span = active_write_end_ - active_write_start_;
+      const double frac =
+          span > 0.0 ? (eq_.now() - active_write_start_) / span : 1.0;
+      durable = std::clamp(
+          static_cast<int>(std::floor(
+              frac * static_cast<double>(active_->req.block_count))),
+          0, active_->req.block_count);
+    }
+    if (active_->req.kind != DiskOpKind::kRead) {
+      report.write_blocks_durable += static_cast<std::uint64_t>(durable);
+      report.write_blocks_lost +=
+          static_cast<std::uint64_t>(active_->req.block_count - durable);
+    }
+    if (active_->req.on_power_fail)
+      active_->req.on_power_fail(eq_.now(), durable);
+  }
+  active_.reset();
+  active_write_start_ = active_write_end_ = -1.0;
+  busy_ = false;
+  return report;
+}
+
+void Disk::power_on() {
+  powered_off_ = false;
+  if (!busy_) start_next();
 }
 
 void Disk::plant_media_error(std::int64_t block) {
@@ -292,6 +361,8 @@ void Disk::complete(const Pending& p, SimTime service_start, SimTime end_time,
                     int end_cylinder) {
   head_cylinder_ = end_cylinder;
   stats_.busy_ms += end_time - service_start;
+  active_.reset();
+  active_write_start_ = active_write_end_ = -1.0;
 
   // Fault disposition: only requests that installed an error handler
   // participate; the evaluator is consulted first (it may plant media

@@ -102,6 +102,12 @@ struct DiskRequest {
   /// timeout or media error). Requests without a handler opt out of
   /// fault injection entirely and always complete.
   std::function<void(SimTime, DiskError)> on_error;
+  /// Invoked (instead of any other callback) when the disk loses power
+  /// while the request is queued or in service. `durable_blocks` is the
+  /// length of the leading prefix of a write extent that reached the
+  /// medium before the power failed -- always 0 for reads, for queued
+  /// requests, and for RMW accesses still in their read phase.
+  std::function<void(SimTime, int durable_blocks)> on_power_fail;
 };
 
 struct DiskStats {
@@ -117,6 +123,7 @@ struct DiskStats {
   std::uint64_t held_rotations = 0;  // extra full revolutions due to gates
   std::uint64_t transient_faults = 0;  // ops failed with a transient timeout
   std::uint64_t media_faults = 0;      // reads that hit a latent sector error
+  std::uint64_t power_fail_drops = 0;  // submissions refused while powered off
 
   std::uint64_t ops() const { return reads + writes + rmws; }
   double utilization(SimTime elapsed) const {
@@ -150,6 +157,30 @@ class Disk {
   /// covering it fail with DiskError::kMedia until the block is
   /// rewritten (any successful write or RMW clears the blocks it
   /// covers, modelling sector remapping).
+  /// What a power failure destroyed: queued operations never started,
+  /// the in-service operation (if any), and -- at sector granularity --
+  /// how much of an in-flight write made it onto the medium first.
+  struct PowerFailReport {
+    std::uint64_t queued_ops = 0;            // queued, never started
+    std::uint64_t inflight_ops = 0;          // 0 or 1
+    std::uint64_t write_blocks_lost = 0;     // write blocks that never landed
+    std::uint64_t write_blocks_durable = 0;  // leading blocks that did land
+  };
+
+  /// Cut power at the current instant: the queue is discarded, the
+  /// in-service access is killed mid-transfer (its leading blocks up to
+  /// the current head position are durable, the rest are lost), every
+  /// scheduled completion is invalidated, and further submissions are
+  /// refused until power_on(). Each killed request's `on_power_fail`
+  /// handler (if any) is invoked with its durable prefix; no other
+  /// callback of a killed request ever fires.
+  PowerFailReport power_fail();
+
+  /// Restore power. The queue starts empty; outstanding state from
+  /// before the failure is gone (the controller re-drives recovery I/O).
+  void power_on();
+  bool powered_off() const { return powered_off_; }
+
   void plant_media_error(std::int64_t block);
   bool has_media_error(std::int64_t start_block, int block_count) const;
   int media_errors_in(std::int64_t start_block, int block_count) const;
@@ -215,6 +246,15 @@ class Disk {
   DiskStats stats_;
   FaultEvaluator fault_evaluator_;
   std::unordered_set<std::int64_t> bad_blocks_;
+
+  // Power-loss support: the epoch invalidates completions scheduled
+  // before a power_fail(); the active-op bookkeeping locates the head
+  // within an in-flight write when the lights go out.
+  std::uint64_t power_epoch_ = 0;
+  bool powered_off_ = false;
+  std::shared_ptr<Pending> active_;
+  SimTime active_write_start_ = -1.0;  // < 0: no write phase under way
+  SimTime active_write_end_ = -1.0;
 };
 
 }  // namespace raidsim

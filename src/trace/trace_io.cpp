@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -33,60 +34,84 @@ std::unique_ptr<TraceReader> TraceReader::open(const std::string& path) {
   return std::make_unique<TraceReader>(std::move(file));
 }
 
+namespace {
+
+/// Strip a trailing carriage return (Windows line endings) in place.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+[[noreturn]] void fail_at(std::uint64_t line_number, const std::string& what) {
+  throw std::runtime_error("TraceReader: " + what + " at line " +
+                           std::to_string(line_number));
+}
+
+}  // namespace
+
 void TraceReader::parse_header() {
   bool have_disks = false;
   bool have_blocks = false;
   std::string line;
   while (std::getline(*input_, line)) {
     ++line_number_;
+    strip_cr(line);
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string keyword;
     ls >> keyword;
+    std::string extra;
     if (keyword == "disks") {
-      if (!(ls >> geometry_.data_disks) || geometry_.data_disks < 1)
-        throw std::runtime_error("TraceReader: bad 'disks' directive");
+      if (!(ls >> geometry_.data_disks) || geometry_.data_disks < 1 ||
+          (ls >> extra))
+        fail_at(line_number_, "bad 'disks' directive");
       have_disks = true;
     } else if (keyword == "blocks_per_disk") {
-      if (!(ls >> geometry_.blocks_per_disk) || geometry_.blocks_per_disk < 1)
-        throw std::runtime_error("TraceReader: bad 'blocks_per_disk'");
+      if (!(ls >> geometry_.blocks_per_disk) ||
+          geometry_.blocks_per_disk < 1 || (ls >> extra))
+        fail_at(line_number_, "bad 'blocks_per_disk' directive");
       have_blocks = true;
+    } else if (!keyword.empty() &&
+               (std::isdigit(static_cast<unsigned char>(keyword[0])) ||
+                keyword[0] == '-' || keyword[0] == '+')) {
+      // Looks like a data record; both directives must come first (the
+      // geometry is needed to validate every record's bounds).
+      fail_at(line_number_, "record before 'disks'/'blocks_per_disk' header");
     } else {
-      // First data line; stash it for next().
-      pending_line_ = line;
-      pending_valid_ = true;
-      break;
+      fail_at(line_number_, "unknown directive '" + keyword + "'");
     }
-    if (have_disks && have_blocks) break;
+    if (have_disks && have_blocks) return;
   }
-  if (!have_disks || !have_blocks)
-    throw std::runtime_error("TraceReader: missing header directives");
+  throw std::runtime_error("TraceReader: missing header directives");
 }
 
 std::optional<TraceRecord> TraceReader::next() {
   std::string line;
   while (true) {
-    if (pending_valid_) {
-      line = std::move(pending_line_);
-      pending_valid_ = false;
-    } else if (!std::getline(*input_, line)) {
-      return std::nullopt;
-    } else {
-      ++line_number_;
-    }
+    if (!std::getline(*input_, line)) return std::nullopt;
+    ++line_number_;
+    strip_cr(line);
     if (line.empty() || line[0] == '#') continue;
 
     std::istringstream ls(line);
     std::int64_t delta_us = 0;
     TraceRecord rec;
     char type = 0;
-    if (!(ls >> delta_us >> rec.block >> rec.block_count >> type) ||
-        (type != 'R' && type != 'W') || rec.block_count < 1 || rec.block < 0 ||
-        delta_us < 0 ||
-        rec.block + rec.block_count > geometry_.total_blocks()) {
-      throw std::runtime_error("TraceReader: malformed record at line " +
-                               std::to_string(line_number_));
-    }
+    // A failed extraction covers non-numeric fields, missing fields, and
+    // values that overflow int64 (the stream sets failbit on overflow).
+    if (!(ls >> delta_us >> rec.block >> rec.block_count >> type))
+      fail_at(line_number_, "malformed record");
+    std::string extra;
+    if (ls >> extra)
+      fail_at(line_number_, "trailing garbage '" + extra + "'");
+    if (type != 'R' && type != 'W')
+      fail_at(line_number_, std::string("bad access type '") + type + "'");
+    if (delta_us < 0) fail_at(line_number_, "negative inter-arrival delta");
+    if (rec.block < 0) fail_at(line_number_, "negative block address");
+    if (rec.block_count < 1) fail_at(line_number_, "non-positive block count");
+    // Overflow-safe bounds check: block + block_count may wrap int64.
+    if (rec.block_count > geometry_.total_blocks() ||
+        rec.block > geometry_.total_blocks() - rec.block_count)
+      fail_at(line_number_, "extent beyond the traced database");
     rec.delta_ms = static_cast<double>(delta_us) / 1000.0;
     rec.is_write = (type == 'W');
     return rec;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <istream>
 #include <memory>
@@ -16,9 +17,13 @@ namespace raidsim {
 ///   blocks_per_disk <b>
 ///   <delta_us> <block> <count> <R|W>
 ///
-/// The two header directives must precede the first record. This lets
-/// users replay real traces (converted to this format) through the
-/// simulator in place of the synthetic workloads.
+/// The two header directives must precede the first record (the geometry
+/// is needed to bounds-check every record). This lets users replay real
+/// traces (converted to this format) through the simulator in place of
+/// the synthetic workloads. Malformed input -- records before the header,
+/// unknown directives, non-numeric fields, negative or overflowing
+/// deltas/addresses/counts, trailing garbage -- throws std::runtime_error
+/// naming the offending line; CRLF line endings are accepted.
 class TraceWriter {
  public:
   /// Serialise everything remaining in `stream` to `os`.
@@ -43,8 +48,6 @@ class TraceReader : public TraceStream {
 
   std::unique_ptr<std::istream> input_;
   TraceGeometry geometry_;
-  std::string pending_line_;
-  bool pending_valid_ = false;
   std::uint64_t line_number_ = 0;
 };
 

@@ -1,0 +1,144 @@
+#include "cache/nv_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+TEST(NvCacheEdge, ZeroCapacityIsRejected) {
+  EXPECT_THROW(NvCache(0, true), std::invalid_argument);
+}
+
+TEST(NvCacheEdge, CapacityOneStillCachesWrites) {
+  NvCache cache(1, /*retain_old_data=*/true);
+  auto w = cache.write(5);
+  EXPECT_TRUE(w.accepted);
+  EXPECT_FALSE(w.hit);
+  EXPECT_TRUE(cache.is_dirty(5));
+  // A second write displaces the first: the dirty victim must be handed
+  // back for a synchronous writeback.
+  w = cache.write(9);
+  EXPECT_TRUE(w.accepted);
+  EXPECT_TRUE(w.evicted_dirty);
+  EXPECT_EQ(w.victim, 5);
+  EXPECT_FALSE(cache.contains(5));
+  EXPECT_TRUE(cache.is_dirty(9));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NvCacheEdge, CapacityOneSkipsOldCaptureRatherThanEvictTheBlock) {
+  NvCache cache(1, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.insert_clean(5).inserted);
+  // Dirtying the only slot wants an old-data capture, but the only
+  // evictable candidate is the block being written itself: the capture
+  // is skipped, never the write.
+  const auto w = cache.write(5);
+  EXPECT_TRUE(w.accepted);
+  EXPECT_TRUE(w.hit);
+  EXPECT_FALSE(w.captured_old);
+  EXPECT_EQ(cache.old_entries(), 0u);
+  EXPECT_TRUE(cache.is_dirty(5));
+}
+
+TEST(NvCacheEdge, OldCaptureWillNotEvictADirtyBlock) {
+  NvCache cache(2, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.write(1).accepted);  // dirty, not evictable for capture
+  ASSERT_TRUE(cache.insert_clean(5).inserted);
+  const auto w = cache.write(5);
+  EXPECT_TRUE(w.accepted);
+  EXPECT_FALSE(w.captured_old);  // room only existed behind a dirty block
+  EXPECT_EQ(cache.old_entries(), 0u);
+  EXPECT_TRUE(cache.is_dirty(1));  // untouched
+}
+
+TEST(NvCacheEdge, OldCaptureEvictsCleanDataWhenAvailable) {
+  NvCache cache(2, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.insert_clean(1).inserted);  // clean filler (LRU victim)
+  ASSERT_TRUE(cache.insert_clean(5).inserted);
+  const auto w = cache.write(5);
+  EXPECT_TRUE(w.captured_old);
+  EXPECT_TRUE(cache.has_old(5));
+  EXPECT_FALSE(cache.contains(1));  // clean filler paid for the capture
+}
+
+TEST(NvCacheEdge, RedirtyDoesNotCaptureTwice) {
+  NvCache cache(4, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.insert_clean(5).inserted);
+  EXPECT_TRUE(cache.write(5).captured_old);
+  EXPECT_FALSE(cache.write(5).captured_old);  // already dirty
+  EXPECT_EQ(cache.stats().old_captures, 1u);
+  EXPECT_EQ(cache.old_entries(), 1u);
+}
+
+TEST(NvCacheEdge, FullyPinnedByParitySlotsStallsWrites) {
+  NvCache cache(2, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.try_reserve_parity_slot());
+  ASSERT_TRUE(cache.try_reserve_parity_slot());
+  EXPECT_EQ(cache.size(), 2u);
+  // Pinned slots hold the whole cache: nothing is evictable.
+  EXPECT_FALSE(cache.try_reserve_parity_slot());
+  auto w = cache.write(7);
+  EXPECT_FALSE(w.accepted);
+  EXPECT_GE(cache.stats().stalls, 1u);
+  EXPECT_FALSE(cache.insert_clean(8).inserted);
+
+  // Spooling one parity update out releases its slot and unblocks.
+  cache.release_parity_slot();
+  w = cache.write(7);
+  EXPECT_TRUE(w.accepted);
+  EXPECT_TRUE(cache.is_dirty(7));
+}
+
+TEST(NvCacheEdge, ParitySlotReservationEvictsCleanDataOnly) {
+  NvCache cache(2, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.write(1).accepted);         // dirty: pinned
+  ASSERT_TRUE(cache.insert_clean(2).inserted);  // clean: evictable
+  EXPECT_TRUE(cache.try_reserve_parity_slot());
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.is_dirty(1));
+  // The remaining entry is dirty: a second reservation must stall.
+  EXPECT_FALSE(cache.try_reserve_parity_slot());
+}
+
+TEST(NvCacheEdge, InFlightBlocksAreNotEvictable) {
+  NvCache cache(1, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.write(5).accepted);
+  cache.begin_destage(5);
+  EXPECT_FALSE(cache.destage_eligible(5));
+  // Mid-destage the block is pinned: a conflicting insert stalls.
+  const auto w = cache.write(9);
+  EXPECT_FALSE(w.accepted);
+  cache.end_destage(5);
+  EXPECT_FALSE(cache.is_dirty(5));  // destage completed, now clean
+  EXPECT_TRUE(cache.write(9).accepted);  // clean block 5 evictable again
+}
+
+TEST(NvCacheEdge, CrashResetPreservesDirtyDataButDropsOldCopies) {
+  NvCache cache(8, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.insert_clean(5).inserted);
+  ASSERT_TRUE(cache.write(5).captured_old);
+  ASSERT_TRUE(cache.write(6).accepted);
+  cache.begin_destage(6);
+  ASSERT_TRUE(cache.try_reserve_parity_slot());
+
+  cache.crash_reset(/*preserve=*/true);
+  EXPECT_TRUE(cache.is_dirty(5));
+  EXPECT_TRUE(cache.is_dirty(6));
+  EXPECT_TRUE(cache.destage_eligible(6));  // in-flight marker cleared
+  EXPECT_EQ(cache.old_entries(), 0u);      // captures are ambiguous now
+  EXPECT_EQ(cache.parity_slots(), 0u);     // volatile spool state gone
+}
+
+TEST(NvCacheEdge, CrashResetWipeLosesEverything) {
+  NvCache cache(8, /*retain_old_data=*/true);
+  ASSERT_TRUE(cache.write(5).accepted);
+  ASSERT_TRUE(cache.try_reserve_parity_slot());
+  cache.crash_reset(/*preserve=*/false);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  EXPECT_EQ(cache.parity_slots(), 0u);
+  EXPECT_FALSE(cache.contains(5));
+}
+
+}  // namespace
+}  // namespace raidsim

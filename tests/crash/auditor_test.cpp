@@ -1,0 +1,180 @@
+#include "crash/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "array/uncached_controller.hpp"
+
+namespace raidsim {
+namespace {
+
+// Exercises the shadow model's generation semantics directly through the
+// WriteAuditHooks interface; no simulated I/O is involved.
+class AuditorModelTest : public ::testing::Test {
+ protected:
+  AuditorModelTest()
+      : controller_(eq_, config(Organization::kRaid5)),
+        auditor_(controller_) {}
+
+  static ArrayController::Config config(Organization org, int n = 4) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = org;
+    cfg.layout.data_disks = n;
+    cfg.layout.data_blocks_per_disk = 1800;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+
+  /// A full, correct stripe update for one block: write data, then
+  /// recompute parity covering the new generation.
+  void clean_write(std::int64_t block) {
+    const auto gen = auditor_.host_write(block);
+    auditor_.data_durable(block, gen);
+    auditor_.parity_durable({block, gen, 0}, /*recompute=*/true);
+    auditor_.acknowledge(block, gen);
+  }
+
+  /// Another logical block in the same parity stripe as `block`.
+  std::int64_t stripe_sibling(std::int64_t block) {
+    const auto key = parity_key(block);
+    for (std::int64_t b = 0; b < controller_.layout().logical_capacity();
+         ++b) {
+      if (b != block && parity_key(b) == key) return b;
+    }
+    ADD_FAILURE() << "no stripe sibling for block " << block;
+    return -1;
+  }
+
+  std::pair<int, std::int64_t> parity_key(std::int64_t block) {
+    const auto plans = controller_.layout().map_write(block, 1);
+    EXPECT_FALSE(plans.empty());
+    EXPECT_TRUE(plans.front().parity.valid());
+    return {plans.front().parity.disk, plans.front().parity.start_block};
+  }
+
+  EventQueue eq_;
+  UncachedController controller_;
+  ShadowAuditor auditor_;
+};
+
+TEST_F(AuditorModelTest, CleanUpdateAuditsClean) {
+  clean_write(7);
+  clean_write(42);
+  const auto report = auditor_.audit();
+  EXPECT_EQ(report.blocks_checked, 2u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.write_holes, 0u);
+  EXPECT_EQ(report.lost_writes, 0u);
+  EXPECT_EQ(auditor_.first_inconsistent_block(), -1);
+}
+
+TEST_F(AuditorModelTest, DataWithoutParityIsAWriteHole) {
+  clean_write(7);
+  // Second update: the data lands, the parity write is lost in a crash.
+  const auto gen = auditor_.host_write(7);
+  auditor_.data_durable(7, gen);
+  const auto report = auditor_.audit();
+  EXPECT_EQ(report.write_holes, 1u);
+  EXPECT_EQ(report.stripes_inconsistent, 1u);
+  EXPECT_EQ(auditor_.first_inconsistent_block(), 7);
+}
+
+TEST_F(AuditorModelTest, ParityWithoutDataIsAWriteHole) {
+  clean_write(7);
+  // The parity delta lands (computed against the old data), the data
+  // write is lost: cover is ahead of disk.
+  const auto gen = auditor_.host_write(7);
+  auditor_.parity_durable({7, gen, gen - 1}, /*recompute=*/false);
+  const auto report = auditor_.audit();
+  EXPECT_EQ(report.write_holes, 1u);
+}
+
+TEST_F(AuditorModelTest, DeltaAgainstStaleCoverPoisons) {
+  clean_write(7);
+  const auto g2 = auditor_.host_write(7);
+  auditor_.data_durable(7, g2);
+  // Delta computed against generation g2 - 2 (stale): poisoned, and the
+  // cover no longer matches any state -- a persistent hole.
+  auditor_.parity_durable({7, g2, g2 - 2}, /*recompute=*/false);
+  EXPECT_TRUE(auditor_.poisoned(7));
+  EXPECT_EQ(auditor_.audit().write_holes, 1u);
+  // Even a later, correctly-assumed delta cannot heal a poisoned cover.
+  const auto g3 = auditor_.host_write(7);
+  auditor_.data_durable(7, g3);
+  auditor_.parity_durable({7, g3, g2}, /*recompute=*/false);
+  EXPECT_TRUE(auditor_.poisoned(7));
+  EXPECT_EQ(auditor_.audit().write_holes, 1u);
+}
+
+TEST_F(AuditorModelTest, RecomputeClearsPoison) {
+  clean_write(7);
+  const auto g2 = auditor_.host_write(7);
+  auditor_.data_durable(7, g2);
+  auditor_.parity_durable({7, g2, 0}, /*recompute=*/false);  // stale delta
+  EXPECT_TRUE(auditor_.poisoned(7));
+  auditor_.parity_durable({7, g2, 0}, /*recompute=*/true);
+  EXPECT_FALSE(auditor_.poisoned(7));
+  EXPECT_TRUE(auditor_.audit().clean());
+}
+
+TEST_F(AuditorModelTest, ResyncHealsTheWholeStripe) {
+  const std::int64_t a = 7;
+  const std::int64_t b = stripe_sibling(a);
+  ASSERT_GE(b, 0);
+  clean_write(a);
+  clean_write(b);
+  // Crash both mid-update: data durable, parity stale.
+  const auto ga = auditor_.host_write(a);
+  auditor_.data_durable(a, ga);
+  const auto gb = auditor_.host_write(b);
+  auditor_.data_durable(b, gb);
+  EXPECT_EQ(auditor_.audit().write_holes, 2u);
+  // Resyncing via either member recomputes the stripe's parity from disk
+  // content: both blocks heal.
+  auditor_.resync_block(a);
+  EXPECT_TRUE(auditor_.audit().clean());
+}
+
+TEST_F(AuditorModelTest, NvramWipeExposesLostWrites) {
+  const auto gen = auditor_.host_write(9);
+  auditor_.nvram_put(9, gen);
+  auditor_.acknowledge(9, gen);  // acked from the NV cache
+  EXPECT_TRUE(auditor_.audit().clean());
+  auditor_.wipe_nvram();
+  const auto report = auditor_.audit();
+  EXPECT_EQ(report.lost_writes, 1u);
+}
+
+TEST_F(AuditorModelTest, DestageMakesAckedWriteDurableAgain) {
+  const auto gen = auditor_.host_write(9);
+  auditor_.nvram_put(9, gen);
+  auditor_.acknowledge(9, gen);
+  auditor_.data_durable(9, gen);
+  auditor_.parity_durable({9, gen, 0}, /*recompute=*/true);
+  auditor_.nvram_evict(9);
+  EXPECT_TRUE(auditor_.audit().clean());
+}
+
+TEST_F(AuditorModelTest, BlocksOnFailedDiskAreSkipped) {
+  clean_write(7);
+  const auto gen = auditor_.host_write(7);
+  auditor_.data_durable(7, gen);  // hole: parity never updated
+  const int disk = controller_.layout().map_read(7, 1).front().disk;
+  controller_.fail_disk(disk);
+  const auto report = auditor_.audit();
+  EXPECT_EQ(report.degraded_skipped, 1u);
+  EXPECT_EQ(report.write_holes, 0u);
+}
+
+TEST_F(AuditorModelTest, MirrorOrganizationHasNoParityHoles) {
+  EventQueue eq;
+  UncachedController mirror(eq, config(Organization::kMirror));
+  ShadowAuditor auditor(mirror);
+  const auto gen = auditor.host_write(3);
+  auditor.data_durable(3, gen);
+  auditor.acknowledge(3, gen);
+  EXPECT_TRUE(auditor.audit().clean());
+  EXPECT_EQ(auditor.first_inconsistent_block(), -1);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,150 @@
+#include "crash/crash_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "array/cached_controller.hpp"
+#include "array/uncached_controller.hpp"
+#include "crash/auditor.hpp"
+
+namespace raidsim {
+namespace {
+
+class CrashInjectorTest : public ::testing::Test {
+ protected:
+  static ArrayController::Config config(std::int64_t blocks_per_disk = 1800) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = Organization::kRaid5;
+    cfg.layout.data_disks = 4;
+    cfg.layout.data_blocks_per_disk = blocks_per_disk;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+};
+
+TEST_F(CrashInjectorTest, MidStripeCrashLeavesDetectableHole) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  ShadowAuditor auditor(c);
+  CrashInjector::Options opt;
+  opt.auto_recover = false;
+  CrashInjector injector(eq, c, opt);
+
+  for (int i = 0; i < 4; ++i)
+    c.submit(ArrayRequest{i * 37, 1, true}, [](SimTime) {});
+
+  // Catch a stripe update half landed and pull the plug.
+  bool crashed = false;
+  while (!crashed && eq.step()) {
+    if (auditor.first_inconsistent_block() >= 0) {
+      crashed = true;
+      injector.crash_now();
+    }
+  }
+  ASSERT_TRUE(crashed);
+  eq.run();
+
+  EXPECT_EQ(injector.crashes(), 1u);
+  EXPECT_EQ(c.stats().crashes, 1u);
+  EXPECT_GE(auditor.audit().write_holes, 1u);
+  // The interrupted updates' disk traffic was dropped by the outage.
+  std::uint64_t drops = c.stats().crash_dropped_ops;
+  EXPECT_GE(drops, 1u);
+}
+
+TEST_F(CrashInjectorTest, ControllerServesAgainAfterRestart) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  CrashInjector::Options opt;
+  opt.auto_recover = false;
+  opt.restart_delay_ms = 25.0;
+  CrashInjector injector(eq, c, opt);
+
+  bool recovered = false;
+  injector.set_on_recovered([&](SimTime) { recovered = true; });
+  injector.crash_now();
+  EXPECT_TRUE(injector.down());
+  EXPECT_TRUE(c.crashed());
+
+  // While down, host requests die unanswered.
+  bool answered = false;
+  c.submit(ArrayRequest{0, 1, false}, [&](SimTime) { answered = true; });
+  eq.run_until(eq.now() + 25.0);
+  EXPECT_FALSE(answered);
+  EXPECT_TRUE(recovered);
+  EXPECT_FALSE(injector.down());
+
+  double done = -1.0;
+  c.submit(ArrayRequest{0, 1, false}, [&](SimTime t) { done = t; });
+  eq.run();
+  EXPECT_GE(done, 0.0);
+}
+
+TEST_F(CrashInjectorTest, ManualCrashSupersedesScheduledOne) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  CrashInjector::Options opt;
+  opt.auto_recover = false;
+  CrashInjector injector(eq, c, opt);
+  injector.crash_at(100.0);
+  injector.crash_now();  // fires first; the scheduled crash must not
+  eq.run_until(200.0);
+  EXPECT_EQ(injector.crashes(), 1u);
+}
+
+TEST_F(CrashInjectorTest, StochasticArmingProducesRepeatedCrashes) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  CrashInjector::Options opt;
+  opt.auto_recover = true;  // no journal, no fallback: instant recovery
+  opt.crash_mean_ms = 40.0;
+  opt.restart_delay_ms = 5.0;
+  opt.seed = 7;
+  CrashInjector injector(eq, c, opt);
+  injector.arm();
+  eq.run_until(1000.0);
+  EXPECT_GE(injector.crashes(), 2u);
+  EXPECT_EQ(c.stats().crashes, injector.crashes());
+}
+
+TEST_F(CrashInjectorTest, ArmWithoutMeanThrows) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  CrashInjector::Options opt;
+  opt.crash_mean_ms = 0.0;
+  CrashInjector injector(eq, c, opt);
+  EXPECT_THROW(injector.arm(), std::logic_error);
+}
+
+TEST_F(CrashInjectorTest, VolatileCacheCrashLosesAcknowledgedWrites) {
+  auto run = [](bool survives) {
+    EventQueue eq;
+    CachedController::CacheConfig cache_cfg;
+    cache_cfg.cache_bytes = 64 * 4096;
+    cache_cfg.destage_period_ms = 10000.0;  // nothing destages before the crash
+    CachedController controller(eq, config(), cache_cfg);
+    ShadowAuditor auditor(controller);
+    CrashInjector::Options opt;
+    opt.nvram_survives_crash = survives;
+    opt.auto_recover = false;
+    CrashInjector injector(eq, controller, opt);
+
+    // Acknowledged cache writes, still dirty (not yet destaged).
+    for (int i = 0; i < 8; ++i)
+      controller.submit(ArrayRequest{i * 11, 1, true}, [](SimTime) {});
+    eq.run_until(100.0);
+    injector.crash_now();
+    eq.run_until(eq.now() + 100.0);
+    controller.shutdown();
+    eq.run();
+    return auditor.audit();
+  };
+
+  const auto wiped = run(false);
+  EXPECT_GE(wiped.lost_writes, 8u);  // every acked write evaporated
+
+  const auto preserved = run(true);
+  EXPECT_EQ(preserved.lost_writes, 0u);  // battery NVRAM kept them
+}
+
+}  // namespace
+}  // namespace raidsim

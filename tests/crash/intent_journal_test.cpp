@@ -1,0 +1,245 @@
+#include "array/intent_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "array/cached_controller.hpp"
+#include "crash/auditor.hpp"
+#include "crash/crash_injector.hpp"
+#include "util/rng.hpp"
+
+namespace raidsim {
+namespace {
+
+StripeUpdate make_update(int data_disk, std::int64_t block, int parity_disk,
+                         std::int64_t parity_block) {
+  StripeUpdate update;
+  PhysicalExtent data;
+  data.disk = data_disk;
+  data.start_block = block;
+  data.block_count = 1;
+  update.writes.push_back(data);
+  update.parity.disk = parity_disk;
+  update.parity.start_block = parity_block;
+  update.parity.block_count = 1;
+  return update;
+}
+
+TEST(IntentJournalTest, OpenCloseLifecycle) {
+  IntentJournal journal;
+  const auto id = journal.open(make_update(0, 10, 2, 10), 1.0);
+  EXPECT_EQ(journal.open_intents(), 1u);
+  journal.close(id, 2.0);
+  EXPECT_EQ(journal.open_intents(), 0u);
+  EXPECT_EQ(journal.stats().opened, 1u);
+  EXPECT_EQ(journal.stats().closed, 1u);
+  EXPECT_EQ(journal.stats().peak_open, 1u);
+}
+
+TEST(IntentJournalTest, CloseOfUnknownIdIsIgnored) {
+  IntentJournal journal;
+  journal.close(99, 1.0);  // e.g. a stale completion after recovery
+  EXPECT_EQ(journal.stats().closed, 0u);
+}
+
+TEST(IntentJournalTest, DirtyStripesDedupByParityExtent) {
+  IntentJournal journal;
+  // Two intents against the same parity extent, one against another.
+  journal.open(make_update(0, 10, 2, 10), 0.0);
+  journal.open(make_update(1, 10, 2, 10), 0.0);
+  journal.open(make_update(0, 20, 2, 20), 0.0);
+  EXPECT_EQ(journal.open_intents(), 3u);
+  EXPECT_EQ(journal.dirty_stripes(), 2u);
+}
+
+TEST(IntentJournalTest, SurvivingPowerLossKeepsIntents) {
+  IntentJournal journal;
+  journal.open(make_update(0, 10, 2, 10), 0.0);
+  journal.power_loss(/*nvram_survives=*/true);
+  EXPECT_FALSE(journal.wiped());
+  EXPECT_EQ(journal.open_intents(), 1u);
+  EXPECT_EQ(journal.stats().wipes, 0u);
+}
+
+TEST(IntentJournalTest, VolatileLossWipesJournal) {
+  IntentJournal journal;
+  journal.open(make_update(0, 10, 2, 10), 0.0);
+  journal.power_loss(/*nvram_survives=*/false);
+  EXPECT_TRUE(journal.wiped());
+  EXPECT_EQ(journal.open_intents(), 0u);
+  EXPECT_EQ(journal.stats().wipes, 1u);
+  journal.clear();
+  EXPECT_FALSE(journal.wiped());
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance drill: crash a cached RAID5 array in the middle of a stripe
+// update and compare three protection levels on the IDENTICAL seeded
+// workload (journal bookkeeping costs zero simulated time, so the crash
+// interrupts the very same in-flight update in each variant):
+//
+//   A  no journal, no recovery    -> the write hole persists;
+//   B  intent journal replay      -> consistent, tiny targeted resync;
+//   C  full-array resync baseline -> consistent, but touches every stripe.
+// ---------------------------------------------------------------------------
+
+struct DrillResult {
+  ShadowAuditor::Report report;
+  ControllerStats stats;
+  RecoveryProcess::Stats recovery;
+  std::uint64_t crashes = 0;
+  std::uint64_t resync_io() const {
+    return stats.resync_read_blocks + stats.resync_write_blocks;
+  }
+};
+
+class CrashDrillTest : public ::testing::Test {
+ protected:
+  static ArrayController::Config config() {
+    ArrayController::Config cfg;
+    cfg.layout.organization = Organization::kRaid5;
+    cfg.layout.data_disks = 4;
+    cfg.layout.data_blocks_per_disk = 240;  // keeps the full resync small
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+
+  static DrillResult run_drill(bool journal, bool recover,
+                               bool full_fallback) {
+    EventQueue eq;
+    CachedController::CacheConfig cache_cfg;
+    // Large enough that every write stays cached until the periodic
+    // destage sweep: the crash must land mid stripe-update, not inside a
+    // cache-overflow victim writeback (whose NVRAM slot is already gone).
+    cache_cfg.cache_bytes = 64 * 4096;
+    cache_cfg.destage_period_ms = 500.0;
+    cache_cfg.intent_journal = journal;
+    CachedController controller(eq, config(), cache_cfg);
+    ShadowAuditor auditor(controller);
+
+    CrashInjector::Options opt;
+    opt.nvram_survives_crash = true;
+    opt.auto_recover = recover;
+    opt.recovery.full_resync_fallback = full_fallback;
+    CrashInjector injector(eq, controller, opt);
+
+    // Seeded write workload, identical across variants.
+    Rng rng(0xD155C0);
+    const std::int64_t capacity = controller.layout().logical_capacity();
+    for (int i = 0; i < 48; ++i) {
+      const std::int64_t block = rng.uniform_i64(0, capacity - 1);
+      eq.schedule_at(i * 4.0, [&controller, block] {
+        controller.submit(ArrayRequest{block, 1, true}, [](SimTime) {});
+      });
+    }
+
+    // Step event by event; when a stripe update is caught half landed
+    // (cover != disk), pull the plug a hair LATER rather than right now:
+    // a completion queued at this exact timestamp means the other half
+    // already finished physically (its power-fail durable prefix would
+    // cover it), so crashing between timestamps lets same-instant events
+    // drain first and we disarm if the window was such an artifact.
+    // Bounded by simulated time: the periodic destage tick keeps the
+    // event queue alive forever.
+    bool armed = false;
+    while (!controller.crashed() && eq.now() < 60000.0 && eq.step()) {
+      const bool window = auditor.first_inconsistent_block() >= 0;
+      if (window && !armed) {
+        injector.crash_at(eq.now() + 1e-6);
+        armed = true;
+      } else if (!window && armed) {
+        injector.disarm();
+        armed = false;
+      }
+    }
+    EXPECT_TRUE(controller.crashed())
+        << "workload never opened a crash window";
+
+    // Quiesce: let every surviving destage and the recovery finish.
+    eq.run_until(eq.now() + 20000.0);
+    controller.shutdown();
+    eq.run();
+
+    DrillResult result;
+    result.report = auditor.audit();
+    result.stats = controller.stats();
+    result.recovery = injector.last_recovery();
+    result.crashes = injector.crashes();
+    return result;
+  }
+};
+
+TEST_F(CrashDrillTest, UnprotectedCrashLeavesWriteHole) {
+  const auto r = run_drill(/*journal=*/false, /*recover=*/false,
+                           /*full_fallback=*/false);
+  EXPECT_EQ(r.crashes, 1u);
+  EXPECT_EQ(r.stats.crashes, 1u);
+  EXPECT_GE(r.report.write_holes, 1u);
+  EXPECT_EQ(r.resync_io(), 0u);
+}
+
+TEST_F(CrashDrillTest, JournalReplayClosesTheHole) {
+  const auto r = run_drill(/*journal=*/true, /*recover=*/true,
+                           /*full_fallback=*/false);
+  EXPECT_EQ(r.crashes, 1u);
+  EXPECT_EQ(r.report.write_holes, 0u);
+  EXPECT_EQ(r.report.lost_writes, 0u);
+  EXPECT_TRUE(r.recovery.used_journal);
+  EXPECT_FALSE(r.recovery.full_resync);
+  EXPECT_GE(r.recovery.stripes_resynced, 1u);
+  EXPECT_GT(r.resync_io(), 0u);
+  EXPECT_GT(r.stats.journal_intents, 0u);
+  EXPECT_GT(r.stats.journal_replays, 0u);
+  EXPECT_GT(r.stats.recovery_ms, 0.0);
+}
+
+TEST_F(CrashDrillTest, FullResyncAlsoClosesTheHoleButTouchesEverything) {
+  const auto full = run_drill(/*journal=*/false, /*recover=*/true,
+                              /*full_fallback=*/true);
+  EXPECT_EQ(full.report.write_holes, 0u);
+  EXPECT_TRUE(full.recovery.full_resync);
+  EXPECT_EQ(full.stats.full_resyncs, 1u);
+  // Every parity group in the array was walked.
+  EXPECT_EQ(full.recovery.stripes_resynced,
+            static_cast<std::uint64_t>(config().layout.data_blocks_per_disk));
+
+  // The acceptance bar: the journaled resync does strictly less I/O.
+  const auto journaled = run_drill(/*journal=*/true, /*recover=*/true,
+                                   /*full_fallback=*/false);
+  EXPECT_EQ(journaled.report.write_holes, 0u);
+  EXPECT_LT(journaled.resync_io(), full.resync_io());
+  EXPECT_LT(journaled.recovery.stripes_resynced,
+            full.recovery.stripes_resynced);
+}
+
+TEST_F(CrashDrillTest, ArrayKeepsServingAfterRestart) {
+  EventQueue eq;
+  CachedController::CacheConfig cache_cfg;
+  cache_cfg.cache_bytes = 16 * 4096;
+  cache_cfg.destage_period_ms = 500.0;
+  cache_cfg.intent_journal = true;
+  CachedController controller(eq, config(), cache_cfg);
+  ShadowAuditor auditor(controller);
+  CrashInjector injector(eq, controller, CrashInjector::Options());
+
+  controller.submit(ArrayRequest{5, 1, true}, [](SimTime) {});
+  eq.run_until(1.0);
+  injector.crash_now();
+  EXPECT_TRUE(controller.crashed());
+
+  bool recovered = false;
+  injector.set_on_recovered([&](SimTime) { recovered = true; });
+  eq.run_until(eq.now() + 200.0);
+  EXPECT_TRUE(recovered);
+  EXPECT_FALSE(controller.crashed());
+
+  double done = -1.0;
+  controller.submit(ArrayRequest{7, 1, true}, [&](SimTime t) { done = t; });
+  eq.run_until(eq.now() + 5000.0);
+  EXPECT_GE(done, 0.0);
+  controller.shutdown();
+  eq.run();
+  EXPECT_TRUE(auditor.audit().clean());
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,157 @@
+#include "disk/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raidsim {
+namespace {
+
+class PowerFailTest : public ::testing::Test {
+ protected:
+  PowerFailTest()
+      : seek_(SeekModel::calibrate(SeekSpec{})), disk_(eq_, geo_, &seek_, 0) {}
+
+  double block_xfer_ms() const { return 8.0 * geo_.sector_time_ms(); }
+
+  EventQueue eq_;
+  DiskGeometry geo_;
+  SeekModel seek_;
+  Disk disk_;
+};
+
+TEST_F(PowerFailTest, InFlightWriteKeepsDurablePrefix) {
+  // 12-block write at block 0 from t = 0: pure transfer, the head lays
+  // down one block per block_xfer_ms. Cut power mid-transfer.
+  double failed_at = -1.0;
+  int durable = -1;
+  bool completed = false;
+  DiskRequest req;
+  req.kind = DiskOpKind::kWrite;
+  req.start_block = 0;
+  req.block_count = 12;
+  req.on_complete = [&](SimTime) { completed = true; };
+  req.on_power_fail = [&](SimTime t, int d) {
+    failed_at = t;
+    durable = d;
+  };
+  disk_.submit(std::move(req));
+  eq_.run_until(5.5 * block_xfer_ms());
+
+  const auto report = disk_.power_fail();
+  EXPECT_EQ(report.inflight_ops, 1u);
+  EXPECT_EQ(report.write_blocks_durable, 5u);  // floor(5.5) blocks landed
+  EXPECT_EQ(report.write_blocks_lost, 7u);
+  EXPECT_EQ(durable, 5);
+  EXPECT_NEAR(failed_at, 5.5 * block_xfer_ms(), 1e-9);
+
+  // The scheduled completion must never fire.
+  eq_.run();
+  EXPECT_FALSE(completed);
+  EXPECT_TRUE(disk_.powered_off());
+}
+
+TEST_F(PowerFailTest, QueuedWritesLoseEverything) {
+  DiskRequest active;
+  active.kind = DiskOpKind::kWrite;
+  active.start_block = 0;
+  active.block_count = 4;
+  disk_.submit(std::move(active));
+
+  int queued_durable = -1;
+  DiskRequest queued;
+  queued.kind = DiskOpKind::kWrite;
+  queued.start_block = 100;
+  queued.block_count = 6;
+  queued.on_power_fail = [&](SimTime, int d) { queued_durable = d; };
+  disk_.submit(std::move(queued));
+
+  eq_.run_until(0.5 * block_xfer_ms());
+  const auto report = disk_.power_fail();
+  EXPECT_EQ(report.queued_ops, 1u);
+  EXPECT_EQ(report.inflight_ops, 1u);
+  EXPECT_EQ(queued_durable, 0);
+  // Queued write: all 6 lost. Active write, half a block in:
+  // floor(0.125 * 4) = 0 durable, so all 4 lost too.
+  EXPECT_EQ(report.write_blocks_lost, 6u + 4u);
+}
+
+TEST_F(PowerFailTest, ReadsAreNeverDurable) {
+  int durable = -1;
+  DiskRequest req;
+  req.kind = DiskOpKind::kRead;
+  req.start_block = 0;
+  req.block_count = 8;
+  req.on_power_fail = [&](SimTime, int d) { durable = d; };
+  disk_.submit(std::move(req));
+  eq_.run_until(0.5 * block_xfer_ms());
+  const auto report = disk_.power_fail();
+  EXPECT_EQ(report.inflight_ops, 1u);
+  EXPECT_EQ(report.write_blocks_lost, 0u);
+  EXPECT_EQ(report.write_blocks_durable, 0u);
+  EXPECT_EQ(durable, 0);
+}
+
+TEST_F(PowerFailTest, RmwInReadPhaseHasNoDurableBlocks) {
+  int durable = -1;
+  DiskRequest req;
+  req.kind = DiskOpKind::kReadModifyWrite;
+  req.start_block = 0;
+  req.block_count = 2;
+  req.gate = WriteGate::already_open();
+  req.on_power_fail = [&](SimTime, int d) { durable = d; };
+  disk_.submit(std::move(req));
+  // Halfway through the old-data read: the in-place write has not begun.
+  eq_.run_until(1.0 * block_xfer_ms());
+  const auto report = disk_.power_fail();
+  EXPECT_EQ(report.inflight_ops, 1u);
+  EXPECT_EQ(durable, 0);
+  EXPECT_EQ(report.write_blocks_durable, 0u);
+  EXPECT_EQ(report.write_blocks_lost, 2u);
+}
+
+TEST_F(PowerFailTest, SubmissionsRefusedWhilePoweredOff) {
+  disk_.power_fail();
+  int durable = -1;
+  bool completed = false;
+  DiskRequest req;
+  req.kind = DiskOpKind::kWrite;
+  req.start_block = 0;
+  req.on_complete = [&](SimTime) { completed = true; };
+  req.on_power_fail = [&](SimTime, int d) { durable = d; };
+  disk_.submit(std::move(req));
+  eq_.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(durable, 0);
+  EXPECT_EQ(disk_.stats().power_fail_drops, 1u);
+}
+
+TEST_F(PowerFailTest, PowerOnRestoresNormalService) {
+  disk_.power_fail();
+  disk_.power_on();
+  EXPECT_FALSE(disk_.powered_off());
+  double completed = -1.0;
+  DiskRequest req;
+  req.kind = DiskOpKind::kWrite;
+  req.start_block = 0;
+  req.on_complete = [&](SimTime t) { completed = t; };
+  disk_.submit(std::move(req));
+  eq_.run();
+  EXPECT_GE(completed, 0.0);
+  EXPECT_EQ(disk_.stats().writes, 1u);
+}
+
+TEST_F(PowerFailTest, DoublePowerFailIsIdempotent) {
+  DiskRequest req;
+  req.kind = DiskOpKind::kWrite;
+  req.start_block = 0;
+  req.block_count = 4;
+  disk_.submit(std::move(req));
+  eq_.run_until(0.5 * block_xfer_ms());
+  const auto first = disk_.power_fail();
+  EXPECT_EQ(first.inflight_ops, 1u);
+  const auto second = disk_.power_fail();
+  EXPECT_EQ(second.inflight_ops, 0u);
+  EXPECT_EQ(second.queued_ops, 0u);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,141 @@
+#include "crash/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "array/intent_journal.hpp"
+#include "array/uncached_controller.hpp"
+#include "crash/auditor.hpp"
+
+namespace raidsim {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  static ArrayController::Config config(std::int64_t blocks_per_disk = 180) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = Organization::kRaid5;
+    cfg.layout.data_disks = 4;
+    cfg.layout.data_blocks_per_disk = blocks_per_disk;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+};
+
+TEST_F(RecoveryTest, NothingToDoCompletesImmediately) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  RecoveryProcess recovery(eq, c);  // no journal, no fallback
+  double done = -1.0;
+  recovery.start([&](SimTime t) { done = t; });
+  EXPECT_EQ(done, 0.0);  // completed synchronously at t = 0
+  EXPECT_FALSE(recovery.running());
+  EXPECT_EQ(recovery.stats().stripes_resynced, 0u);
+  EXPECT_FALSE(recovery.stats().used_journal);
+  EXPECT_FALSE(recovery.stats().full_resync);
+}
+
+TEST_F(RecoveryTest, FullResyncWalksEveryParityGroup) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  RecoveryProcess::Options opt;
+  opt.full_resync_fallback = true;
+  RecoveryProcess recovery(eq, c, opt);
+  bool done = false;
+  recovery.start([&](SimTime) { done = true; });
+  EXPECT_TRUE(recovery.running());
+  eq.run();
+  EXPECT_TRUE(done);
+  // RAID5, unit 1, 4 data disks, 180 data blocks per disk: one parity
+  // group per row.
+  EXPECT_TRUE(recovery.stats().full_resync);
+  EXPECT_EQ(recovery.stats().stripes_resynced, 180u);
+  EXPECT_GT(recovery.stats().read_blocks, recovery.stats().write_blocks);
+  EXPECT_GT(recovery.stats().recovery_ms, 0.0);
+  EXPECT_EQ(c.stats().full_resyncs, 1u);
+  EXPECT_EQ(c.stats().resync_stripes, 180u);
+  EXPECT_EQ(c.stats().resync_read_blocks, recovery.stats().read_blocks);
+  EXPECT_EQ(c.stats().resync_write_blocks, recovery.stats().write_blocks);
+  EXPECT_NEAR(c.stats().recovery_ms, recovery.stats().recovery_ms, 1e-9);
+}
+
+TEST_F(RecoveryTest, JournalReplayResyncsOnlyDirtyStripes) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  ShadowAuditor auditor(c);
+  IntentJournal journal;
+  c.attach_journal(&journal);
+
+  // Plant two open intents in distinct stripes, plus a duplicate of the
+  // first stripe, exactly as an interrupted destage would leave them.
+  const auto plan_a = c.layout().map_write(3, 1).front();
+  const auto plan_b = c.layout().map_write(90, 1).front();
+  journal.open(plan_a, 0.0);
+  journal.open(plan_a, 0.0);
+  journal.open(plan_b, 0.0);
+
+  // Make the stripes genuinely inconsistent in the shadow model.
+  for (std::int64_t block : {std::int64_t{3}, std::int64_t{90}}) {
+    const auto gen = auditor.host_write(block);
+    auditor.data_durable(block, gen);  // data landed, parity did not
+  }
+  EXPECT_EQ(auditor.audit().write_holes, 2u);
+
+  RecoveryProcess recovery(eq, c);
+  bool done = false;
+  recovery.start([&](SimTime) { done = true; });
+  eq.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(recovery.stats().used_journal);
+  EXPECT_EQ(recovery.stats().intents_replayed, 3u);
+  EXPECT_EQ(recovery.stats().stripes_resynced, 2u);  // deduped by stripe
+  EXPECT_EQ(journal.open_intents(), 0u);  // journal retired
+  EXPECT_TRUE(auditor.audit().clean());
+  EXPECT_EQ(c.stats().journal_replays, 3u);
+}
+
+TEST_F(RecoveryTest, WipedJournalFallsBackToFullResync) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  IntentJournal journal;
+  c.attach_journal(&journal);
+  journal.open(c.layout().map_write(3, 1).front(), 0.0);
+  journal.power_loss(/*nvram_survives=*/false);
+  ASSERT_TRUE(journal.wiped());
+
+  RecoveryProcess::Options opt;
+  opt.full_resync_fallback = true;
+  RecoveryProcess recovery(eq, c, opt);
+  recovery.start();
+  eq.run();
+  EXPECT_TRUE(recovery.stats().full_resync);
+  EXPECT_FALSE(recovery.stats().used_journal);
+  EXPECT_EQ(recovery.stats().stripes_resynced, 180u);
+  EXPECT_FALSE(journal.wiped());  // reset for the new epoch
+}
+
+TEST_F(RecoveryTest, ConcurrencyWindowIsRespected) {
+  EXPECT_THROW(
+      {
+        EventQueue eq;
+        UncachedController c(eq, config());
+        RecoveryProcess::Options opt;
+        opt.stripes_per_pass = 0;
+        RecoveryProcess recovery(eq, c, opt);
+      },
+      std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, RestartWhileRunningThrows) {
+  EventQueue eq;
+  UncachedController c(eq, config());
+  RecoveryProcess::Options opt;
+  opt.full_resync_fallback = true;
+  RecoveryProcess recovery(eq, c, opt);
+  recovery.start();
+  EXPECT_TRUE(recovery.running());
+  EXPECT_THROW(recovery.start(), std::logic_error);
+  eq.run();
+}
+
+}  // namespace
+}  // namespace raidsim

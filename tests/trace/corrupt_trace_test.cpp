@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_io.hpp"
+
+namespace raidsim {
+namespace {
+
+std::unique_ptr<std::istream> text(const std::string& s) {
+  return std::make_unique<std::istringstream>(s);
+}
+
+std::string error_of(const std::string& trace) {
+  try {
+    TraceReader reader(text(trace));
+    while (reader.next()) {
+    }
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "trace accepted: " << trace;
+  return {};
+}
+
+const char* kHeader = "disks 2\nblocks_per_disk 100\n";
+
+TEST(CorruptTrace, RecordBeforeHeaderNamesTheLine) {
+  const auto msg = error_of("# comment\n0 0 1 R\n");
+  EXPECT_NE(msg.find("before"), std::string::npos);
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+}
+
+TEST(CorruptTrace, RecordBetweenDirectivesIsRejected) {
+  const auto msg = error_of("disks 2\n0 0 1 R\nblocks_per_disk 100\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+}
+
+TEST(CorruptTrace, UnknownDirectiveNamesItself) {
+  const auto msg = error_of("disks 2\nsectors 99\nblocks_per_disk 100\n");
+  EXPECT_NE(msg.find("sectors"), std::string::npos);
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+}
+
+TEST(CorruptTrace, NonNumericHeaderValue) {
+  const auto msg = error_of("disks two\nblocks_per_disk 100\n");
+  EXPECT_NE(msg.find("disks"), std::string::npos);
+  EXPECT_NE(msg.find("line 1"), std::string::npos);
+}
+
+TEST(CorruptTrace, HeaderDirectiveWithTrailingGarbage) {
+  error_of("disks 2 4\nblocks_per_disk 100\n");
+}
+
+TEST(CorruptTrace, NonNumericRecordField) {
+  const auto msg = error_of(std::string(kHeader) + "0 five 1 R\n");
+  EXPECT_NE(msg.find("malformed record"), std::string::npos);
+  EXPECT_NE(msg.find("line 3"), std::string::npos);
+}
+
+TEST(CorruptTrace, NegativeDeltaNamesTheProblem) {
+  const auto msg = error_of(std::string(kHeader) + "-7 0 1 R\n");
+  EXPECT_NE(msg.find("delta"), std::string::npos);
+}
+
+TEST(CorruptTrace, NegativeBlockAddress) {
+  const auto msg = error_of(std::string(kHeader) + "0 -3 1 R\n");
+  EXPECT_NE(msg.find("block address"), std::string::npos);
+}
+
+TEST(CorruptTrace, ZeroAndNegativeBlockCounts) {
+  EXPECT_NE(error_of(std::string(kHeader) + "0 0 0 R\n").find("count"),
+            std::string::npos);
+  EXPECT_NE(error_of(std::string(kHeader) + "0 0 -2 W\n").find("count"),
+            std::string::npos);
+}
+
+TEST(CorruptTrace, OverflowingDeltaIsRejected) {
+  // Larger than int64: the extraction itself must fail, not wrap.
+  error_of(std::string(kHeader) + "99999999999999999999999999 0 1 R\n");
+}
+
+TEST(CorruptTrace, OverflowingExtentDoesNotWrapPastTheBoundsCheck) {
+  // block + count would overflow int64 and wrap negative; the reader
+  // must still reject the extent.
+  const auto msg = error_of(std::string(kHeader) +
+                            "0 9223372036854775800 9 R\n");
+  EXPECT_NE(msg.find("beyond"), std::string::npos);
+}
+
+TEST(CorruptTrace, ExtentPastEndOfDatabase) {
+  error_of(std::string(kHeader) + "0 199 2 R\n");
+  error_of(std::string(kHeader) + "0 200 1 W\n");
+}
+
+TEST(CorruptTrace, TrailingGarbageAfterRecord) {
+  const auto msg = error_of(std::string(kHeader) + "0 0 1 R extra\n");
+  EXPECT_NE(msg.find("trailing garbage"), std::string::npos);
+  EXPECT_NE(msg.find("extra"), std::string::npos);
+}
+
+TEST(CorruptTrace, BadAccessTypeNamesTheCharacter) {
+  const auto msg = error_of(std::string(kHeader) + "0 0 1 Q\n");
+  EXPECT_NE(msg.find("'Q'"), std::string::npos);
+}
+
+TEST(CorruptTrace, CrlfLineEndingsAreAccepted) {
+  TraceReader reader(text("disks 2\r\nblocks_per_disk 100\r\n0 5 1 W\r\n"));
+  auto rec = reader.next();
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->block, 5);
+  EXPECT_TRUE(rec->is_write);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(CorruptTrace, ErrorsOnLaterLinesCountCommentsAndBlanks) {
+  const auto msg = error_of(std::string(kHeader) +
+                            "0 0 1 R\n\n# fine so far\n0 0 1 Z\n");
+  EXPECT_NE(msg.find("line 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raidsim
