@@ -53,9 +53,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       options.scale2 = std::atof(v);
     } else if (const char* v = value_of("--seed=")) {
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--threads=")) {
+      options.threads = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --full --quick --scale1=<f> --scale2=<f> "
-                   "--seed=<n>\n";
+                   "--seed=<n> --threads=<n>\n";
       std::exit(0);
     } else {
       throw std::invalid_argument("unknown option: " + arg);
@@ -77,6 +79,25 @@ Metrics run_config(const SimulationConfig& config, const std::string& trace,
                    const BenchOptions& options, double speed) {
   auto stream = make_workload(trace, options.workload_options(trace, speed));
   return run_simulation(config, *stream);
+}
+
+Sweep::Sweep(const BenchOptions& options)
+    : options_(options), runner_(options.threads) {}
+
+std::size_t Sweep::add(const SimulationConfig& config,
+                       const std::string& trace, double speed) {
+  if (ran_)
+    throw std::logic_error("Sweep: add() after results were consumed");
+  return runner_.submit(SweepJob{
+      config, trace, options_.workload_options(trace, speed), {}});
+}
+
+const Metrics& Sweep::result(std::size_t i) {
+  if (!ran_) {
+    results_ = runner_.run_all();
+    ran_ = true;
+  }
+  return results_.at(i).metrics;
 }
 
 void banner(const std::string& experiment, const std::string& paper_claim,

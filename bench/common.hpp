@@ -7,6 +7,7 @@
 
 #include "core/simulator.hpp"
 #include "core/workloads.hpp"
+#include "runner/sweep_runner.hpp"
 #include "util/table.hpp"
 
 namespace raidsim::bench {
@@ -18,10 +19,12 @@ namespace raidsim::bench {
 ///   --full         replay both traces in full
 ///   --seed=<n>     override the workload RNG seed
 ///   --quick        quarter the default scales (CI smoke)
+///   --threads=<n>  sweep worker threads (default: hardware concurrency)
 struct BenchOptions {
   double scale1 = 0.2;
   double scale2 = 1.0;
   std::uint64_t seed = 0;
+  int threads = 0;  // 0 = hardware_concurrency
 
   /// Parse argv over per-bench defaults (heavier sweeps ship smaller
   /// default scales so the whole suite stays fast).
@@ -35,6 +38,32 @@ struct BenchOptions {
 /// Run one configuration against one of the paper's workloads.
 Metrics run_config(const SimulationConfig& config, const std::string& trace,
                    const BenchOptions& options, double speed = 1.0);
+
+/// Deferred-execution sweep over simulation points. Figure programs queue
+/// every (config, trace) point up front, then read results back in the
+/// order the points were queued; the first result() call runs the whole
+/// batch across options.threads workers (SweepRunner), so tables print
+/// byte-identically at any thread count.
+class Sweep {
+ public:
+  explicit Sweep(const BenchOptions& options);
+
+  /// Queue one point; returns its index into result().
+  std::size_t add(const SimulationConfig& config, const std::string& trace,
+                  double speed = 1.0);
+
+  /// Result of the i-th add(). Runs the batch on first call.
+  const Metrics& result(std::size_t i);
+
+  /// Mean response time of the i-th point, the quantity most figures plot.
+  double response_ms(std::size_t i) { return result(i).mean_response_ms(); }
+
+ private:
+  BenchOptions options_;
+  SweepRunner runner_;
+  std::vector<SweepResult> results_;
+  bool ran_ = false;
+};
 
 /// Standard bench banner: what is being reproduced and at what scale.
 /// Also derives the slug used for data export (see below).

@@ -22,18 +22,28 @@ int main(int argc, char** argv) {
       Organization::kBase, Organization::kMirror, Organization::kRaid5,
       Organization::kParityStriping};
 
+  // Queue every (trace, org, N) point, run them in parallel, then print
+  // in queue order.
+  Sweep sweep(options);
   for (const std::string trace : {"trace1", "trace2"}) {
-    std::vector<Series> series;
     for (auto org : orgs) {
-      Series s{to_string(org), {}};
       for (int n : sizes) {
         SimulationConfig config;
         config.organization = org;
         config.array_data_disks = n;
         config.cached = false;
-        const Metrics m = run_config(config, trace, options);
-        s.values.push_back(m.mean_response_ms());
+        sweep.add(config, trace);
       }
+    }
+  }
+
+  std::size_t point = 0;
+  for (const std::string trace : {"trace1", "trace2"}) {
+    std::vector<Series> series;
+    for (auto org : orgs) {
+      Series s{to_string(org), {}};
+      for (std::size_t i = 0; i < sizes.size(); ++i)
+        s.values.push_back(sweep.response_ms(point++));
       series.push_back(std::move(s));
     }
     std::vector<std::string> xs;

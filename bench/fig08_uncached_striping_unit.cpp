@@ -16,20 +16,28 @@ int main(int argc, char** argv) {
          options);
 
   const std::vector<int> units{1, 2, 4, 8, 16, 32, 64};
+
+  Sweep sweep(options);
   for (const std::string trace : {"trace1", "trace2"}) {
-    Series raid5{"RAID5", {}};
     for (int unit : units) {
       SimulationConfig config;
       config.organization = Organization::kRaid5;
       config.striping_unit_blocks = unit;
       config.cached = false;
-      raid5.values.push_back(
-          run_config(config, trace, options).mean_response_ms());
+      sweep.add(config, trace);
     }
     // Parity Striping reference line (the "infinite unit" limit).
     SimulationConfig ps;
     ps.organization = Organization::kParityStriping;
-    const double ps_value = run_config(ps, trace, options).mean_response_ms();
+    sweep.add(ps, trace);
+  }
+
+  std::size_t point = 0;
+  for (const std::string trace : {"trace1", "trace2"}) {
+    Series raid5{"RAID5", {}};
+    for (std::size_t i = 0; i < units.size(); ++i)
+      raid5.values.push_back(sweep.response_ms(point++));
+    const double ps_value = sweep.response_ms(point++);
     Series reference{"ParStrip (ref)", std::vector<double>(units.size(), ps_value)};
 
     std::vector<std::string> xs;

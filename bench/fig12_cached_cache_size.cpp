@@ -24,18 +24,26 @@ int main(int argc, char** argv) {
       Organization::kBase, Organization::kMirror, Organization::kRaid5,
       Organization::kParityStriping};
 
+  Sweep sweep(options);
   for (const std::string trace : {"trace1", "trace2"}) {
-    std::vector<Series> series;
     for (auto org : orgs) {
-      Series s{to_string(org), {}};
       for (auto mb : cache_mb) {
         SimulationConfig config;
         config.organization = org;
         config.cached = true;
         config.cache_bytes = mb << 20;
-        s.values.push_back(
-            run_config(config, trace, options).mean_response_ms());
+        sweep.add(config, trace);
       }
+    }
+  }
+
+  std::size_t point = 0;
+  for (const std::string trace : {"trace1", "trace2"}) {
+    std::vector<Series> series;
+    for (auto org : orgs) {
+      Series s{to_string(org), {}};
+      for (std::size_t i = 0; i < cache_mb.size(); ++i)
+        s.values.push_back(sweep.response_ms(point++));
       series.push_back(std::move(s));
     }
     std::vector<std::string> xs;

@@ -21,18 +21,28 @@ int main(int argc, char** argv) {
     std::int64_t cache_mb;
   };
   const std::vector<Point> points{{5, 8}, {10, 16}, {20, 32}};
+
+  Sweep sweep(options);
   for (const std::string trace : {"trace1", "trace2"}) {
-    Series r5{"RAID5", {}}, r4{"RAID4+parity", {}};
     for (const auto& point : points) {
       SimulationConfig config;
       config.cached = true;
       config.array_data_disks = point.n;
       config.cache_bytes = point.cache_mb << 20;
       config.organization = Organization::kRaid5;
-      r5.values.push_back(run_config(config, trace, options).mean_response_ms());
+      sweep.add(config, trace);
       config.organization = Organization::kRaid4;
       config.parity_caching = true;
-      r4.values.push_back(run_config(config, trace, options).mean_response_ms());
+      sweep.add(config, trace);
+    }
+  }
+
+  std::size_t job = 0;
+  for (const std::string trace : {"trace1", "trace2"}) {
+    Series r5{"RAID5", {}}, r4{"RAID4+parity", {}};
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      r5.values.push_back(sweep.response_ms(job++));
+      r4.values.push_back(sweep.response_ms(job++));
     }
     std::vector<std::string> xs;
     for (const auto& point : points)

@@ -1,0 +1,342 @@
+// Performance harness: times the event kernel (schedule/cancel/step
+// throughput, against an embedded copy of the pre-fast-path kernel) and
+// a fixed end-to-end RAID5 + Mirror replay, then measures sweep
+// throughput at 1/2/4/hw threads. Emits machine-readable BENCH_perf.json
+// so later PRs have a perf trajectory to regress against (see
+// docs/performance.md for the schema).
+//
+// Usage: perf_harness [--quick] [--out=<path>] [--threads=<n>]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/workloads.hpp"
+#include "runner/sweep_runner.hpp"
+#include "sim/event_queue.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using raidsim::EventId;
+using raidsim::SimTime;
+
+/// The event kernel as it stood before the indexed-heap fast path:
+/// std::function callbacks (heap allocation per capture-heavy schedule),
+/// a binary priority_queue, and an unordered_set lookup per pop. Kept
+/// here verbatim as the baseline the kernel numbers are measured against.
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime when, Callback cb) {
+    if (when < now_) when = now_;
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    live_.insert(id);
+    return id;
+  }
+
+  EventId schedule_in(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  bool cancel(EventId id) { return live_.erase(id) > 0; }
+
+  bool step() {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      if (live_.erase(e.id) == 0) continue;
+      now_ = e.time;
+      ++executed_;
+      e.cb();
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Steady-state churn: keep `width` events pending; each event
+/// reschedules itself at a pseudo-random future time and cancels a
+/// sibling every fourth execution -- the mix the simulator's disk/channel
+/// machinery produces. The captured payload mimics a completion
+/// continuation (a few scalars + a std::function).
+template <typename Queue>
+double churn_events_per_sec(std::uint64_t total_events, int width) {
+  Queue queue;
+  std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+  auto next_delay = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((lcg >> 33) & 0x3ff) * 0.25;
+  };
+  std::uint64_t executed = 0;
+  std::vector<EventId> cancel_pool;
+  std::function<void(SimTime)> sink = [](SimTime) {};
+
+  std::function<void()> tick = [&] {
+    ++executed;
+    if (executed + static_cast<std::uint64_t>(width) <= total_events) {
+      const EventId id = queue.schedule_in(
+          next_delay(), [&tick, t = queue.now(), cont = sink] {
+            (void)t;
+            (void)cont;
+            tick();
+          });
+      if ((executed & 3u) == 0) {
+        cancel_pool.push_back(id);
+      } else if (!cancel_pool.empty() && (executed & 15u) == 1) {
+        queue.cancel(cancel_pool.back());
+        cancel_pool.pop_back();
+        queue.schedule_in(next_delay(), [&tick] { tick(); });
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < width; ++i) queue.schedule_in(next_delay(), tick);
+  while (queue.step()) {
+  }
+  const double elapsed = seconds_since(start);
+  return static_cast<double>(queue.executed()) / elapsed;
+}
+
+struct ReplayResult {
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double mean_response_ms = 0.0;
+};
+
+ReplayResult timed_replay(const raidsim::SimulationConfig& config,
+                          const std::string& trace, double scale) {
+  raidsim::WorkloadOptions wo;
+  wo.scale = scale;
+  const auto start = std::chrono::steady_clock::now();
+  const raidsim::Metrics m = raidsim::run_sweep_job({config, trace, wo, {}});
+  ReplayResult r;
+  r.wall_ms = seconds_since(start) * 1e3;
+  r.events = m.events_executed;
+  r.events_per_sec = static_cast<double>(m.events_executed) /
+                     (r.wall_ms / 1e3);
+  r.mean_response_ms = m.mean_response_ms();
+  return r;
+}
+
+struct SweepPoint {
+  int threads = 0;
+  double wall_ms = 0.0;
+  double runs_per_sec = 0.0;
+};
+
+SweepPoint timed_sweep(int threads, int runs,
+                       const raidsim::SimulationConfig& config,
+                       double scale) {
+  raidsim::SweepRunner runner(threads);
+  raidsim::WorkloadOptions wo;
+  wo.scale = scale;
+  for (int i = 0; i < runs; ++i)
+    runner.submit({config, i % 2 ? "trace2" : "trace1", wo,
+                   "run" + std::to_string(i)});
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = runner.run_all();
+  SweepPoint p;
+  p.threads = runner.threads();
+  p.wall_ms = seconds_since(start) * 1e3;
+  p.runs_per_sec = static_cast<double>(results.size()) / (p.wall_ms / 1e3);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace raidsim;
+
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  int max_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      max_threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --quick --out=<path> --threads=<n>\n";
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (max_threads <= 0) max_threads = hw ? static_cast<int>(hw) : 1;
+
+  std::cout << "== perf_harness ==\n"
+            << "kernel churn + fixed RAID5/Mirror replay + sweep scaling; "
+            << (quick ? "quick" : "full") << " mode, "
+            << max_threads << " max threads\n\n";
+
+  // ------------------------------------------------------ kernel bench
+  const std::uint64_t churn_events = quick ? 400'000 : 4'000'000;
+  const int churn_width = 512;
+  // Warm both allocators once so first-touch page faults do not skew
+  // whichever queue runs first.
+  churn_events_per_sec<EventQueue>(50'000, churn_width);
+  churn_events_per_sec<LegacyEventQueue>(50'000, churn_width);
+  const double kernel_new =
+      churn_events_per_sec<EventQueue>(churn_events, churn_width);
+  const double kernel_legacy =
+      churn_events_per_sec<LegacyEventQueue>(churn_events, churn_width);
+  const double kernel_speedup = kernel_new / kernel_legacy;
+
+  TablePrinter kernel_table({"kernel", "events/sec"});
+  kernel_table.add_row({"indexed 4-ary heap (current)",
+                        TablePrinter::num(kernel_new / 1e6, 2) + " M"});
+  kernel_table.add_row({"legacy priority_queue+hash set",
+                        TablePrinter::num(kernel_legacy / 1e6, 2) + " M"});
+  kernel_table.add_row({"speedup", TablePrinter::num(kernel_speedup, 2) + "x"});
+  kernel_table.print(std::cout);
+  std::cout << "\n";
+
+  // -------------------------------------------------- end-to-end bench
+  const double scale1 = quick ? 0.02 : 0.1;
+  const double scale2 = quick ? 0.1 : 0.5;
+
+  SimulationConfig raid5;
+  raid5.organization = Organization::kRaid5;
+  raid5.cached = true;
+  const ReplayResult raid5_run = timed_replay(raid5, "trace1", scale1);
+
+  SimulationConfig mirror;
+  mirror.organization = Organization::kMirror;
+  mirror.cached = false;
+  const ReplayResult mirror_run = timed_replay(mirror, "trace2", scale2);
+
+  TablePrinter replay_table(
+      {"replay", "wall ms", "events", "events/sec"});
+  replay_table.add_row({"RAID5 cached / trace1",
+                        TablePrinter::num(raid5_run.wall_ms),
+                        std::to_string(raid5_run.events),
+                        TablePrinter::num(raid5_run.events_per_sec / 1e6, 2) +
+                            " M"});
+  replay_table.add_row({"Mirror uncached / trace2",
+                        TablePrinter::num(mirror_run.wall_ms),
+                        std::to_string(mirror_run.events),
+                        TablePrinter::num(mirror_run.events_per_sec / 1e6, 2) +
+                            " M"});
+  replay_table.print(std::cout);
+  std::cout << "\n";
+
+  // ------------------------------------------------ sweep-scaling bench
+  const int sweep_runs = quick ? 8 : 16;
+  const double sweep_scale = quick ? 0.02 : 0.05;
+  std::vector<int> thread_points{1, 2, 4};
+  if (max_threads > 4) thread_points.push_back(max_threads);
+
+  SimulationConfig sweep_config;
+  sweep_config.organization = Organization::kRaid5;
+  sweep_config.cached = true;
+
+  std::vector<SweepPoint> sweep_points;
+  TablePrinter sweep_table({"threads", "wall ms", "runs/sec", "scaling"});
+  double base_rps = 0.0;
+  for (int t : thread_points) {
+    const SweepPoint p = timed_sweep(t, sweep_runs, sweep_config, sweep_scale);
+    sweep_points.push_back(p);
+    if (t == 1) base_rps = p.runs_per_sec;
+    sweep_table.add_row(
+        {std::to_string(t), TablePrinter::num(p.wall_ms),
+         TablePrinter::num(p.runs_per_sec, 3),
+         base_rps > 0.0 ? TablePrinter::num(p.runs_per_sec / base_rps, 2) + "x"
+                        : "-"});
+  }
+  sweep_table.print(std::cout);
+  std::cout << "\n";
+
+  // ------------------------------------------------------- JSON export
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "{\n"
+      << "  \"schema\": 1,\n"
+      << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+      << "  \"hardware_threads\": " << (hw ? hw : 1u) << ",\n"
+      << "  \"kernel\": {\n"
+      << "    \"churn_events\": " << churn_events << ",\n"
+      << "    \"events_per_sec\": " << kernel_new << ",\n"
+      << "    \"legacy_events_per_sec\": " << kernel_legacy << ",\n"
+      << "    \"speedup_vs_legacy\": " << kernel_speedup << "\n"
+      << "  },\n"
+      << "  \"end_to_end\": {\n"
+      << "    \"raid5_cached_trace1\": {\"wall_ms\": " << raid5_run.wall_ms
+      << ", \"events\": " << raid5_run.events
+      << ", \"events_per_sec\": " << raid5_run.events_per_sec
+      << ", \"mean_response_ms\": " << raid5_run.mean_response_ms << "},\n"
+      << "    \"mirror_uncached_trace2\": {\"wall_ms\": " << mirror_run.wall_ms
+      << ", \"events\": " << mirror_run.events
+      << ", \"events_per_sec\": " << mirror_run.events_per_sec
+      << ", \"mean_response_ms\": " << mirror_run.mean_response_ms << "}\n"
+      << "  },\n"
+      << "  \"sweep\": {\n"
+      << "    \"runs\": " << sweep_runs << ",\n"
+      << "    \"points\": [";
+  for (std::size_t i = 0; i < sweep_points.size(); ++i) {
+    const auto& p = sweep_points[i];
+    out << (i ? ", " : "") << "{\"threads\": " << p.threads
+        << ", \"wall_ms\": " << p.wall_ms
+        << ", \"runs_per_sec\": " << p.runs_per_sec << "}";
+  }
+  out << "]\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+
+  std::cout << "[perf data written to " << out_path << "]\n";
+  return 0;
+}

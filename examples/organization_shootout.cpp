@@ -1,14 +1,17 @@
 // Compare every disk array organization on one workload, cached and
 // uncached, in a single table -- the "which organization should I pick"
-// view of the library.
+// view of the library. All configurations run as one SweepRunner batch,
+// so the table fills in parallel yet prints identically at any thread
+// count.
 //
-// Usage: organization_shootout [trace1|trace2] [scale] [N]
+// Usage: organization_shootout [trace1|trace2] [scale] [N] [threads]
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/simulator.hpp"
 #include "core/workloads.hpp"
+#include "runner/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -18,39 +21,46 @@ int main(int argc, char** argv) {
   WorkloadOptions options;
   options.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
   const int n = argc > 3 ? std::atoi(argv[3]) : 10;
+  const int threads = argc > 4 ? std::atoi(argv[4]) : 0;
 
   std::cout << "Organization shootout on " << trace_name << " (scale "
             << options.scale << ", N=" << n << ")\n\n";
 
-  TablePrinter table({"organization", "cache", "disks", "mean ms", "read ms",
-                      "write ms", "p95 ms", "util"});
-
-  auto run_one = [&](Organization org, bool cached, bool parity_caching) {
+  SweepRunner runner(threads);
+  auto queue_one = [&](Organization org, bool cached, bool parity_caching) {
     SimulationConfig config;
     config.organization = org;
     config.array_data_disks = n;
     config.cached = cached;
     config.parity_caching = parity_caching;
-    auto trace = make_workload(trace_name, options);
-    const Metrics m = run_simulation(config, *trace);
-    table.add_row({to_string(org) + (parity_caching ? "+pc" : ""),
-                   cached ? "16MB" : "-", std::to_string(m.total_disks),
-                   TablePrinter::num(m.mean_response_ms()),
-                   TablePrinter::num(m.response_read.mean()),
-                   TablePrinter::num(m.response_write.mean()),
-                   TablePrinter::num(m.response_all.p95()),
-                   TablePrinter::num(m.mean_disk_utilization(), 3)});
+    runner.submit(SweepJob{config, trace_name, options,
+                           to_string(org) + (parity_caching ? "+pc" : "") +
+                               (cached ? "|16MB" : "|-")});
   };
 
   for (auto org : {Organization::kBase, Organization::kMirror,
                    Organization::kRaid10, Organization::kRaid5,
                    Organization::kParityStriping})
-    run_one(org, false, false);
+    queue_one(org, false, false);
   for (auto org : {Organization::kBase, Organization::kMirror,
                    Organization::kRaid10, Organization::kRaid5,
                    Organization::kParityStriping})
-    run_one(org, true, false);
-  run_one(Organization::kRaid4, true, true);
+    queue_one(org, true, false);
+  queue_one(Organization::kRaid4, true, true);
+
+  TablePrinter table({"organization", "cache", "disks", "mean ms", "read ms",
+                      "write ms", "p95 ms", "util"});
+  for (const auto& result : runner.run_all()) {
+    const Metrics& m = result.metrics;
+    const auto split = result.label.find('|');
+    table.add_row({result.label.substr(0, split),
+                   result.label.substr(split + 1), std::to_string(m.total_disks),
+                   TablePrinter::num(m.mean_response_ms()),
+                   TablePrinter::num(m.response_read.mean()),
+                   TablePrinter::num(m.response_write.mean()),
+                   TablePrinter::num(m.response_all.p95()),
+                   TablePrinter::num(m.mean_disk_utilization(), 3)});
+  }
 
   table.print(std::cout);
   std::cout << "\nEqual-capacity comparison: Mirror uses 2N disks, parity "

@@ -53,7 +53,11 @@ class CachedController : public ArrayController {
 
   /// Cancel the periodic destage timer (call once the workload is fully
   /// drained; in-flight work still completes).
-  void shutdown();
+  void shutdown() override;
+
+  const NvCache::Stats* cache_stats() const override {
+    return &cache_.stats();
+  }
 
   /// Controller crash: in addition to the base-class behaviour (disks
   /// lose power, journal survives or wipes), parked writes are dropped,

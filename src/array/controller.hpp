@@ -8,6 +8,7 @@
 
 #include "array/crash_hooks.hpp"
 #include "array/intent_journal.hpp"
+#include "cache/nv_cache.hpp"
 #include "channel/channel.hpp"
 #include "disk/disk.hpp"
 #include "layout/layout.hpp"
@@ -139,6 +140,14 @@ class ArrayController {
   /// when the response is delivered to the host.
   virtual void submit(const ArrayRequest& request,
                       std::function<void(SimTime)> on_complete) = 0;
+
+  /// Stop periodic background machinery (e.g. the cached controller's
+  /// destage timer) once the workload has fully drained; in-flight work
+  /// still completes. No-op for controllers without background timers.
+  virtual void shutdown() {}
+
+  /// NV-cache statistics, or nullptr for controllers without a cache.
+  virtual const NvCache::Stats* cache_stats() const { return nullptr; }
 
   /// Mark one disk as failed: reads targeting it are reconstructed from
   /// the surviving members of its parity group (or the mirror twin);

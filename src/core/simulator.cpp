@@ -79,6 +79,9 @@ Simulator::Simulator(const SimulationConfig& config,
                      const TraceGeometry& geometry)
     : config_(config), geometry_(geometry) {
   config_.validate();
+  blocks_per_array_ = static_cast<std::int64_t>(config_.array_data_disks) *
+                      geometry_.blocks_per_disk;
+  total_blocks_ = geometry_.total_blocks();
   const int n = config_.array_data_disks;
   const int array_count = (geometry_.data_disks + n - 1) / n;
   controllers_.reserve(static_cast<std::size_t>(array_count));
@@ -105,13 +108,18 @@ int Simulator::total_disks() const {
 }
 
 std::pair<int, std::int64_t> Simulator::route(std::int64_t db_block) const {
-  const int disk = geometry_.disk_of(db_block);
-  const std::int64_t offset = geometry_.offset_of(db_block);
-  const int array = disk / config_.array_data_disks;
-  const int local_disk = disk % config_.array_data_disks;
-  return {array, static_cast<std::int64_t>(local_disk) *
-                         geometry_.blocks_per_disk +
-                     offset};
+  // Arrays tile the database in blocks_per_array_-sized runs, and the
+  // array-local block is simply the remainder: with disk = block / bpd,
+  // local_disk = disk % N, offset = block % bpd,
+  //   local_disk * bpd + offset == block - (block / (N * bpd)) * N * bpd.
+  const std::int64_t array = db_block / blocks_per_array_;
+  return {static_cast<int>(array), db_block - array * blocks_per_array_};
+}
+
+void Simulator::validate_record(const TraceRecord& record) const {
+  if (record.block_count < 1 || record.block < 0 ||
+      record.block + record.block_count > total_blocks_)
+    throw std::out_of_range("Simulator: request outside the database");
 }
 
 void Simulator::dispatch(const TraceRecord& record,
@@ -140,9 +148,7 @@ void Simulator::dispatch(const TraceRecord& record,
 
 void Simulator::submit(const TraceRecord& record,
                        std::function<void(SimTime)> on_complete) {
-  if (record.block_count < 1 ||
-      record.block + record.block_count > geometry_.total_blocks())
-    throw std::out_of_range("Simulator: request outside the database");
+  validate_record(record);
   dispatch(record, std::move(on_complete));
 }
 
@@ -153,9 +159,7 @@ void Simulator::pump(TraceStream& trace) {
     maybe_shutdown();
     return;
   }
-  if (record->block_count < 1 ||
-      record->block + record->block_count > geometry_.total_blocks())
-    throw std::out_of_range("Simulator: trace record outside the database");
+  validate_record(*record);
   arrival_time_ += record->delta_ms;
   eq_.schedule_at(arrival_time_, [this, rec = *record, &trace] {
     dispatch(rec);
@@ -165,10 +169,7 @@ void Simulator::pump(TraceStream& trace) {
 
 void Simulator::maybe_shutdown() {
   if (!trace_done_ || outstanding_ > 0) return;
-  for (auto& controller : controllers_) {
-    if (auto* cached = dynamic_cast<CachedController*>(controller.get()))
-      cached->shutdown();
-  }
+  for (auto& controller : controllers_) controller->shutdown();
 }
 
 Metrics Simulator::run(TraceStream& trace) {
@@ -216,9 +217,8 @@ Metrics Simulator::finalize() {
           stats.utilization(metrics_.elapsed_ms));
     }
     channel_util += controller->channel().utilization(metrics_.elapsed_ms);
-    if (const auto* cached =
-            dynamic_cast<const CachedController*>(controller.get()))
-      accumulate(metrics_.cache, cached->cache().stats());
+    if (const auto* cache_stats = controller->cache_stats())
+      accumulate(metrics_.cache, *cache_stats);
   }
   metrics_.channel_utilization =
       channel_util / static_cast<double>(controllers_.size());

@@ -57,6 +57,8 @@ class Simulator {
 
  private:
   void pump(TraceStream& trace);
+  /// Single bounds check shared by the pump and submit paths.
+  void validate_record(const TraceRecord& record) const;
   void dispatch(const TraceRecord& record,
                 std::function<void(SimTime)> on_complete = nullptr);
   void maybe_shutdown();
@@ -64,6 +66,10 @@ class Simulator {
 
   SimulationConfig config_;
   TraceGeometry geometry_;
+  // Routing state precomputed from config + geometry so the per-request
+  // path does a single divide instead of two divide/modulo pairs.
+  std::int64_t blocks_per_array_ = 1;
+  std::int64_t total_blocks_ = 0;
   EventQueue eq_;
   std::vector<std::unique_ptr<ArrayController>> controllers_;
   Metrics metrics_;

@@ -1,0 +1,81 @@
+#include "runner/sweep_runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/simulator.hpp"
+
+namespace raidsim {
+
+Metrics run_sweep_job(const SweepJob& job) {
+  auto stream = make_workload(job.trace, job.workload);
+  return run_simulation(job.config, *stream);
+}
+
+SweepRunner::SweepRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw ? static_cast<int>(hw) : 1;
+  }
+}
+
+std::size_t SweepRunner::submit(SweepJob job) {
+  std::string label = job.label;
+  return submit(std::move(label),
+                [job = std::move(job)] { return run_sweep_job(job); });
+}
+
+std::size_t SweepRunner::submit(std::string label,
+                                std::function<Metrics()> fn) {
+  jobs_.push_back(QueuedJob{std::move(label), std::move(fn)});
+  return jobs_.size() - 1;
+}
+
+std::vector<SweepResult> SweepRunner::run_all() {
+  std::vector<QueuedJob> jobs = std::move(jobs_);
+  jobs_.clear();
+
+  std::vector<SweepResult> results(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    results[i].label = jobs[i].label;
+
+  // Indexed results make merge order independent of completion order.
+  std::mutex queue_mutex;
+  std::size_t next = 0;
+  auto worker = [&] {
+    for (;;) {
+      std::size_t index;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        if (next >= jobs.size()) return;
+        index = next++;
+      }
+      try {
+        results[index].metrics = jobs[index].fn();
+      } catch (...) {
+        errors[index] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t pool = std::min<std::size_t>(
+      static_cast<std::size_t>(threads_), jobs.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  for (auto& error : errors)
+    if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace raidsim

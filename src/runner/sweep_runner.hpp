@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/workloads.hpp"
+
+namespace raidsim {
+
+/// One point of a parameter sweep: a fully independent simulation,
+/// described by value so a worker thread can build its own workload
+/// stream (own RNG state) and its own Simulator (own event queue).
+struct SweepJob {
+  SimulationConfig config;
+  std::string trace;          // workload name: "trace1" or "trace2"
+  WorkloadOptions workload;   // scale / speed / seed for this point
+  std::string label;          // carried through to the result
+};
+
+struct SweepResult {
+  std::string label;
+  Metrics metrics;
+};
+
+/// Shards independent simulation jobs across a worker pool and hands the
+/// results back in submission order, so sweep output is byte-identical
+/// regardless of thread count. Jobs share nothing: each worker
+/// instantiates its own TraceStream and Simulator, and the pool hands
+/// out work through a lock-guarded queue.
+///
+/// Usage:
+///   SweepRunner runner(threads);           // 0 = hardware_concurrency
+///   runner.submit({config, "trace1", wo, "N=10"});
+///   auto results = runner.run_all();       // results[i] <-> i-th submit
+class SweepRunner {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(int threads = 0);
+
+  /// Queue one simulation point. Returns its index into run_all()'s
+  /// result vector.
+  std::size_t submit(SweepJob job);
+
+  /// Escape hatch for work that is not a plain trace replay (closed-loop
+  /// drivers, custom drains). `fn` runs on a worker thread and must not
+  /// touch shared mutable state.
+  std::size_t submit(std::string label, std::function<Metrics()> fn);
+
+  /// Run every queued job and return the results in submission order.
+  /// Clears the queue; the runner can be reused for another batch. If a
+  /// job throws, the first exception (by submission order) is rethrown
+  /// after all workers have stopped.
+  std::vector<SweepResult> run_all();
+
+  int threads() const { return threads_; }
+  std::size_t queued() const { return jobs_.size(); }
+
+ private:
+  struct QueuedJob {
+    std::string label;
+    std::function<Metrics()> fn;
+  };
+
+  int threads_;
+  std::vector<QueuedJob> jobs_;
+};
+
+/// Run one sweep job to completion on the calling thread.
+Metrics run_sweep_job(const SweepJob& job);
+
+}  // namespace raidsim

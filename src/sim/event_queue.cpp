@@ -1,15 +1,37 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace raidsim {
 
+namespace {
+
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(gen) << 32) | slot;
+}
+
+}  // namespace
+
 EventId EventQueue::schedule_at(SimTime when, Callback cb) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(cb)});
-  live_.insert(id);
-  return id;
+
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.gen += 1;  // even -> odd: occupied
+  s.cb = std::move(cb);
+
+  heap_.push_back(HeapEntry{when, seq_++, slot, s.gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return make_id(slot, s.gen);
 }
 
 EventId EventQueue::schedule_in(SimTime delay, Callback cb) {
@@ -17,17 +39,40 @@ EventId EventQueue::schedule_in(SimTime delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+bool EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen || (gen & 1u) == 0)
+    return false;
+  Slot& s = slots_[slot];
+  s.gen += 1;  // odd -> even: freed; the heap entry is now stale
+  s.cb.reset();
+  free_.push_back(slot);
+  --live_;
+  return true;
+}
+
+EventQueue::Callback EventQueue::take_slot(const HeapEntry& e) {
+  Slot& s = slots_[e.slot];
+  Callback cb = std::move(s.cb);
+  // odd -> even: freed before the callback runs, so the event cannot
+  // cancel itself and its slot is immediately reusable.
+  s.gen += 1;
+  free_.push_back(e.slot);
+  --live_;
+  return cb;
+}
 
 bool EventQueue::step() {
   while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    if (live_.erase(e.id) == 0) continue;  // cancelled
+    const HeapEntry e = heap_.front();
+    pop_root();
+    if (stale(e)) continue;  // cancelled
     assert(e.time >= now_);
     now_ = e.time;
+    Callback cb = take_slot(e);
     ++executed_;
-    e.cb();
+    cb();
     return true;
   }
   return false;
@@ -42,17 +87,56 @@ std::uint64_t EventQueue::run(std::uint64_t limit) {
 std::uint64_t EventQueue::run_until(SimTime until) {
   std::uint64_t count = 0;
   while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (live_.find(top.id) == live_.end()) {  // cancelled, drop silently
-      heap_.pop();
+    const HeapEntry e = heap_.front();
+    if (stale(e)) {  // cancelled, drop silently
+      pop_root();
       continue;
     }
-    if (top.time > until) break;
-    step();
+    if (e.time > until) break;
+    pop_root();
+    assert(e.time >= now_);
+    now_ = e.time;
+    Callback cb = take_slot(e);
+    ++executed_;
+    cb();
     ++count;
   }
   if (now_ < until) now_ = until;
   return count;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 }  // namespace raidsim

@@ -1,10 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/inline_callback.hpp"
 
 namespace raidsim {
 
@@ -12,14 +11,23 @@ namespace raidsim {
 using SimTime = double;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Never zero, so zero is a safe "no event" sentinel for callers.
 using EventId = std::uint64_t;
 
 /// Discrete-event simulation kernel. Events are (time, callback) pairs;
 /// ties are broken by schedule order so that runs are fully deterministic.
-/// Cancellation is lazy: cancelled ids are skipped on pop.
+///
+/// Implementation: an indexed 4-ary min-heap of 24-byte entries over a
+/// slot table holding the callbacks. Slots are reused through a free list
+/// and generation-tagged, so liveness/cancellation checks are a single
+/// integer compare (no hash-set lookups), and the callback storage is
+/// inline (InlineCallback), so the common schedule path allocates nothing.
+/// Cancellation is lazy in the heap (stale entries are dropped on pop)
+/// but eager in the slot table: the callback is destroyed and its slot
+/// recycled immediately.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Current simulation time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
@@ -35,10 +43,10 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no runnable (non-cancelled) events remain.
-  bool empty() const { return live_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return live_; }
 
   /// Run the next event; returns false if none remain.
   bool step();
@@ -56,23 +64,47 @@ class EventQueue {
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Entry {
+  static constexpr std::size_t kArity = 4;
+
+  /// Heap entries carry everything the ordering needs by value, so
+  /// reheapification never touches the slot table.
+  struct HeapEntry {
     SimTime time;
-    EventId id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
+    std::uint64_t seq;   // schedule order; FIFO tie-break at equal times
+    std::uint32_t slot;
+    std::uint32_t gen;   // must match the slot's generation to be live
   };
 
+  /// Generation protocol: a slot's generation is odd while an event
+  /// occupies it and even while it is free. Scheduling bumps it odd (the
+  /// id captures that value); cancel/execute bumps it even, so any stale
+  /// id or heap entry mis-compares in O(1).
+  struct Slot {
+    std::uint32_t gen = 0;
+    Callback cb;
+  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_root();
+  /// Retire the live event behind `e` (slot freed, callback moved out).
+  Callback take_slot(const HeapEntry& e);
+  bool stale(const HeapEntry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> live_;  // scheduled, not yet run or cancelled
+  std::size_t live_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace raidsim

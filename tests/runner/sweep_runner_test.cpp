@@ -1,0 +1,133 @@
+// SweepRunner contract: results come back in submission order with
+// byte-identical metrics regardless of thread count, and worker failures
+// surface as the first submitted job's exception.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hpp"
+
+namespace raidsim {
+namespace {
+
+std::vector<SweepJob> small_sweep() {
+  std::vector<SweepJob> jobs;
+  WorkloadOptions wo;
+  wo.scale = 0.01;
+  for (auto org : {Organization::kRaid5, Organization::kMirror}) {
+    for (int n : {5, 10}) {
+      SimulationConfig config;
+      config.organization = org;
+      config.array_data_disks = n;
+      config.cached = (org == Organization::kRaid5);
+      jobs.push_back({config, n == 5 ? "trace1" : "trace2", wo,
+                      to_string(org) + "/N" + std::to_string(n)});
+    }
+  }
+  return jobs;
+}
+
+TEST(SweepRunner, ResultsIdenticalAcrossThreadCounts) {
+  const auto jobs = small_sweep();
+
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  for (const auto& job : jobs) {
+    serial.submit(job);
+    parallel.submit(job);
+  }
+  const auto a = serial.run_all();
+  const auto b = parallel.run_all();
+
+  ASSERT_EQ(a.size(), jobs.size());
+  ASSERT_EQ(b.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(a[i].label, jobs[i].label);
+    EXPECT_EQ(b[i].label, jobs[i].label);
+    // Exact equality, not near-equality: each job is a deterministic
+    // simulation with isolated RNG + event-queue state, so thread count
+    // must not perturb a single bit of the result.
+    EXPECT_EQ(a[i].metrics.mean_response_ms(), b[i].metrics.mean_response_ms());
+    EXPECT_EQ(a[i].metrics.requests, b[i].metrics.requests);
+    EXPECT_EQ(a[i].metrics.events_executed, b[i].metrics.events_executed);
+    EXPECT_EQ(a[i].metrics.elapsed_ms, b[i].metrics.elapsed_ms);
+    EXPECT_EQ(a[i].metrics.disk_accesses, b[i].metrics.disk_accesses);
+  }
+}
+
+TEST(SweepRunner, SubmissionOrderPreservedUnderParallelCompletion) {
+  SweepRunner runner(4);
+  // Jobs complete in scrambled order (later submissions are cheaper);
+  // results must still come back in submission order.
+  for (int i = 0; i < 12; ++i) {
+    runner.submit("job" + std::to_string(i), [i] {
+      Metrics m;
+      for (volatile int spin = 0; spin < (12 - i) * 20000; ++spin) {
+      }
+      m.requests = static_cast<std::uint64_t>(i);
+      return m;
+    });
+  }
+  const auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].label,
+              "job" + std::to_string(i));
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].metrics.requests,
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(SweepRunner, RunnerIsReusableAndCountsThreads) {
+  SweepRunner runner(2);
+  EXPECT_EQ(runner.threads(), 2);
+  EXPECT_EQ(runner.queued(), 0u);
+  runner.submit("a", [] { return Metrics{}; });
+  EXPECT_EQ(runner.queued(), 1u);
+  EXPECT_EQ(runner.run_all().size(), 1u);
+  EXPECT_EQ(runner.queued(), 0u);
+  runner.submit("b", [] { return Metrics{}; });
+  runner.submit("c", [] { return Metrics{}; });
+  const auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "b");
+  EXPECT_EQ(results[1].label, "c");
+}
+
+TEST(SweepRunner, DefaultThreadCountIsHardwareConcurrency) {
+  SweepRunner runner(0);
+  EXPECT_GE(runner.threads(), 1);
+}
+
+TEST(SweepRunner, FirstSubmittedExceptionWins) {
+  SweepRunner runner(4);
+  std::atomic<int> completed{0};
+  runner.submit("ok0", [&] {
+    ++completed;
+    return Metrics{};
+  });
+  runner.submit("boom1", []() -> Metrics {
+    throw std::runtime_error("first failure");
+  });
+  runner.submit("boom2", []() -> Metrics {
+    throw std::invalid_argument("second failure");
+  });
+  runner.submit("ok3", [&] {
+    ++completed;
+    return Metrics{};
+  });
+  try {
+    runner.run_all();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first failure");
+  }
+  // All jobs ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 2);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,222 @@
+// Regression suite for the indexed-heap event kernel internals: FIFO
+// tie-break determinism under slot reuse, cancel-then-reschedule id
+// semantics, run_until boundary behaviour, and a randomized differential
+// test against a naive reference queue.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace raidsim {
+namespace {
+
+TEST(EventQueueFastPath, IdsAreNeverZeroAndNeverRepeat) {
+  EventQueue eq;
+  std::vector<EventId> ids;
+  // Churn through cancels and executions so slots are heavily reused.
+  for (int round = 0; round < 50; ++round) {
+    const EventId a = eq.schedule_at(round, [] {});
+    const EventId b = eq.schedule_at(round, [] {});
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    ids.push_back(a);
+    ids.push_back(b);
+    eq.cancel(a);
+    eq.step();
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(EventQueueFastPath, CancelThenRescheduleReusesSlotSafely) {
+  EventQueue eq;
+  bool first_ran = false;
+  bool second_ran = false;
+  const EventId first = eq.schedule_at(1.0, [&] { first_ran = true; });
+  ASSERT_TRUE(eq.cancel(first));
+  // The replacement most likely occupies the recycled slot; the stale id
+  // must keep referring to the dead event, not the new occupant.
+  const EventId second = eq.schedule_at(1.0, [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(eq.cancel(first));
+  eq.run();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueueFastPath, StaleIdAfterExecutionCannotCancelNewOccupant) {
+  EventQueue eq;
+  const EventId first = eq.schedule_at(1.0, [] {});
+  eq.run();
+  bool ran = false;
+  eq.schedule_at(2.0, [&] { ran = true; });
+  EXPECT_FALSE(eq.cancel(first));  // executed id, slot since reused
+  eq.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueFastPath, FifoTieBreakSurvivesSlotReuse) {
+  EventQueue eq;
+  std::vector<int> order;
+  // Fill and drain once so the free list is primed and later schedules
+  // reuse slots out of address order.
+  for (int i = 0; i < 8; ++i) eq.schedule_at(0.0, [] {});
+  eq.run();
+  for (int i = 0; i < 32; ++i)
+    eq.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  eq.run();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueFastPath, RunUntilExecutesBoundaryAndAdvancesClock) {
+  EventQueue eq;
+  int at_boundary = 0;
+  int beyond = 0;
+  eq.schedule_at(2.0, [&] { ++at_boundary; });
+  eq.schedule_at(2.0, [&] { ++at_boundary; });
+  eq.schedule_at(2.0 + 1e-9, [&] { ++beyond; });
+  EXPECT_EQ(eq.run_until(2.0), 2u);
+  EXPECT_EQ(at_boundary, 2);
+  EXPECT_EQ(beyond, 0);
+  EXPECT_EQ(eq.now(), 2.0);
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueueFastPath, RunUntilOnEmptyQueueStillAdvances) {
+  EventQueue eq;
+  EXPECT_EQ(eq.run_until(7.5), 0u);
+  EXPECT_EQ(eq.now(), 7.5);
+}
+
+TEST(EventQueueFastPath, HeavyCancelKeepsPendingExact) {
+  EventQueue eq;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(eq.schedule_at(i, [] {}));
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(eq.cancel(ids[i]));
+  EXPECT_EQ(eq.pending(), 50u);
+  EXPECT_EQ(eq.run(), 50u);
+  EXPECT_TRUE(eq.empty());
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential test: the kernel against a naive reference
+// queue (linear scan for the earliest (time, schedule-ordinal) pair).
+
+class ReferenceQueue {
+ public:
+  double now() const { return now_; }
+
+  int schedule_at(double when, int ordinal) {
+    if (when < now_) when = now_;
+    events_.push_back(Event{when, seq_++, ordinal, true});
+    return ordinal;
+  }
+
+  bool cancel(int ordinal) {
+    for (auto& e : events_) {
+      if (e.live && e.ordinal == ordinal) {
+        e.live = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pop the next live event's ordinal, advancing the clock.
+  std::optional<int> step() {
+    Event* best = nullptr;
+    for (auto& e : events_) {
+      if (!e.live) continue;
+      if (!best || e.time < best->time ||
+          (e.time == best->time && e.seq < best->seq))
+        best = &e;
+    }
+    if (!best) return std::nullopt;
+    now_ = best->time;
+    best->live = false;
+    return best->ordinal;
+  }
+
+  std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += e.live ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    int ordinal;
+    bool live;
+  };
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::vector<Event> events_;
+};
+
+TEST(EventQueueFastPath, DifferentialAgainstNaiveReference) {
+  Rng rng(20260805);
+  EventQueue eq;
+  ReferenceQueue ref;
+
+  std::vector<int> eq_fired;   // schedule ordinals, in execution order
+  std::vector<int> ref_fired;
+  std::vector<std::pair<int, EventId>> live;  // (ordinal, kernel id)
+  int next_ordinal = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    const double p = rng.uniform();
+    if (p < 0.45 || live.empty()) {
+      // Coarse times force plenty of exact ties.
+      const double when = eq.now() + rng.uniform_i64(0, 8);
+      const int ordinal = next_ordinal++;
+      const EventId id =
+          eq.schedule_at(when, [&eq_fired, ordinal] {
+            eq_fired.push_back(ordinal);
+          });
+      ref.schedule_at(when, ordinal);
+      live.push_back({ordinal, id});
+    } else if (p < 0.65) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_u64(live.size()));
+      const auto [ordinal, id] = live[pick];
+      EXPECT_EQ(eq.cancel(id), ref.cancel(ordinal));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const bool stepped = eq.step();
+      const auto popped = ref.step();
+      ASSERT_EQ(stepped, popped.has_value());
+      if (popped) {
+        ASSERT_FALSE(eq_fired.empty());
+        EXPECT_EQ(eq_fired.back(), *popped);
+        ref_fired.push_back(*popped);
+        std::erase_if(live, [o = *popped](const auto& entry) {
+          return entry.first == o;
+        });
+        EXPECT_EQ(eq.now(), ref.now());
+      }
+    }
+    EXPECT_EQ(eq.pending(), ref.pending());
+  }
+
+  // Drain both completely and compare the full execution order.
+  while (true) {
+    const bool stepped = eq.step();
+    const auto popped = ref.step();
+    ASSERT_EQ(stepped, popped.has_value());
+    if (!popped) break;
+    ref_fired.push_back(*popped);
+    EXPECT_EQ(eq.now(), ref.now());
+  }
+  EXPECT_EQ(eq_fired, ref_fired);
+}
+
+}  // namespace
+}  // namespace raidsim
