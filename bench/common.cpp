@@ -55,9 +55,16 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       options.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--threads=")) {
       options.threads = std::atoi(v);
+    } else if (const char* v = value_of("--trace-out=")) {
+      options.trace_out = v;
+    } else if (const char* v = value_of("--sample-interval-ms=")) {
+      options.sample_interval_ms = std::atof(v);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --full --quick --scale1=<f> --scale2=<f> "
-                   "--seed=<n> --threads=<n>\n";
+                   "--seed=<n> --threads=<n> --trace-out=<prefix> "
+                   "--sample-interval-ms=<t> --verbose\n";
       std::exit(0);
     } else {
       throw std::invalid_argument("unknown option: " + arg);
@@ -77,8 +84,27 @@ WorkloadOptions BenchOptions::workload_options(const std::string& trace,
 
 Metrics run_config(const SimulationConfig& config, const std::string& trace,
                    const BenchOptions& options, double speed) {
-  auto stream = make_workload(trace, options.workload_options(trace, speed));
-  return run_simulation(config, *stream);
+  Metrics metrics;
+  if (options.trace_out.empty()) {
+    auto stream = make_workload(trace, options.workload_options(trace, speed));
+    metrics = run_simulation(config, *stream);
+  } else {
+    // Each traced run of this process gets its own artifact prefix.
+    static int run_seq = 0;
+    SweepJob job;
+    job.config = config;
+    job.trace = trace;
+    job.workload = options.workload_options(trace, speed);
+    job.label = config.describe() + " " + trace;
+    job.trace_out = options.trace_out + "_run" + std::to_string(run_seq++);
+    job.sample_interval_ms = options.sample_interval_ms;
+    metrics = run_sweep_job(job);
+  }
+  if (options.verbose)
+    std::cout << "[" << config.describe() << " " << trace
+              << ": events_executed=" << metrics.events_executed
+              << " requests=" << metrics.requests << "]\n";
+  return metrics;
 }
 
 Sweep::Sweep(const BenchOptions& options)
@@ -88,14 +114,31 @@ std::size_t Sweep::add(const SimulationConfig& config,
                        const std::string& trace, double speed) {
   if (ran_)
     throw std::logic_error("Sweep: add() after results were consumed");
-  return runner_.submit(SweepJob{
-      config, trace, options_.workload_options(trace, speed), {}});
+  SweepJob job;
+  job.config = config;
+  job.trace = trace;
+  job.workload = options_.workload_options(trace, speed);
+  job.label = config.describe() + " " + trace;
+  if (!options_.trace_out.empty()) {
+    // One artifact prefix per sweep point, so parallel workers never
+    // share a file.
+    job.trace_out =
+        options_.trace_out + "_" + std::to_string(runner_.queued());
+    job.sample_interval_ms = options_.sample_interval_ms;
+  }
+  return runner_.submit(std::move(job));
 }
 
 const Metrics& Sweep::result(std::size_t i) {
   if (!ran_) {
     results_ = runner_.run_all();
     ran_ = true;
+    if (options_.verbose)
+      for (std::size_t j = 0; j < results_.size(); ++j)
+        std::cout << "[" << j << ": " << results_[j].label
+                  << ": events_executed="
+                  << results_[j].metrics.events_executed
+                  << " requests=" << results_[j].metrics.requests << "]\n";
   }
   return results_.at(i).metrics;
 }

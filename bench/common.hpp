@@ -20,11 +20,19 @@ namespace raidsim::bench {
 ///   --seed=<n>     override the workload RNG seed
 ///   --quick        quarter the default scales (CI smoke)
 ///   --threads=<n>  sweep worker threads (default: hardware concurrency)
+///   --trace-out=<prefix>      trace every run; job i of a sweep writes
+///                             `<prefix>_<i>.trace.json`
+///   --sample-interval-ms=<t>  with --trace-out: also sample telemetry
+///                             every t ms into `<prefix>_<i>.timeseries.csv`
+///   --verbose      print per-run kernel event counts
 struct BenchOptions {
   double scale1 = 0.2;
   double scale2 = 1.0;
   std::uint64_t seed = 0;
   int threads = 0;  // 0 = hardware_concurrency
+  std::string trace_out;
+  double sample_interval_ms = 0.0;
+  bool verbose = false;
 
   /// Parse argv over per-bench defaults (heavier sweeps ship smaller
   /// default scales so the whole suite stays fast).

@@ -148,10 +148,12 @@ struct ReplayResult {
 
 ReplayResult timed_replay(const raidsim::SimulationConfig& config,
                           const std::string& trace, double scale) {
-  raidsim::WorkloadOptions wo;
-  wo.scale = scale;
+  raidsim::SweepJob job;
+  job.config = config;
+  job.trace = trace;
+  job.workload.scale = scale;
   const auto start = std::chrono::steady_clock::now();
-  const raidsim::Metrics m = raidsim::run_sweep_job({config, trace, wo, {}});
+  const raidsim::Metrics m = raidsim::run_sweep_job(job);
   ReplayResult r;
   r.wall_ms = seconds_since(start) * 1e3;
   r.events = m.events_executed;
@@ -171,11 +173,14 @@ SweepPoint timed_sweep(int threads, int runs,
                        const raidsim::SimulationConfig& config,
                        double scale) {
   raidsim::SweepRunner runner(threads);
-  raidsim::WorkloadOptions wo;
-  wo.scale = scale;
-  for (int i = 0; i < runs; ++i)
-    runner.submit({config, i % 2 ? "trace2" : "trace1", wo,
-                   "run" + std::to_string(i)});
+  for (int i = 0; i < runs; ++i) {
+    raidsim::SweepJob job;
+    job.config = config;
+    job.trace = i % 2 ? "trace2" : "trace1";
+    job.workload.scale = scale;
+    job.label = "run" + std::to_string(i);
+    runner.submit(std::move(job));
+  }
   const auto start = std::chrono::steady_clock::now();
   const auto results = runner.run_all();
   SweepPoint p;
@@ -269,6 +274,31 @@ int main(int argc, char** argv) {
   replay_table.print(std::cout);
   std::cout << "\n";
 
+  // -------------------------------------------------- tracing overhead
+  // Same RAID5 replay with the request-lifecycle tracer recording into
+  // its ring buffer (no file export). The "off" run re-measures rather
+  // than reusing raid5_run so both sides see the same cache state.
+  const ReplayResult traced_off = timed_replay(raid5, "trace1", scale1);
+  SimulationConfig raid5_traced = raid5;
+  raid5_traced.obs.tracing = true;
+  const ReplayResult traced_on = timed_replay(raid5_traced, "trace1", scale1);
+  const double tracing_overhead_pct =
+      traced_on.events_per_sec > 0.0
+          ? (traced_off.events_per_sec / traced_on.events_per_sec - 1.0) * 1e2
+          : 0.0;
+
+  TablePrinter tracing_table({"tracer", "wall ms", "events/sec"});
+  tracing_table.add_row(
+      {"off (runtime)", TablePrinter::num(traced_off.wall_ms),
+       TablePrinter::num(traced_off.events_per_sec / 1e6, 2) + " M"});
+  tracing_table.add_row(
+      {"on (ring buffer)", TablePrinter::num(traced_on.wall_ms),
+       TablePrinter::num(traced_on.events_per_sec / 1e6, 2) + " M"});
+  tracing_table.add_row(
+      {"overhead", "-", TablePrinter::num(tracing_overhead_pct, 2) + " %"});
+  tracing_table.print(std::cout);
+  std::cout << "\n";
+
   // ------------------------------------------------ sweep-scaling bench
   const int sweep_runs = quick ? 8 : 16;
   const double sweep_scale = quick ? 0.02 : 0.05;
@@ -322,6 +352,11 @@ int main(int argc, char** argv) {
       << ", \"events\": " << mirror_run.events
       << ", \"events_per_sec\": " << mirror_run.events_per_sec
       << ", \"mean_response_ms\": " << mirror_run.mean_response_ms << "}\n"
+      << "  },\n"
+      << "  \"tracing\": {\n"
+      << "    \"events_per_sec_off\": " << traced_off.events_per_sec << ",\n"
+      << "    \"events_per_sec_on\": " << traced_on.events_per_sec << ",\n"
+      << "    \"overhead_pct\": " << tracing_overhead_pct << "\n"
       << "  },\n"
       << "  \"sweep\": {\n"
       << "    \"runs\": " << sweep_runs << ",\n"

@@ -5,9 +5,16 @@
 // count.
 //
 // Usage: organization_shootout [trace1|trace2] [scale] [N] [threads]
+//            [--trace-out=<prefix>] [--sample-interval-ms=<t>]
+//
+// With --trace-out, every configuration additionally records its request
+// lifecycle and writes `<prefix>_<i>.trace.json` (Chrome trace-event
+// format, load in Perfetto) plus, with --sample-interval-ms,
+// `<prefix>_<i>.timeseries.csv`.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/simulator.hpp"
 #include "core/workloads.hpp"
@@ -17,11 +24,33 @@
 int main(int argc, char** argv) {
   using namespace raidsim;
 
-  const std::string trace_name = argc > 1 ? argv[1] : "trace2";
+  std::string trace_out;
+  double sample_interval_ms = 0.0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--sample-interval-ms=", 0) == 0) {
+      sample_interval_ms = std::atof(arg.c_str() + 21);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: organization_shootout [trace1|trace2] [scale] [N] "
+                   "[threads] [--trace-out=<prefix>] "
+                   "[--sample-interval-ms=<t>]\n";
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const std::string trace_name =
+      positional.size() > 0 ? positional[0] : "trace2";
   WorkloadOptions options;
-  options.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
-  const int n = argc > 3 ? std::atoi(argv[3]) : 10;
-  const int threads = argc > 4 ? std::atoi(argv[4]) : 0;
+  options.scale = positional.size() > 1 ? std::atof(positional[1].c_str())
+                                        : 0.25;
+  const int n = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 10;
+  const int threads =
+      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 0;
 
   std::cout << "Organization shootout on " << trace_name << " (scale "
             << options.scale << ", N=" << n << ")\n\n";
@@ -33,9 +62,17 @@ int main(int argc, char** argv) {
     config.array_data_disks = n;
     config.cached = cached;
     config.parity_caching = parity_caching;
-    runner.submit(SweepJob{config, trace_name, options,
-                           to_string(org) + (parity_caching ? "+pc" : "") +
-                               (cached ? "|16MB" : "|-")});
+    SweepJob job;
+    job.config = config;
+    job.trace = trace_name;
+    job.workload = options;
+    job.label = to_string(org) + (parity_caching ? "+pc" : "") +
+                (cached ? "|16MB" : "|-");
+    if (!trace_out.empty()) {
+      job.trace_out = trace_out + "_" + std::to_string(runner.queued());
+      job.sample_interval_ms = sample_interval_ms;
+    }
+    runner.submit(std::move(job));
   };
 
   for (auto org : {Organization::kBase, Organization::kMirror,
@@ -65,5 +102,8 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nEqual-capacity comparison: Mirror uses 2N disks, parity "
                "organizations N+1 per array.\n";
+  if (!trace_out.empty())
+    std::cout << "[trace artifacts written to " << trace_out
+              << "_<i>.trace.json]\n";
   return 0;
 }

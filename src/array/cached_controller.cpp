@@ -96,6 +96,9 @@ void CachedController::submit_read(const ArrayRequest& request,
   for (int i = 0; i < request.block_count; ++i)
     cache_.read(request.logical_block + i);
 
+  obs_instant(tracer_, all_cached ? ObsPhase::kCacheHit : ObsPhase::kCacheMiss,
+              array_index_, -1, eq_.now(), request.obs_id);
+
   const std::int64_t bytes = block_bytes(request.block_count);
   if (all_cached) {
     ++stats_.read_request_hits;
@@ -140,11 +143,14 @@ void CachedController::submit_write(const ArrayRequest& request,
   for (int i = 0; i < request.block_count; ++i)
     all_cached = all_cached && cache_.contains(request.logical_block + i);
   if (all_cached) ++stats_.write_request_hits;
+  obs_instant(tracer_, all_cached ? ObsPhase::kCacheHit : ObsPhase::kCacheMiss,
+              array_index_, -1, eq_.now(), request.obs_id);
 
   auto state = std::make_shared<StalledWrite>();
   state->blocks.reserve(static_cast<std::size_t>(request.block_count));
   for (int i = 0; i < request.block_count; ++i)
     state->blocks.push_back(request.logical_block + i);
+  state->obs_id = request.obs_id;
   state->on_complete = std::move(on_complete);
 
   // Data cross the channel into the NV cache; the response completes once
@@ -165,6 +171,8 @@ void CachedController::try_cache_writes(std::shared_ptr<StalledWrite> write) {
     const auto result = cache_.write(block);
     if (!result.accepted) {
       ++stats_.write_stalls;
+      obs_instant(tracer_, ObsPhase::kWriteStall, array_index_, -1, eq_.now(),
+                  write->obs_id);
       stalled_.push_back(write);
       return;
     }
@@ -231,6 +239,7 @@ void CachedController::schedule_destage_tick() {
 void CachedController::destage_tick() {
   destage_event_ = 0;
   if (crashed()) return;
+  obs_instant(tracer_, ObsPhase::kDestageTick, array_index_, -1, eq_.now());
   auto dirty = cache_.collect_dirty();
   std::sort(dirty.begin(), dirty.end());
 
@@ -301,10 +310,13 @@ void CachedController::issue_destage_run(std::int64_t start_block, int count) {
     for (int b = 0; b < sub_count; ++b) cache_.begin_destage(sub_start + b);
     stats_.destage_blocks += static_cast<std::uint64_t>(sub_count);
 
+    const std::uint64_t span =
+        obs_begin(tracer_, ObsPhase::kDestage, array_index_, -1, eq_.now());
     auto barrier = Barrier::create(
         static_cast<int>(plans.size()),
-        [this, sub_start, sub_count](SimTime) {
+        [this, sub_start, sub_count, span](SimTime t) {
           for (int b = 0; b < sub_count; ++b) cache_.end_destage(sub_start + b);
+          obs_end(tracer_, span, ObsPhase::kDestage, array_index_, -1, t);
           pump_stalled();
         });
     for (const auto& plan : plans) {
@@ -483,10 +495,12 @@ void CachedController::pump_spooler() {
   req.priority = DiskPriority::kNormal;
   if (full) {
     req.kind = DiskOpKind::kWrite;
+    req.obs_phase = ObsPhase::kWriteParity;
   } else {
     // Delta entry: the old parity must be read, xored, and rewritten.
     req.kind = DiskOpKind::kReadModifyWrite;
     req.gate = WriteGate::already_open();
+    req.obs_phase = ObsPhase::kReadOldParity;
   }
   req.on_complete = [this, full](SimTime t) {
     SpoolEntry entry = std::move(spooling_entry_);

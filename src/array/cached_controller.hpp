@@ -59,6 +59,8 @@ class CachedController : public ArrayController {
     return &cache_.stats();
   }
 
+  const NvCache* nv_cache() const override { return &cache_; }
+
   /// Controller crash: in addition to the base-class behaviour (disks
   /// lose power, journal survives or wipes), parked writes are dropped,
   /// the destage timer stops, and the NV cache either survives with its
@@ -80,6 +82,7 @@ class CachedController : public ArrayController {
   struct StalledWrite {
     std::vector<std::int64_t> blocks;
     std::size_t next = 0;
+    std::uint64_t obs_id = 0;  // host span the stall markers attach to
     std::function<void(SimTime)> on_complete;
   };
   void try_cache_writes(std::shared_ptr<StalledWrite> write);

@@ -58,14 +58,18 @@ ArrayController::ArrayController(EventQueue& eq, const Config& config)
       seek_model_(SeekModel::calibrate(config.seek)),
       layout_(make_layout(config.layout)),
       sync_(config.sync),
-      fault_(config.fault) {
+      fault_(config.fault),
+      tracer_(config.tracer),
+      array_index_(config.array_index) {
   if (fault_.retry_budget < 0 || fault_.retry_backoff_ms < 0.0)
     throw std::invalid_argument("ArrayController: negative fault policy");
   const int total = layout_->total_disks();
   disks_.reserve(static_cast<std::size_t>(total));
-  for (int d = 0; d < total; ++d)
+  for (int d = 0; d < total; ++d) {
     disks_.push_back(std::make_unique<Disk>(eq_, disk_geometry_, &seek_model_,
                                             d, config.disk_scheduling));
+    disks_.back()->set_tracer(tracer_, array_index_);
+  }
   channel_ = std::make_unique<Channel>(eq_, config.channel_mb_per_second);
   buffers_ =
       std::make_unique<BufferPool>(config.track_buffers_per_disk * total);
@@ -140,17 +144,19 @@ void ArrayController::disk_read(const PhysicalExtent& extent,
 void ArrayController::disk_write(const PhysicalExtent& extent,
                                  DiskPriority priority,
                                  std::function<void(SimTime)> done,
-                                 std::function<void(SimTime, int)> on_power_fail) {
+                                 std::function<void(SimTime, int)> on_power_fail,
+                                 ObsPhase phase) {
   assert(extent.valid());
   submit_op(extent, /*is_write=*/true, priority, std::move(done), 0,
-            std::move(on_power_fail));
+            std::move(on_power_fail), phase);
 }
 
 void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
                                 DiskPriority priority,
                                 std::function<void(SimTime)> done,
                                 int attempt,
-                                std::function<void(SimTime, int)> on_power_fail) {
+                                std::function<void(SimTime, int)> on_power_fail,
+                                ObsPhase phase) {
   // A crashed controller issues nothing; the host request this op served
   // died with the crash (its completion simply never fires).
   if (crashed_) return;
@@ -172,11 +178,12 @@ void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
   req.start_block = extent.start_block;
   req.block_count = extent.block_count;
   req.priority = priority;
+  req.obs_phase = phase;
   req.on_complete = done;
   req.on_power_fail = on_power_fail;
   req.on_error = [this, extent, is_write, priority, done = std::move(done),
-                  attempt, on_power_fail = std::move(on_power_fail)](
-                     SimTime t, DiskError error) mutable {
+                  attempt, on_power_fail = std::move(on_power_fail),
+                  phase](SimTime t, DiskError error) mutable {
     if (error == DiskError::kMedia && !is_write) {
       ++stats_.media_errors;
       // The data are reconstructed from the group and rewritten in
@@ -190,10 +197,10 @@ void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
           fault_.retry_backoff_ms * static_cast<double>(1 << attempt);
       eq_.schedule_in(backoff, [this, extent, is_write, priority,
                                 done = std::move(done), attempt,
-                                on_power_fail =
-                                    std::move(on_power_fail)]() mutable {
+                                on_power_fail = std::move(on_power_fail),
+                                phase]() mutable {
         submit_op(extent, is_write, priority, std::move(done), attempt + 1,
-                  std::move(on_power_fail));
+                  std::move(on_power_fail), phase);
       });
       return;
     }
@@ -305,10 +312,14 @@ ArrayController::ResyncIssue ArrayController::resync_stripe(
   }
   issue.ok = true;
 
-  auto finish = [this, extent, done = std::move(done)](SimTime t) mutable {
+  const std::uint64_t span =
+      obs_begin(tracer_, ObsPhase::kRecovery, array_index_, -1, eq_.now());
+  auto finish = [this, extent, span,
+                 done = std::move(done)](SimTime t) mutable {
     if (auditor_ && extent.logical_start >= 0)
       for (int i = 0; i < extent.block_count; ++i)
         auditor_->resync_block(extent.logical_start + i);
+    obs_end(tracer_, span, ObsPhase::kRecovery, array_index_, -1, t);
     if (done) done(t);
   };
 
@@ -341,9 +352,10 @@ ArrayController::ResyncIssue ArrayController::resync_stripe(
     auto parity_barrier = Barrier::create(parity_extents, std::move(finish));
     for (const auto& g : groups)
       if (g.parity.valid())
-        disk_write(g.parity, priority, [parity_barrier](SimTime t) {
-          parity_barrier->arrive(t);
-        });
+        disk_write(
+            g.parity, priority,
+            [parity_barrier](SimTime t) { parity_barrier->arrive(t); },
+            nullptr, ObsPhase::kWriteParity);
   };
   auto read_barrier = Barrier::create(reads, std::move(write_parities));
   disk_read(extent, priority,
@@ -430,6 +442,14 @@ bool ArrayController::rebuild_extent(const PhysicalExtent& extent,
   for (const auto& group : groups)
     reads += static_cast<int>(group.member_reads.size()) +
              (group.parity.valid() ? 1 : 0);
+  const std::uint64_t span =
+      obs_begin(tracer_, ObsPhase::kRebuild, array_index_, -1, eq_.now());
+  if (span) {
+    done = [this, span, done = std::move(done)](SimTime t) {
+      obs_end(tracer_, span, ObsPhase::kRebuild, array_index_, -1, t);
+      if (done) done(t);
+    };
+  }
   // Read the surviving members, then write the reconstructed content to
   // the replacement disk (which occupies the failed slot).
   auto write_back = [this, extent, priority,
@@ -440,6 +460,7 @@ bool ArrayController::rebuild_extent(const PhysicalExtent& extent,
     req.start_block = extent.start_block;
     req.block_count = extent.block_count;
     req.priority = priority;
+    req.obs_phase = ObsPhase::kMirrorCopy;
     req.on_complete = std::move(done);
     replacement.submit(std::move(req));
   };
@@ -566,7 +587,8 @@ void ArrayController::execute_update_impl(
       if (update.reconstruct_reads.empty()) {
         // Full stripe: the parity is computed from the new data and
         // written without any reads.
-        disk_write(update.parity, parity_priority, std::move(parity_done));
+        disk_write(update.parity, parity_priority, std::move(parity_done),
+                   nullptr, ObsPhase::kWriteParity);
       } else {
         // Reconstruct: the parity write waits for the reads of the
         // untouched data.
@@ -575,7 +597,8 @@ void ArrayController::execute_update_impl(
             static_cast<int>(update.reconstruct_reads.size()),
             [this, parity, parity_priority,
              parity_done = std::move(parity_done)](SimTime) mutable {
-              disk_write(parity, parity_priority, std::move(parity_done));
+              disk_write(parity, parity_priority, std::move(parity_done),
+                         nullptr, ObsPhase::kWriteParity);
             });
         for (const auto& r : update.reconstruct_reads)
           disk_read(r, data_priority,
@@ -643,6 +666,7 @@ void ArrayController::execute_update_impl(
       req.start_block = piece.start_block;
       req.block_count = piece.block_count;
       req.priority = parity_priority;
+      req.obs_phase = ObsPhase::kReadOldParity;
       req.gate = gate;
       req.on_complete = [this, completion, covers,
                          parity_remaining](SimTime t) {

@@ -33,6 +33,9 @@ struct ArrayRequest {
   std::int64_t logical_block = 0;
   int block_count = 1;
   bool is_write = false;
+  /// Tracer span id of the host request this serves (0 = untraced);
+  /// cache hit/miss markers attach to it.
+  std::uint64_t obs_id = 0;
 };
 
 /// Countdown latch: fires its callback (once) when `remaining` arrivals
@@ -128,6 +131,10 @@ class ArrayController {
     double channel_mb_per_second = 10.0;
     int track_buffers_per_disk = 5;
     FaultPolicy fault;
+    /// Request-lifecycle tracer (null = tracing off) and the index of
+    /// this array within the simulator, used as the trace process id.
+    Tracer* tracer = nullptr;
+    int array_index = -1;
   };
 
   ArrayController(EventQueue& eq, const Config& config);
@@ -148,6 +155,9 @@ class ArrayController {
 
   /// NV-cache statistics, or nullptr for controllers without a cache.
   virtual const NvCache::Stats* cache_stats() const { return nullptr; }
+
+  /// The NV cache itself (time-series sampler hook), or nullptr.
+  virtual const NvCache* nv_cache() const { return nullptr; }
 
   /// Mark one disk as failed: reads targeting it are reconstructed from
   /// the surviving members of its parity group (or the mirror twin);
@@ -270,10 +280,12 @@ class ArrayController {
 
   /// Issue a plain write of `extent`; `done` fires when it is on disk.
   /// `on_power_fail` (optional) is invoked instead when a crash kills the
-  /// write, with the durable leading-block count.
+  /// write, with the durable leading-block count. `phase` tags the
+  /// tracer span (kAuto = write-data).
   void disk_write(const PhysicalExtent& extent, DiskPriority priority,
                   std::function<void(SimTime)> done,
-                  std::function<void(SimTime, int)> on_power_fail = nullptr);
+                  std::function<void(SimTime, int)> on_power_fail = nullptr,
+                  ObsPhase phase = ObsPhase::kAuto);
 
   /// Execute one parity-group update plan. `data_priority` applies to the
   /// data accesses, and the parity access priority is raised for the /PR
@@ -321,7 +333,8 @@ class ArrayController {
   void submit_op(const PhysicalExtent& extent, bool is_write,
                  DiskPriority priority, std::function<void(SimTime)> done,
                  int attempt,
-                 std::function<void(SimTime, int)> on_power_fail = nullptr);
+                 std::function<void(SimTime, int)> on_power_fail = nullptr,
+                 ObsPhase phase = ObsPhase::kAuto);
 
   /// Audit instrumentation for one data-write extent: the returned
   /// callbacks wrap the disk op so the auditor learns exactly which
@@ -351,6 +364,8 @@ class ArrayController {
   SyncPolicy sync_;
   ControllerStats stats_;
   FaultPolicy fault_;
+  Tracer* tracer_ = nullptr;
+  int array_index_ = -1;
   std::function<void(int, SimTime)> disk_dead_handler_;
   int failed_disk_ = -1;
   std::int64_t rebuild_watermark_ = 0;

@@ -54,6 +54,19 @@ struct SimulationConfig {
   /// instead of the whole array (see docs/fault_model.md).
   bool intent_journal = false;
 
+  /// Observability (src/obs). Tracing records request-lifecycle spans by
+  /// passive appends only -- it never schedules events, so a traced run
+  /// executes exactly the same kernel events as an untraced one. The
+  /// sampler does tick on the event queue (sample_interval_ms > 0).
+  struct Obs {
+    bool tracing = false;
+    /// Tracer ring capacity; oldest events are overwritten when full.
+    std::size_t max_trace_events = 1u << 22;
+    double sample_interval_ms = 0.0;  // <= 0 disables the sampler
+    std::size_t sampler_capacity = 4096;
+  };
+  Obs obs;
+
   /// Throws std::invalid_argument when inconsistent.
   void validate() const;
 

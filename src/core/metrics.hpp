@@ -33,6 +33,9 @@ struct Metrics {
   ControllerStats controller;   // summed over all arrays
   NvCache::Stats cache;         // summed over all arrays (cached runs)
   double channel_utilization = 0.0;  // mean over arrays
+  /// Channel utilization of each array individually (the mean above
+  /// hides imbalance when the trace skews toward one array).
+  std::vector<double> channel_utilization_per_array;
   std::uint64_t events_executed = 0;
 
   double mean_response_ms() const { return response_all.mean(); }

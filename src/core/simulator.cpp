@@ -82,13 +82,18 @@ Simulator::Simulator(const SimulationConfig& config,
   blocks_per_array_ = static_cast<std::int64_t>(config_.array_data_disks) *
                       geometry_.blocks_per_disk;
   total_blocks_ = geometry_.total_blocks();
+  if (kTracingCompiledIn && config_.obs.tracing)
+    tracer_ = std::make_unique<Tracer>(
+        Tracer::Config{config_.obs.max_trace_events});
   const int n = config_.array_data_disks;
   const int array_count = (geometry_.data_disks + n - 1) / n;
   controllers_.reserve(static_cast<std::size_t>(array_count));
   for (int a = 0; a < array_count; ++a) {
     const int data_disks = std::min(n, geometry_.data_disks - a * n);
-    const auto array_cfg =
+    auto array_cfg =
         config_.array_config(data_disks, geometry_.blocks_per_disk);
+    array_cfg.tracer = tracer_.get();
+    array_cfg.array_index = a;
     if (config_.cached) {
       controllers_.push_back(std::make_unique<CachedController>(
           eq_, array_cfg, config_.cache_config()));
@@ -96,6 +101,16 @@ Simulator::Simulator(const SimulationConfig& config,
       controllers_.push_back(
           std::make_unique<UncachedController>(eq_, array_cfg));
     }
+  }
+  if (config_.obs.sample_interval_ms > 0.0) {
+    sampler_ = std::make_unique<TimeSeriesSampler>(
+        config_.obs.sample_interval_ms, config_.obs.sampler_capacity);
+    std::vector<int> topology;
+    topology.reserve(controllers_.size());
+    for (const auto& c : controllers_)
+      topology.push_back(c->layout().total_disks());
+    sampler_->set_topology(std::move(topology));
+    schedule_sample_tick();
   }
 }
 
@@ -131,10 +146,16 @@ void Simulator::dispatch(const TraceRecord& record,
   request.is_write = record.is_write;
 
   const SimTime arrival = eq_.now();
+  const ObsPhase host_phase =
+      record.is_write ? ObsPhase::kHostWrite : ObsPhase::kHostRead;
+  request.obs_id =
+      obs_begin(tracer_.get(), host_phase, array, -1, arrival);
   ++outstanding_;
   controllers_[static_cast<std::size_t>(array)]->submit(
-      request, [this, arrival, is_write = record.is_write,
+      request, [this, arrival, is_write = record.is_write, array,
+                host_phase, obs_id = request.obs_id,
                 on_complete = std::move(on_complete)](SimTime t) {
+        obs_end(tracer_.get(), obs_id, host_phase, array, -1, t);
         const double response = t - arrival;
         metrics_.response_all.add(response);
         (is_write ? metrics_.response_write : metrics_.response_read)
@@ -170,6 +191,40 @@ void Simulator::pump(TraceStream& trace) {
 void Simulator::maybe_shutdown() {
   if (!trace_done_ || outstanding_ > 0) return;
   for (auto& controller : controllers_) controller->shutdown();
+  if (sampler_event_ != 0) {
+    eq_.cancel(sampler_event_);
+    sampler_event_ = 0;
+  }
+}
+
+void Simulator::schedule_sample_tick() {
+  sampler_event_ = eq_.schedule_in(sampler_->interval_ms(), [this] {
+    sampler_event_ = 0;
+    take_sample();
+    schedule_sample_tick();
+  });
+}
+
+void Simulator::take_sample() {
+  TelemetrySample sample;
+  sample.t = eq_.now();
+  sample.outstanding = outstanding_;
+  sample.events_executed = eq_.executed();
+  sample.queue_depth.reserve(static_cast<std::size_t>(total_disks()));
+  sample.busy_ms.reserve(sample.queue_depth.capacity());
+  sample.cache_blocks.reserve(controllers_.size());
+  sample.cache_dirty.reserve(controllers_.size());
+  for (const auto& controller : controllers_) {
+    for (const auto& disk : controller->disks()) {
+      sample.queue_depth.push_back(
+          static_cast<std::uint32_t>(disk->queue_length()));
+      sample.busy_ms.push_back(disk->stats().busy_ms);
+    }
+    const NvCache* cache = controller->nv_cache();
+    sample.cache_blocks.push_back(cache ? cache->size() : 0);
+    sample.cache_dirty.push_back(cache ? cache->dirty_count() : 0);
+  }
+  sampler_->record(std::move(sample));
 }
 
 Metrics Simulator::run(TraceStream& trace) {
@@ -207,6 +262,7 @@ Metrics Simulator::finalize() {
   metrics_.total_disks = total_disks();
   metrics_.events_executed = eq_.executed();
   double channel_util = 0.0;
+  metrics_.channel_utilization_per_array.reserve(controllers_.size());
   for (const auto& controller : controllers_) {
     accumulate(metrics_.controller, controller->stats());
     for (const auto& disk : controller->disks()) {
@@ -216,7 +272,9 @@ Metrics Simulator::finalize() {
       metrics_.disk_utilization.push_back(
           stats.utilization(metrics_.elapsed_ms));
     }
-    channel_util += controller->channel().utilization(metrics_.elapsed_ms);
+    const double util = controller->channel().utilization(metrics_.elapsed_ms);
+    metrics_.channel_utilization_per_array.push_back(util);
+    channel_util += util;
     if (const auto* cache_stats = controller->cache_stats())
       accumulate(metrics_.cache, *cache_stats);
   }

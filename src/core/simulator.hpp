@@ -5,6 +5,8 @@
 
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/record.hpp"
 
@@ -55,6 +57,11 @@ class Simulator {
   /// Map a database block to (array index, array-local logical block).
   std::pair<int, std::int64_t> route(std::int64_t db_block) const;
 
+  /// Request-lifecycle tracer, null unless config.obs.tracing.
+  const Tracer* tracer() const { return tracer_.get(); }
+  /// Periodic telemetry sampler, null unless config.obs.sample_interval_ms > 0.
+  const TimeSeriesSampler* sampler() const { return sampler_.get(); }
+
  private:
   void pump(TraceStream& trace);
   /// Single bounds check shared by the pump and submit paths.
@@ -63,6 +70,8 @@ class Simulator {
                 std::function<void(SimTime)> on_complete = nullptr);
   void maybe_shutdown();
   Metrics finalize();
+  void schedule_sample_tick();
+  void take_sample();
 
   SimulationConfig config_;
   TraceGeometry geometry_;
@@ -71,6 +80,9 @@ class Simulator {
   std::int64_t blocks_per_array_ = 1;
   std::int64_t total_blocks_ = 0;
   EventQueue eq_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+  EventId sampler_event_ = 0;
   std::vector<std::unique_ptr<ArrayController>> controllers_;
   Metrics metrics_;
   double arrival_time_ = 0.0;

@@ -61,7 +61,18 @@ void Disk::submit(DiskRequest req) {
     if (req.on_power_fail) req.on_power_fail(eq_.now(), 0);
     return;
   }
-  queue_.push_back(Pending{std::move(req), eq_.now(), next_seq_++});
+  Pending p{std::move(req), eq_.now(), next_seq_++};
+  if constexpr (kTracingCompiledIn) {
+    if (tracer_) {
+      p.obs_phase = p.req.obs_phase != ObsPhase::kAuto ? p.req.obs_phase
+                    : p.req.kind == DiskOpKind::kRead  ? ObsPhase::kReadData
+                    : p.req.kind == DiskOpKind::kWrite ? ObsPhase::kWriteData
+                                                       : ObsPhase::kReadOldData;
+      p.obs_id =
+          tracer_->begin(ObsPhase::kDiskQueue, obs_array_, id_, p.enqueue_time);
+    }
+  }
+  queue_.push_back(std::move(p));
   if (!busy_) start_next();
 }
 
@@ -189,6 +200,8 @@ void Disk::start_next() {
 void Disk::begin_service(Pending p) {
   const SimTime start = eq_.now();
   stats_.queue_ms += start - p.enqueue_time;
+  obs_end(tracer_, p.obs_id, ObsPhase::kDiskQueue, obs_array_, id_, start);
+  obs_begin_with(tracer_, p.obs_id, p.obs_phase, obs_array_, id_, start);
   if (p.req.on_start) p.req.on_start(start);
 
   const std::int64_t start_sector =
@@ -236,6 +249,15 @@ void Disk::begin_service(Pending p) {
                                       min_revs, epoch] {
         if (epoch != power_epoch_) return;  // killed by a power failure
         const SimTime read_done = eq_.now();
+        if (shared->obs_id) {
+          // Close the read pass, open the write pass under the same span
+          // id; the write span absorbs any gate hold and rotation wait.
+          obs_end(tracer_, shared->obs_id, shared->obs_phase, obs_array_, id_,
+                  read_done);
+          shared->obs_phase = rmw_write_phase(shared->obs_phase);
+          obs_begin_with(tracer_, shared->obs_id, shared->obs_phase,
+                         obs_array_, id_, read_done);
+        }
         if (shared->req.on_read_done) shared->req.on_read_done(read_done);
         auto& gate = shared->req.gate;
         if (gate && !gate->is_open()) {
@@ -363,6 +385,7 @@ void Disk::complete(const Pending& p, SimTime service_start, SimTime end_time,
   stats_.busy_ms += end_time - service_start;
   active_.reset();
   active_write_start_ = active_write_end_ = -1.0;
+  obs_end(tracer_, p.obs_id, p.obs_phase, obs_array_, id_, end_time);
 
   // Fault disposition: only requests that installed an error handler
   // participate; the evaluator is consulted first (it may plant media

@@ -9,6 +9,7 @@
 
 #include "disk/geometry.hpp"
 #include "disk/seek_model.hpp"
+#include "obs/tracer.hpp"
 #include "sim/event_queue.hpp"
 
 namespace raidsim {
@@ -90,6 +91,10 @@ struct DiskRequest {
   int block_count = 1;
   DiskPriority priority = DiskPriority::kNormal;
   std::shared_ptr<WriteGate> gate;  // RMW only; null means always ready
+  /// Tracer tag for the service span. kAuto derives the phase from the op
+  /// kind (read-data / write-data / read-old-data); submitters that know
+  /// better override it (parity RMW, full-stripe parity write, rebuild).
+  ObsPhase obs_phase = ObsPhase::kAuto;
 
   /// Invoked when the access acquires the disk (seek begins). Used by the
   /// Disk First synchronization policies.
@@ -144,6 +149,14 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   void submit(DiskRequest req);
+
+  /// Attach the request-lifecycle tracer (null = tracing off). Every op
+  /// then emits a queue span (enqueue -> service start) and one or two
+  /// service-phase spans on this disk's track.
+  void set_tracer(Tracer* tracer, int array_index) {
+    tracer_ = tracer;
+    obs_array_ = array_index;
+  }
 
   /// Fault-injection hook, consulted once per access that carries an
   /// `on_error` handler (after the mechanical service completes). May
@@ -200,6 +213,8 @@ class Disk {
     DiskRequest req;
     SimTime enqueue_time;
     std::uint64_t seq;
+    std::uint64_t obs_id = 0;               // span id, 0 when untraced
+    ObsPhase obs_phase = ObsPhase::kAuto;   // resolved service phase
   };
 
   /// Select (and remove) the next request to service: the highest
@@ -237,6 +252,8 @@ class Disk {
   DiskGeometry geometry_;
   const SeekModel* seek_;
   int id_;
+  Tracer* tracer_ = nullptr;
+  int obs_array_ = -1;
   bool busy_ = false;
   int head_cylinder_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,18 @@
+#include "obs/sampler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace raidsim {
+
+TimeSeriesSampler::TimeSeriesSampler(double interval_ms, std::size_t capacity)
+    : interval_ms_(interval_ms), samples_(capacity) {
+  if (interval_ms_ <= 0.0)
+    throw std::invalid_argument("TimeSeriesSampler: interval <= 0");
+}
+
+void TimeSeriesSampler::set_topology(std::vector<int> disks_per_array) {
+  disks_per_array_ = std::move(disks_per_array);
+}
+
+}  // namespace raidsim

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/ring_buffer.hpp"
+#include "sim/event_queue.hpp"
+
+namespace raidsim {
+
+/// One time-series snapshot of the I/O subsystem. Disk vectors are
+/// array-major (same order as Metrics::disk_accesses); busy_ms is the
+/// cumulative busy time, so a window's utilization is the delta between
+/// consecutive samples divided by the interval.
+struct TelemetrySample {
+  SimTime t = 0.0;
+  std::uint64_t outstanding = 0;      // host requests in flight
+  std::uint64_t events_executed = 0;  // kernel events so far
+  std::vector<std::uint32_t> queue_depth;   // per disk
+  std::vector<double> busy_ms;              // per disk, cumulative
+  std::vector<std::uint64_t> cache_blocks;  // per array: occupied slots
+  std::vector<std::uint64_t> cache_dirty;   // per array: dirty blocks
+};
+
+/// Periodic snapshot collector. The Simulator drives it from a timer on
+/// the event queue (the sampler itself owns no events, so attaching one
+/// never perturbs the simulated I/O) and fills each sample; the samples
+/// land in a ring buffer so long runs keep the newest window.
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(double interval_ms, std::size_t capacity);
+
+  double interval_ms() const { return interval_ms_; }
+
+  /// Topology, set once before sampling: disks per array, in array order.
+  void set_topology(std::vector<int> disks_per_array);
+  const std::vector<int>& disks_per_array() const { return disks_per_array_; }
+
+  void record(TelemetrySample sample) { samples_.push(std::move(sample)); }
+
+  const RingBuffer<TelemetrySample>& samples() const { return samples_; }
+
+ private:
+  double interval_ms_;
+  std::vector<int> disks_per_array_;
+  RingBuffer<TelemetrySample> samples_;
+};
+
+}  // namespace raidsim

@@ -7,12 +7,24 @@
 #include <utility>
 
 #include "core/simulator.hpp"
+#include "obs/export.hpp"
 
 namespace raidsim {
 
 Metrics run_sweep_job(const SweepJob& job) {
   auto stream = make_workload(job.trace, job.workload);
-  return run_simulation(job.config, *stream);
+  if (job.trace_out.empty()) return run_simulation(job.config, *stream);
+
+  SimulationConfig config = job.config;
+  config.obs.tracing = true;
+  if (job.sample_interval_ms > 0.0)
+    config.obs.sample_interval_ms = job.sample_interval_ms;
+  Simulator simulator(config, stream->geometry());
+  Metrics metrics = simulator.run(*stream);
+  if (simulator.tracer())
+    export_run_artifacts(job.trace_out, *simulator.tracer(),
+                         simulator.sampler());
+  return metrics;
 }
 
 SweepRunner::SweepRunner(int threads) : threads_(threads) {

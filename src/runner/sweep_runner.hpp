@@ -18,6 +18,12 @@ struct SweepJob {
   std::string trace;          // workload name: "trace1" or "trace2"
   WorkloadOptions workload;   // scale / speed / seed for this point
   std::string label;          // carried through to the result
+  /// Non-empty: trace this job and export `<trace_out>.trace.json` (and,
+  /// with sample_interval_ms > 0, `<trace_out>.timeseries.csv`) when it
+  /// finishes. Parallel sweep jobs each own their tracer and write to
+  /// their own prefix, so no cross-thread state exists.
+  std::string trace_out;
+  double sample_interval_ms = 0.0;
 };
 
 struct SweepResult {

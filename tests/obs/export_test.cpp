@@ -1,0 +1,165 @@
+// Exporter contract: the Chrome trace JSON is well-formed and carries
+// the documented event shapes, the time-series CSV header matches the
+// sampler topology, and export_run_artifacts writes both files.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "core/workloads.hpp"
+
+namespace raidsim {
+namespace {
+
+// Structural JSON check without a parser: braces/brackets balance
+// outside string literals.
+void expect_balanced_json(const std::string& text) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (char ch : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (ch == '\\') escaped = true;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    switch (ch) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+struct TracedArtifacts {
+  std::string trace_json;
+  std::string timeseries_csv;
+  Metrics metrics;
+};
+
+TracedArtifacts traced_raid5_run() {
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.cached = true;
+  config.obs.tracing = true;
+  config.obs.sample_interval_ms = 10.0;
+  WorkloadOptions wo;
+  wo.scale = 0.01;
+  auto stream = make_workload("trace1", wo);
+  Simulator sim(config, stream->geometry());
+  TracedArtifacts artifacts;
+  artifacts.metrics = sim.run(*stream);
+  std::ostringstream trace_out, csv_out;
+  write_chrome_trace(trace_out, *sim.tracer(), sim.sampler());
+  write_timeseries_csv(csv_out, *sim.sampler());
+  artifacts.trace_json = trace_out.str();
+  artifacts.timeseries_csv = csv_out.str();
+  return artifacts;
+}
+
+TEST(ObsExport, ChromeTraceIsBalancedAndCarriesExpectedShapes) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  const TracedArtifacts artifacts = traced_raid5_run();
+  const std::string& json = artifacts.trace_json;
+  ASSERT_FALSE(json.empty());
+  expect_balanced_json(json);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Metadata names the tracks.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Disk service phases export as complete slices, host/queue phases as
+  // async pairs, cache markers as instants, sampler series as counters.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("host-write"), std::string::npos);
+  EXPECT_NE(json.find("disk-queue"), std::string::npos);
+}
+
+TEST(ObsExport, TimeSeriesCsvHeaderMatchesTopology) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  const TracedArtifacts artifacts = traced_raid5_run();
+  std::istringstream in(artifacts.timeseries_csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header.rfind("t_ms,outstanding,events_executed", 0), 0u);
+  // One queue-depth and one utilization column per disk, one cache pair
+  // per array.
+  std::size_t queue_cols = 0, util_cols = 0, cache_cols = 0;
+  std::istringstream cols(header);
+  std::string col;
+  while (std::getline(cols, col, ',')) {
+    if (col.rfind("queue_d", 0) == 0) ++queue_cols;
+    if (col.rfind("util_d", 0) == 0) ++util_cols;
+    if (col.rfind("cache_used_a", 0) == 0) ++cache_cols;
+  }
+  EXPECT_EQ(queue_cols, static_cast<std::size_t>(artifacts.metrics.total_disks));
+  EXPECT_EQ(util_cols, static_cast<std::size_t>(artifacts.metrics.total_disks));
+  EXPECT_EQ(cache_cols, static_cast<std::size_t>(artifacts.metrics.arrays));
+
+  // At least one data row, same column count as the header.
+  std::string row;
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','),
+            std::count(header.begin(), header.end(), ','));
+}
+
+TEST(ObsExport, RunArtifactsWriteTraceAndTimeseriesFiles) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  SimulationConfig config;
+  config.organization = Organization::kMirror;
+  config.obs.tracing = true;
+  config.obs.sample_interval_ms = 20.0;
+  WorkloadOptions wo;
+  wo.scale = 0.01;
+  auto stream = make_workload("trace2", wo);
+  Simulator sim(config, stream->geometry());
+  sim.run(*stream);
+
+  const std::string prefix = ::testing::TempDir() + "obs_export_test";
+  const auto paths =
+      export_run_artifacts(prefix, *sim.tracer(), sim.sampler());
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], prefix + ".trace.json");
+  EXPECT_EQ(paths[1], prefix + ".timeseries.csv");
+  for (const auto& path : paths) {
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << path;
+    std::string first_line;
+    EXPECT_TRUE(std::getline(file, first_line)) << path << " is empty";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ObsExport, RunArtifactsThrowOnUnwritablePrefix) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer tracer;
+  tracer.instant(ObsPhase::kCacheHit, 0, -1, 1.0);
+  EXPECT_THROW(
+      export_run_artifacts("/nonexistent-dir/never/x", tracer, nullptr),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace raidsim

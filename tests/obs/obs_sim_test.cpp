@@ -1,0 +1,198 @@
+// End-to-end tracer invariants on real simulations: spans pair up,
+// timestamps are monotonic, the host-span mean reproduces the Metrics
+// mean, and tracing itself never perturbs the simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/workloads.hpp"
+#include "obs/tracer.hpp"
+
+namespace raidsim {
+namespace {
+
+struct TracedRun {
+  Metrics metrics;
+  std::vector<TraceEvent> events;
+  std::unique_ptr<Simulator> sim;  // kept alive so sampler() stays valid
+};
+
+TracedRun run_traced(const SimulationConfig& base, const std::string& trace,
+                     double scale, double sample_interval_ms = 0.0) {
+  SimulationConfig config = base;
+  config.obs.tracing = true;
+  config.obs.sample_interval_ms = sample_interval_ms;
+  WorkloadOptions wo;
+  wo.scale = scale;
+  auto stream = make_workload(trace, wo);
+  TracedRun run;
+  run.sim = std::make_unique<Simulator>(config, stream->geometry());
+  run.metrics = run.sim->run(*stream);
+  if (run.sim->tracer()) run.events = run.sim->tracer()->events();
+  return run;
+}
+
+TEST(ObsSimulation, SpansPairAndTimestampsAreMonotonic) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.cached = true;
+  const TracedRun run = run_traced(config, "trace1", 0.02);
+  const std::vector<TraceEvent>& events = run.events;
+  ASSERT_FALSE(events.empty());
+
+  double last_ts = -1.0;
+  // id -> phase of the currently open span under that id (spans under
+  // one id never nest; an RMW op reuses its id serially: read-phase end
+  // then write-phase begin).
+  std::map<std::uint64_t, ObsPhase> open;
+  std::uint64_t begins = 0, ends = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.ts, last_ts) << "timestamps must be monotonic";
+    last_ts = e.ts;
+    switch (e.type) {
+      case ObsType::kBegin: {
+        ++begins;
+        auto [it, inserted] = open.emplace(e.id, e.phase);
+        EXPECT_TRUE(inserted) << "id " << e.id << " opened twice";
+        break;
+      }
+      case ObsType::kEnd: {
+        ++ends;
+        auto it = open.find(e.id);
+        ASSERT_NE(it, open.end()) << "end without begin, id " << e.id;
+        EXPECT_EQ(it->second, e.phase) << "end phase differs from begin";
+        open.erase(it);
+        break;
+      }
+      case ObsType::kInstant:
+        break;
+    }
+  }
+  EXPECT_EQ(begins, ends);
+  EXPECT_TRUE(open.empty()) << open.size() << " spans never closed";
+}
+
+TEST(ObsSimulation, HostSpanMeanReproducesMetricsMean) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.cached = true;
+  const TracedRun run = run_traced(config, "trace1", 0.02);
+  const Metrics& metrics = run.metrics;
+
+  std::map<std::uint64_t, double> open;
+  std::uint64_t completed = 0;
+  double total_ms = 0.0;
+  for (const TraceEvent& e : run.events) {
+    if (e.phase != ObsPhase::kHostRead && e.phase != ObsPhase::kHostWrite)
+      continue;
+    if (e.type == ObsType::kBegin) {
+      open[e.id] = e.ts;
+    } else if (e.type == ObsType::kEnd) {
+      auto it = open.find(e.id);
+      ASSERT_NE(it, open.end());
+      total_ms += e.ts - it->second;
+      ++completed;
+      open.erase(it);
+    }
+  }
+  ASSERT_GT(completed, 0u);
+  EXPECT_EQ(completed, metrics.requests);
+  const double traced_mean = total_ms / static_cast<double>(completed);
+  // The acceptance bound for the whole pipeline: the trace reproduces
+  // the simulator's own mean response within 0.1%.
+  EXPECT_NEAR(traced_mean / metrics.mean_response_ms(), 1.0, 1e-3);
+}
+
+TEST(ObsSimulation, TracingLeavesEveryMetricBitIdentical) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.cached = true;
+  WorkloadOptions wo;
+  wo.scale = 0.02;
+
+  auto plain_stream = make_workload("trace1", wo);
+  const Metrics plain = run_simulation(config, *plain_stream);
+
+  // Tracing appends to a side buffer and schedules nothing, so even the
+  // kernel event count must match exactly. (The sampler is excluded: its
+  // timer tick is a real event by design.)
+  const TracedRun run = run_traced(config, "trace1", 0.02);
+  const Metrics& traced = run.metrics;
+  ASSERT_FALSE(run.events.empty());
+
+  EXPECT_EQ(plain.requests, traced.requests);
+  EXPECT_EQ(plain.events_executed, traced.events_executed);
+  EXPECT_EQ(plain.elapsed_ms, traced.elapsed_ms);
+  EXPECT_EQ(plain.mean_response_ms(), traced.mean_response_ms());
+  EXPECT_EQ(plain.response_read.mean(), traced.response_read.mean());
+  EXPECT_EQ(plain.response_write.mean(), traced.response_write.mean());
+  EXPECT_EQ(plain.disk_accesses, traced.disk_accesses);
+  EXPECT_EQ(plain.disk_utilization, traced.disk_utilization);
+  EXPECT_EQ(plain.channel_utilization, traced.channel_utilization);
+}
+
+TEST(ObsSimulation, SamplerCollectsConsistentTelemetry) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.cached = true;
+  const TracedRun run = run_traced(config, "trace1", 0.02, 5.0);
+  const Metrics& metrics = run.metrics;
+  ASSERT_NE(run.sim->sampler(), nullptr);
+
+  const auto& samples = run.sim->sampler()->samples();
+  ASSERT_GT(samples.size(), 1u);
+  const std::size_t disks = static_cast<std::size_t>(metrics.total_disks);
+  const std::size_t arrays = static_cast<std::size_t>(metrics.arrays);
+  double last_t = -1.0;
+  std::vector<double> last_busy(disks, 0.0);
+  std::uint64_t last_events = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TelemetrySample& s = samples[i];
+    EXPECT_GT(s.t, last_t);
+    last_t = s.t;
+    ASSERT_EQ(s.queue_depth.size(), disks);
+    ASSERT_EQ(s.busy_ms.size(), disks);
+    ASSERT_EQ(s.cache_blocks.size(), arrays);
+    ASSERT_EQ(s.cache_dirty.size(), arrays);
+    EXPECT_GE(s.events_executed, last_events);
+    last_events = s.events_executed;
+    for (std::size_t d = 0; d < disks; ++d) {
+      EXPECT_GE(s.busy_ms[d], last_busy[d]) << "busy time is cumulative";
+      last_busy[d] = s.busy_ms[d];
+    }
+  }
+}
+
+TEST(ObsSimulation, ChannelUtilizationPerArrayAveragesToAggregate) {
+  SimulationConfig config;
+  config.organization = Organization::kMirror;
+  config.cached = false;
+  WorkloadOptions wo;
+  wo.scale = 0.02;
+  auto stream = make_workload("trace2", wo);
+  const Metrics m = run_simulation(config, *stream);
+
+  ASSERT_EQ(m.channel_utilization_per_array.size(),
+            static_cast<std::size_t>(m.arrays));
+  double sum = 0.0;
+  for (double u : m.channel_utilization_per_array) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(m.arrays), m.channel_utilization,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace raidsim

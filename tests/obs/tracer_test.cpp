@@ -1,0 +1,125 @@
+// Tracer contract: span ids are unique and never 0, the ring buffer
+// keeps the newest window once full, and the obs_* instrumentation
+// helpers are no-ops against a null tracer.
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "obs/ring_buffer.hpp"
+
+namespace raidsim {
+namespace {
+
+TEST(ObsTracer, BeginReturnsUniqueNonZeroIds) {
+  Tracer tracer;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id =
+        tracer.begin(ObsPhase::kDiskQueue, 0, i % 4, static_cast<double>(i));
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+  }
+  EXPECT_EQ(tracer.recorded(), 100u);
+  EXPECT_EQ(tracer.retained(), 100u);
+  EXPECT_FALSE(tracer.wrapped());
+}
+
+TEST(ObsTracer, SpanEventsCarryTypeAndPhase) {
+  Tracer tracer;
+  const std::uint64_t id = tracer.begin(ObsPhase::kReadData, 1, 2, 5.0);
+  tracer.end(id, ObsPhase::kReadData, 1, 2, 9.0);
+  tracer.instant(ObsPhase::kCacheHit, 1, -1, 9.5, id);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, ObsType::kBegin);
+  EXPECT_EQ(events[0].phase, ObsPhase::kReadData);
+  EXPECT_EQ(events[0].id, id);
+  EXPECT_EQ(events[0].array, 1);
+  EXPECT_EQ(events[0].track, 2);
+  EXPECT_EQ(events[1].type, ObsType::kEnd);
+  EXPECT_EQ(events[1].ts, 9.0);
+  EXPECT_EQ(events[2].type, ObsType::kInstant);
+  EXPECT_EQ(events[2].phase, ObsPhase::kCacheHit);
+}
+
+TEST(ObsTracer, RingWrapKeepsNewestWindowOldestFirst) {
+  Tracer tracer(Tracer::Config{8});
+  for (int i = 0; i < 20; ++i)
+    tracer.instant(ObsPhase::kDestageTick, 0, -1, static_cast<double>(i));
+
+  EXPECT_TRUE(tracer.wrapped());
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.retained(), 8u);
+  EXPECT_EQ(tracer.overwritten(), 12u);
+
+  // Retained events are the 8 newest, visited oldest-first.
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].ts, static_cast<double>(12 + i));
+
+  double last = -1.0;
+  std::size_t visited = 0;
+  tracer.for_each([&](const TraceEvent& e) {
+    EXPECT_GT(e.ts, last);
+    last = e.ts;
+    ++visited;
+  });
+  EXPECT_EQ(visited, 8u);
+}
+
+TEST(ObsTracer, HelpersAreNoOpsWithoutTracer) {
+  EXPECT_EQ(obs_begin(nullptr, ObsPhase::kHostRead, 0, -1, 1.0), 0u);
+  obs_begin_with(nullptr, 7, ObsPhase::kWriteData, 0, 0, 1.0);
+  obs_end(nullptr, 7, ObsPhase::kWriteData, 0, 0, 2.0);
+  obs_instant(nullptr, ObsPhase::kCacheMiss, 0, -1, 2.0);
+
+  // A zero id (span opened while tracing was off) records nothing even
+  // against a live tracer.
+  Tracer tracer;
+  obs_begin_with(&tracer, 0, ObsPhase::kWriteData, 0, 0, 1.0);
+  obs_end(&tracer, 0, ObsPhase::kWriteData, 0, 0, 2.0);
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(ObsTracer, RmwWritePhaseFollowsReadPhase) {
+  EXPECT_EQ(rmw_write_phase(ObsPhase::kReadOldParity), ObsPhase::kWriteParity);
+  EXPECT_EQ(rmw_write_phase(ObsPhase::kReadOldData), ObsPhase::kWriteData);
+  EXPECT_EQ(rmw_write_phase(ObsPhase::kReadData), ObsPhase::kWriteData);
+}
+
+TEST(ObsRingBuffer, FillsThenOverwritesOldest) {
+  RingBuffer<int> ring(4);
+  EXPECT_EQ(ring.size(), 0u);
+  for (int i = 0; i < 4; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.wrapped());
+  EXPECT_EQ(ring[0], 0);
+  EXPECT_EQ(ring[3], 3);
+
+  ring.push(4);
+  ring.push(5);
+  EXPECT_TRUE(ring.wrapped());
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 6u);
+  // Index 0 is always the oldest retained element.
+  EXPECT_EQ(ring[0], 2);
+  EXPECT_EQ(ring[1], 3);
+  EXPECT_EQ(ring[2], 4);
+  EXPECT_EQ(ring[3], 5);
+}
+
+TEST(ObsRingBuffer, CapacityClampedToOne) {
+  RingBuffer<int> ring(0);
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0], 2);
+}
+
+}  // namespace
+}  // namespace raidsim

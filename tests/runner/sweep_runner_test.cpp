@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "runner/sweep_runner.hpp"
 
 namespace raidsim {
@@ -23,8 +26,12 @@ std::vector<SweepJob> small_sweep() {
       config.organization = org;
       config.array_data_disks = n;
       config.cached = (org == Organization::kRaid5);
-      jobs.push_back({config, n == 5 ? "trace1" : "trace2", wo,
-                      to_string(org) + "/N" + std::to_string(n)});
+      SweepJob job;
+      job.config = config;
+      job.trace = n == 5 ? "trace1" : "trace2";
+      job.workload = wo;
+      job.label = to_string(org) + "/N" + std::to_string(n);
+      jobs.push_back(std::move(job));
     }
   }
   return jobs;
@@ -65,8 +72,8 @@ TEST(SweepRunner, SubmissionOrderPreservedUnderParallelCompletion) {
   for (int i = 0; i < 12; ++i) {
     runner.submit("job" + std::to_string(i), [i] {
       Metrics m;
-      for (volatile int spin = 0; spin < (12 - i) * 20000; ++spin) {
-      }
+      volatile int sink = 0;
+      for (int spin = 0; spin < (12 - i) * 20000; ++spin) sink = sink + 1;
       m.requests = static_cast<std::uint64_t>(i);
       return m;
     });
@@ -95,6 +102,38 @@ TEST(SweepRunner, RunnerIsReusableAndCountsThreads) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].label, "b");
   EXPECT_EQ(results[1].label, "c");
+}
+
+TEST(SweepRunner, TracedJobsWriteSeparateArtifactsAndIdenticalMetrics) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  // Each traced job owns its tracer and artifact prefix, so a parallel
+  // batch neither races nor perturbs the metrics of an untraced batch.
+  auto jobs = small_sweep();
+  SweepRunner plain(4);
+  SweepRunner traced(4);
+  std::vector<std::string> prefixes;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    plain.submit(jobs[i]);
+    SweepJob job = jobs[i];
+    job.trace_out = ::testing::TempDir() + "sweep_traced_" +
+                    std::to_string(i);
+    prefixes.push_back(job.trace_out);
+    traced.submit(std::move(job));
+  }
+  const auto a = plain.run_all();
+  const auto b = traced.run_all();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].metrics.mean_response_ms(), b[i].metrics.mean_response_ms());
+    EXPECT_EQ(a[i].metrics.events_executed, b[i].metrics.events_executed);
+  }
+  for (const auto& prefix : prefixes) {
+    const std::string path = prefix + ".trace.json";
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << path << " missing";
+    file.close();
+    std::remove(path.c_str());
+  }
 }
 
 TEST(SweepRunner, DefaultThreadCountIsHardwareConcurrency) {

@@ -1,0 +1,400 @@
+// trace_analyzer: offline analysis of raidsim Chrome-trace JSON.
+//
+// Reads a `<prefix>.trace.json` written by write_chrome_trace() and prints
+//   * the per-phase latency breakdown of the disk service slices
+//     (read-data / read-old-data / read-old-parity / write-data /
+//     write-parity / mirror-copy),
+//   * the queueing-vs-service decomposition of every disk operation,
+//   * host-request response statistics per request class, and
+//   * the top-N slowest host requests.
+//
+// The parser below handles exactly the JSON subset the exporter emits
+// (objects, arrays, double-quoted strings without escapes, numbers); no
+// third-party dependency is needed or wanted.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+struct JsonEvent {
+  std::string name;
+  std::string cat;
+  char ph = 0;          // X, b, e, i, C, M
+  double ts = 0.0;      // microseconds
+  double dur = 0.0;     // microseconds (X only)
+  std::uint64_t id = 0; // async id / span arg
+  int pid = -1;
+  int tid = -1;
+};
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : s_(text) {}
+
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+  }
+
+  bool eof() {
+    skip_ws();
+    return i_ >= s_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (i_ >= s_.size() || s_[i_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) ++i_;  // keep escaped char
+      out.push_back(s_[i_++]);
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = s_.c_str() + i_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected number");
+    i_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  /// Skip any value (used for args/otherData we don't analyze).
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      expect('{');
+      if (!consume('}')) {
+        do {
+          parse_string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      expect('[');
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      while (i_ < s_.size() &&
+             std::isalpha(static_cast<unsigned char>(s_[i_])))
+        ++i_;
+    } else {
+      parse_number();
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    std::size_t line = 1;
+    for (std::size_t j = 0; j < i_ && j < s_.size(); ++j)
+      if (s_[j] == '\n') ++line;
+    std::ostringstream os;
+    os << "trace_analyzer: JSON parse error (line " << line << "): " << what;
+    throw std::runtime_error(os.str());
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+JsonEvent parse_event(Scanner& sc) {
+  JsonEvent e;
+  sc.expect('{');
+  if (!sc.consume('}')) {
+    do {
+      const std::string key = sc.parse_string();
+      sc.expect(':');
+      if (key == "name") {
+        e.name = sc.parse_string();
+      } else if (key == "cat") {
+        e.cat = sc.parse_string();
+      } else if (key == "ph") {
+        e.ph = sc.parse_string()[0];
+      } else if (key == "ts") {
+        e.ts = sc.parse_number();
+      } else if (key == "dur") {
+        e.dur = sc.parse_number();
+      } else if (key == "id") {
+        e.id = static_cast<std::uint64_t>(sc.parse_number());
+      } else if (key == "pid") {
+        e.pid = static_cast<int>(sc.parse_number());
+      } else if (key == "tid") {
+        e.tid = static_cast<int>(sc.parse_number());
+      } else {
+        sc.skip_value();
+      }
+    } while (sc.consume(','));
+    sc.expect('}');
+  }
+  return e;
+}
+
+// ------------------------------------------------------------- analysis
+
+struct PhaseStats {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+  std::vector<double> samples;  // for percentiles
+
+  void add(double ms) {
+    ++count;
+    total_ms += ms;
+    max_ms = std::max(max_ms, ms);
+    samples.push_back(ms);
+  }
+  double mean() const {
+    return count ? total_ms / static_cast<double>(count) : 0.0;
+  }
+  double percentile(double p) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  }
+};
+
+struct HostSpan {
+  std::string name;
+  int array = -1;
+  double begin_us = 0.0;
+  double end_us = -1.0;
+  std::uint64_t id = 0;
+  double duration_ms() const { return (end_us - begin_us) / 1e3; }
+};
+
+void print_phase_table(const char* title,
+                       std::map<std::string, PhaseStats>& stats) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-16s %10s %10s %10s %10s %10s\n", "phase", "count",
+              "mean ms", "p95 ms", "max ms", "total ms");
+  for (auto& [name, s] : stats)
+    std::printf("  %-16s %10llu %10.3f %10.3f %10.3f %10.1f\n", name.c_str(),
+                static_cast<unsigned long long>(s.count), s.mean(),
+                s.percentile(0.95), s.max_ms, s.total_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top_n = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) {
+      top_n = static_cast<std::size_t>(std::stoul(arg.substr(6)));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: trace_analyzer [--top=N] <trace.json>\n");
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_analyzer [--top=N] <trace.json>\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_analyzer: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::map<std::string, PhaseStats> service;     // X slices by phase name
+  std::map<std::string, PhaseStats> queueing;    // queue spans
+  std::map<std::string, PhaseStats> background;  // destage/rebuild/recovery
+  std::map<std::string, PhaseStats> host;        // host-read / host-write
+  std::map<std::string, std::uint64_t> instants;
+  std::unordered_map<std::uint64_t, JsonEvent> open_async;
+  std::vector<HostSpan> host_spans;
+  std::uint64_t events = 0, counters = 0, unmatched = 0;
+
+  try {
+    Scanner sc(text);
+    sc.expect('{');
+    bool found = false;
+    do {
+      const std::string key = sc.parse_string();
+      sc.expect(':');
+      if (key != "traceEvents") {
+        sc.skip_value();
+        continue;
+      }
+      found = true;
+      sc.expect('[');
+      if (!sc.consume(']')) {
+        do {
+          JsonEvent e = parse_event(sc);
+          ++events;
+          switch (e.ph) {
+            case 'X':
+              service[e.name].add(e.dur / 1e3);
+              break;
+            case 'b':
+              // Key by async id; host/queue/... ids never collide (one
+              // id space for all spans).
+              open_async[e.id] = e;
+              break;
+            case 'e': {
+              auto it = open_async.find(e.id);
+              if (it == open_async.end()) {
+                ++unmatched;
+                break;
+              }
+              const JsonEvent& b = it->second;
+              const double ms = (e.ts - b.ts) / 1e3;
+              if (b.cat == "host") {
+                host[b.name].add(ms);
+                host_spans.push_back(
+                    HostSpan{b.name, b.pid - 1, b.ts, e.ts, e.id});
+              } else if (b.cat == "queue") {
+                queueing[b.name].add(ms);
+              } else {
+                background[b.name].add(ms);
+              }
+              open_async.erase(it);
+              break;
+            }
+            case 'i':
+              ++instants[e.name];
+              break;
+            case 'C':
+              ++counters;
+              break;
+            default:
+              break;  // metadata
+          }
+        } while (sc.consume(','));
+        sc.expect(']');
+      }
+    } while (sc.consume(','));
+    if (!found) {
+      std::fprintf(stderr, "trace_analyzer: no traceEvents array in %s\n",
+                   path.c_str());
+      return 2;
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s\n", ex.what());
+    return 1;
+  }
+
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("events: %llu (counter samples: %llu, still-open spans: %zu, "
+              "unmatched ends: %llu)\n",
+              static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(counters), open_async.size(),
+              static_cast<unsigned long long>(unmatched));
+
+  // Host-level statistics: the mean here must agree with the simulator's
+  // Metrics::mean_response_ms (the differential acceptance check).
+  double host_total = 0.0;
+  std::uint64_t host_count = 0;
+  for (auto& [name, s] : host) {
+    host_total += s.total_ms;
+    host_count += s.count;
+  }
+  if (host_count)
+    std::printf("host requests: %llu, mean response %.6f ms\n",
+                static_cast<unsigned long long>(host_count),
+                host_total / static_cast<double>(host_count));
+  print_phase_table("host request classes:", host);
+
+  // Queueing-vs-service decomposition of the disk operations.
+  print_phase_table("disk service phases:", service);
+  print_phase_table("disk queueing:", queueing);
+  double q_total = 0.0, s_total = 0.0;
+  std::uint64_t s_count = 0;
+  for (auto& [name, s] : queueing) q_total += s.total_ms;
+  for (auto& [name, s] : service) {
+    s_total += s.total_ms;
+    s_count += s.count;
+  }
+  if (s_count)
+    std::printf("\nqueueing vs service: %.1f ms queued vs %.1f ms in service"
+                " (%.1f%% of disk time is queueing)\n",
+                q_total, s_total,
+                100.0 * q_total / std::max(1e-12, q_total + s_total));
+
+  if (!background.empty())
+    print_phase_table("controller background spans:", background);
+
+  if (!instants.empty()) {
+    std::printf("\nmarkers:\n");
+    for (const auto& [name, count] : instants)
+      std::printf("  %-16s %10llu\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+  }
+
+  if (!host_spans.empty() && top_n > 0) {
+    std::partial_sort(host_spans.begin(),
+                      host_spans.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              std::min(top_n, host_spans.size())),
+                      host_spans.end(),
+                      [](const HostSpan& a, const HostSpan& b) {
+                        return a.duration_ms() > b.duration_ms();
+                      });
+    std::printf("\ntop %zu slowest host requests:\n",
+                std::min(top_n, host_spans.size()));
+    std::printf("  %-12s %-6s %12s %12s %10s\n", "type", "array", "start ms",
+                "end ms", "resp ms");
+    for (std::size_t i = 0; i < std::min(top_n, host_spans.size()); ++i) {
+      const HostSpan& h = host_spans[i];
+      std::printf("  %-12s %-6d %12.3f %12.3f %10.3f\n", h.name.c_str(),
+                  h.array, h.begin_us / 1e3, h.end_us / 1e3, h.duration_ms());
+    }
+  }
+  return 0;
+}
