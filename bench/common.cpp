@@ -55,6 +55,10 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       options.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--threads=")) {
       options.threads = std::atoi(v);
+    } else if (const char* v = value_of("--shards=")) {
+      options.shards = std::atoi(v);
+    } else if (const char* v = value_of("--shard-threads=")) {
+      options.shard_threads = std::atoi(v);
     } else if (const char* v = value_of("--trace-out=")) {
       options.trace_out = v;
     } else if (const char* v = value_of("--sample-interval-ms=")) {
@@ -63,7 +67,8 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --full --quick --scale1=<f> --scale2=<f> "
-                   "--seed=<n> --threads=<n> --trace-out=<prefix> "
+                   "--seed=<n> --threads=<n> --shards=<n> "
+                   "--shard-threads=<n> --trace-out=<prefix> "
                    "--sample-interval-ms=<t> --verbose\n";
       std::exit(0);
     } else {
@@ -82,22 +87,32 @@ WorkloadOptions BenchOptions::workload_options(const std::string& trace,
   return wo;
 }
 
+SimulationConfig BenchOptions::engine_config(SimulationConfig config) const {
+  if (shards > 0) {
+    config.shards = shards;
+    config.shard_threads = shard_threads;
+  }
+  return config;
+}
+
 Metrics run_config(const SimulationConfig& config, const std::string& trace,
                    const BenchOptions& options, double speed) {
   Metrics metrics;
-  if (options.trace_out.empty()) {
+  if (options.trace_out.empty() && options.shards <= 0) {
     auto stream = make_workload(trace, options.workload_options(trace, speed));
     metrics = run_simulation(config, *stream);
   } else {
     // Each traced run of this process gets its own artifact prefix.
     static int run_seq = 0;
     SweepJob job;
-    job.config = config;
+    job.config = options.engine_config(config);
     job.trace = trace;
     job.workload = options.workload_options(trace, speed);
     job.label = config.describe() + " " + trace;
-    job.trace_out = options.trace_out + "_run" + std::to_string(run_seq++);
-    job.sample_interval_ms = options.sample_interval_ms;
+    if (!options.trace_out.empty()) {
+      job.trace_out = options.trace_out + "_run" + std::to_string(run_seq++);
+      job.sample_interval_ms = options.sample_interval_ms;
+    }
     metrics = run_sweep_job(job);
   }
   if (options.verbose)
@@ -115,7 +130,7 @@ std::size_t Sweep::add(const SimulationConfig& config,
   if (ran_)
     throw std::logic_error("Sweep: add() after results were consumed");
   SweepJob job;
-  job.config = config;
+  job.config = options_.engine_config(config);
   job.trace = trace;
   job.workload = options_.workload_options(trace, speed);
   job.label = config.describe() + " " + trace;

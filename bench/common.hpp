@@ -20,6 +20,9 @@ namespace raidsim::bench {
 ///   --seed=<n>     override the workload RNG seed
 ///   --quick        quarter the default scales (CI smoke)
 ///   --threads=<n>  sweep worker threads (default: hardware concurrency)
+///   --shards=<n>   run every simulation on the sharded engine with n
+///                  shards (0 = classic single-queue engine)
+///   --shard-threads=<n>  threads per sharded run (0 = min(shards, hw))
 ///   --trace-out=<prefix>      trace every run; job i of a sweep writes
 ///                             `<prefix>_<i>.trace.json`
 ///   --sample-interval-ms=<t>  with --trace-out: also sample telemetry
@@ -30,6 +33,8 @@ struct BenchOptions {
   double scale2 = 1.0;
   std::uint64_t seed = 0;
   int threads = 0;  // 0 = hardware_concurrency
+  int shards = 0;         // >= 1: sharded engine for each simulation
+  int shard_threads = 0;  // 0 = min(shards, hardware concurrency)
   std::string trace_out;
   double sample_interval_ms = 0.0;
   bool verbose = false;
@@ -41,6 +46,10 @@ struct BenchOptions {
 
   WorkloadOptions workload_options(const std::string& trace,
                                    double speed = 1.0) const;
+
+  /// `config` with the engine selection (--shards/--shard-threads)
+  /// applied.
+  SimulationConfig engine_config(SimulationConfig config) const;
 };
 
 /// Run one configuration against one of the paper's workloads.

@@ -1,13 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the simulator substrates:
-// event queue, disk service model, NV cache, Fenwick-backed LRU stack,
-// and trace generation throughput.
+// event queue, disk service model, NV cache (mixed ops, index probes,
+// eviction churn), Fenwick-backed LRU stack, trace generation, and
+// trace loading (text parse vs binary walk).
 #include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
 
 #include "cache/nv_cache.hpp"
 #include "disk/disk.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/lru_stack.hpp"
 #include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
 #include "util/fenwick.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +71,102 @@ void BM_NvCacheMixedOps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NvCacheMixedOps);
+
+// Pure index probes on a full cache (every lookup hits): isolates the
+// open-addressing find + LRU touch from eviction machinery.
+void BM_NvCacheIndexProbe(benchmark::State& state) {
+  const std::int64_t capacity = state.range(0);
+  NvCache cache(static_cast<std::size_t>(capacity), false);
+  for (std::int64_t b = 0; b < capacity; ++b) cache.insert_clean(b);
+  Rng rng(5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.read(rng.uniform_i64(0, capacity - 1)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvCacheIndexProbe)->Arg(1024)->Arg(65536);
+
+// Insert into a full cache: every op evicts the LRU entry (index erase
+// with backward-shift deletion + slab recycle + fresh insert).
+void BM_NvCacheInsertEvict(benchmark::State& state) {
+  const std::int64_t capacity = state.range(0);
+  NvCache cache(static_cast<std::size_t>(capacity), false);
+  std::int64_t next = 0;
+  for (; next < capacity; ++next) cache.insert_clean(next);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.insert_clean(next++));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvCacheInsertEvict)->Arg(1024)->Arg(65536);
+
+// Destage sweep over a half-dirty cache: collect_dirty walks the
+// intrusive LRU list, then each block takes the begin/end flag cycle.
+void BM_NvCacheDestageSweep(benchmark::State& state) {
+  const std::int64_t capacity = 16384;
+  NvCache cache(static_cast<std::size_t>(capacity), false);
+  for (std::int64_t b = 0; b < capacity; ++b) cache.insert_clean(b);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::int64_t b = 0; b < capacity; b += 2) cache.write(b);
+    state.ResumeTiming();
+    const auto dirty = cache.collect_dirty();
+    for (const std::int64_t b : dirty) {
+      cache.begin_destage(b);
+      cache.end_destage(b);
+    }
+    benchmark::DoNotOptimize(dirty.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (capacity / 2));
+}
+BENCHMARK(BM_NvCacheDestageSweep);
+
+const std::string& trace_text_image() {
+  static const std::string image = [] {
+    TraceProfile profile = TraceProfile::trace2();
+    profile.requests = 20000;
+    SyntheticTrace trace(profile);
+    std::ostringstream out;
+    TraceWriter::write(trace, out);
+    return out.str();
+  }();
+  return image;
+}
+
+const std::string& trace_binary_image() {
+  static const std::string image = [] {
+    TraceProfile profile = TraceProfile::trace2();
+    profile.requests = 20000;
+    SyntheticTrace trace(profile);
+    std::stringstream out(std::ios::in | std::ios::out | std::ios::binary);
+    BinaryTraceWriter::write(trace, out);
+    return out.str();
+  }();
+  return image;
+}
+
+void BM_TraceLoadText(benchmark::State& state) {
+  const std::string& image = trace_text_image();
+  for (auto _ : state) {
+    TraceReader reader(std::make_unique<std::istringstream>(image));
+    std::int64_t sum = 0;
+    while (auto rec = reader.next()) sum += rec->block;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TraceLoadText);
+
+void BM_TraceLoadBinary(benchmark::State& state) {
+  const std::string& image = trace_binary_image();
+  for (auto _ : state) {
+    auto reader =
+        BinaryTraceReader::from_buffer(image.data(), image.size());
+    std::int64_t sum = 0;
+    while (auto rec = reader->next()) sum += rec->block;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TraceLoadBinary);
 
 void BM_FenwickAddSelect(benchmark::State& state) {
   const std::size_t n = 1 << 16;

@@ -1,6 +1,9 @@
 // Performance harness: times the event kernel (schedule/cancel/step
-// throughput, against an embedded copy of the pre-fast-path kernel) and
-// a fixed end-to-end RAID5 + Mirror replay, then measures sweep
+// throughput, against an embedded copy of the pre-fast-path kernel), a
+// fixed end-to-end RAID5 + Mirror replay, the sharded engine at several
+// shard/thread counts (with a bit-identity check against one shard), the
+// NV-cache storage (against an embedded copy of the pre-rewrite
+// list+map storage), trace loading (text vs binary), and sweep
 // throughput at 1/2/4/hw threads. Emits machine-readable BENCH_perf.json
 // so later PRs have a perf trajectory to regress against (see
 // docs/performance.md for the schema).
@@ -13,16 +16,21 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <list>
 #include <queue>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "cache/nv_cache.hpp"
 #include "core/simulator.hpp"
 #include "core/workloads.hpp"
 #include "runner/sweep_runner.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/trace_io.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -147,7 +155,8 @@ struct ReplayResult {
 };
 
 ReplayResult timed_replay(const raidsim::SimulationConfig& config,
-                          const std::string& trace, double scale) {
+                          const std::string& trace, double scale,
+                          raidsim::Metrics* out_metrics = nullptr) {
   raidsim::SweepJob job;
   job.config = config;
   job.trace = trace;
@@ -160,6 +169,200 @@ ReplayResult timed_replay(const raidsim::SimulationConfig& config,
   r.events_per_sec = static_cast<double>(m.events_executed) /
                      (r.wall_ms / 1e3);
   r.mean_response_ms = m.mean_response_ms();
+  if (out_metrics) *out_metrics = m;
+  return r;
+}
+
+/// The NV-cache storage as it stood before the slab + open-addressing
+/// rewrite: node-per-entry std::list LRU with an unordered_map from key
+/// to iterator. Same policy, old data structures -- the baseline the
+/// cache numbers are measured against. Only the operations the driver
+/// below uses are reproduced.
+class LegacyCacheStorage {
+ public:
+  LegacyCacheStorage(std::size_t capacity, bool retain_old)
+      : capacity_(capacity), retain_old_(retain_old) {}
+
+  bool read(std::int64_t block) {
+    auto it = map_.find(block * 2);
+    if (it == map_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  bool insert_clean(std::int64_t block) {
+    if (map_.count(block * 2)) return true;
+    bool evicted_dirty = false;
+    std::int64_t victim = -1;
+    if (!make_room(true, evicted_dirty, victim)) return false;
+    create(block * 2, false);
+    return true;
+  }
+
+  bool write(std::int64_t block) {
+    auto it = map_.find(block * 2);
+    if (it != map_.end()) {
+      if (!it->second->dirty) {
+        if (retain_old_ && map_.count(block * 2 + 1) == 0) {
+          bool evicted_dirty = false;
+          std::int64_t victim = -1;
+          if (make_room(false, evicted_dirty, victim, block * 2))
+            create(block * 2 + 1, false);
+        }
+        it->second->dirty = true;
+        ++dirty_count_;
+      }
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    bool evicted_dirty = false;
+    std::int64_t victim = -1;
+    if (!make_room(true, evicted_dirty, victim)) return false;
+    create(block * 2, true);
+    ++dirty_count_;
+    return true;
+  }
+
+  std::vector<std::int64_t> collect_dirty() const {
+    std::vector<std::int64_t> out;
+    out.reserve(dirty_count_);
+    for (const Entry& e : lru_)
+      if (e.key % 2 == 0 && e.dirty && !e.in_flight) out.push_back(e.key / 2);
+    return out;
+  }
+
+  void begin_destage(std::int64_t block) {
+    map_.find(block * 2)->second->in_flight = true;
+  }
+
+  void end_destage(std::int64_t block) {
+    auto it = map_.find(block * 2);
+    if (it == map_.end()) return;
+    it->second->in_flight = false;
+    it->second->dirty = false;
+    --dirty_count_;
+    auto old_it = map_.find(block * 2 + 1);
+    if (old_it != map_.end()) erase(old_it->second);
+  }
+
+  std::size_t dirty_count() const { return dirty_count_; }
+
+ private:
+  struct Entry {
+    std::int64_t key = 0;
+    bool dirty = false;
+    bool in_flight = false;
+  };
+  using Iter = std::list<Entry>::iterator;
+
+  void create(std::int64_t key, bool dirty) {
+    lru_.push_front(Entry{key, dirty, false});
+    map_[key] = lru_.begin();
+  }
+
+  void erase(Iter it) {
+    if (it->key % 2 == 0 && it->dirty) --dirty_count_;
+    map_.erase(it->key);
+    lru_.erase(it);
+  }
+
+  bool make_room(bool allow_dirty, bool& evicted_dirty, std::int64_t& victim,
+                 std::int64_t protect_key = INT64_MIN) {
+    evicted_dirty = false;
+    victim = -1;
+    if (lru_.size() < capacity_) return true;
+    if (lru_.empty()) return false;
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (it->key != protect_key && !it->in_flight &&
+          (allow_dirty || !it->dirty)) {
+        if (it->dirty) {
+          evicted_dirty = true;
+          victim = it->key / 2;
+          auto old_it = map_.find(victim * 2 + 1);
+          if (old_it != map_.end()) erase(old_it->second);
+        }
+        erase(it);
+        return true;
+      }
+      if (it == lru_.begin()) break;
+    }
+    return false;
+  }
+
+  std::size_t capacity_;
+  bool retain_old_;
+  std::list<Entry> lru_;
+  std::unordered_map<std::int64_t, Iter> map_;
+  std::size_t dirty_count_ = 0;
+};
+
+/// Adapter giving NvCache the same minimal surface as the legacy
+/// storage, so one driver times both.
+class CurrentCacheStorage {
+ public:
+  CurrentCacheStorage(std::size_t capacity, bool retain_old)
+      : cache_(capacity, retain_old) {}
+  bool read(std::int64_t b) { return cache_.read(b); }
+  bool insert_clean(std::int64_t b) { return cache_.insert_clean(b).inserted; }
+  bool write(std::int64_t b) { return cache_.write(b).accepted; }
+  std::vector<std::int64_t> collect_dirty() const {
+    return cache_.collect_dirty();
+  }
+  void begin_destage(std::int64_t b) { cache_.begin_destage(b); }
+  void end_destage(std::int64_t b) { cache_.end_destage(b); }
+  std::size_t dirty_count() const { return cache_.dirty_count(); }
+
+ private:
+  raidsim::NvCache cache_;
+};
+
+/// The per-request cache traffic a cached controller generates: probe,
+/// install on miss, dirty on write, periodic destage sweeps once half
+/// the cache is dirty. Deterministic LCG address stream over 3x the
+/// cache capacity (the controller sees array-local block numbers with
+/// exactly this kind of reuse).
+template <typename Storage>
+double cache_ops_per_sec(std::uint64_t total_ops, std::size_t capacity) {
+  Storage storage(capacity, true);
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t range = static_cast<std::uint64_t>(capacity) * 3;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t op = 0; op < total_ops; ++op) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto block = static_cast<std::int64_t>((lcg >> 24) % range);
+    const std::uint64_t roll = (lcg >> 16) & 15u;
+    if (roll < 9) {
+      if (!storage.read(block)) storage.insert_clean(block);
+    } else {
+      storage.write(block);
+    }
+    if (storage.dirty_count() * 2 > capacity) {
+      for (const std::int64_t dirty : storage.collect_dirty()) {
+        storage.begin_destage(dirty);
+        storage.end_destage(dirty);
+      }
+    }
+  }
+  return static_cast<double>(total_ops) / seconds_since(start);
+}
+
+struct TraceLoadResult {
+  std::uint64_t records = 0;
+  double records_per_sec = 0.0;
+};
+
+TraceLoadResult timed_trace_load(raidsim::TraceStream& stream) {
+  const auto start = std::chrono::steady_clock::now();
+  TraceLoadResult r;
+  std::int64_t sum = 0;
+  while (auto rec = stream.next()) {
+    sum += rec->block;
+    ++r.records;
+  }
+  const double elapsed = seconds_since(start);
+  // Keep the loop honest: fold the checksum into the denominator noise.
+  if (sum == INT64_MIN) std::abort();
+  r.records_per_sec = static_cast<double>(r.records) / elapsed;
   return r;
 }
 
@@ -259,6 +462,7 @@ int main(int argc, char** argv) {
   mirror.cached = false;
   const ReplayResult mirror_run = timed_replay(mirror, "trace2", scale2);
 
+
   TablePrinter replay_table(
       {"replay", "wall ms", "events", "events/sec"});
   replay_table.add_row({"RAID5 cached / trace1",
@@ -273,6 +477,81 @@ int main(int argc, char** argv) {
                             " M"});
   replay_table.print(std::cout);
   std::cout << "\n";
+
+  // ---------------------------------------------- sharded replay bench
+  // The same RAID5/trace1 replay on the sharded engine at several
+  // shard/thread counts. Every point's merged metrics must be
+  // bit-identical to the one-shard run (the engine's determinism
+  // contract); single-threaded multi-shard points isolate the
+  // algorithmic win (smaller per-shard event heaps) from thread
+  // parallelism, which needs actual cores to show up.
+  struct ShardPoint {
+    int shards = 0;
+    int threads = 0;
+    ReplayResult run;
+    bool identical = false;
+  };
+  Metrics one_shard_metrics;
+  SimulationConfig sharded_base = raid5;
+  sharded_base.shards = 1;
+  sharded_base.shard_threads = 1;
+  std::vector<ShardPoint> shard_points;
+  {
+    ShardPoint p;
+    p.shards = 1;
+    p.threads = 1;
+    p.run = timed_replay(sharded_base, "trace1", scale1, &one_shard_metrics);
+    p.identical = true;
+    shard_points.push_back(p);
+  }
+  const int hw_threads = max_threads;
+  for (const auto [shards, threads] :
+       std::vector<std::pair<int, int>>{{2, 1},
+                                        {2, 2},
+                                        {4, 1},
+                                        {4, std::min(4, hw_threads)},
+                                        {13, 1},
+                                        {13, hw_threads}}) {
+    SimulationConfig config = raid5;
+    config.shards = shards;
+    config.shard_threads = threads;
+    ShardPoint p;
+    p.shards = shards;
+    p.threads = threads;
+    Metrics m;
+    p.run = timed_replay(config, "trace1", scale1, &m);
+    p.identical = m.requests == one_shard_metrics.requests &&
+                  m.response_all.count() ==
+                      one_shard_metrics.response_all.count() &&
+                  m.response_all.mean() ==
+                      one_shard_metrics.response_all.mean() &&
+                  m.response_all.p95() ==
+                      one_shard_metrics.response_all.p95() &&
+                  m.events_executed == one_shard_metrics.events_executed &&
+                  m.disk_accesses == one_shard_metrics.disk_accesses;
+    shard_points.push_back(p);
+  }
+
+  TablePrinter shard_table(
+      {"shards", "threads", "wall ms", "events/sec", "vs 1 shard",
+       "identical"});
+  const double one_shard_eps = shard_points.front().run.events_per_sec;
+  bool all_identical = true;
+  for (const auto& p : shard_points) {
+    all_identical = all_identical && p.identical;
+    shard_table.add_row(
+        {std::to_string(p.shards), std::to_string(p.threads),
+         TablePrinter::num(p.run.wall_ms),
+         TablePrinter::num(p.run.events_per_sec / 1e6, 2) + " M",
+         TablePrinter::num(p.run.events_per_sec / one_shard_eps, 2) + "x",
+         p.identical ? "yes" : "NO"});
+  }
+  shard_table.print(std::cout);
+  if (!all_identical) {
+    std::cerr << "FATAL: sharded metrics diverged from the one-shard run\n";
+    return 1;
+  }
+  std::cout << "(hardware threads available: " << (hw ? hw : 1u) << ")\n\n";
 
   // -------------------------------------------------- tracing overhead
   // Same RAID5 replay with the request-lifecycle tracer recording into
@@ -297,6 +576,73 @@ int main(int argc, char** argv) {
   tracing_table.add_row(
       {"overhead", "-", TablePrinter::num(tracing_overhead_pct, 2) + " %"});
   tracing_table.print(std::cout);
+  std::cout << "\n";
+
+  // ------------------------------------------------- cache-index bench
+  const std::uint64_t cache_ops = quick ? 2'000'000 : 10'000'000;
+  const std::size_t cache_capacity = 16384;
+  // Warm both once (first-touch page faults), then measure.
+  cache_ops_per_sec<CurrentCacheStorage>(100'000, cache_capacity);
+  cache_ops_per_sec<LegacyCacheStorage>(100'000, cache_capacity);
+  const double cache_new =
+      cache_ops_per_sec<CurrentCacheStorage>(cache_ops, cache_capacity);
+  const double cache_legacy =
+      cache_ops_per_sec<LegacyCacheStorage>(cache_ops, cache_capacity);
+  const double cache_speedup = cache_new / cache_legacy;
+
+  TablePrinter cache_table({"cache storage", "ops/sec"});
+  cache_table.add_row({"slab + open addressing (current)",
+                       TablePrinter::num(cache_new / 1e6, 2) + " M"});
+  cache_table.add_row({"legacy list + unordered_map",
+                       TablePrinter::num(cache_legacy / 1e6, 2) + " M"});
+  cache_table.add_row({"speedup", TablePrinter::num(cache_speedup, 2) + "x"});
+  cache_table.print(std::cout);
+  std::cout << "\n";
+
+  // -------------------------------------------------- trace-load bench
+  // Serialize one synthetic trace both ways, then time re-reading each
+  // (the repeated-replay workflow trace_convert exists for).
+  const double trace_load_scale = quick ? 0.05 : 0.2;
+  std::string text_trace;
+  std::string binary_trace;
+  {
+    WorkloadOptions wo;
+    wo.scale = trace_load_scale;
+    auto stream = make_workload("trace1", wo);
+    std::ostringstream text_out;
+    TraceWriter::write(*stream, text_out);
+    text_trace = text_out.str();
+    auto stream2 = make_workload("trace1", wo);
+    std::stringstream bin_out(std::ios::in | std::ios::out |
+                              std::ios::binary);
+    BinaryTraceWriter::write(*stream2, bin_out);
+    binary_trace = bin_out.str();
+  }
+  TraceLoadResult text_load;
+  TraceLoadResult binary_load;
+  for (int rep = 0; rep < 3; ++rep) {  // best of 3: parse cost dominates
+    TraceReader text_reader(
+        std::make_unique<std::istringstream>(text_trace));
+    const TraceLoadResult t = timed_trace_load(text_reader);
+    if (t.records_per_sec > text_load.records_per_sec) text_load = t;
+    auto binary_reader = BinaryTraceReader::from_buffer(
+        binary_trace.data(), binary_trace.size());
+    const TraceLoadResult b = timed_trace_load(*binary_reader);
+    if (b.records_per_sec > binary_load.records_per_sec) binary_load = b;
+  }
+  const double trace_load_speedup =
+      binary_load.records_per_sec / text_load.records_per_sec;
+
+  TablePrinter trace_table({"trace load", "records", "records/sec"});
+  trace_table.add_row({"text (parse)", std::to_string(text_load.records),
+                       TablePrinter::num(text_load.records_per_sec / 1e6, 2) +
+                           " M"});
+  trace_table.add_row(
+      {"binary (RSTB)", std::to_string(binary_load.records),
+       TablePrinter::num(binary_load.records_per_sec / 1e6, 2) + " M"});
+  trace_table.add_row(
+      {"speedup", "-", TablePrinter::num(trace_load_speedup, 2) + "x"});
+  trace_table.print(std::cout);
   std::cout << "\n";
 
   // ------------------------------------------------ sweep-scaling bench
@@ -334,7 +680,7 @@ int main(int argc, char** argv) {
   out.setf(std::ios::fixed);
   out.precision(3);
   out << "{\n"
-      << "  \"schema\": 1,\n"
+      << "  \"schema\": 2,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"hardware_threads\": " << (hw ? hw : 1u) << ",\n"
       << "  \"kernel\": {\n"
@@ -352,6 +698,37 @@ int main(int argc, char** argv) {
       << ", \"events\": " << mirror_run.events
       << ", \"events_per_sec\": " << mirror_run.events_per_sec
       << ", \"mean_response_ms\": " << mirror_run.mean_response_ms << "}\n"
+      << "  },\n"
+      << "  \"sharded\": {\n"
+      << "    \"trace\": \"trace1\",\n"
+      << "    \"scale\": " << scale1 << ",\n"
+      << "    \"all_identical\": " << (all_identical ? "true" : "false")
+      << ",\n"
+      << "    \"points\": [";
+  for (std::size_t i = 0; i < shard_points.size(); ++i) {
+    const auto& p = shard_points[i];
+    out << (i ? ", " : "") << "{\"shards\": " << p.shards
+        << ", \"threads\": " << p.threads
+        << ", \"wall_ms\": " << p.run.wall_ms
+        << ", \"events_per_sec\": " << p.run.events_per_sec
+        << ", \"identical\": " << (p.identical ? "true" : "false") << "}";
+  }
+  out << "]\n"
+      << "  },\n"
+      << "  \"cache_index\": {\n"
+      << "    \"ops\": " << cache_ops << ",\n"
+      << "    \"capacity_blocks\": " << cache_capacity << ",\n"
+      << "    \"ops_per_sec\": " << cache_new << ",\n"
+      << "    \"legacy_ops_per_sec\": " << cache_legacy << ",\n"
+      << "    \"speedup_vs_legacy\": " << cache_speedup << "\n"
+      << "  },\n"
+      << "  \"trace_load\": {\n"
+      << "    \"records\": " << text_load.records << ",\n"
+      << "    \"text_records_per_sec\": " << text_load.records_per_sec
+      << ",\n"
+      << "    \"binary_records_per_sec\": " << binary_load.records_per_sec
+      << ",\n"
+      << "    \"speedup_binary_vs_text\": " << trace_load_speedup << "\n"
       << "  },\n"
       << "  \"tracing\": {\n"
       << "    \"events_per_sec_off\": " << traced_off.events_per_sec << ",\n"

@@ -5,6 +5,7 @@
 // Usage: raidsim_cli [flags]
 //   --trace=trace1|trace2     workload preset          (default trace2)
 //   --trace-file=<path>       replay a trace file instead of a preset
+//                             (text or binary; format sniffed)
 //   --scale=<f>               fraction of the preset trace (default 0.25)
 //   --speed=<f>               arrival-rate multiplier   (default 1.0)
 //   --seed=<n>                workload RNG seed override
@@ -21,6 +22,12 @@
 //   --parity-caching          RAID4 parity caching
 //   --fail-disk=<d>           run array 0 degraded with disk d failed
 //   --rebuild                 rebuild the failed disk online
+//   --shards=<n>              sharded engine: n per-array-group event
+//                             kernels on a thread pool (default 0 = the
+//                             classic single-queue engine; incompatible
+//                             with --fail-disk/--rebuild)
+//   --shard-threads=<n>       threads for the sharded engine
+//                             (default 0 = min(shards, hw))
 //   --csv                     machine-readable result line
 #include <cstring>
 #include <iostream>
@@ -31,6 +38,7 @@
 #include "core/reliability.hpp"
 #include "core/simulator.hpp"
 #include "core/workloads.hpp"
+#include "runner/sharded_sim.hpp"
 #include "trace/trace_io.hpp"
 #include "util/table.hpp"
 
@@ -129,6 +137,10 @@ int main(int argc, char** argv) {
       fail_disk = std::atoi(v);
     } else if (arg == "--rebuild") {
       rebuild = true;
+    } else if (const char* v = value("--shards=")) {
+      config.shards = std::atoi(v);
+    } else if (const char* v = value("--shard-threads=")) {
+      config.shard_threads = std::atoi(v);
     } else if (arg == "--csv") {
       csv = true;
     } else {
@@ -140,7 +152,7 @@ int main(int argc, char** argv) {
     config.validate();
     std::unique_ptr<TraceStream> trace;
     if (!trace_file.empty()) {
-      trace = TraceReader::open(trace_file);
+      trace = open_trace(trace_file);  // sniffs text vs binary
       if (workload.speed != 1.0)
         trace = std::make_unique<SpeedAdapter>(std::move(trace),
                                                workload.speed);
@@ -148,17 +160,24 @@ int main(int argc, char** argv) {
       trace = make_workload(trace_name, workload);
     }
 
-    Simulator sim(config, trace->geometry());
-    std::unique_ptr<RebuildProcess> rebuilder;
-    if (fail_disk >= 0) {
-      sim.mutable_controller(0).fail_disk(fail_disk);
-      if (rebuild) {
-        rebuilder = std::make_unique<RebuildProcess>(
-            sim.event_queue(), sim.mutable_controller(0));
-        rebuilder->start(nullptr);
+    Metrics m;
+    if (config.shards >= 1) {
+      if (fail_disk >= 0)
+        fail("--shards is incompatible with --fail-disk/--rebuild");
+      m = run_sharded_simulation(config, *trace, workload.seed);
+    } else {
+      Simulator sim(config, trace->geometry());
+      std::unique_ptr<RebuildProcess> rebuilder;
+      if (fail_disk >= 0) {
+        sim.mutable_controller(0).fail_disk(fail_disk);
+        if (rebuild) {
+          rebuilder = std::make_unique<RebuildProcess>(
+              sim.event_queue(), sim.mutable_controller(0));
+          rebuilder->start(nullptr);
+        }
       }
+      m = sim.run(*trace);
     }
-    const Metrics m = sim.run(*trace);
 
     if (csv) {
       std::cout << config.describe() << ',' << m.requests << ','

@@ -1,10 +1,15 @@
-// Trace toolbox: generate a synthetic OLTP trace to a file, analyse a
-// trace file (Table 2-style statistics), or replay one through a chosen
+// Trace toolbox: generate a synthetic OLTP trace to a file, convert
+// between the text and binary trace formats, analyse a trace file
+// (Table 2-style statistics), or replay one through a chosen
 // organization. Shows the TraceReader/TraceWriter path users take to
-// drive the simulator with their own traces.
+// drive the simulator with their own traces. analyze/replay sniff the
+// format, and generate picks it from the output extension: `.btrace`
+// writes the compact binary format (records bounds-checked up front so
+// replays skip per-record validation), anything else the text format.
 //
 // Usage:
-//   trace_tools generate <trace1|trace2> <scale> <out.trace>
+//   trace_tools generate <trace1|trace2> <scale> <out.trace|out.btrace>
+//   trace_tools convert <in.trace> <out.trace|out.btrace>
 //   trace_tools analyze <file.trace>
 //   trace_tools replay <file.trace> <base|mirror|raid5|parstrip>
 #include <fstream>
@@ -21,11 +26,37 @@ namespace {
 
 int usage() {
   std::cerr << "usage:\n"
-               "  trace_tools generate <trace1|trace2> <scale> <out.trace>\n"
+               "  trace_tools generate <trace1|trace2> <scale> "
+               "<out.trace|out.btrace>\n"
+               "  trace_tools convert <in.trace> <out.trace|out.btrace>\n"
                "  trace_tools analyze <file.trace>\n"
                "  trace_tools replay <file.trace> "
                "<base|mirror|raid5|parstrip> [--cached]\n";
   return 2;
+}
+
+bool wants_binary(const std::string& path) {
+  const std::string ext = ".btrace";
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+int write_stream(raidsim::TraceStream& stream, const std::string& out_path) {
+  if (wants_binary(out_path)) {
+    const auto records = raidsim::BinaryTraceWriter::write_file(stream,
+                                                                out_path);
+    std::cout << "wrote " << out_path << " (" << records
+              << " records, binary prevalidated)\n";
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  raidsim::TraceWriter::write(stream, out);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -40,18 +71,17 @@ int main(int argc, char** argv) {
     WorkloadOptions options;
     options.scale = std::atof(argv[3]);
     auto trace = make_workload(argv[2], options);
-    std::ofstream out(argv[4]);
-    if (!out) {
-      std::cerr << "cannot open " << argv[4] << "\n";
-      return 1;
-    }
-    TraceWriter::write(*trace, out);
-    std::cout << "wrote " << argv[4] << "\n";
-    return 0;
+    return write_stream(*trace, argv[4]);
+  }
+
+  if (command == "convert") {
+    if (argc < 4) return usage();
+    auto in = open_trace(argv[2]);
+    return write_stream(*in, argv[3]);
   }
 
   if (command == "analyze") {
-    auto reader = TraceReader::open(argv[2]);
+    auto reader = open_trace(argv[2]);
     const TraceStats stats = TraceStats::collect(*reader);
     std::cout << TraceStats::table({&stats}, {argv[2]});
     return 0;
@@ -69,7 +99,7 @@ int main(int argc, char** argv) {
     else return usage();
     config.cached = argc > 4 && std::string(argv[4]) == "--cached";
 
-    auto reader = TraceReader::open(argv[2]);
+    auto reader = open_trace(argv[2]);
     const Metrics m = run_simulation(config, *reader);
     TablePrinter table({"metric", "value"});
     table.add_row({"requests", std::to_string(m.requests)});

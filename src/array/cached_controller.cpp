@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/pool_alloc.hpp"
+
 namespace raidsim {
 
 namespace {
@@ -146,7 +148,7 @@ void CachedController::submit_write(const ArrayRequest& request,
   obs_instant(tracer_, all_cached ? ObsPhase::kCacheHit : ObsPhase::kCacheMiss,
               array_index_, -1, eq_.now(), request.obs_id);
 
-  auto state = std::make_shared<StalledWrite>();
+  auto state = make_pooled<StalledWrite>();
   state->blocks.reserve(static_cast<std::size_t>(request.block_count));
   for (int i = 0; i < request.block_count; ++i)
     state->blocks.push_back(request.logical_block + i);
@@ -380,7 +382,7 @@ void CachedController::execute_update_spooled(
       !update.writes.empty()) {
     const std::uint64_t id = journal_->open(update, eq_.now());
     ++stats_.journal_intents;
-    auto pending = std::make_shared<int>(2);
+    auto pending = make_pooled<int>(2);
     intent_arrive = [this, id, pending](SimTime t) {
       if (--*pending == 0 && journal_) journal_->close(id, t);
     };

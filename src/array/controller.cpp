@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/pool_alloc.hpp"
+
 namespace raidsim {
 
 std::string to_string(SyncPolicy policy) {
@@ -20,8 +22,7 @@ std::string to_string(SyncPolicy policy) {
 
 std::shared_ptr<Barrier> Barrier::create(int count, Fire fire) {
   assert(count >= 0);
-  auto barrier = std::shared_ptr<Barrier>(new Barrier(count, std::move(fire)));
-  return barrier;
+  return make_pooled<Barrier>(Key{}, count, std::move(fire));
 }
 
 void Barrier::arrive(SimTime now) {
@@ -623,7 +624,7 @@ void ArrayController::execute_update_impl(
   // The gate opens when the new parity is computable: every data piece
   // whose old content is not already in the controller must finish its
   // old-data read first.
-  auto gate = std::make_shared<WriteGate>();
+  auto gate = make_pooled<WriteGate>();
   int gate_inputs = 0;
   std::vector<bool> piece_old_cached(data_pieces.size());
   for (std::size_t i = 0; i < data_pieces.size(); ++i) {
@@ -652,7 +653,7 @@ void ArrayController::execute_update_impl(
     }
   }
   auto parity_remaining =
-      std::make_shared<int>(static_cast<int>(parity_pieces.size()));
+      make_pooled<int>(static_cast<int>(parity_pieces.size()));
 
   // Issuing the parity access(es): immediately for SI; when all old data
   // have been read for RF; when all data accesses have acquired their

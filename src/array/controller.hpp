@@ -42,10 +42,20 @@ struct ArrayRequest {
 /// have occurred. Created with the full count; a zero count fires on
 /// creation.
 class Barrier {
+  /// Pass-key: the constructor must be reachable by allocate_shared (so
+  /// barriers come from the per-thread object pool) without letting other
+  /// code bypass create().
+  struct Key {
+    explicit Key() = default;
+  };
+
  public:
   using Fire = std::function<void(SimTime)>;
 
   static std::shared_ptr<Barrier> create(int count, Fire fire);
+
+  Barrier(Key, int count, Fire fire)
+      : remaining_(count), fire_(std::move(fire)) {}
 
   void arrive(SimTime now);
   /// Add expected arrivals before any arrive() call brings it to zero.
@@ -53,7 +63,6 @@ class Barrier {
   int remaining() const { return remaining_; }
 
  private:
-  Barrier(int count, Fire fire) : remaining_(count), fire_(std::move(fire)) {}
   int remaining_;
   Fire fire_;
 };

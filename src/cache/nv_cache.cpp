@@ -1,66 +1,222 @@
 #include "cache/nv_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace raidsim {
 
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 NvCache::NvCache(std::size_t capacity_blocks, bool retain_old_data)
     : capacity_(capacity_blocks), retain_old_data_(retain_old_data) {
   if (capacity_blocks == 0)
     throw std::invalid_argument("NvCache: zero capacity");
+  // Pre-size for the common case (a few thousand to a few hundred
+  // thousand blocks per array); a pathologically large capacity grows on
+  // demand instead of reserving gigabytes up front.
+  const std::size_t expected = std::min<std::size_t>(capacity_, 1u << 20);
+  slab_.reserve(expected);
+  table_.assign(next_pow2(std::max<std::size_t>(16, expected * 2)), kNil);
+  mask_ = table_.size() - 1;
 }
 
-bool NvCache::contains(std::int64_t block) const {
-  return index_.count(data_key(block)) > 0;
+// ---------------------------------------------------------- LRU list
+
+void NvCache::lru_push_front(std::int32_t slot) {
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  e.prev = kNil;
+  e.next = head_;
+  if (head_ != kNil) slab_[static_cast<std::size_t>(head_)].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
 }
 
-void NvCache::touch(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
+void NvCache::lru_unlink(std::int32_t slot) {
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  if (e.prev != kNil)
+    slab_[static_cast<std::size_t>(e.prev)].next = e.next;
+  else
+    head_ = e.next;
+  if (e.next != kNil)
+    slab_[static_cast<std::size_t>(e.next)].prev = e.prev;
+  else
+    tail_ = e.prev;
 }
 
-void NvCache::erase_entry(LruList::iterator it) {
-  const std::int64_t key = it->key;
-  if (key % 2 == 1) {
-    old_set_.erase(key / 2);
-  } else {
-    dirty_set_.erase(key / 2);
+void NvCache::touch(std::int32_t slot) {
+  if (slot == head_) return;
+  lru_unlink(slot);
+  lru_push_front(slot);
+}
+
+// --------------------------------------------------------- dirty list
+
+void NvCache::dirty_link(std::int32_t slot) {
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  e.dprev = kNil;
+  e.dnext = dirty_head_;
+  if (dirty_head_ != kNil)
+    slab_[static_cast<std::size_t>(dirty_head_)].dprev = slot;
+  dirty_head_ = slot;
+}
+
+void NvCache::dirty_unlink(std::int32_t slot) {
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  if (e.dprev != kNil)
+    slab_[static_cast<std::size_t>(e.dprev)].dnext = e.dnext;
+  else
+    dirty_head_ = e.dnext;
+  if (e.dnext != kNil)
+    slab_[static_cast<std::size_t>(e.dnext)].dprev = e.dprev;
+  e.dprev = kNil;
+  e.dnext = kNil;
+}
+
+// --------------------------------------------------------- hash index
+
+std::int32_t NvCache::index_find(std::int64_t key) const {
+  std::size_t i = hash_key(key) & mask_;
+  for (;;) {
+    const std::int32_t slot = table_[i];
+    if (slot == kNil) return kNil;
+    if (slab_[static_cast<std::size_t>(slot)].key == key) return slot;
+    i = (i + 1) & mask_;
   }
-  index_.erase(key);
-  lru_.erase(it);
+}
+
+void NvCache::index_insert(std::int64_t key, std::int32_t slot) {
+  if ((live_ + 1) * 2 > table_.size()) index_grow();
+  std::size_t i = hash_key(key) & mask_;
+  while (table_[i] != kNil) i = (i + 1) & mask_;
+  table_[i] = slot;
+}
+
+void NvCache::index_erase(std::int64_t key) {
+  std::size_t i = hash_key(key) & mask_;
+  for (;;) {
+    const std::int32_t slot = table_[i];
+    assert(slot != kNil && "index_erase: key not present");
+    if (slot != kNil &&
+        slab_[static_cast<std::size_t>(slot)].key == key)
+      break;
+    if (slot == kNil) return;
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift deletion: walk the probe chain and pull every entry
+  // whose home position precedes the hole back into it, so lookups never
+  // need tombstones.
+  std::size_t hole = i;
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask_;
+    const std::int32_t slot = table_[j];
+    if (slot == kNil) break;
+    const std::size_t home =
+        hash_key(slab_[static_cast<std::size_t>(slot)].key) & mask_;
+    if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+      table_[hole] = slot;
+      hole = j;
+    }
+  }
+  table_[hole] = kNil;
+}
+
+void NvCache::index_grow() {
+  std::vector<std::int32_t> old = std::move(table_);
+  table_.assign(old.size() * 2, kNil);
+  mask_ = table_.size() - 1;
+  for (const std::int32_t slot : old) {
+    if (slot == kNil) continue;
+    std::size_t i =
+        hash_key(slab_[static_cast<std::size_t>(slot)].key) & mask_;
+    while (table_[i] != kNil) i = (i + 1) & mask_;
+    table_[i] = slot;
+  }
+}
+
+// -------------------------------------------------------- entry slab
+
+std::int32_t NvCache::create_entry(std::int64_t key, bool dirty) {
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::int32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  e.key = key;
+  e.dirty = dirty;
+  e.in_flight = false;
+  e.redirtied = false;
+  e.dprev = kNil;
+  e.dnext = kNil;
+  lru_push_front(slot);
+  index_insert(key, slot);
+  ++live_;
+  if (dirty) dirty_link(slot);
+  return slot;
+}
+
+void NvCache::erase_slot(std::int32_t slot) {
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  const std::int64_t key = e.key;
+  if (key % 2 == 1) {
+    --old_count_;
+  } else if (e.dirty) {
+    --dirty_count_;
+    dirty_unlink(slot);
+  }
+  index_erase(key);
+  lru_unlink(slot);
+  free_slots_.push_back(slot);
+  --live_;
 }
 
 bool NvCache::make_room(bool allow_dirty, bool& evicted_dirty,
-                        std::int64_t& victim, const Entry* protect) {
+                        std::int64_t& victim, std::int32_t protect) {
   evicted_dirty = false;
   victim = -1;
   if (size() < capacity_) return true;
-  if (lru_.empty()) return false;  // cache entirely pinned by parity slots
-  for (auto it = std::prev(lru_.end());; --it) {
-    if (&*it != protect && !it->in_flight && (allow_dirty || !it->dirty)) {
+  if (live_ == 0) return false;  // cache entirely pinned by parity slots
+  for (std::int32_t s = tail_; s != kNil;
+       s = slab_[static_cast<std::size_t>(s)].prev) {
+    Entry& e = slab_[static_cast<std::size_t>(s)];
+    if (s != protect && !e.in_flight && (allow_dirty || !e.dirty)) {
       ++stats_.evictions;
-      const std::int64_t key = it->key;
+      const std::int64_t key = e.key;
       if (key % 2 == 1) ++stats_.old_evictions;
-      if (it->dirty) {
+      if (e.dirty) {
         ++stats_.dirty_evictions;
         evicted_dirty = true;
         victim = key / 2;
         // A dirty data block leaving the cache makes its old copy useless.
-        if (auto old_it = index_.find(old_key(victim)); old_it != index_.end())
-          erase_entry(old_it->second);
+        const std::int32_t old_slot = index_find(old_key(victim));
+        if (old_slot != kNil) erase_slot(old_slot);
       }
-      erase_entry(it);
+      erase_slot(s);
       return true;
     }
-    if (it == lru_.begin()) break;
   }
   return false;
 }
 
+// ------------------------------------------------------------- reads
+
 bool NvCache::read(std::int64_t block) {
-  auto it = index_.find(data_key(block));
-  if (it != index_.end()) {
-    touch(it->second);
+  const std::int32_t slot = index_find(data_key(block));
+  if (slot != kNil) {
+    touch(slot);
     ++stats_.read_hits;
     return true;
   }
@@ -78,41 +234,44 @@ NvCache::InsertResult NvCache::insert_clean(std::int64_t block) {
     ++stats_.stalls;
     return result;
   }
-  lru_.push_front(Entry{data_key(block), /*dirty=*/false});
-  index_[data_key(block)] = lru_.begin();
+  create_entry(data_key(block), /*dirty=*/false);
   result.inserted = true;
   return result;
 }
 
+// ------------------------------------------------------------ writes
+
 NvCache::WriteResult NvCache::write(std::int64_t block) {
   WriteResult result;
-  auto it = index_.find(data_key(block));
-  if (it != index_.end()) {
+  const std::int32_t slot = index_find(data_key(block));
+  if (slot != kNil) {
     ++stats_.write_hits;
     result.accepted = true;
     result.hit = true;
-    Entry& entry = *it->second;
-    if (entry.in_flight) entry.redirtied = true;
-    if (!entry.dirty) {
+    {
+      Entry& entry = slab_[static_cast<std::size_t>(slot)];
+      if (entry.in_flight) entry.redirtied = true;
+    }
+    if (!slab_[static_cast<std::size_t>(slot)].dirty) {
       // Capture the on-disk version so the destage will not need to
       // re-read the old data (parity organizations only). Skipped when it
       // would require evicting a dirty block.
-      if (retain_old_data_ && old_set_.count(block) == 0) {
+      if (retain_old_data_ && index_find(old_key(block)) == kNil) {
         bool evicted_dirty = false;
         std::int64_t victim = -1;
         if (make_room(/*allow_dirty=*/false, evicted_dirty, victim,
-                      /*protect=*/&entry)) {
-          lru_.push_front(Entry{old_key(block), /*dirty=*/false});
-          index_[old_key(block)] = lru_.begin();
-          old_set_.insert(block);
+                      /*protect=*/slot)) {
+          create_entry(old_key(block), /*dirty=*/false);
+          ++old_count_;
           result.captured_old = true;
           ++stats_.old_captures;
         }
       }
-      entry.dirty = true;
-      dirty_set_.insert(block);
+      slab_[static_cast<std::size_t>(slot)].dirty = true;
+      ++dirty_count_;
+      dirty_link(slot);
     }
-    touch(it->second);
+    touch(slot);
     return result;
   }
 
@@ -121,64 +280,68 @@ NvCache::WriteResult NvCache::write(std::int64_t block) {
     ++stats_.stalls;
     return result;  // accepted == false: controller must stall the write
   }
-  lru_.push_front(Entry{data_key(block), /*dirty=*/true});
-  index_[data_key(block)] = lru_.begin();
-  dirty_set_.insert(block);
+  create_entry(data_key(block), /*dirty=*/true);
+  ++dirty_count_;
   result.accepted = true;
   return result;
 }
 
+// ----------------------------------------------------------- destage
+
 std::vector<std::int64_t> NvCache::collect_dirty() const {
   std::vector<std::int64_t> out;
-  out.reserve(dirty_set_.size());
-  for (std::int64_t block : dirty_set_) {
-    auto it = index_.find(data_key(block));
-    assert(it != index_.end());
-    if (!it->second->in_flight) out.push_back(block);
+  out.reserve(dirty_count_);
+  for (std::int32_t s = dirty_head_; s != kNil;
+       s = slab_[static_cast<std::size_t>(s)].dnext) {
+    const Entry& e = slab_[static_cast<std::size_t>(s)];
+    if (!e.in_flight) out.push_back(e.key / 2);
   }
   return out;
 }
 
-bool NvCache::is_dirty(std::int64_t block) const {
-  return dirty_set_.count(block) > 0;
-}
-
 bool NvCache::destage_eligible(std::int64_t block) const {
-  auto it = index_.find(data_key(block));
-  return it != index_.end() && it->second->dirty && !it->second->in_flight;
+  const std::int32_t slot = index_find(data_key(block));
+  if (slot == kNil) return false;
+  const Entry& e = slab_[static_cast<std::size_t>(slot)];
+  return e.dirty && !e.in_flight;
 }
 
 void NvCache::begin_destage(std::int64_t block) {
-  auto it = index_.find(data_key(block));
-  assert(it != index_.end() && it->second->dirty);
-  it->second->in_flight = true;
-  it->second->redirtied = false;
+  const std::int32_t slot = index_find(data_key(block));
+  assert(slot != kNil && slab_[static_cast<std::size_t>(slot)].dirty);
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  e.in_flight = true;
+  e.redirtied = false;
 }
 
 void NvCache::end_destage(std::int64_t block) {
-  auto it = index_.find(data_key(block));
-  if (it == index_.end()) return;  // evicted while in flight (shouldn't happen)
-  Entry& entry = *it->second;
+  const std::int32_t slot = index_find(data_key(block));
+  if (slot == kNil) return;  // evicted while in flight (shouldn't happen)
+  Entry& entry = slab_[static_cast<std::size_t>(slot)];
   entry.in_flight = false;
   if (entry.redirtied) {
     entry.redirtied = false;  // stays dirty; old copy now reflects disk
     return;
   }
   entry.dirty = false;
-  dirty_set_.erase(block);
+  --dirty_count_;
+  dirty_unlink(slot);
   // The destage freed the old copy (Section 3.4: the destage process
   // "frees up space in the cache by getting rid of blocks holding old
   // data").
-  if (auto old_it = index_.find(old_key(block)); old_it != index_.end())
-    erase_entry(old_it->second);
+  const std::int32_t old_slot = index_find(old_key(block));
+  if (old_slot != kNil) erase_slot(old_slot);
 }
 
 void NvCache::abort_destage(std::int64_t block) {
-  auto it = index_.find(data_key(block));
-  if (it == index_.end()) return;
-  it->second->in_flight = false;
-  it->second->redirtied = false;
+  const std::int32_t slot = index_find(data_key(block));
+  if (slot == kNil) return;
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  e.in_flight = false;
+  e.redirtied = false;
 }
+
+// ------------------------------------------------------ parity slots
 
 bool NvCache::try_reserve_parity_slot() {
   bool evicted_dirty = false;
@@ -196,12 +359,18 @@ void NvCache::release_parity_slot() {
   --parity_slots_;
 }
 
+// ------------------------------------------------------------- crash
+
 void NvCache::crash_reset(bool preserve) {
   if (!preserve) {
-    lru_.clear();
-    index_.clear();
-    dirty_set_.clear();
-    old_set_.clear();
+    slab_.clear();
+    free_slots_.clear();
+    head_ = tail_ = kNil;
+    dirty_head_ = kNil;
+    live_ = 0;
+    std::fill(table_.begin(), table_.end(), kNil);
+    dirty_count_ = 0;
+    old_count_ = 0;
     parity_slots_ = 0;
     return;
   }
@@ -212,15 +381,16 @@ void NvCache::crash_reset(bool preserve) {
   // slots empty too: the spooled XOR deltas they reserve space for live
   // in controller volatile memory and did not survive.
   parity_slots_ = 0;
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key % 2 == 1) {
-      auto victim = it++;
-      erase_entry(victim);
-      continue;
+  for (std::int32_t s = head_; s != kNil;) {
+    Entry& e = slab_[static_cast<std::size_t>(s)];
+    const std::int32_t next = e.next;
+    if (e.key % 2 == 1) {
+      erase_slot(s);
+    } else {
+      e.in_flight = false;
+      e.redirtied = false;
     }
-    it->in_flight = false;
-    it->redirtied = false;
-    ++it;
+    s = next;
   }
 }
 

@@ -1,9 +1,7 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace raidsim {
@@ -23,6 +21,14 @@ namespace raidsim {
 /// when no evictable entry exists, insertions fail and the controller
 /// stalls the request, which reproduces the paper's "writes have to wait
 /// for a block to become free" behaviour.
+///
+/// Storage: entries live in a slab threaded onto an intrusive
+/// doubly-linked LRU list (indices, not pointers, so the slab can grow),
+/// and are located through an open-addressing linear-probe index with
+/// backward-shift deletion. One simulated cache op is therefore a couple
+/// of flat-array probes -- no per-entry heap allocation, no node churn --
+/// which matters because every host read/write and every destage pass
+/// goes through here.
 class NvCache {
  public:
   NvCache(std::size_t capacity_blocks, bool retain_old_data);
@@ -59,7 +65,9 @@ class NvCache {
   bool read(std::int64_t block);
 
   /// Probe without statistics or LRU movement.
-  bool contains(std::int64_t block) const;
+  bool contains(std::int64_t block) const {
+    return index_find(data_key(block)) != kNil;
+  }
 
   struct InsertResult {
     bool inserted = false;       // false: every entry is pinned (stall)
@@ -90,12 +98,17 @@ class NvCache {
   /// Dirty blocks not currently being destaged, in no particular order.
   std::vector<std::int64_t> collect_dirty() const;
 
-  bool is_dirty(std::int64_t block) const;
+  bool is_dirty(std::int64_t block) const {
+    const std::int32_t slot = index_find(data_key(block));
+    return slot != kNil && slab_[static_cast<std::size_t>(slot)].dirty;
+  }
 
   /// Dirty and not currently in flight (safe to begin_destage).
   bool destage_eligible(std::int64_t block) const;
-  bool has_old(std::int64_t block) const { return old_set_.count(block) > 0; }
-  std::size_t dirty_count() const { return dirty_set_.size(); }
+  bool has_old(std::int64_t block) const {
+    return index_find(old_key(block)) != kNil;
+  }
+  std::size_t dirty_count() const { return dirty_count_; }
 
   /// Mark a dirty block as being written back.
   void begin_destage(std::int64_t block);
@@ -131,39 +144,85 @@ class NvCache {
   // ------------------------------------------------------------- misc
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return index_.size() + parity_slots_; }
-  std::size_t old_entries() const { return old_set_.size(); }
+  std::size_t size() const { return live_ + parity_slots_; }
+  std::size_t old_entries() const { return old_count_; }
   const Stats& stats() const { return stats_; }
 
  private:
+  static constexpr std::int32_t kNil = -1;
+
   struct Entry {
-    std::int64_t key;  // data: block*2, old copy: block*2+1
+    std::int64_t key = 0;  // data: block*2, old copy: block*2+1
+    std::int32_t prev = kNil;  // toward MRU
+    std::int32_t next = kNil;  // toward LRU
+    // Dirty-list links (valid only while a data entry is dirty), so the
+    // destage timer's collect_dirty() walk is O(dirty blocks) instead of
+    // O(cache capacity) -- mostly-clean caches are the common state.
+    std::int32_t dprev = kNil;
+    std::int32_t dnext = kNil;
     bool dirty = false;
     bool in_flight = false;
     bool redirtied = false;
   };
-  using LruList = std::list<Entry>;
 
   static std::int64_t data_key(std::int64_t block) { return block * 2; }
   static std::int64_t old_key(std::int64_t block) { return block * 2 + 1; }
+  static std::size_t hash_key(std::int64_t key) {
+    // splitmix64 finalizer: block keys are sequential, so the index
+    // needs real avalanche to keep probe chains short.
+    auto x = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+
+  // Intrusive LRU list over the slab. head = MRU, tail = LRU.
+  void lru_push_front(std::int32_t slot);
+  void lru_unlink(std::int32_t slot);
+  void touch(std::int32_t slot);
+
+  // Intrusive list of dirty data entries (unordered; the destage path
+  // sorts what it collects).
+  void dirty_link(std::int32_t slot);
+  void dirty_unlink(std::int32_t slot);
+
+  // Open-addressing index: table of slab slots, linear probing,
+  // backward-shift deletion, grown at 50% load.
+  std::int32_t index_find(std::int64_t key) const;
+  void index_insert(std::int64_t key, std::int32_t slot);
+  void index_erase(std::int64_t key);
+  void index_grow();
+
+  /// Allocate a slab entry (recycling freed slots), link it at MRU, and
+  /// index it. The caller maintains the dirty/old counters.
+  std::int32_t create_entry(std::int64_t key, bool dirty);
+
+  /// Unlink + unindex + recycle one entry, maintaining the counters.
+  void erase_slot(std::int32_t slot);
 
   /// Evict one entry to make room. Returns false when nothing is
   /// evictable. On success fills `evicted_dirty`/`victim` (never actually
   /// evicts dirty entries unless `allow_dirty`). `protect`, when given,
-  /// names an entry that must not be chosen as the victim (used when
+  /// names a slab slot that must not be chosen as the victim (used when
   /// making room on behalf of an entry already in the cache).
   bool make_room(bool allow_dirty, bool& evicted_dirty, std::int64_t& victim,
-                 const Entry* protect = nullptr);
-
-  void erase_entry(LruList::iterator it);
-  void touch(LruList::iterator it);
+                 std::int32_t protect = kNil);
 
   std::size_t capacity_;
   bool retain_old_data_;
-  LruList lru_;  // front = MRU
-  std::unordered_map<std::int64_t, LruList::iterator> index_;
-  std::unordered_set<std::int64_t> dirty_set_;
-  std::unordered_set<std::int64_t> old_set_;
+
+  std::vector<Entry> slab_;
+  std::vector<std::int32_t> free_slots_;
+  std::int32_t head_ = kNil;  // MRU
+  std::int32_t tail_ = kNil;  // LRU
+  std::int32_t dirty_head_ = kNil;
+  std::size_t live_ = 0;      // entries on the LRU list
+
+  std::vector<std::int32_t> table_;  // slab slots; kNil = empty
+  std::size_t mask_ = 0;             // table_.size() - 1 (power of two)
+
+  std::size_t dirty_count_ = 0;
+  std::size_t old_count_ = 0;
   std::size_t parity_slots_ = 0;
   Stats stats_;
 };

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <memory>
+
+#include "util/pool_alloc.hpp"
 #include <stdexcept>
 #include <utility>
 
@@ -36,7 +38,7 @@ void Channel::start_next() {
   const double dur = transfer_ms(p.bytes);
   busy_ms_ += dur;
   ++transfers_;
-  auto cb = std::make_shared<Pending>(std::move(p));
+  auto cb = make_pooled<Pending>(std::move(p));
   eq_.schedule_in(dur, [this, cb] {
     if (cb->on_complete) cb->on_complete(eq_.now());
     start_next();

@@ -32,6 +32,10 @@ void SimulationConfig::validate() const {
   if (organization == Organization::kRaid4 && !cached)
     throw std::invalid_argument(
         "SimulationConfig: the paper only evaluates RAID4 with a cache");
+  if (shards < 0)
+    throw std::invalid_argument("SimulationConfig: negative shards");
+  if (shard_threads < 0)
+    throw std::invalid_argument("SimulationConfig: negative shard_threads");
   if (obs.tracing && obs.max_trace_events == 0)
     throw std::invalid_argument("SimulationConfig: max_trace_events == 0");
   if (obs.sample_interval_ms > 0.0 && obs.sampler_capacity == 0)

@@ -54,6 +54,19 @@ struct SimulationConfig {
   /// instead of the whole array (see docs/fault_model.md).
   bool intent_journal = false;
 
+  /// Intra-run sharding (src/runner/sharded_sim.hpp). 0 = the classic
+  /// single-event-queue engine. >= 1 partitions the arrays of THIS run
+  /// into that many independent event kernels executed on a thread pool
+  /// (clamped to the array count); arrays share no simulation state, so
+  /// per-array trajectories are exact, and merged metrics are
+  /// bit-identical at any shard/thread count (see docs/performance.md for
+  /// how the sharded engine's shutdown discipline differs from the
+  /// classic engine's).
+  int shards = 0;
+  /// Worker threads for the sharded engine; 0 = min(shards, hardware
+  /// concurrency). Thread count never changes results, only wall time.
+  int shard_threads = 0;
+
   /// Observability (src/obs). Tracing records request-lifecycle spans by
   /// passive appends only -- it never schedules events, so a traced run
   /// executes exactly the same kernel events as an untraced one. The

@@ -5,6 +5,68 @@
 
 namespace raidsim {
 
+void accumulate(DiskStats& total, const DiskStats& src) {
+  total.reads += src.reads;
+  total.writes += src.writes;
+  total.rmws += src.rmws;
+  total.busy_ms += src.busy_ms;
+  total.seek_ms += src.seek_ms;
+  total.latency_ms += src.latency_ms;
+  total.transfer_ms += src.transfer_ms;
+  total.hold_ms += src.hold_ms;
+  total.queue_ms += src.queue_ms;
+  total.held_rotations += src.held_rotations;
+  total.transient_faults += src.transient_faults;
+  total.media_faults += src.media_faults;
+  total.power_fail_drops += src.power_fail_drops;
+}
+
+void accumulate(ControllerStats& total, const ControllerStats& src) {
+  total.read_requests += src.read_requests;
+  total.write_requests += src.write_requests;
+  total.read_request_hits += src.read_request_hits;
+  total.write_request_hits += src.write_request_hits;
+  total.destage_writes += src.destage_writes;
+  total.destage_blocks += src.destage_blocks;
+  total.sync_victim_writes += src.sync_victim_writes;
+  total.write_stalls += src.write_stalls;
+  total.parity_spools += src.parity_spools;
+  total.parity_reservation_failures += src.parity_reservation_failures;
+  total.parity_queue_peak =
+      std::max(total.parity_queue_peak, src.parity_queue_peak);
+  total.degraded_reads += src.degraded_reads;
+  total.degraded_writes += src.degraded_writes;
+  total.unrecoverable += src.unrecoverable;
+  total.transient_retries += src.transient_retries;
+  total.retry_exhaustions += src.retry_exhaustions;
+  total.media_errors += src.media_errors;
+  total.media_repairs += src.media_repairs;
+  total.media_losses += src.media_losses;
+  total.crashes += src.crashes;
+  total.crash_dropped_ops += src.crash_dropped_ops;
+  total.crash_discarded_write_blocks += src.crash_discarded_write_blocks;
+  total.crash_aborted_host_writes += src.crash_aborted_host_writes;
+  total.journal_intents += src.journal_intents;
+  total.journal_replays += src.journal_replays;
+  total.resync_stripes += src.resync_stripes;
+  total.resync_read_blocks += src.resync_read_blocks;
+  total.resync_write_blocks += src.resync_write_blocks;
+  total.full_resyncs += src.full_resyncs;
+  total.recovery_ms += src.recovery_ms;
+}
+
+void accumulate(NvCache::Stats& total, const NvCache::Stats& src) {
+  total.read_hits += src.read_hits;
+  total.read_misses += src.read_misses;
+  total.write_hits += src.write_hits;
+  total.write_misses += src.write_misses;
+  total.evictions += src.evictions;
+  total.old_evictions += src.old_evictions;
+  total.dirty_evictions += src.dirty_evictions;
+  total.stalls += src.stalls;
+  total.old_captures += src.old_captures;
+}
+
 double Metrics::mean_disk_utilization() const {
   if (disk_utilization.empty()) return 0.0;
   double sum = 0.0;

@@ -48,4 +48,11 @@ struct Metrics {
   double disk_access_cv() const;
 };
 
+/// Sum `src` into `total` field by field (parity_queue_peak takes the
+/// max). Shared by the single-queue finalize path and the sharded merge,
+/// so both engines aggregate array statistics in exactly the same order.
+void accumulate(DiskStats& total, const DiskStats& src);
+void accumulate(ControllerStats& total, const ControllerStats& src);
+void accumulate(NvCache::Stats& total, const NvCache::Stats& src);
+
 }  // namespace raidsim

@@ -9,72 +9,6 @@
 
 namespace raidsim {
 
-namespace {
-
-void accumulate(DiskStats& total, const DiskStats& d) {
-  total.reads += d.reads;
-  total.writes += d.writes;
-  total.rmws += d.rmws;
-  total.busy_ms += d.busy_ms;
-  total.seek_ms += d.seek_ms;
-  total.latency_ms += d.latency_ms;
-  total.transfer_ms += d.transfer_ms;
-  total.hold_ms += d.hold_ms;
-  total.queue_ms += d.queue_ms;
-  total.held_rotations += d.held_rotations;
-  total.transient_faults += d.transient_faults;
-  total.media_faults += d.media_faults;
-  total.power_fail_drops += d.power_fail_drops;
-}
-
-void accumulate(ControllerStats& total, const ControllerStats& c) {
-  total.read_requests += c.read_requests;
-  total.write_requests += c.write_requests;
-  total.read_request_hits += c.read_request_hits;
-  total.write_request_hits += c.write_request_hits;
-  total.destage_writes += c.destage_writes;
-  total.destage_blocks += c.destage_blocks;
-  total.sync_victim_writes += c.sync_victim_writes;
-  total.write_stalls += c.write_stalls;
-  total.parity_spools += c.parity_spools;
-  total.parity_reservation_failures += c.parity_reservation_failures;
-  total.parity_queue_peak =
-      std::max(total.parity_queue_peak, c.parity_queue_peak);
-  total.degraded_reads += c.degraded_reads;
-  total.degraded_writes += c.degraded_writes;
-  total.unrecoverable += c.unrecoverable;
-  total.transient_retries += c.transient_retries;
-  total.retry_exhaustions += c.retry_exhaustions;
-  total.media_errors += c.media_errors;
-  total.media_repairs += c.media_repairs;
-  total.media_losses += c.media_losses;
-  total.crashes += c.crashes;
-  total.crash_dropped_ops += c.crash_dropped_ops;
-  total.crash_discarded_write_blocks += c.crash_discarded_write_blocks;
-  total.crash_aborted_host_writes += c.crash_aborted_host_writes;
-  total.journal_intents += c.journal_intents;
-  total.journal_replays += c.journal_replays;
-  total.resync_stripes += c.resync_stripes;
-  total.resync_read_blocks += c.resync_read_blocks;
-  total.resync_write_blocks += c.resync_write_blocks;
-  total.full_resyncs += c.full_resyncs;
-  total.recovery_ms += c.recovery_ms;
-}
-
-void accumulate(NvCache::Stats& total, const NvCache::Stats& c) {
-  total.read_hits += c.read_hits;
-  total.read_misses += c.read_misses;
-  total.write_hits += c.write_hits;
-  total.write_misses += c.write_misses;
-  total.evictions += c.evictions;
-  total.old_evictions += c.old_evictions;
-  total.dirty_evictions += c.dirty_evictions;
-  total.stalls += c.stalls;
-  total.old_captures += c.old_captures;
-}
-
-}  // namespace
-
 Simulator::Simulator(const SimulationConfig& config,
                      const TraceGeometry& geometry)
     : config_(config), geometry_(geometry) {
@@ -180,7 +114,7 @@ void Simulator::pump(TraceStream& trace) {
     maybe_shutdown();
     return;
   }
-  validate_record(*record);
+  if (validate_records_) validate_record(*record);
   arrival_time_ += record->delta_ms;
   eq_.schedule_at(arrival_time_, [this, rec = *record, &trace] {
     dispatch(rec);
@@ -234,6 +168,7 @@ Metrics Simulator::run(TraceStream& trace) {
       trace.geometry().blocks_per_disk != geometry_.blocks_per_disk)
     throw std::invalid_argument("Simulator: trace geometry mismatch");
 
+  validate_records_ = !trace.prevalidated();
   pump(trace);
   while (eq_.step()) {
   }
@@ -262,6 +197,9 @@ Metrics Simulator::finalize() {
   metrics_.total_disks = total_disks();
   metrics_.events_executed = eq_.executed();
   double channel_util = 0.0;
+  metrics_.disk_accesses.reserve(static_cast<std::size_t>(metrics_.total_disks));
+  metrics_.disk_utilization.reserve(
+      static_cast<std::size_t>(metrics_.total_disks));
   metrics_.channel_utilization_per_array.reserve(controllers_.size());
   for (const auto& controller : controllers_) {
     accumulate(metrics_.controller, controller->stats());

@@ -89,6 +89,10 @@ class Simulator {
   std::uint64_t outstanding_ = 0;
   bool trace_done_ = false;
   bool ran_ = false;
+  /// Cleared for streams whose records were bounds-checked at conversion
+  /// time (TraceStream::prevalidated), removing the per-record check from
+  /// the replay hot path. submit() always validates.
+  bool validate_records_ = true;
 };
 
 /// Convenience: build a simulator for `config` and replay `trace`.

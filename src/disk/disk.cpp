@@ -2,13 +2,15 @@
 
 #include <cassert>
 #include <algorithm>
+
+#include "util/pool_alloc.hpp"
 #include <cmath>
 #include <stdexcept>
 
 namespace raidsim {
 
 std::shared_ptr<WriteGate> WriteGate::already_open() {
-  auto gate = std::make_shared<WriteGate>();
+  auto gate = make_pooled<WriteGate>();
   gate->open_ = true;
   gate->ready_time_ = 0.0;
   return gate;
@@ -217,7 +219,7 @@ void Disk::begin_service(Pending p) {
     case DiskOpKind::kWrite: {
       stats_.transfer_ms += plan.transfer_ms;
       (p.req.kind == DiskOpKind::kRead ? stats_.reads : stats_.writes)++;
-      auto shared = std::make_shared<Pending>(std::move(p));
+      auto shared = make_pooled<Pending>(std::move(p));
       active_ = shared;
       if (shared->req.kind == DiskOpKind::kWrite) {
         active_write_start_ = plan.transfer_start;
@@ -242,7 +244,7 @@ void Disk::begin_service(Pending p) {
       const double rot = geometry_.rotation_ms();
       const int min_revs = std::max(
           1, static_cast<int>(std::ceil(plan.transfer_ms / rot - 1e-9)));
-      auto shared = std::make_shared<Pending>(std::move(p));
+      auto shared = make_pooled<Pending>(std::move(p));
       active_ = shared;
       const std::uint64_t epoch = power_epoch_;
       eq_.schedule_at(plan.end_time, [this, shared, start, plan, sector_count,

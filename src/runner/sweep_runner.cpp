@@ -8,11 +8,24 @@
 
 #include "core/simulator.hpp"
 #include "obs/export.hpp"
+#include "runner/sharded_sim.hpp"
 
 namespace raidsim {
 
 Metrics run_sweep_job(const SweepJob& job) {
   auto stream = make_workload(job.trace, job.workload);
+  // config.shards >= 1 selects the sharded engine for this single run
+  // (0 = classic single-queue engine).
+  if (job.config.shards >= 1) {
+    SimulationConfig config = job.config;
+    if (!job.trace_out.empty()) {
+      config.obs.tracing = true;
+      if (job.sample_interval_ms > 0.0)
+        config.obs.sample_interval_ms = job.sample_interval_ms;
+    }
+    return run_sharded_simulation(config, *stream, job.workload.seed,
+                                  job.trace_out);
+  }
   if (job.trace_out.empty()) return run_simulation(job.config, *stream);
 
   SimulationConfig config = job.config;

@@ -1,5 +1,6 @@
 #include "trace/record.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace raidsim {
@@ -26,6 +27,11 @@ std::optional<TraceRecord> PrefixAdapter::next() {
   if (remaining_ == 0) return std::nullopt;
   --remaining_;
   return inner_->next();
+}
+
+std::uint64_t PrefixAdapter::size_hint() const {
+  const std::uint64_t inner = inner_->size_hint();
+  return inner == 0 ? remaining_ : std::min(inner, remaining_);
 }
 
 }  // namespace raidsim

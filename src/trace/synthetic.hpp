@@ -97,6 +97,9 @@ class SyntheticTrace : public TraceStream {
     return profile_.geometry;
   }
   std::optional<TraceRecord> next() override;
+  std::uint64_t size_hint() const override {
+    return profile_.requests - emitted_;
+  }
 
   const TraceProfile& profile() const { return profile_; }
 

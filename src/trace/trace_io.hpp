@@ -5,6 +5,7 @@
 #include <istream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/record.hpp"
 
@@ -50,5 +51,93 @@ class TraceReader : public TraceStream {
   TraceGeometry geometry_;
   std::uint64_t line_number_ = 0;
 };
+
+/// Compact binary trace format ("RSTB"): a 32-byte little-endian header
+/// followed by fixed 24-byte records, so repeated replays of large
+/// synthetic traces skip text parsing entirely.
+///
+///   header: magic "RSTB" | u32 version (=1) | u32 flags | i32 data_disks
+///           | i64 blocks_per_disk | u64 record_count
+///   record: f64 delta_ms | i64 block | i32 block_count | u8 is_write | pad
+///
+/// Flag bit 0 (`kPrevalidated`) records that every record was
+/// bounds-checked against the header geometry when the file was written;
+/// BinaryTraceReader then reports prevalidated() and the simulator skips
+/// its per-record bounds check.
+struct BinaryTraceHeader {
+  static constexpr char kMagic[4] = {'R', 'S', 'T', 'B'};
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kPrevalidated = 1u << 0;
+
+  char magic[4] = {'R', 'S', 'T', 'B'};
+  std::uint32_t version = kVersion;
+  std::uint32_t flags = 0;
+  std::int32_t data_disks = 0;
+  std::int64_t blocks_per_disk = 0;
+  std::uint64_t record_count = 0;
+};
+static_assert(sizeof(BinaryTraceHeader) == 32, "header layout is the format");
+
+struct BinaryTraceRecord {
+  double delta_ms = 0.0;
+  std::int64_t block = 0;
+  std::int32_t block_count = 1;
+  std::uint8_t is_write = 0;
+  std::uint8_t pad[3] = {0, 0, 0};
+};
+static_assert(sizeof(BinaryTraceRecord) == 24, "record layout is the format");
+
+class BinaryTraceWriter {
+ public:
+  /// Serialise everything remaining in `stream` to `os`, validating each
+  /// record against the stream geometry (malformed records throw
+  /// std::runtime_error) so the file can be stamped kPrevalidated. The
+  /// record count is back-patched, so `os` must be seekable.
+  static std::uint64_t write(TraceStream& stream, std::ostream& os);
+
+  /// Convenience: write to a file by path.
+  static std::uint64_t write_file(TraceStream& stream,
+                                  const std::string& path);
+};
+
+/// Reader for the binary trace format. Maps the file read-only (mmap)
+/// where the platform supports it, falling back to one buffered read;
+/// either way next() is a bounds-free pointer walk.
+class BinaryTraceReader : public TraceStream {
+ public:
+  /// Throws std::runtime_error on a bad magic, unsupported version, or a
+  /// truncated file.
+  static std::unique_ptr<BinaryTraceReader> open(const std::string& path);
+
+  /// Parse an in-memory image (testing, non-file transports). Copies.
+  static std::unique_ptr<BinaryTraceReader> from_buffer(
+      const void* data, std::size_t bytes);
+
+  ~BinaryTraceReader() override;
+
+  const TraceGeometry& geometry() const override { return geometry_; }
+  std::optional<TraceRecord> next() override;
+  bool prevalidated() const override { return prevalidated_; }
+  std::uint64_t size_hint() const override { return count_ - cursor_; }
+
+  std::uint64_t record_count() const { return count_; }
+  bool mapped() const { return mapped_ != nullptr; }
+
+ private:
+  BinaryTraceReader() = default;
+  void parse(const unsigned char* data, std::size_t bytes);
+
+  TraceGeometry geometry_;
+  bool prevalidated_ = false;
+  std::uint64_t count_ = 0;
+  std::uint64_t cursor_ = 0;
+  const unsigned char* records_ = nullptr;  // into mapped_ or owned_
+  void* mapped_ = nullptr;                  // mmap base (munmap on destroy)
+  std::size_t mapped_bytes_ = 0;
+  std::vector<unsigned char> owned_;
+};
+
+/// Open a trace file of either format, sniffing the binary magic.
+std::unique_ptr<TraceStream> open_trace(const std::string& path);
 
 }  // namespace raidsim

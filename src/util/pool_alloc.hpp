@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace raidsim {
+
+/// Thread-local free-list allocator for the small per-request objects the
+/// simulation churns through (barriers, stalled-write records, RMW write
+/// gates, in-flight disk op state). Blocks are recycled on a per-thread,
+/// per-size stack instead of round-tripping through the global heap; each
+/// list grows to the peak number of simultaneously-live objects of its
+/// size and then allocation is a pop / push pair.
+///
+/// Intended for `std::allocate_shared`, where the allocation includes the
+/// shared_ptr control block, so make_shared's single-allocation layout is
+/// preserved. Thread safety: lists are thread_local, so concurrent shard
+/// threads never contend. A block freed on a different thread than it was
+/// allocated on simply migrates lists, which is safe but defeats reuse --
+/// the simulator never does this (each simulation runs on one thread, and
+/// shard threads are joined before their state is torn down).
+namespace pool_detail {
+
+struct FreeList {
+  std::vector<void*> blocks;
+  FreeList() = default;
+  FreeList(const FreeList&) = delete;
+  FreeList& operator=(const FreeList&) = delete;
+  ~FreeList() {
+    for (void* block : blocks) ::operator delete(block);
+  }
+};
+
+/// One list per (thread, size class). Sizing classes by the exact object
+/// size keeps blocks interchangeable only within a class, so a recycled
+/// block always fits.
+template <std::size_t Bytes>
+inline FreeList& free_list() {
+  thread_local FreeList list;
+  return list;
+}
+
+}  // namespace pool_detail
+
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n != 1)  // arrays are not pooled; fall through to the heap
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    auto& list = pool_detail::free_list<sizeof(T)>();
+    if (!list.blocks.empty()) {
+      void* block = list.blocks.back();
+      list.blocks.pop_back();
+      return static_cast<T*>(block);
+    }
+    return static_cast<T*>(::operator new(sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n != 1) {
+      ::operator delete(p);
+      return;
+    }
+    try {
+      pool_detail::free_list<sizeof(T)>().blocks.push_back(p);
+    } catch (...) {
+      ::operator delete(p);  // push_back OOM: just release the block
+    }
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;  // stateless: any instance can free any other's blocks
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// make_shared equivalent drawing from the pool: one allocation holding
+/// the control block and the object, recycled per thread.
+template <typename T, typename... Args>
+std::shared_ptr<T> make_pooled(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>(),
+                                 std::forward<Args>(args)...);
+}
+
+}  // namespace raidsim
