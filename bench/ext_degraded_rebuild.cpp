@@ -53,6 +53,8 @@ int main(int argc, char** argv) {
          "degraded reads fan out to all N survivors, so larger arrays pay "
          "more per reconstruction and rebuild interferes longer",
          options);
+  std::cout << "seed: " << options.seed
+            << " (0 = workload default; override with --seed=<n>)\n\n";
 
   const std::vector<int> sizes{5, 10, 20};
   const std::vector<Organization> orgs{Organization::kMirror,

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   const int lifetimes = 1000;
   MttdlConfig base;  // paper parameters: 100,000 h MTTF, 24 h MTTR
   if (options.seed) base.seed = options.seed;
+  std::cout << "seed: " << base.seed << " (override with --seed=<n>)\n\n";
 
   TablePrinter table({"organization", "D", "N", "analytic (yr)",
                       "simulated (yr)", "95% CI (yr)", "sim/analytic",

@@ -3,8 +3,9 @@
 // fixed end-to-end RAID5 + Mirror replay, the sharded engine at several
 // shard/thread counts (with a bit-identity check against one shard), the
 // NV-cache storage (against an embedded copy of the pre-rewrite
-// list+map storage), trace loading (text vs binary), and sweep
-// throughput at 1/2/4/hw threads. Emits machine-readable BENCH_perf.json
+// list+map storage), the latency-histogram recorder (per-op add and
+// sharded merge + tail quantiles), trace loading (text vs binary), and
+// sweep throughput at 1/2/4/hw threads. Emits machine-readable BENCH_perf.json
 // so later PRs have a perf trajectory to regress against (see
 // docs/performance.md for the schema).
 //
@@ -31,6 +32,7 @@
 #include "runner/sweep_runner.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/trace_io.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -346,6 +348,47 @@ double cache_ops_per_sec(std::uint64_t total_ops, std::size_t capacity) {
   return static_cast<double>(total_ops) / seconds_since(start);
 }
 
+/// Latency-histogram hot path (fail-slow work): every disk op and every
+/// host response feeds a log-bucketed LatencyRecorder, and the sharded
+/// engine merges per-shard recorders at the end of a run. Measures the
+/// per-sample add cost and the merge + tail-quantile pass.
+struct HistogramBench {
+  std::uint64_t adds = 0;
+  double adds_per_sec = 0.0;
+  double merge_quantile_per_sec = 0.0;  // merge 16 shards + p50..p999
+};
+
+HistogramBench histogram_bench(std::uint64_t total_adds) {
+  constexpr int kShards = 16;
+  std::vector<raidsim::LatencyRecorder> shards(kShards);
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total_adds; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Log-uniform-ish latencies spanning sub-ms to tens of seconds: the
+    // recorder's whole bucket range stays hot.
+    const double ms =
+        static_cast<double>((lcg >> 44) + 1) / 16.0;  // ~0.06..65536 ms
+    shards[i & (kShards - 1)].add(ms);
+  }
+  HistogramBench r;
+  r.adds = total_adds;
+  r.adds_per_sec = static_cast<double>(total_adds) / seconds_since(start);
+
+  const int rounds = 400;
+  double sink = 0.0;
+  const auto mstart = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    raidsim::LatencyRecorder merged;
+    for (const auto& s : shards) merged.merge(s);
+    sink += merged.p50() + merged.p95() + merged.p99() + merged.p999();
+  }
+  const double melapsed = seconds_since(mstart);
+  if (sink < 0.0) std::abort();  // keep the loop honest
+  r.merge_quantile_per_sec = static_cast<double>(rounds) / melapsed;
+  return r;
+}
+
 struct TraceLoadResult {
   std::uint64_t records = 0;
   double records_per_sec = 0.0;
@@ -599,6 +642,20 @@ int main(int argc, char** argv) {
   cache_table.print(std::cout);
   std::cout << "\n";
 
+  // --------------------------------------------- latency-histogram bench
+  const std::uint64_t hist_adds = quick ? 5'000'000 : 20'000'000;
+  histogram_bench(200'000);  // warm-up
+  const HistogramBench hist = histogram_bench(hist_adds);
+  TablePrinter hist_table({"latency histogram", "rate"});
+  hist_table.add_row(
+      {"add (per-op record)", TablePrinter::num(hist.adds_per_sec / 1e6, 2) +
+                                  " M/sec"});
+  hist_table.add_row({"merge 16 shards + p50..p999",
+                      TablePrinter::num(hist.merge_quantile_per_sec / 1e3, 1) +
+                          " k/sec"});
+  hist_table.print(std::cout);
+  std::cout << "\n";
+
   // -------------------------------------------------- trace-load bench
   // Serialize one synthetic trace both ways, then time re-reading each
   // (the repeated-replay workflow trace_convert exists for).
@@ -680,7 +737,7 @@ int main(int argc, char** argv) {
   out.setf(std::ios::fixed);
   out.precision(3);
   out << "{\n"
-      << "  \"schema\": 2,\n"
+      << "  \"schema\": 3,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"hardware_threads\": " << (hw ? hw : 1u) << ",\n"
       << "  \"kernel\": {\n"
@@ -721,6 +778,12 @@ int main(int argc, char** argv) {
       << "    \"ops_per_sec\": " << cache_new << ",\n"
       << "    \"legacy_ops_per_sec\": " << cache_legacy << ",\n"
       << "    \"speedup_vs_legacy\": " << cache_speedup << "\n"
+      << "  },\n"
+      << "  \"histogram\": {\n"
+      << "    \"adds\": " << hist.adds << ",\n"
+      << "    \"adds_per_sec\": " << hist.adds_per_sec << ",\n"
+      << "    \"merge_quantile_per_sec\": " << hist.merge_quantile_per_sec
+      << "\n"
       << "  },\n"
       << "  \"trace_load\": {\n"
       << "    \"records\": " << text_load.records << ",\n"

@@ -28,7 +28,18 @@
 //                             with --fail-disk/--rebuild)
 //   --shard-threads=<n>       threads for the sharded engine
 //                             (default 0 = min(shards, hw))
-//   --csv                     machine-readable result line
+//   --tail-deadline=<ms>      read deadline; on expiry escalate to an
+//                             alternate read (tail-tolerance policy)
+//   --hedge-delay=<ms>        fixed hedged-read delay (0 = off)
+//   --hedge-ewma=<f>          adaptive hedge delay: f x the primary
+//                             disk's EWMA latency (0 = off)
+//   --redirect-on-slow        mirror reads prefer the faster copy
+//   --reconstruct-on-slow     RAID5/ParStrip reads may reconstruct
+//                             around a straggler
+//   --csv                     machine-readable result line (with
+//                             retry/timeout/hedge/redirect counters)
+//   --csv-header              print the --csv column names and exit
+//   --json                    full Metrics::to_json dump on stdout
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -88,6 +99,13 @@ int main(int argc, char** argv) {
   int fail_disk = -1;
   bool rebuild = false;
   bool csv = false;
+  bool json = false;
+
+  const char* csv_header =
+      "config,requests,mean_ms,read_ms,write_ms,p95_ms,p99_ms,p999_ms,"
+      "read_hit,write_hit,mean_util,transient_retries,retry_exhaustions,"
+      "timeouts_fired,hedged_reads,hedge_wins,hedge_cancellations,"
+      "redirected_reads,quarantine_reroutes";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,8 +159,28 @@ int main(int argc, char** argv) {
       config.shards = std::atoi(v);
     } else if (const char* v = value("--shard-threads=")) {
       config.shard_threads = std::atoi(v);
+    } else if (const char* v = value("--tail-deadline=")) {
+      config.tail.enabled = true;
+      config.tail.read_deadline_ms = std::atof(v);
+    } else if (const char* v = value("--hedge-delay=")) {
+      config.tail.enabled = true;
+      config.tail.hedge_delay_ms = std::atof(v);
+    } else if (const char* v = value("--hedge-ewma=")) {
+      config.tail.enabled = true;
+      config.tail.hedge_ewma_factor = std::atof(v);
+    } else if (arg == "--redirect-on-slow") {
+      config.tail.enabled = true;
+      config.tail.redirect_on_slow = true;
+    } else if (arg == "--reconstruct-on-slow") {
+      config.tail.enabled = true;
+      config.tail.reconstruct_on_slow = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--csv-header") {
+      std::cout << csv_header << '\n';
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
     } else {
       fail("unknown flag: " + arg);
     }
@@ -179,13 +217,26 @@ int main(int argc, char** argv) {
       m = sim.run(*trace);
     }
 
+    if (json) {
+      m.to_json(std::cout);
+      std::cout << '\n';
+      return 0;
+    }
     if (csv) {
       std::cout << config.describe() << ',' << m.requests << ','
                 << m.mean_response_ms() << ',' << m.response_read.mean()
                 << ',' << m.response_write.mean() << ','
-                << m.response_all.p95() << ',' << m.read_hit_ratio() << ','
+                << m.response_all.p95() << ',' << m.response_all.p99() << ','
+                << m.response_all.p999() << ',' << m.read_hit_ratio() << ','
                 << m.write_hit_ratio() << ',' << m.mean_disk_utilization()
-                << '\n';
+                << ',' << m.controller.transient_retries << ','
+                << m.controller.retry_exhaustions << ','
+                << m.controller.timeouts_fired << ','
+                << m.controller.hedged_reads << ','
+                << m.controller.hedge_wins << ','
+                << m.controller.hedge_cancellations << ','
+                << m.controller.redirected_reads << ','
+                << m.controller.quarantine_reroutes << '\n';
       return 0;
     }
 

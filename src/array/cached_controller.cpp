@@ -118,7 +118,7 @@ void CachedController::submit_read(const ArrayRequest& request,
       });
   for (auto extent : extents) {
     extent.disk = choose_mirror_read_disk(extent);
-    disk_read(extent, DiskPriority::kNormal,
+    tail_read(extent, DiskPriority::kNormal,
               [this, extent, barrier](SimTime t) {
                 for (int i = 0; i < extent.block_count; ++i) {
                   const std::int64_t block = extent.logical_start + i;

@@ -1,5 +1,6 @@
 #include "array/controller.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
@@ -60,11 +61,16 @@ ArrayController::ArrayController(EventQueue& eq, const Config& config)
       layout_(make_layout(config.layout)),
       sync_(config.sync),
       fault_(config.fault),
+      tail_(config.tail),
       tracer_(config.tracer),
       array_index_(config.array_index) {
   if (fault_.retry_budget < 0 || fault_.retry_backoff_ms < 0.0)
     throw std::invalid_argument("ArrayController: negative fault policy");
+  if (tail_.read_deadline_ms < 0.0 || tail_.hedge_delay_ms < 0.0 ||
+      tail_.hedge_ewma_factor < 0.0 || tail_.slow_ewma_factor < 0.0)
+    throw std::invalid_argument("ArrayController: negative tail policy");
   const int total = layout_->total_disks();
+  quarantined_.assign(static_cast<std::size_t>(total), 0);
   disks_.reserve(static_cast<std::size_t>(total));
   for (int d = 0; d < total; ++d) {
     disks_.push_back(std::make_unique<Disk>(eq_, disk_geometry_, &seek_model_,
@@ -87,25 +93,66 @@ void ArrayController::set_rebuild_watermark(std::int64_t blocks) {
   rebuild_watermark_ = blocks;
 }
 
+void ArrayController::set_quarantined(int disk, bool quarantined) {
+  if (disk < 0 || static_cast<std::size_t>(disk) >= quarantined_.size())
+    throw std::invalid_argument("ArrayController: no such disk");
+  quarantined_[static_cast<std::size_t>(disk)] = quarantined ? 1 : 0;
+}
+
+int ArrayController::quarantined_count() const {
+  int n = 0;
+  for (const char q : quarantined_) n += q != 0;
+  return n;
+}
+
 bool ArrayController::is_degraded(const PhysicalExtent& extent) const {
   return failed_disk_ >= 0 && extent.disk == failed_disk_ &&
          extent.start_block + extent.block_count > rebuild_watermark_;
 }
 
-int ArrayController::choose_mirror_read_disk(
-    const PhysicalExtent& extent) const {
+int ArrayController::choose_mirror_read_disk(const PhysicalExtent& extent) {
   const int twin = layout_->mirror_of(extent.disk);
   if (twin < 0) return extent.disk;
   if (extent.disk == failed_disk_) return twin;
   if (twin == failed_disk_) return extent.disk;
+  // Quarantine containment: never route a new demand read to a
+  // quarantined member while its twin is healthy.
+  if (is_quarantined(extent.disk) != is_quarantined(twin)) {
+    const int healthy = is_quarantined(extent.disk) ? twin : extent.disk;
+    ++stats_.quarantine_reroutes;
+    obs_instant(tracer_, ObsPhase::kRedirected, array_index_, healthy,
+                eq_.now());
+    return healthy;
+  }
   const int target =
       disk_geometry_.locate_block(extent.start_block).cylinder;
   const Disk& a = *disks_[static_cast<std::size_t>(extent.disk)];
   const Disk& b = *disks_[static_cast<std::size_t>(twin)];
   const int da = std::abs(a.current_cylinder() - target);
   const int db = std::abs(b.current_cylinder() - target);
-  if (da != db) return da < db ? extent.disk : twin;
-  return a.queue_length() <= b.queue_length() ? extent.disk : twin;
+  int chosen = extent.disk;
+  if (da != db)
+    chosen = da < db ? extent.disk : twin;
+  else
+    chosen = a.queue_length() <= b.queue_length() ? extent.disk : twin;
+  // Redirect-on-slow: override the seek choice when the preferred
+  // member's smoothed per-op latency dwarfs its twin's (Thomasian's
+  // mirrored-array read redirection under fail-slow).
+  if (tail_.enabled && tail_.redirect_on_slow) {
+    const int other = chosen == extent.disk ? twin : extent.disk;
+    const double mine =
+        disks_[static_cast<std::size_t>(chosen)]->ewma_latency_ms();
+    const double theirs =
+        disks_[static_cast<std::size_t>(other)]->ewma_latency_ms();
+    if (mine > 0.0 && theirs > 0.0 &&
+        mine > tail_.slow_ewma_factor * theirs) {
+      ++stats_.redirected_reads;
+      obs_instant(tracer_, ObsPhase::kRedirected, array_index_, other,
+                  eq_.now());
+      chosen = other;
+    }
+  }
+  return chosen;
 }
 
 void ArrayController::disk_read(const PhysicalExtent& extent,
@@ -140,6 +187,177 @@ void ArrayController::disk_read(const PhysicalExtent& extent,
     return;
   }
   submit_op(extent, /*is_write=*/false, priority, std::move(done), 0);
+}
+
+bool ArrayController::alternate_read_available(
+    const PhysicalExtent& extent) const {
+  const int twin = layout_->mirror_of(extent.disk);
+  if (twin >= 0)
+    return twin != failed_disk_ && !is_quarantined(twin);
+  // Parity organizations reconstruct around the slow disk only when the
+  // policy allows it and no member of the group is already failed (a
+  // reconstruction on top of a failure would double-degrade the group).
+  return tail_.reconstruct_on_slow && failed_disk_ < 0;
+}
+
+bool ArrayController::ewma_slow(int disk) const {
+  if (disk < 0 || static_cast<std::size_t>(disk) >= disks_.size())
+    return false;
+  constexpr std::uint64_t kMinOps = 16;
+  const Disk& suspect = *disks_[static_cast<std::size_t>(disk)];
+  if (suspect.op_latency().count() < kMinOps) return false;
+  std::vector<double> warm;
+  warm.reserve(disks_.size());
+  for (std::size_t d = 0; d < disks_.size(); ++d) {
+    if (static_cast<int>(d) == failed_disk_) continue;
+    const Disk& member = *disks_[d];
+    if (member.op_latency().count() < kMinOps) continue;
+    warm.push_back(member.ewma_latency_ms());
+  }
+  if (warm.size() < 2) return false;
+  std::nth_element(warm.begin(), warm.begin() + warm.size() / 2, warm.end());
+  const double median = warm[warm.size() / 2];
+  return median > 0.0 &&
+         suspect.ewma_latency_ms() > tail_.slow_ewma_factor * median;
+}
+
+bool ArrayController::issue_alternate_read(const PhysicalExtent& extent,
+                                           DiskPriority priority,
+                                           std::function<void(SimTime)> done) {
+  if (!alternate_read_available(extent)) return false;
+  const auto groups = layout_->degraded_group(extent);
+  if (groups.empty()) return false;
+  int ops = 0;
+  for (const auto& group : groups)
+    ops += static_cast<int>(group.member_reads.size()) +
+           (group.parity.valid() ? 1 : 0);
+  if (ops == 0) return false;
+  auto barrier = Barrier::create(ops, std::move(done));
+  for (const auto& group : groups) {
+    for (const auto& member : group.member_reads)
+      disk_read(member, priority,
+                [barrier](SimTime t) { barrier->arrive(t); });
+    if (group.parity.valid())
+      disk_read(group.parity, priority,
+                [barrier](SimTime t) { barrier->arrive(t); });
+  }
+  return true;
+}
+
+namespace {
+
+/// First-completion-wins state shared by the legs of a hedged read.
+struct HedgeState {
+  bool finished = false;  // a leg already delivered the data
+  bool hedged = false;    // the speculative leg has been issued
+  std::function<void(SimTime)> done;
+};
+
+}  // namespace
+
+void ArrayController::tail_read(const PhysicalExtent& extent,
+                                DiskPriority priority,
+                                std::function<void(SimTime)> done) {
+  if (!tail_.enabled || crashed_ || is_degraded(extent)) {
+    disk_read(extent, priority, std::move(done));
+    return;
+  }
+  // Quarantine-aware scheduling: a quarantined (but healthy) disk gets
+  // no new demand reads; the redundancy serves them instead. Mirror
+  // reads were already steered by choose_mirror_read_disk, so this path
+  // fires for parity organizations (and for a fully-quarantined pair,
+  // where the primary still has to serve).
+  if (is_quarantined(extent.disk) && extent.disk != failed_disk_) {
+    auto done_copy = done;
+    if (issue_alternate_read(extent, priority, std::move(done_copy))) {
+      ++stats_.quarantine_reroutes;
+      obs_instant(tracer_, ObsPhase::kRedirected, array_index_, extent.disk,
+                  eq_.now());
+      return;
+    }
+  }
+
+  const bool hedge_configured =
+      tail_.hedge_delay_ms > 0.0 || tail_.hedge_ewma_factor > 0.0;
+  const bool deadline_configured = tail_.read_deadline_ms > 0.0;
+  if ((!hedge_configured && !deadline_configured) ||
+      !alternate_read_available(extent)) {
+    disk_read(extent, priority, std::move(done));
+    return;
+  }
+  // Parity organizations pay N-1 member reads plus the parity read per
+  // hedge, and those member reads land on every OTHER disk -- including
+  // a straggler elsewhere in the group. Reconstructing around a disk
+  // that is merely queued (not slow) floods the array, so the hedge
+  // machinery only arms when the primary is EWMA-slow relative to its
+  // siblings. A mirror hedge is one disk read; it stays unconditional.
+  if (layout_->mirror_of(extent.disk) < 0 && !ewma_slow(extent.disk)) {
+    disk_read(extent, priority, std::move(done));
+    return;
+  }
+
+  auto state = make_pooled<HedgeState>();
+  state->done = std::move(done);
+
+  auto issue_hedge = [this, extent, priority, state](SimTime) {
+    if (state->finished || state->hedged || crashed_) return;
+    auto hedge_done = [this, state](SimTime t) {
+      if (state->finished) {
+        // The primary already answered the host: the speculative leg's
+        // disk time was pure waste. Count it.
+        ++stats_.hedge_cancellations;
+        return;
+      }
+      state->finished = true;
+      ++stats_.hedge_wins;
+      obs_instant(tracer_, ObsPhase::kHedgeWon, array_index_, -1, t);
+      if (state->done) {
+        auto d = std::move(state->done);
+        d(t);
+      }
+    };
+    if (issue_alternate_read(extent, priority, std::move(hedge_done))) {
+      state->hedged = true;
+      ++stats_.hedged_reads;
+      obs_instant(tracer_, ObsPhase::kHedgeIssued, array_index_, extent.disk,
+                  eq_.now());
+    }
+  };
+
+  if (hedge_configured) {
+    const double ewma =
+        disks_[static_cast<std::size_t>(extent.disk)]->ewma_latency_ms();
+    const double delay =
+        std::max(tail_.hedge_delay_ms, tail_.hedge_ewma_factor * ewma);
+    eq_.schedule_in(delay, [issue_hedge, this] { issue_hedge(eq_.now()); });
+  }
+  if (deadline_configured) {
+    eq_.schedule_in(tail_.read_deadline_ms, [this, state, issue_hedge] {
+      if (state->finished) return;
+      ++stats_.timeouts_fired;
+      obs_instant(tracer_, ObsPhase::kTimeoutFired, array_index_, -1,
+                  eq_.now());
+      // Escalation: the retry that makes sense against a fail-slow disk
+      // is the redundant copy, issued NOW if the hedge timer has not.
+      issue_hedge(eq_.now());
+    });
+  }
+
+  disk_read(extent, priority, [this, state](SimTime t) {
+    if (state->finished) {
+      // The hedge delivered first; the primary's late completion is the
+      // cancelled leg (this disk model cannot abort an op mid-service,
+      // so cancellation is accounting, exactly like a real drive that
+      // ignores aborts until the command completes).
+      ++stats_.hedge_cancellations;
+      return;
+    }
+    state->finished = true;
+    if (state->done) {
+      auto d = std::move(state->done);
+      d(t);
+    }
+  });
 }
 
 void ArrayController::disk_write(const PhysicalExtent& extent,

@@ -104,6 +104,13 @@ struct ControllerStats {
   std::uint64_t resync_write_blocks = 0; // parity blocks rewritten by resync
   std::uint64_t full_resyncs = 0;        // recoveries that walked the array
   double recovery_ms = 0.0;              // cumulative recovery wall time
+  // Tail-tolerance accounting (fail-slow mitigation policies).
+  std::uint64_t timeouts_fired = 0;      // read deadlines that expired
+  std::uint64_t hedged_reads = 0;        // speculative second reads issued
+  std::uint64_t hedge_wins = 0;          // hedges that beat the primary
+  std::uint64_t hedge_cancellations = 0; // losing legs (wasted disk work)
+  std::uint64_t redirected_reads = 0;    // mirror reads steered off a slow disk
+  std::uint64_t quarantine_reroutes = 0; // reads routed around a quarantine
 
   double read_hit_ratio() const {
     return read_requests ? static_cast<double>(read_request_hits) /
@@ -131,6 +138,38 @@ class ArrayController {
     double retry_backoff_ms = 5.0;
   };
 
+  /// Tail-tolerance policy for demand reads under fail-slow disks. All
+  /// mechanisms are off by default; `enabled` gates the whole machinery
+  /// so policy-off runs issue exactly the same events as before.
+  struct TailPolicy {
+    bool enabled = false;
+    /// Deadline for a demand read; when it expires before the read
+    /// completes the controller counts a timeout and escalates by
+    /// forcing the hedge (redundant second copy) immediately. 0 = off.
+    double read_deadline_ms = 0.0;
+    /// Fixed floor of the hedge delay: a speculative second read of the
+    /// redundant copy is issued this long after the primary. 0 = no
+    /// hedging (deadline escalation can still fire one).
+    double hedge_delay_ms = 0.0;
+    /// > 0: adaptive hedge delay = max(hedge_delay_ms, factor * EWMA of
+    /// the primary disk's per-op latency) -- hedges adapt to how slow
+    /// the disk actually is instead of a static guess.
+    double hedge_ewma_factor = 0.0;
+    /// Mirror organizations: steer a read to the twin when the
+    /// seek-preferred member's latency EWMA exceeds `slow_ewma_factor`
+    /// times the twin's (redirect-on-slow).
+    bool redirect_on_slow = false;
+    /// Parity organizations: allow hedges/quarantine reroutes to
+    /// reconstruct-read around the slow disk via the degraded-read path.
+    bool reconstruct_on_slow = false;
+    /// Slowness ratio used by redirect-on-slow and by the parity
+    /// reconstruct gate (hedge only when the primary's EWMA exceeds
+    /// this multiple of the array median -- a reconstruct fans out to
+    /// every other member, so firing it for a healthy-but-queued
+    /// primary floods the array instead of trimming the tail).
+    double slow_ewma_factor = 3.0;
+  };
+
   struct Config {
     LayoutConfig layout;
     DiskGeometry disk_geometry;
@@ -140,6 +179,7 @@ class ArrayController {
     double channel_mb_per_second = 10.0;
     int track_buffers_per_disk = 5;
     FaultPolicy fault;
+    TailPolicy tail;
     /// Request-lifecycle tracer (null = tracing off) and the index of
     /// this array within the simulator, used as the trace process id.
     Tracer* tracer = nullptr;
@@ -216,6 +256,19 @@ class ArrayController {
   }
 
   const FaultPolicy& fault_policy() const { return fault_; }
+  const TailPolicy& tail_policy() const { return tail_; }
+
+  /// Quarantine support (slow-disk containment, driven by the
+  /// HealthMonitor's detector): a quarantined disk receives no new
+  /// demand reads -- mirror reads prefer the twin, parity reads are
+  /// reconstructed around it when the tail policy allows -- but keeps
+  /// serving writes and background I/O so it can be observed recovering.
+  void set_quarantined(int disk, bool quarantined);
+  bool is_quarantined(int disk) const {
+    return disk >= 0 && static_cast<std::size_t>(disk) < quarantined_.size() &&
+           quarantined_[static_cast<std::size_t>(disk)] != 0;
+  }
+  int quarantined_count() const;
 
   // ---------------------------------------------- crash & recovery API
 
@@ -273,8 +326,32 @@ class ArrayController {
  protected:
   /// Choose which member of a mirrored pair serves a read: the disk whose
   /// arm is nearest the target cylinder, breaking ties by queue length
-  /// (the paper's shortest-seek optimisation).
-  int choose_mirror_read_disk(const PhysicalExtent& extent) const;
+  /// (the paper's shortest-seek optimisation). Tail policies overlay
+  /// quarantine avoidance and redirect-on-slow (EWMA comparison) on top;
+  /// non-const because redirects are counted and traced.
+  int choose_mirror_read_disk(const PhysicalExtent& extent);
+
+  /// Demand-read entry point with tail-tolerance: behaves exactly like
+  /// disk_read when the tail policy is disabled; otherwise overlays
+  /// quarantine rerouting, an optional deadline (timeout accounting +
+  /// hedge escalation), and optional hedged reads (speculative redundant
+  /// copy after an adaptive delay, first completion wins).
+  void tail_read(const PhysicalExtent& extent, DiskPriority priority,
+                 std::function<void(SimTime)> done);
+
+  /// True when a redundant alternative exists for reading `extent`
+  /// without touching extent.disk: a healthy mirror twin, or (when the
+  /// tail policy allows reconstruct-on-slow) an intact parity group.
+  bool alternate_read_available(const PhysicalExtent& extent) const;
+  /// True when `disk`'s latency EWMA exceeds slow_ewma_factor times the
+  /// median EWMA of the array's warm, non-failed disks.
+  bool ewma_slow(int disk) const;
+
+  /// Issue that alternative (twin read or parity reconstruction).
+  /// Returns false -- issuing nothing -- when none is available.
+  bool issue_alternate_read(const PhysicalExtent& extent,
+                            DiskPriority priority,
+                            std::function<void(SimTime)> done);
 
   /// True when `extent` must be served in degraded mode (on the failed
   /// disk, above the rebuild watermark).
@@ -373,6 +450,8 @@ class ArrayController {
   SyncPolicy sync_;
   ControllerStats stats_;
   FaultPolicy fault_;
+  TailPolicy tail_;
+  std::vector<char> quarantined_;  // per-disk quarantine flags
   Tracer* tracer_ = nullptr;
   int array_index_ = -1;
   std::function<void(int, SimTime)> disk_dead_handler_;

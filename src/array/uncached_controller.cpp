@@ -28,7 +28,7 @@ void UncachedController::submit_read(const ArrayRequest& request,
     // Track buffer held from the start of the disk transfer until the
     // data have drained onto the channel.
     buffers_->acquire([this, extent, bytes, barrier] {
-      disk_read(extent, DiskPriority::kNormal,
+      tail_read(extent, DiskPriority::kNormal,
                 [this, bytes, barrier](SimTime) {
                   channel_->transfer(bytes, [this, barrier](SimTime t) {
                     buffers_->release();

@@ -40,6 +40,9 @@ void SimulationConfig::validate() const {
     throw std::invalid_argument("SimulationConfig: max_trace_events == 0");
   if (obs.sample_interval_ms > 0.0 && obs.sampler_capacity == 0)
     throw std::invalid_argument("SimulationConfig: sampler_capacity == 0");
+  if (tail.read_deadline_ms < 0.0 || tail.hedge_delay_ms < 0.0 ||
+      tail.hedge_ewma_factor < 0.0 || tail.slow_ewma_factor <= 0.0)
+    throw std::invalid_argument("SimulationConfig: bad tail policy");
 }
 
 std::string SimulationConfig::describe() const {
@@ -63,6 +66,7 @@ std::string SimulationConfig::describe() const {
   } else {
     os << " uncached";
   }
+  if (tail.enabled) os << " tail-policy";
   return os.str();
 }
 
@@ -84,6 +88,7 @@ ArrayController::Config SimulationConfig::array_config(
   cfg.track_buffers_per_disk = track_buffers_per_disk;
   cfg.fault.retry_budget = disk_retry_budget;
   cfg.fault.retry_backoff_ms = disk_retry_backoff_ms;
+  cfg.tail = tail;
   return cfg;
 }
 

@@ -80,6 +80,12 @@ struct SimulationConfig {
   };
   Obs obs;
 
+  /// Tail-tolerance policy applied to every array's demand reads
+  /// (docs/fault_model.md, "Fail-slow model"). Disabled by default: a
+  /// run with `tail.enabled == false` issues exactly the same events as
+  /// one built before the policy existed.
+  ArrayController::TailPolicy tail;
+
   /// Throws std::invalid_argument when inconsistent.
   void validate() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 
 namespace raidsim {
 
@@ -19,6 +20,8 @@ void accumulate(DiskStats& total, const DiskStats& src) {
   total.transient_faults += src.transient_faults;
   total.media_faults += src.media_faults;
   total.power_fail_drops += src.power_fail_drops;
+  total.slow_ops += src.slow_ops;
+  total.slowdown_ms += src.slowdown_ms;
 }
 
 void accumulate(ControllerStats& total, const ControllerStats& src) {
@@ -53,6 +56,12 @@ void accumulate(ControllerStats& total, const ControllerStats& src) {
   total.resync_write_blocks += src.resync_write_blocks;
   total.full_resyncs += src.full_resyncs;
   total.recovery_ms += src.recovery_ms;
+  total.timeouts_fired += src.timeouts_fired;
+  total.hedged_reads += src.hedged_reads;
+  total.hedge_wins += src.hedge_wins;
+  total.hedge_cancellations += src.hedge_cancellations;
+  total.redirected_reads += src.redirected_reads;
+  total.quarantine_reroutes += src.quarantine_reroutes;
 }
 
 void accumulate(NvCache::Stats& total, const NvCache::Stats& src) {
@@ -78,6 +87,73 @@ double Metrics::max_disk_utilization() const {
   double best = 0.0;
   for (double u : disk_utilization) best = std::max(best, u);
   return best;
+}
+
+namespace {
+
+void json_latency(std::ostream& out, const LatencyRecorder& rec) {
+  out << "{\"count\":" << rec.count() << ",\"mean_ms\":" << rec.mean()
+      << ",\"p50_ms\":" << rec.p50() << ",\"p95_ms\":" << rec.p95()
+      << ",\"p99_ms\":" << rec.p99() << ",\"p999_ms\":" << rec.p999()
+      << ",\"max_ms\":" << rec.max() << "}";
+}
+
+}  // namespace
+
+void Metrics::to_json(std::ostream& out) const {
+  out << "{";
+  out << "\"elapsed_ms\":" << elapsed_ms;
+  out << ",\"requests\":" << requests;
+  out << ",\"arrays\":" << arrays;
+  out << ",\"total_disks\":" << total_disks;
+  out << ",\"events_executed\":" << events_executed;
+  out << ",\"response\":{\"all\":";
+  json_latency(out, response_all);
+  out << ",\"read\":";
+  json_latency(out, response_read);
+  out << ",\"write\":";
+  json_latency(out, response_write);
+  out << "}";
+  out << ",\"response_per_array\":[";
+  for (std::size_t i = 0; i < response_per_array.size(); ++i) {
+    if (i) out << ",";
+    json_latency(out, response_per_array[i]);
+  }
+  out << "]";
+  out << ",\"disk_op_latency\":[";
+  for (std::size_t i = 0; i < disk_op_latency.size(); ++i) {
+    if (i) out << ",";
+    json_latency(out, disk_op_latency[i]);
+  }
+  out << "]";
+  out << ",\"disk\":{";
+  out << "\"reads\":" << disk_totals.reads;
+  out << ",\"writes\":" << disk_totals.writes;
+  out << ",\"rmws\":" << disk_totals.rmws;
+  out << ",\"transient_faults\":" << disk_totals.transient_faults;
+  out << ",\"media_faults\":" << disk_totals.media_faults;
+  out << ",\"slow_ops\":" << disk_totals.slow_ops;
+  out << ",\"slowdown_ms\":" << disk_totals.slowdown_ms;
+  out << "}";
+  out << ",\"controller\":{";
+  out << "\"read_requests\":" << controller.read_requests;
+  out << ",\"write_requests\":" << controller.write_requests;
+  out << ",\"degraded_reads\":" << controller.degraded_reads;
+  out << ",\"degraded_writes\":" << controller.degraded_writes;
+  out << ",\"transient_retries\":" << controller.transient_retries;
+  out << ",\"retry_exhaustions\":" << controller.retry_exhaustions;
+  out << ",\"timeouts_fired\":" << controller.timeouts_fired;
+  out << ",\"hedged_reads\":" << controller.hedged_reads;
+  out << ",\"hedge_wins\":" << controller.hedge_wins;
+  out << ",\"hedge_cancellations\":" << controller.hedge_cancellations;
+  out << ",\"redirected_reads\":" << controller.redirected_reads;
+  out << ",\"quarantine_reroutes\":" << controller.quarantine_reroutes;
+  out << "}";
+  out << ",\"utilization\":{\"mean_disk\":" << mean_disk_utilization()
+      << ",\"max_disk\":" << max_disk_utilization()
+      << ",\"channel\":" << channel_utilization
+      << ",\"disk_access_cv\":" << disk_access_cv() << "}";
+  out << "}";
 }
 
 double Metrics::disk_access_cv() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "array/controller.hpp"
@@ -17,6 +18,14 @@ struct Metrics {
   LatencyRecorder response_all;
   LatencyRecorder response_read;
   LatencyRecorder response_write;
+
+  /// Host-visible response time broken out per array. Lets the tail
+  /// report show which array the straggler lives in.
+  std::vector<LatencyRecorder> response_per_array;
+  /// Physical op latency (enqueue to completion) per disk, array-major.
+  /// The raw signal behind the slow-disk detector; merged across shards
+  /// in global array order so both engines agree bit-for-bit.
+  std::vector<LatencyRecorder> disk_op_latency;
 
   double elapsed_ms = 0.0;
   std::uint64_t requests = 0;
@@ -46,6 +55,11 @@ struct Metrics {
   /// Coefficient of variation of per-disk access counts (load-balance
   /// measure behind Figures 6-7).
   double disk_access_cv() const;
+
+  /// Machine-readable dump: counters, tail percentiles (p50/p95/p99/p999)
+  /// for the run and each array, and per-disk op-latency summaries.
+  /// Stable key order; plain ASCII JSON.
+  void to_json(std::ostream& out) const;
 };
 
 /// Sum `src` into `total` field by field (parity_queue_peak takes the

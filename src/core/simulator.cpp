@@ -36,6 +36,7 @@ Simulator::Simulator(const SimulationConfig& config,
           std::make_unique<UncachedController>(eq_, array_cfg));
     }
   }
+  metrics_.response_per_array.resize(controllers_.size());
   if (config_.obs.sample_interval_ms > 0.0) {
     sampler_ = std::make_unique<TimeSeriesSampler>(
         config_.obs.sample_interval_ms, config_.obs.sampler_capacity);
@@ -93,6 +94,8 @@ void Simulator::dispatch(const TraceRecord& record,
         const double response = t - arrival;
         metrics_.response_all.add(response);
         (is_write ? metrics_.response_write : metrics_.response_read)
+            .add(response);
+        metrics_.response_per_array[static_cast<std::size_t>(array)]
             .add(response);
         ++metrics_.requests;
         --outstanding_;
@@ -209,6 +212,7 @@ Metrics Simulator::finalize() {
       metrics_.disk_accesses.push_back(stats.ops());
       metrics_.disk_utilization.push_back(
           stats.utilization(metrics_.elapsed_ms));
+      metrics_.disk_op_latency.push_back(disk->op_latency());
     }
     const double util = controller->channel().utilization(metrics_.elapsed_ms);
     metrics_.channel_utilization_per_array.push_back(util);

@@ -214,6 +214,21 @@ void Disk::begin_service(Pending p) {
   stats_.seek_ms += plan.seek_ms;
   stats_.latency_ms += plan.latency_ms;
 
+  // Fail-slow injection: extra service milliseconds appended after the
+  // mechanical plan (media retries re-reading a marginal sector hold the
+  // spindle past the nominal transfer end). Zero when no hook installed,
+  // so injection-off runs are bit-identical to a build without the hook.
+  double extra_ms = 0.0;
+  if (slowdown_hook_) {
+    extra_ms = slowdown_hook_(p.req, start, plan.end_time - start);
+    if (extra_ms > 0.0) {
+      ++stats_.slow_ops;
+      stats_.slowdown_ms += extra_ms;
+    } else {
+      extra_ms = 0.0;
+    }
+  }
+
   switch (p.req.kind) {
     case DiskOpKind::kRead:
     case DiskOpKind::kWrite: {
@@ -225,10 +240,11 @@ void Disk::begin_service(Pending p) {
         active_write_start_ = plan.transfer_start;
         active_write_end_ = plan.end_time;
       }
+      const SimTime done = plan.end_time + extra_ms;
       const std::uint64_t epoch = power_epoch_;
-      eq_.schedule_at(plan.end_time, [this, shared, start, plan, epoch] {
+      eq_.schedule_at(done, [this, shared, start, done, plan, epoch] {
         if (epoch != power_epoch_) return;  // killed by a power failure
-        complete(*shared, start, plan.end_time, plan.end_cylinder);
+        complete(*shared, start, done, plan.end_cylinder);
       });
       break;
     }
@@ -247,8 +263,12 @@ void Disk::begin_service(Pending p) {
       auto shared = make_pooled<Pending>(std::move(p));
       active_ = shared;
       const std::uint64_t epoch = power_epoch_;
-      eq_.schedule_at(plan.end_time, [this, shared, start, plan, sector_count,
-                                      min_revs, epoch] {
+      // A slow read pass delays read_done; schedule_rmw_write then pushes
+      // the in-place rewrite onto a later whole revolution, exactly as a
+      // late gate would.
+      eq_.schedule_at(plan.end_time + extra_ms, [this, shared, start, plan,
+                                                 sector_count, min_revs,
+                                                 epoch] {
         if (epoch != power_epoch_) return;  // killed by a power failure
         const SimTime read_done = eq_.now();
         if (shared->obs_id) {
@@ -272,7 +292,10 @@ void Disk::begin_service(Pending p) {
                                opened);
           };
         } else {
-          const SimTime earliest = gate ? gate->ready_time() : read_done;
+          // The write may start no earlier than the (possibly slowed)
+          // read pass actually ended, whatever the gate says.
+          const SimTime earliest =
+              gate ? std::max(gate->ready_time(), read_done) : read_done;
           schedule_rmw_write(shared, start, plan.transfer_start, sector_count,
                              plan.end_cylinder, min_revs, earliest);
         }
@@ -385,6 +408,16 @@ void Disk::complete(const Pending& p, SimTime service_start, SimTime end_time,
                     int end_cylinder) {
   head_cylinder_ = end_cylinder;
   stats_.busy_ms += end_time - service_start;
+  op_latency_.add(end_time - p.enqueue_time);
+  // TCP-RTT-style smoothing (alpha = 1/8): responsive enough to see a
+  // sticky slowdown within a few tens of ops, smooth enough to ignore a
+  // single unlucky seek.
+  constexpr double kEwmaAlpha = 0.125;
+  const double op_ms = end_time - p.enqueue_time;
+  ewma_latency_ms_ = op_latency_.count() <= 1
+                         ? op_ms
+                         : kEwmaAlpha * op_ms +
+                               (1.0 - kEwmaAlpha) * ewma_latency_ms_;
   active_.reset();
   active_write_start_ = active_write_end_ = -1.0;
   obs_end(tracer_, p.obs_id, p.obs_phase, obs_array_, id_, end_time);

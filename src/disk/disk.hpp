@@ -11,6 +11,7 @@
 #include "disk/seek_model.hpp"
 #include "obs/tracer.hpp"
 #include "sim/event_queue.hpp"
+#include "util/stats.hpp"
 
 namespace raidsim {
 
@@ -129,6 +130,8 @@ struct DiskStats {
   std::uint64_t transient_faults = 0;  // ops failed with a transient timeout
   std::uint64_t media_faults = 0;      // reads that hit a latent sector error
   std::uint64_t power_fail_drops = 0;  // submissions refused while powered off
+  std::uint64_t slow_ops = 0;          // ops stretched by the slowdown hook
+  double slowdown_ms = 0.0;            // total extra service time injected
 
   std::uint64_t ops() const { return reads + writes + rmws; }
   double utilization(SimTime elapsed) const {
@@ -165,6 +168,20 @@ class Disk {
   void set_fault_evaluator(FaultEvaluator evaluator) {
     fault_evaluator_ = std::move(evaluator);
   }
+
+  /// Fail-slow hook, consulted once per access as it begins service.
+  /// Returns extra milliseconds of service time (media-retry bursts,
+  /// sticky degradation, stall windows) appended to the mechanical plan.
+  /// Unlike the fault evaluator this applies to EVERY access, handler or
+  /// not -- a slow spindle slows rebuild sweeps too. Null = no slowdown
+  /// (and no per-op overhead beyond a branch).
+  using SlowdownHook =
+      std::function<double(const DiskRequest&, SimTime service_start,
+                           double planned_service_ms)>;
+  void set_slowdown_hook(SlowdownHook hook) {
+    slowdown_hook_ = std::move(hook);
+  }
+  bool has_slowdown_hook() const { return slowdown_hook_ != nullptr; }
 
   /// Latent sector errors: a planted block makes any fault-aware read
   /// covering it fail with DiskError::kMedia until the block is
@@ -207,6 +224,14 @@ class Disk {
   int current_cylinder() const { return head_cylinder_; }
   std::size_t queue_length() const { return queue_.size(); }
   const DiskStats& stats() const { return stats_; }
+
+  /// Per-op latency (enqueue -> completion) of every access served by
+  /// this disk: streaming moments plus a log-bucketed histogram, the
+  /// per-disk half of the tail-latency accounting.
+  const LatencyRecorder& op_latency() const { return op_latency_; }
+  /// Exponentially-weighted moving average of per-op latency (alpha =
+  /// 1/8, TCP-RTT style); the signal the slow-disk detector samples.
+  double ewma_latency_ms() const { return ewma_latency_ms_; }
 
  private:
   struct Pending {
@@ -262,6 +287,9 @@ class Disk {
   std::vector<Pending> queue_;
   DiskStats stats_;
   FaultEvaluator fault_evaluator_;
+  SlowdownHook slowdown_hook_;
+  LatencyRecorder op_latency_;
+  double ewma_latency_ms_ = 0.0;
   std::unordered_set<std::int64_t> bad_blocks_;
 
   // Power-loss support: the epoch invalidates completions scheduled

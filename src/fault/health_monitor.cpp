@@ -13,6 +13,11 @@ HealthMonitor::HealthMonitor(EventQueue& eq,
     throw std::invalid_argument("HealthMonitor: no arrays to monitor");
   if (options_.hot_spares < 0 || options_.spare_swap_ms < 0.0)
     throw std::invalid_argument("HealthMonitor: negative options");
+  if (options_.slow_disk.ewma_threshold <= 0.0 ||
+      options_.slow_disk.min_ewma_ms < 0.0 ||
+      options_.slow_disk.quarantine_after < 1 ||
+      options_.slow_disk.unquarantine_after < 1)
+    throw std::invalid_argument("HealthMonitor: bad slow-disk policy");
   arrays_.reserve(arrays.size());
   for (std::size_t a = 0; a < arrays.size(); ++a) {
     if (arrays[a] == nullptr)
@@ -31,6 +36,85 @@ HealthMonitor::HealthMonitor(EventQueue& eq,
 
 void HealthMonitor::log(EventKind kind, int array, int disk) {
   events_.push_back(Event{eq_.now(), kind, array, disk});
+}
+
+void HealthMonitor::start_slow_checks() {
+  if (!options_.slow_disk.enabled() || slow_check_event_ != 0) return;
+  slow_check_event_ = eq_.schedule_in(options_.slow_disk.check_interval_ms,
+                                      [this] { slow_check_tick(); });
+}
+
+void HealthMonitor::stop_slow_checks() {
+  if (slow_check_event_ == 0) return;
+  eq_.cancel(slow_check_event_);
+  slow_check_event_ = 0;
+}
+
+void HealthMonitor::slow_check_tick() {
+  slow_check_event_ = 0;
+  const SlowDiskPolicy& policy = options_.slow_disk;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    auto& s = arrays_[a];
+    if (s.lost) continue;
+    const auto& disks = s.controller->disks();
+    const std::size_t n = disks.size();
+    if (s.slow_streak.size() != n) {
+      s.slow_streak.assign(n, 0);
+      s.healthy_streak.assign(n, 0);
+    }
+    // The reference is the median EWMA over warm, non-failed members:
+    // the whole point of a windowed-relative detector is that "slow" is
+    // defined by the disk's siblings under the same workload, not by an
+    // absolute number that drifts with load.
+    std::vector<double> warm;
+    warm.reserve(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      const Disk& disk = *disks[d];
+      const bool failed =
+          std::find(s.failed.begin(), s.failed.end(), static_cast<int>(d)) !=
+          s.failed.end();
+      if (failed || disk.op_latency().count() < policy.min_ops) continue;
+      warm.push_back(disk.ewma_latency_ms());
+    }
+    if (warm.size() < 2) continue;
+    std::nth_element(warm.begin(), warm.begin() + warm.size() / 2, warm.end());
+    const double median = warm[warm.size() / 2];
+    const double threshold =
+        std::max(policy.min_ewma_ms, policy.ewma_threshold * median);
+    if (threshold <= 0.0) continue;
+
+    for (std::size_t d = 0; d < n; ++d) {
+      const Disk& disk = *disks[d];
+      const int di = static_cast<int>(d);
+      const bool failed =
+          std::find(s.failed.begin(), s.failed.end(), di) != s.failed.end();
+      if (failed || disk.op_latency().count() < policy.min_ops) continue;
+      const bool slow = disk.ewma_latency_ms() > threshold;
+      if (slow) {
+        s.healthy_streak[d] = 0;
+        if (++s.slow_streak[d] == 1) {
+          ++slow_detections_;
+          log(EventKind::kDiskSlow, static_cast<int>(a), di);
+        }
+        if (!s.controller->is_quarantined(di) &&
+            s.slow_streak[d] >= policy.quarantine_after) {
+          s.controller->set_quarantined(di, true);
+          ++quarantines_;
+          log(EventKind::kQuarantined, static_cast<int>(a), di);
+        }
+      } else {
+        s.slow_streak[d] = 0;
+        if (s.controller->is_quarantined(di) &&
+            ++s.healthy_streak[d] >= policy.unquarantine_after) {
+          s.controller->set_quarantined(di, false);
+          ++unquarantines_;
+          log(EventKind::kUnquarantined, static_cast<int>(a), di);
+        }
+      }
+    }
+  }
+  slow_check_event_ = eq_.schedule_in(policy.check_interval_ms,
+                                      [this] { slow_check_tick(); });
 }
 
 bool HealthMonitor::rebuild_active(int array) const {

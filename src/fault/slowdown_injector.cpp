@@ -1,0 +1,152 @@
+#include "fault/slowdown_injector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace raidsim {
+
+SlowdownInjector::SlowdownInjector(EventQueue& eq,
+                                   std::vector<ArrayController*> arrays,
+                                   const SlowdownConfig& config)
+    : eq_(eq), arrays_(std::move(arrays)), config_(config) {
+  if (arrays_.empty())
+    throw std::invalid_argument("SlowdownInjector: no arrays");
+  if (config_.spike_per_op < 0.0 || config_.spike_per_op > 1.0 ||
+      config_.spike_ms_mean < 0.0 || config_.sticky_onset_mean_ms < 0.0 ||
+      config_.sticky_factor < 1.0 || config_.sticky_duration_ms < 0.0 ||
+      config_.stall_period_ms < 0.0 || config_.stall_duration_ms < 0.0 ||
+      config_.stall_duration_ms > config_.stall_period_ms)
+    throw std::invalid_argument("SlowdownInjector: bad config");
+  // Per-disk RNG streams split off the root in (array, disk) order:
+  // deterministic, and independent of how many draws any one disk makes.
+  Rng root(config_.seed);
+  states_.resize(arrays_.size());
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    if (arrays_[a] == nullptr)
+      throw std::invalid_argument("SlowdownInjector: null controller");
+    const std::size_t disks = arrays_[a]->disks().size();
+    states_[a].resize(disks);
+    for (std::size_t d = 0; d < disks; ++d) {
+      states_[a][d].rng = root.split();
+      if (config_.stall_period_ms > 0.0)
+        states_[a][d].stall_phase =
+            states_[a][d].rng.uniform(0.0, config_.stall_period_ms);
+    }
+  }
+}
+
+SlowdownInjector::DiskState& SlowdownInjector::state_at(int array, int disk) {
+  return states_.at(static_cast<std::size_t>(array))
+      .at(static_cast<std::size_t>(disk));
+}
+
+double SlowdownInjector::extra_ms(DiskState& st, SimTime service_start,
+                                  double planned_service_ms) {
+  double extra = 0.0;
+  if (st.sticky)
+    extra += (config_.sticky_factor - 1.0) * planned_service_ms;
+  if (config_.spike_per_op > 0.0 && config_.spike_ms_mean > 0.0 &&
+      st.rng.bernoulli(config_.spike_per_op)) {
+    extra += st.rng.exponential(config_.spike_ms_mean);
+    ++spikes_injected_;
+  }
+  if (config_.stall_period_ms > 0.0 && config_.stall_duration_ms > 0.0) {
+    // Stall windows are pure arithmetic on the service-start time (no
+    // scheduled events): an op beginning service inside the window
+    // waits for its end.
+    const double pos =
+        std::fmod(service_start + st.stall_phase, config_.stall_period_ms);
+    if (pos < config_.stall_duration_ms) {
+      extra += config_.stall_duration_ms - pos;
+      ++stalls_hit_;
+    }
+  }
+  return extra;
+}
+
+void SlowdownInjector::arm() {
+  if (armed_ || !config_.enabled()) return;
+  armed_ = true;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    for (std::size_t d = 0; d < arrays_[a]->disks().size(); ++d) {
+      DiskState* st = &states_[a][d];
+      arrays_[a]->disks()[d]->set_slowdown_hook(
+          [this, st](const DiskRequest&, SimTime service_start,
+                     double planned_service_ms) {
+            return extra_ms(*st, service_start, planned_service_ms);
+          });
+      schedule_onset(static_cast<int>(a), static_cast<int>(d));
+    }
+  }
+}
+
+void SlowdownInjector::stop() {
+  if (!armed_) return;
+  armed_ = false;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    for (std::size_t d = 0; d < arrays_[a]->disks().size(); ++d) {
+      arrays_[a]->disks()[d]->set_slowdown_hook(nullptr);
+      DiskState& st = states_[a][d];
+      if (st.onset_event) eq_.cancel(st.onset_event);
+      if (st.heal_event) eq_.cancel(st.heal_event);
+      st.onset_event = 0;
+      st.heal_event = 0;
+    }
+  }
+}
+
+void SlowdownInjector::schedule_onset(int array, int disk) {
+  if (config_.sticky_onset_mean_ms <= 0.0) return;
+  DiskState& st = state_at(array, disk);
+  st.onset_event = eq_.schedule_in(
+      st.rng.exponential(config_.sticky_onset_mean_ms), [this, array, disk] {
+        DiskState& s = state_at(array, disk);
+        s.onset_event = 0;
+        if (!armed_ || s.sticky) return;
+        begin_sticky(array, disk);
+      });
+}
+
+void SlowdownInjector::begin_sticky(int array, int disk) {
+  DiskState& st = state_at(array, disk);
+  st.sticky = true;
+  ++sticky_onsets_;
+  if (config_.sticky_duration_ms > 0.0) {
+    st.heal_event =
+        eq_.schedule_in(config_.sticky_duration_ms, [this, array, disk] {
+          DiskState& s = state_at(array, disk);
+          s.heal_event = 0;
+          s.sticky = false;
+          // A healed disk can degrade again later.
+          if (armed_) schedule_onset(array, disk);
+        });
+  }
+}
+
+void SlowdownInjector::force_sticky(int array, int disk) {
+  DiskState& st = state_at(array, disk);
+  if (st.sticky) return;
+  if (st.onset_event) {
+    eq_.cancel(st.onset_event);
+    st.onset_event = 0;
+  }
+  begin_sticky(array, disk);
+}
+
+void SlowdownInjector::repair_disk(int array, int disk) {
+  DiskState& st = state_at(array, disk);
+  st.sticky = false;
+  if (st.heal_event) {
+    eq_.cancel(st.heal_event);
+    st.heal_event = 0;
+  }
+  if (armed_ && st.onset_event == 0) schedule_onset(array, disk);
+}
+
+bool SlowdownInjector::sticky_active(int array, int disk) const {
+  return states_.at(static_cast<std::size_t>(array))
+      .at(static_cast<std::size_t>(disk))
+      .sticky;
+}
+
+}  // namespace raidsim

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/controller.hpp"
+#include "util/rng.hpp"
+
+namespace raidsim {
+
+/// Fail-slow fault regime (docs/fault_model.md): disks that keep
+/// answering but take far too long. Three slowdown classes, all in extra
+/// service milliseconds appended to the mechanical plan:
+///   transient spikes   per-op Bernoulli draw; an affected op pays an
+///                      exponentially distributed media-retry burst
+///   sticky slowdown    after an exponential onset time the disk's
+///                      service times are multiplied by `sticky_factor`
+///                      until it heals (fixed duration) or is repaired
+///   periodic stalls    every `stall_period_ms` the disk freezes for
+///                      `stall_duration_ms` (firmware housekeeping);
+///                      ops arriving inside the window wait it out
+/// All zero by default: a default config injects nothing.
+struct SlowdownConfig {
+  /// Probability that any single op pays a transient latency spike.
+  double spike_per_op = 0.0;
+  /// Mean of the exponential spike magnitude (ms).
+  double spike_ms_mean = 0.0;
+
+  /// Mean sim-ms until a disk turns sticky-slow (exponential, per disk).
+  /// 0 disables spontaneous sticky onsets (force_sticky still works).
+  double sticky_onset_mean_ms = 0.0;
+  /// Service-time multiplier while sticky (>= 1).
+  double sticky_factor = 5.0;
+  /// Sticky episode length; 0 = the disk stays slow until repair_disk().
+  double sticky_duration_ms = 0.0;
+
+  /// Periodic stall window per disk (0 disables). Each disk gets a
+  /// deterministic per-disk phase offset so stalls do not line up
+  /// across the array.
+  double stall_period_ms = 0.0;
+  double stall_duration_ms = 0.0;
+
+  std::uint64_t seed = 0x510eULL;
+
+  /// Drill mode: arm() installs the per-disk hooks (so force_sticky()
+  /// takes effect) but schedules no spontaneous onsets. Lets a drill
+  /// place the straggler deterministically without a pending far-future
+  /// onset event keeping the queue alive.
+  bool manual_sticky = false;
+
+  /// True when any slowdown class is configured. An injector built from
+  /// a disabled config installs no hooks and schedules no events, so
+  /// the run is bit-identical to one without the injector.
+  bool enabled() const {
+    return (spike_per_op > 0.0 && spike_ms_mean > 0.0) ||
+           sticky_onset_mean_ms > 0.0 ||
+           (stall_period_ms > 0.0 && stall_duration_ms > 0.0) ||
+           manual_sticky;
+  }
+};
+
+/// Installs the fail-slow model onto a set of arrays. Deterministic: one
+/// RNG stream per disk, split from the seed in (array, disk) order, so a
+/// given seed produces the same slowdown schedule regardless of what the
+/// rest of the simulation does. Composable with FaultInjector (separate
+/// disk hooks: set_slowdown_hook vs set_fault_evaluator).
+class SlowdownInjector {
+ public:
+  SlowdownInjector(EventQueue& eq, std::vector<ArrayController*> arrays,
+                   const SlowdownConfig& config);
+  SlowdownInjector(EventQueue& eq, ArrayController& array,
+                   const SlowdownConfig& config)
+      : SlowdownInjector(eq, std::vector<ArrayController*>{&array}, config) {}
+
+  SlowdownInjector(const SlowdownInjector&) = delete;
+  SlowdownInjector& operator=(const SlowdownInjector&) = delete;
+  ~SlowdownInjector() { stop(); }
+
+  /// Install the per-disk slowdown hooks and start the sticky-onset
+  /// clocks. No-op (and installs nothing) when the config is disabled.
+  /// Idempotent.
+  void arm();
+  /// Uninstall every hook and cancel every pending injector event (so
+  /// the event queue can drain).
+  void stop();
+
+  /// Make one disk sticky-slow right now (drills use this to place the
+  /// straggler deterministically). Honors sticky_duration_ms.
+  void force_sticky(int array, int disk);
+  /// Repair one disk: clears its sticky state and cancels any pending
+  /// auto-heal. Spikes and stalls keep applying (they model the normal
+  /// fault regime, not the broken unit).
+  void repair_disk(int array, int disk);
+
+  bool armed() const { return armed_; }
+  bool sticky_active(int array, int disk) const;
+  std::uint64_t sticky_onsets() const { return sticky_onsets_; }
+  std::uint64_t spikes_injected() const { return spikes_injected_; }
+  std::uint64_t stalls_hit() const { return stalls_hit_; }
+
+ private:
+  struct DiskState {
+    Rng rng{0};
+    bool sticky = false;
+    double stall_phase = 0.0;  // deterministic per-disk stall offset
+    EventId onset_event = 0;
+    EventId heal_event = 0;
+  };
+
+  DiskState& state_at(int array, int disk);
+  void schedule_onset(int array, int disk);
+  void begin_sticky(int array, int disk);
+  double extra_ms(DiskState& st, SimTime service_start,
+                  double planned_service_ms);
+
+  EventQueue& eq_;
+  std::vector<ArrayController*> arrays_;
+  SlowdownConfig config_;
+  bool armed_ = false;
+  std::vector<std::vector<DiskState>> states_;
+  std::uint64_t sticky_onsets_ = 0;
+  std::uint64_t spikes_injected_ = 0;
+  std::uint64_t stalls_hit_ = 0;
+};
+
+}  // namespace raidsim

@@ -42,6 +42,18 @@ const char* async_category(ObsPhase phase) {
   }
 }
 
+const char* instant_category(ObsPhase phase) {
+  switch (phase) {
+    case ObsPhase::kTimeoutFired:
+    case ObsPhase::kHedgeIssued:
+    case ObsPhase::kHedgeWon:
+    case ObsPhase::kRedirected:
+      return "tail";
+    default:
+      return "cache";
+  }
+}
+
 // pid 0 is the simulator-wide process; arrays map to pid = index + 1.
 int pid_of(const TraceEvent& e) { return e.array + 1; }
 // tid 0 is the array/controller track; disks map to tid = index + 1.
@@ -176,8 +188,8 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
       return;
     }
     events.open_event()
-        << "\"name\": \"" << to_string(e.phase)
-        << "\", \"cat\": \"cache\", \"ph\": \"i\", \"s\": \"t\", \"pid\": "
+        << "\"name\": \"" << to_string(e.phase) << "\", \"cat\": \""
+        << instant_category(e.phase) << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": "
         << pid_of(e) << ", \"tid\": " << tid_of(e) << ", \"ts\": " << e.ts * 1e3
         << ", \"args\": {\"span\": " << e.id << "}}";
   });

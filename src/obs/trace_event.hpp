@@ -34,6 +34,11 @@ enum class ObsPhase : std::uint8_t {
   kCacheMiss,
   kWriteStall,
   kDestageTick,
+  // Tail-tolerance instants (fail-slow policies, array track).
+  kTimeoutFired,
+  kHedgeIssued,
+  kHedgeWon,
+  kRedirected,
   // Sentinel: "derive from the op kind" default for DiskRequest tagging.
   kAuto,
 };

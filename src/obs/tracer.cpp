@@ -22,6 +22,10 @@ const char* to_string(ObsPhase phase) {
     case ObsPhase::kCacheMiss: return "cache-miss";
     case ObsPhase::kWriteStall: return "write-stall";
     case ObsPhase::kDestageTick: return "destage-tick";
+    case ObsPhase::kTimeoutFired: return "timeout-fired";
+    case ObsPhase::kHedgeIssued: return "hedge-issued";
+    case ObsPhase::kHedgeWon: return "hedge-won";
+    case ObsPhase::kRedirected: return "redirected";
     case ObsPhase::kAuto: return "auto";
   }
   return "?";

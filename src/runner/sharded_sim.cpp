@@ -349,6 +349,7 @@ Metrics ShardedSimulator::merge() {
     metrics.response_all.merge(array.response_all);
     metrics.response_read.merge(array.response_read);
     metrics.response_write.merge(array.response_write);
+    metrics.response_per_array.push_back(array.response_all);
     metrics.requests += array.requests;
     accumulate(metrics.controller, array.controller->stats());
     for (const auto& disk : array.controller->disks()) {
@@ -357,6 +358,7 @@ Metrics ShardedSimulator::merge() {
       metrics.disk_accesses.push_back(stats.ops());
       metrics.disk_utilization.push_back(
           stats.utilization(metrics.elapsed_ms));
+      metrics.disk_op_latency.push_back(disk->op_latency());
     }
     const double util =
         array.controller->channel().utilization(metrics.elapsed_ms);

@@ -72,7 +72,10 @@ class LatencyRecorder {
   double p50() const { return hist_.quantile(0.50); }
   double p95() const { return hist_.quantile(0.95); }
   double p99() const { return hist_.quantile(0.99); }
+  double p999() const { return hist_.quantile(0.999); }
   double max() const { return stats_.max(); }
+
+  const Histogram& histogram() const { return hist_; }
 
  private:
   OnlineStats stats_;

@@ -1,0 +1,206 @@
+// Tail-tolerance policies (ArrayController::TailPolicy): hedged reads
+// with first-completion-wins, deadline escalation, mirror
+// redirect-on-slow, quarantine-aware scheduling, and the EWMA gate that
+// keeps parity reconstructs from firing against healthy-but-queued
+// disks. A disk is made fail-slow by installing a constant slowdown
+// hook directly (the SlowdownInjector has its own tests).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "array/uncached_controller.hpp"
+
+namespace raidsim {
+namespace {
+
+class TailPolicyTest : public ::testing::Test {
+ protected:
+  ArrayController::Config config(Organization org, int n = 4) {
+    ArrayController::Config cfg;
+    cfg.layout.organization = org;
+    cfg.layout.data_disks = n;
+    cfg.layout.data_blocks_per_disk = 360;
+    cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+    return cfg;
+  }
+
+  /// Constant extra service time on one disk: the canonical fail-slow
+  /// straggler for these tests.
+  static void make_slow(ArrayController& c, int disk, double extra_ms) {
+    c.disks()[static_cast<std::size_t>(disk)]->set_slowdown_hook(
+        [extra_ms](const DiskRequest&, SimTime, double) { return extra_ms; });
+  }
+
+  /// Logical blocks whose primary extent lives on `disk`.
+  static std::vector<std::int64_t> blocks_on(const ArrayController& c,
+                                             int disk, int count) {
+    std::vector<std::int64_t> blocks;
+    for (std::int64_t b = 0; b < 1440 && static_cast<int>(blocks.size()) <
+                                             count;
+         ++b) {
+      if (c.layout().map_read(b, 1)[0].disk == disk) blocks.push_back(b);
+    }
+    return blocks;
+  }
+
+  /// Submit one read per block, spaced `gap_ms` apart (so completions
+  /// feed the EWMA before the next arrival), and run to completion.
+  static int drive(EventQueue& eq, ArrayController& c,
+                   const std::vector<std::int64_t>& blocks,
+                   double gap_ms = 25.0) {
+    int completed = 0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      const std::int64_t block = blocks[i];
+      eq.schedule_at(static_cast<double>(i) * gap_ms, [&c, &completed, block] {
+        c.submit(ArrayRequest{block, 1, false},
+                 [&completed](SimTime) { ++completed; });
+      });
+    }
+    eq.run();
+    return completed;
+  }
+
+  /// Every logical block once: spreads warm-up ops across all disks.
+  static std::vector<std::int64_t> spread_blocks(int count) {
+    std::vector<std::int64_t> blocks;
+    for (int i = 0; i < count; ++i)
+      blocks.push_back((static_cast<std::int64_t>(i) * 37) % 1440);
+    return blocks;
+  }
+};
+
+TEST_F(TailPolicyTest, MirrorHedgeFirstCompletionWins) {
+  EventQueue eq;
+  auto cfg = config(Organization::kMirror);
+  cfg.tail.enabled = true;
+  cfg.tail.hedge_delay_ms = 30.0;
+  UncachedController c(eq, cfg);
+  const int slow = c.layout().map_read(0, 1)[0].disk;
+  make_slow(c, slow, 400.0);
+
+  const int n = drive(eq, c, blocks_on(c, slow, 24));
+  EXPECT_EQ(n, 24);
+  const auto& s = c.stats();
+  EXPECT_GT(s.hedged_reads, 0u);
+  EXPECT_GT(s.hedge_wins, 0u);
+  // The straggler's late completions are the cancelled legs.
+  EXPECT_GT(s.hedge_cancellations, 0u);
+  EXPECT_EQ(s.timeouts_fired, 0u);  // no deadline configured
+}
+
+TEST_F(TailPolicyTest, DeadlineEscalationForcesTheHedge) {
+  EventQueue eq;
+  auto cfg = config(Organization::kMirror);
+  cfg.tail.enabled = true;
+  cfg.tail.read_deadline_ms = 60.0;  // no hedge timer: escalation only
+  UncachedController c(eq, cfg);
+  const int slow = c.layout().map_read(0, 1)[0].disk;
+  make_slow(c, slow, 400.0);
+
+  drive(eq, c, blocks_on(c, slow, 24));
+  const auto& s = c.stats();
+  EXPECT_GT(s.timeouts_fired, 0u);
+  EXPECT_GT(s.hedged_reads, 0u);
+  EXPECT_GT(s.hedge_wins, 0u);
+}
+
+TEST_F(TailPolicyTest, MirrorRedirectOnSlowSteersToTheTwin) {
+  EventQueue eq;
+  auto cfg = config(Organization::kMirror);
+  cfg.tail.enabled = true;
+  cfg.tail.redirect_on_slow = true;  // no hedging, no deadline
+  UncachedController c(eq, cfg);
+  const int slow = c.layout().map_read(0, 1)[0].disk;
+  make_slow(c, slow, 400.0);
+
+  // Long run on the slow disk's blocks: both twins warm their EWMAs
+  // (the seek/queue tie-break spreads early reads over the pair), after
+  // which the redirect overrides the seek choice.
+  drive(eq, c, blocks_on(c, slow, 60));
+  const auto& s = c.stats();
+  EXPECT_GT(s.redirected_reads, 0u);
+  EXPECT_EQ(s.hedged_reads, 0u);
+  EXPECT_EQ(s.timeouts_fired, 0u);
+}
+
+TEST_F(TailPolicyTest, MirrorQuarantineReroutesWithoutTailPolicy) {
+  // Quarantine containment is a health action, not a tail-latency
+  // optimization: it must work even with the tail policy disabled.
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kMirror));
+  const int bad = c.layout().map_read(0, 1)[0].disk;
+  c.set_quarantined(bad, true);
+  EXPECT_TRUE(c.is_quarantined(bad));
+  EXPECT_EQ(c.quarantined_count(), 1);
+
+  drive(eq, c, blocks_on(c, bad, 20));
+  EXPECT_GT(c.stats().quarantine_reroutes, 0u);
+  // Every read was served by the twin: the quarantined disk saw none.
+  EXPECT_EQ(c.disks()[static_cast<std::size_t>(bad)]->stats().reads, 0u);
+
+  c.set_quarantined(bad, false);
+  EXPECT_EQ(c.quarantined_count(), 0);
+}
+
+TEST_F(TailPolicyTest, ParityQuarantineReconstructsAroundTheDisk) {
+  EventQueue eq;
+  auto cfg = config(Organization::kRaid5);
+  cfg.tail.enabled = true;
+  cfg.tail.reconstruct_on_slow = true;
+  UncachedController c(eq, cfg);
+  const int bad = c.layout().map_read(0, 1)[0].disk;
+  c.set_quarantined(bad, true);
+
+  drive(eq, c, blocks_on(c, bad, 12));
+  EXPECT_GT(c.stats().quarantine_reroutes, 0u);
+  EXPECT_EQ(c.disks()[static_cast<std::size_t>(bad)]->stats().reads, 0u);
+}
+
+TEST_F(TailPolicyTest, ParityHedgeRequiresEwmaSlowPrimary) {
+  EventQueue eq;
+  auto cfg = config(Organization::kRaid5);
+  cfg.tail.enabled = true;
+  cfg.tail.hedge_ewma_factor = 2.0;
+  cfg.tail.reconstruct_on_slow = true;
+  UncachedController c(eq, cfg);
+
+  // Phase 1: healthy array. Warm every disk's EWMA; no hedge may fire
+  // (no disk is slow relative to the median).
+  drive(eq, c, spread_blocks(120));
+  EXPECT_EQ(c.stats().hedged_reads, 0u);
+
+  // Phase 2: one disk turns fail-slow. Its EWMA climbs past the
+  // slow_ewma_factor gate and reads against it hedge via reconstruction.
+  const int slow = c.layout().map_read(0, 1)[0].disk;
+  make_slow(c, slow, 400.0);
+  drive(eq, c, blocks_on(c, slow, 40));
+  const auto& s = c.stats();
+  EXPECT_GT(s.hedged_reads, 0u);
+  EXPECT_GT(s.hedge_wins, 0u);
+}
+
+TEST_F(TailPolicyTest, DisabledPolicyCountsNothing) {
+  EventQueue eq;
+  auto cfg = config(Organization::kMirror);
+  cfg.tail.enabled = false;
+  cfg.tail.read_deadline_ms = 60.0;  // knobs set, master switch off
+  cfg.tail.hedge_delay_ms = 30.0;
+  cfg.tail.redirect_on_slow = true;
+  UncachedController c(eq, cfg);
+  const int slow = c.layout().map_read(0, 1)[0].disk;
+  make_slow(c, slow, 400.0);
+
+  drive(eq, c, blocks_on(c, slow, 24));
+  const auto& s = c.stats();
+  EXPECT_EQ(s.hedged_reads, 0u);
+  EXPECT_EQ(s.hedge_wins, 0u);
+  EXPECT_EQ(s.hedge_cancellations, 0u);
+  EXPECT_EQ(s.timeouts_fired, 0u);
+  EXPECT_EQ(s.redirected_reads, 0u);
+  EXPECT_EQ(s.quarantine_reroutes, 0u);
+  // The slowdown itself still happened -- only the mitigation is off.
+  EXPECT_GT(c.disks()[static_cast<std::size_t>(slow)]->stats().slow_ops, 0u);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,6 +1,7 @@
 // HealthMonitor: automatic spare allocation + rebuild, double-failure
 // data-loss detection (graceful, recorded, no crash), spare-pool
-// exhaustion and replenishment.
+// exhaustion and replenishment, and the fail-slow detector's
+// quarantine/unquarantine state machine.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -158,6 +159,127 @@ TEST_F(HealthMonitorTest, DuplicateFailureReportIsIdempotent) {
   monitor.on_disk_failure(0, 1);  // e.g. injector + retry exhaustion
   EXPECT_FALSE(monitor.data_loss());
   EXPECT_EQ(monitor.failed_disks(0).size(), 1u);
+}
+
+// ---- hot-spare exhaustion under a second failure (regression guards:
+// ---- the monitor must account the loss and never touch a spare that
+// ---- does not exist).
+
+TEST_F(HealthMonitorTest, SecondFailureWithExhaustedPoolIsGracefulLoss) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  HealthMonitor monitor(eq, c, options(1));
+
+  monitor.on_disk_failure(0, 0);  // consumes the only spare, rebuild starts
+  EXPECT_EQ(monitor.spares_available(), 0);
+  EXPECT_TRUE(monitor.rebuild_active(0));
+
+  // Second failure mid-rebuild with the pool empty: two disks of one
+  // parity group down at once -- data loss, recorded, no crash, and no
+  // attempt to allocate the spare that is not there.
+  monitor.on_disk_failure(0, 3);
+  EXPECT_TRUE(monitor.data_loss());
+  EXPECT_TRUE(monitor.array_lost(0));
+  ASSERT_EQ(monitor.losses().size(), 1u);
+  const auto& loss = monitor.losses()[0];
+  EXPECT_EQ(loss.array, 0);
+  ASSERT_EQ(loss.failed_disks.size(), 2u);
+  EXPECT_GT(loss.lost_blocks, 0);
+  EXPECT_EQ(monitor.spares_available(), 0);
+
+  eq.run();  // whatever rebuild work was in flight drains without UB
+  EXPECT_TRUE(monitor.array_lost(0));
+}
+
+TEST_F(HealthMonitorTest, SpareArrivingAfterLossIsNotConsumed) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kMirror));
+  HealthMonitor monitor(eq, c, options(0));
+
+  const int twin = c.layout().mirror_of(0);
+  ASSERT_GE(twin, 0);
+  monitor.on_disk_failure(0, 0);
+  monitor.on_disk_failure(0, twin);  // pair gone: loss
+  EXPECT_TRUE(monitor.data_loss());
+  EXPECT_TRUE(monitor.array_lost(0));
+  EXPECT_TRUE(has_event(monitor, HealthMonitor::EventKind::kSpareExhausted));
+
+  // A replacement arriving after the array is lost stays in the pool:
+  // there is nothing left to rebuild onto it.
+  monitor.add_spares(1);
+  eq.run();
+  EXPECT_EQ(monitor.spares_available(), 1);
+  EXPECT_EQ(monitor.rebuilds_completed(), 0);
+  EXPECT_FALSE(monitor.rebuild_active(0));
+}
+
+// ---- fail-slow detector: EWMA median check -> quarantine -> recovery ->
+// ---- release.
+
+TEST_F(HealthMonitorTest, SlowDiskIsDetectedQuarantinedAndReleased) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  auto opt = options(0);
+  opt.slow_disk.check_interval_ms = 50.0;
+  opt.slow_disk.ewma_threshold = 3.0;
+  opt.slow_disk.quarantine_after = 3;
+  opt.slow_disk.unquarantine_after = 3;
+  HealthMonitor monitor(eq, c, opt);
+
+  // Disk 2 turns fail-slow: every op pays 60 extra ms. (Moderate on
+  // purpose: the detector ignores disks with < min_ops completions, and
+  // a crippled disk serving one op per 200+ ms would not finish its
+  // warm-up inside the test horizon.)
+  c.disks()[2]->set_slowdown_hook(
+      [](const DiskRequest&, SimTime, double) { return 60.0; });
+
+  int completed = 0;
+  auto feed = [&](double start_ms, int count) {
+    for (int i = 0; i < count; ++i) {
+      const std::int64_t block = (static_cast<std::int64_t>(i) * 37) % 1440;
+      eq.schedule_at(start_ms + i * 5.0, [&c, &completed, block] {
+        c.submit(ArrayRequest{block, 1, false},
+                 [&completed](SimTime) { ++completed; });
+      });
+    }
+  };
+
+  feed(0.0, 400);
+  monitor.start_slow_checks();
+  EXPECT_TRUE(monitor.slow_checks_active());
+  // The detector tick reschedules itself forever; run to a horizon.
+  eq.run_until(2500.0);
+  EXPECT_GT(monitor.slow_detections(), 0u);
+  EXPECT_GE(monitor.quarantines(), 1u);
+  EXPECT_TRUE(c.is_quarantined(2));
+  EXPECT_TRUE(has_event(monitor, HealthMonitor::EventKind::kDiskSlow));
+  EXPECT_TRUE(has_event(monitor, HealthMonitor::EventKind::kQuarantined));
+
+  // The disk heals. With the tail policy off the quarantined disk still
+  // serves demand reads, so its EWMA recovers in place and the detector
+  // releases it.
+  c.disks()[2]->set_slowdown_hook(nullptr);
+  feed(2500.0, 400);
+  eq.run_until(6000.0);
+  EXPECT_GE(monitor.unquarantines(), 1u);
+  EXPECT_FALSE(c.is_quarantined(2));
+  EXPECT_TRUE(has_event(monitor, HealthMonitor::EventKind::kUnquarantined));
+
+  monitor.stop_slow_checks();
+  EXPECT_FALSE(monitor.slow_checks_active());
+  eq.run();  // queue drains now that the tick is gone
+  EXPECT_EQ(completed, 800);
+}
+
+TEST_F(HealthMonitorTest, DetectorOffByDefaultSchedulesNothing) {
+  EventQueue eq;
+  UncachedController c(eq, config(Organization::kRaid5));
+  HealthMonitor monitor(eq, c, options(1));  // check_interval_ms == 0
+  monitor.start_slow_checks();
+  EXPECT_FALSE(monitor.slow_checks_active());
+  eq.run();
+  EXPECT_EQ(eq.executed(), 0u);
+  EXPECT_EQ(monitor.slow_detections(), 0u);
 }
 
 TEST_F(HealthMonitorTest, Validation) {

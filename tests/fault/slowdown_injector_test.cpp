@@ -1,0 +1,200 @@
+// SlowdownInjector: deterministic fail-slow injection (transient
+// spikes, sticky degradation, periodic stalls), hook lifecycle, and
+// seed-stable schedules.
+#include <gtest/gtest.h>
+
+#include "array/uncached_controller.hpp"
+#include "fault/slowdown_injector.hpp"
+
+namespace raidsim {
+namespace {
+
+ArrayController::Config base_config(Organization org = Organization::kRaid5,
+                                    int n = 4) {
+  ArrayController::Config cfg;
+  cfg.layout.organization = org;
+  cfg.layout.data_disks = n;
+  cfg.layout.data_blocks_per_disk = 360;
+  cfg.layout.physical_blocks_per_disk = cfg.disk_geometry.total_blocks();
+  return cfg;
+}
+
+/// Submit `count` single-block reads spread over the array and run to
+/// completion; returns the completion time of the last one.
+SimTime drive_reads(EventQueue& eq, ArrayController& c, int count) {
+  SimTime last = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t block = (static_cast<std::int64_t>(i) * 37) % 1400;
+    eq.schedule_at(i * 5.0, [&c, &last, block] {
+      c.submit(ArrayRequest{block, 1, false},
+               [&last](SimTime t) { last = std::max(last, t); });
+    });
+  }
+  eq.run();
+  return last;
+}
+
+TEST(SlowdownInjectorTest, DisabledConfigInstallsNothing) {
+  EventQueue eq;
+  UncachedController c(eq, base_config());
+  SlowdownInjector injector(eq, c, SlowdownConfig{});
+  injector.arm();
+  EXPECT_FALSE(injector.armed());
+  for (const auto& disk : c.disks())
+    EXPECT_FALSE(disk->has_slowdown_hook());
+  drive_reads(eq, c, 20);
+  EXPECT_EQ(injector.spikes_injected(), 0u);
+  EXPECT_EQ(injector.sticky_onsets(), 0u);
+}
+
+TEST(SlowdownInjectorTest, StickySlowdownStretchesServiceTimes) {
+  SimTime baseline, degraded;
+  std::uint64_t slow_ops = 0;
+  double slowdown_ms = 0.0;
+  for (const bool sticky : {false, true}) {
+    EventQueue eq;
+    UncachedController c(eq, base_config());
+    SlowdownConfig config;
+    config.manual_sticky = true;
+    config.sticky_factor = 6.0;
+    SlowdownInjector injector(eq, c, config);
+    injector.arm();
+    EXPECT_TRUE(injector.armed());
+    if (sticky) injector.force_sticky(0, 1);
+    const SimTime done = drive_reads(eq, c, 120);
+    if (sticky) {
+      degraded = done;
+      slow_ops = c.disks()[1]->stats().slow_ops;
+      slowdown_ms = c.disks()[1]->stats().slowdown_ms;
+    } else {
+      baseline = done;
+    }
+  }
+  EXPECT_GT(degraded, baseline);
+  EXPECT_GT(slow_ops, 0u);
+  EXPECT_GT(slowdown_ms, 0.0);
+}
+
+TEST(SlowdownInjectorTest, ArmedButHealthyIsBitIdenticalToNoInjector) {
+  // manual_sticky installs the hooks; with no disk forced sticky the
+  // hook returns zero extra for every op, so the run must be exactly
+  // the run without any injector.
+  SimTime with_injector, without;
+  std::uint64_t events_with = 0, events_without = 0;
+  for (const bool attach : {false, true}) {
+    EventQueue eq;
+    UncachedController c(eq, base_config());
+    SlowdownConfig config;
+    config.manual_sticky = true;
+    SlowdownInjector injector(eq, c, config);
+    if (attach) injector.arm();
+    const SimTime done = drive_reads(eq, c, 120);
+    (attach ? with_injector : without) = done;
+    (attach ? events_with : events_without) = eq.executed();
+  }
+  EXPECT_EQ(with_injector, without);
+  EXPECT_EQ(events_with, events_without);
+}
+
+TEST(SlowdownInjectorTest, SpikeScheduleIsSeedStable) {
+  auto run = [](std::uint64_t seed) {
+    EventQueue eq;
+    UncachedController c(eq, base_config());
+    SlowdownConfig config;
+    config.spike_per_op = 0.3;
+    config.spike_ms_mean = 40.0;
+    config.seed = seed;
+    SlowdownInjector injector(eq, c, config);
+    injector.arm();
+    const SimTime done = drive_reads(eq, c, 150);
+    return std::make_pair(done, injector.spikes_injected());
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a.first, b.first);       // identical trajectory, bit for bit
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second, 0u);
+  const auto c = run(8);
+  EXPECT_NE(a.first, c.first);       // a different seed reshuffles spikes
+}
+
+TEST(SlowdownInjectorTest, PeriodicStallsDelayOpsInsideTheWindow) {
+  EventQueue eq;
+  UncachedController c(eq, base_config());
+  SlowdownConfig config;
+  config.stall_period_ms = 80.0;
+  config.stall_duration_ms = 25.0;
+  SlowdownInjector injector(eq, c, config);
+  injector.arm();
+  drive_reads(eq, c, 200);
+  EXPECT_GT(injector.stalls_hit(), 0u);
+  EXPECT_GT(c.disks()[0]->stats().slowdown_ms +
+                c.disks()[1]->stats().slowdown_ms +
+                c.disks()[2]->stats().slowdown_ms,
+            0.0);
+}
+
+TEST(SlowdownInjectorTest, SpontaneousOnsetAndAutoHeal) {
+  EventQueue eq;
+  UncachedController c(eq, base_config());
+  SlowdownConfig config;
+  config.sticky_onset_mean_ms = 200.0;
+  config.sticky_factor = 4.0;
+  config.sticky_duration_ms = 300.0;
+  config.seed = 11;
+  SlowdownInjector injector(eq, c, config);
+  injector.arm();
+  // Healed disks re-arm their onset clock, so the injector keeps the
+  // queue alive forever: run to a horizon, then stop() and drain.
+  int completed = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t block = (static_cast<std::int64_t>(i) * 37) % 1400;
+    eq.schedule_at(i * 5.0, [&c, &completed, block] {
+      c.submit(ArrayRequest{block, 1, false},
+               [&completed](SimTime) { ++completed; });
+    });
+  }
+  eq.run_until(4000.0);
+  injector.stop();  // cancel still-pending onset/heal clocks
+  eq.run();
+  EXPECT_EQ(completed, 400);
+  EXPECT_GT(injector.sticky_onsets(), 0u);
+}
+
+TEST(SlowdownInjectorTest, RepairClearsStickyAndStopUninstalls) {
+  EventQueue eq;
+  UncachedController c(eq, base_config());
+  SlowdownConfig config;
+  config.manual_sticky = true;
+  SlowdownInjector injector(eq, c, config);
+  injector.arm();
+  injector.force_sticky(0, 2);
+  EXPECT_TRUE(injector.sticky_active(0, 2));
+  injector.repair_disk(0, 2);
+  EXPECT_FALSE(injector.sticky_active(0, 2));
+  injector.stop();
+  EXPECT_FALSE(injector.armed());
+  for (const auto& disk : c.disks())
+    EXPECT_FALSE(disk->has_slowdown_hook());
+}
+
+TEST(SlowdownInjectorTest, Validation) {
+  EventQueue eq;
+  UncachedController c(eq, base_config());
+  SlowdownConfig bad;
+  bad.spike_per_op = 1.5;
+  EXPECT_THROW(SlowdownInjector(eq, c, bad), std::invalid_argument);
+  bad = SlowdownConfig{};
+  bad.sticky_factor = 0.5;
+  EXPECT_THROW(SlowdownInjector(eq, c, bad), std::invalid_argument);
+  bad = SlowdownConfig{};
+  bad.stall_period_ms = 10.0;
+  bad.stall_duration_ms = 20.0;
+  EXPECT_THROW(SlowdownInjector(eq, c, bad), std::invalid_argument);
+  EXPECT_THROW(
+      SlowdownInjector(eq, std::vector<ArrayController*>{}, SlowdownConfig{}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidsim

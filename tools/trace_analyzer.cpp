@@ -377,6 +377,32 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(count));
   }
 
+  // Tail-tolerance activity (fail-slow policies): how often the
+  // controller hedged, timed out, or redirected around a slow disk, and
+  // what fraction of hedges beat the primary.
+  const std::uint64_t hedges = instants.count("hedge-issued")
+                                   ? instants.at("hedge-issued") : 0;
+  const std::uint64_t hedge_wins = instants.count("hedge-won")
+                                       ? instants.at("hedge-won") : 0;
+  const std::uint64_t timeouts = instants.count("timeout-fired")
+                                     ? instants.at("timeout-fired") : 0;
+  const std::uint64_t redirects = instants.count("redirected")
+                                      ? instants.at("redirected") : 0;
+  if (hedges || timeouts || redirects) {
+    std::printf("\ntail tolerance:\n");
+    std::printf("  hedges issued   %10llu\n",
+                static_cast<unsigned long long>(hedges));
+    std::printf("  hedge wins      %10llu (%.1f%%)\n",
+                static_cast<unsigned long long>(hedge_wins),
+                hedges ? 100.0 * static_cast<double>(hedge_wins) /
+                             static_cast<double>(hedges)
+                       : 0.0);
+    std::printf("  timeouts fired  %10llu\n",
+                static_cast<unsigned long long>(timeouts));
+    std::printf("  redirects       %10llu\n",
+                static_cast<unsigned long long>(redirects));
+  }
+
   if (!host_spans.empty() && top_n > 0) {
     std::partial_sort(host_spans.begin(),
                       host_spans.begin() +
