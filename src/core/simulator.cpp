@@ -173,7 +173,17 @@ Metrics Simulator::run(TraceStream& trace) {
 
   validate_records_ = !trace.prevalidated();
   pump(trace);
-  while (eq_.step()) {
+  if (cancel_ == nullptr) {
+    while (eq_.step()) {
+    }
+  } else {
+    // Cooperative cancellation: poll the token at event-batch boundaries
+    // so a deadline or watchdog stops the run promptly without taxing
+    // the per-event hot path.
+    for (;;) {
+      if (cancel_->cancelled()) throw CancelledError(cancel_->reason());
+      if (eq_.run(kCancelCheckBatch) < kCancelCheckBatch) break;
+    }
   }
   assert(outstanding_ == 0);
   return finalize();

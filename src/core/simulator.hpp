@@ -7,6 +7,7 @@
 #include "core/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
+#include "sim/cancellation.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/record.hpp"
 
@@ -57,6 +58,17 @@ class Simulator {
   /// Map a database block to (array index, array-local logical block).
   std::pair<int, std::int64_t> route(std::int64_t db_block) const;
 
+  /// Attach a cooperative cancellation token. run() polls it every
+  /// kCancelCheckBatch executed events and throws CancelledError when it
+  /// fires; in-flight state is reclaimed by normal destruction. Must be
+  /// set before run() and outlive the run.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
+  /// Events executed between cancellation checks. Small enough that a
+  /// deadline lands within a few milliseconds of wall time, large enough
+  /// that the relaxed atomic load never shows up in a profile.
+  static constexpr std::uint64_t kCancelCheckBatch = 4096;
+
   /// Request-lifecycle tracer, null unless config.obs.tracing.
   const Tracer* tracer() const { return tracer_.get(); }
   /// Periodic telemetry sampler, null unless config.obs.sample_interval_ms > 0.
@@ -80,6 +92,7 @@ class Simulator {
   std::int64_t blocks_per_array_ = 1;
   std::int64_t total_blocks_ = 0;
   EventQueue eq_;
+  const CancelToken* cancel_ = nullptr;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<TimeSeriesSampler> sampler_;
   EventId sampler_event_ = 0;

@@ -37,6 +37,9 @@ const char* async_category(ObsPhase phase) {
     case ObsPhase::kRebuild:
     case ObsPhase::kRecovery:
       return "maintenance";
+    case ObsPhase::kJobQueue:
+    case ObsPhase::kJobRun:
+      return "svc";
     default:
       return nullptr;
   }
@@ -49,6 +52,11 @@ const char* instant_category(ObsPhase phase) {
     case ObsPhase::kHedgeWon:
     case ObsPhase::kRedirected:
       return "tail";
+    case ObsPhase::kJobRejected:
+    case ObsPhase::kJobRetry:
+    case ObsPhase::kJobDeadline:
+    case ObsPhase::kJobWatchdog:
+      return "svc";
     default:
       return "cache";
   }

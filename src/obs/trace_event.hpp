@@ -39,6 +39,18 @@ enum class ObsPhase : std::uint8_t {
   kHedgeIssued,
   kHedgeWon,
   kRedirected,
+  // What-if service job lifecycle (src/svc). These spans live on the
+  // service supervisor's wall-clock tracer, not a simulation tracer:
+  // kJobQueue covers admission -> worker pickup, kJobRun covers the
+  // simulation attempt(s) under the same span id.
+  kJobQueue,
+  kJobRun,
+  // Service instants: admission-control rejection, a transient-failure
+  // retry, a deadline/watchdog cancellation.
+  kJobRejected,
+  kJobRetry,
+  kJobDeadline,
+  kJobWatchdog,
   // Sentinel: "derive from the op kind" default for DiskRequest tagging.
   kAuto,
 };

@@ -26,6 +26,12 @@ const char* to_string(ObsPhase phase) {
     case ObsPhase::kHedgeIssued: return "hedge-issued";
     case ObsPhase::kHedgeWon: return "hedge-won";
     case ObsPhase::kRedirected: return "redirected";
+    case ObsPhase::kJobQueue: return "job-queue";
+    case ObsPhase::kJobRun: return "job-run";
+    case ObsPhase::kJobRejected: return "job-rejected";
+    case ObsPhase::kJobRetry: return "job-retry";
+    case ObsPhase::kJobDeadline: return "job-deadline";
+    case ObsPhase::kJobWatchdog: return "job-watchdog";
     case ObsPhase::kAuto: return "auto";
   }
   return "?";

@@ -10,6 +10,7 @@
 
 #include "array/cached_controller.hpp"
 #include "array/uncached_controller.hpp"
+#include "core/simulator.hpp"
 #include "obs/export.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
@@ -254,7 +255,16 @@ void ShardedSimulator::run_shard(Shard& shard) {
     shard.eq.cancel(shard.sampler_event);
     shard.sampler_event = 0;
   }
-  while (shard.eq.step()) {
+  if (cancel_ == nullptr) {
+    while (shard.eq.step()) {
+    }
+  } else {
+    for (;;) {
+      if (cancel_->cancelled()) throw CancelledError(cancel_->reason());
+      if (shard.eq.run(Simulator::kCancelCheckBatch) <
+          Simulator::kCancelCheckBatch)
+        break;
+    }
   }
   assert(shard.outstanding == 0);
 }
@@ -374,9 +384,11 @@ Metrics ShardedSimulator::merge() {
 
 Metrics run_sharded_simulation(const SimulationConfig& config,
                                TraceStream& trace, std::uint64_t seed,
-                               const std::string& artifact_prefix) {
+                               const std::string& artifact_prefix,
+                               const CancelToken* cancel) {
   ShardedSimulator simulator(config, trace.geometry(), seed);
   if (!artifact_prefix.empty()) simulator.set_artifact_prefix(artifact_prefix);
+  if (cancel) simulator.set_cancel_token(cancel);
   return simulator.run(trace);
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "sim/cancellation.hpp"
 #include "trace/record.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +67,12 @@ class ShardedSimulator {
   /// metrics. May be called once per instance.
   Metrics run(TraceStream& trace);
 
+  /// Attach a cooperative cancellation token shared by every shard
+  /// kernel. Each shard polls it at event-batch boundaries
+  /// (Simulator::kCancelCheckBatch events); when it fires the whole run
+  /// unwinds with CancelledError after all shard workers have stopped.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
   /// Non-empty: after run(), export each shard's artifacts under
   /// `<prefix>_shard<k>` (requires config.obs.tracing for trace JSON;
   /// sample_interval_ms > 0 adds per-shard timeseries). At a fixed shard
@@ -103,15 +110,18 @@ class ShardedSimulator {
   int array_count_ = 0;
   int shard_count_ = 1;
   int thread_count_ = 1;
+  const CancelToken* cancel_ = nullptr;
   std::string artifact_prefix_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool ran_ = false;
 };
 
 /// Convenience: build a sharded simulator for `config` (config.shards
-/// clamped to at least 1) and replay `trace`.
+/// clamped to at least 1) and replay `trace`. A non-null `cancel` makes
+/// the run cooperatively cancellable (CancelledError).
 Metrics run_sharded_simulation(const SimulationConfig& config,
                                TraceStream& trace, std::uint64_t seed = 0,
-                               const std::string& artifact_prefix = "");
+                               const std::string& artifact_prefix = "",
+                               const CancelToken* cancel = nullptr);
 
 }  // namespace raidsim

@@ -24,17 +24,21 @@ Metrics run_sweep_job(const SweepJob& job) {
         config.obs.sample_interval_ms = job.sample_interval_ms;
     }
     return run_sharded_simulation(config, *stream, job.workload.seed,
-                                  job.trace_out);
+                                  job.trace_out, job.cancel);
   }
-  if (job.trace_out.empty()) return run_simulation(job.config, *stream);
+  if (job.trace_out.empty() && job.cancel == nullptr)
+    return run_simulation(job.config, *stream);
 
   SimulationConfig config = job.config;
-  config.obs.tracing = true;
-  if (job.sample_interval_ms > 0.0)
-    config.obs.sample_interval_ms = job.sample_interval_ms;
+  if (!job.trace_out.empty()) {
+    config.obs.tracing = true;
+    if (job.sample_interval_ms > 0.0)
+      config.obs.sample_interval_ms = job.sample_interval_ms;
+  }
   Simulator simulator(config, stream->geometry());
+  if (job.cancel) simulator.set_cancel_token(job.cancel);
   Metrics metrics = simulator.run(*stream);
-  if (simulator.tracer())
+  if (!job.trace_out.empty() && simulator.tracer())
     export_run_artifacts(job.trace_out, *simulator.tracer(),
                          simulator.sampler());
   return metrics;
@@ -59,7 +63,13 @@ std::size_t SweepRunner::submit(std::string label,
   return jobs_.size() - 1;
 }
 
-std::vector<SweepResult> SweepRunner::run_all() {
+std::vector<SweepResult> SweepRunner::run_all() { return run_impl(false); }
+
+std::vector<SweepResult> SweepRunner::run_all_isolated() {
+  return run_impl(true);
+}
+
+std::vector<SweepResult> SweepRunner::run_impl(bool isolate_failures) {
   std::vector<QueuedJob> jobs = std::move(jobs_);
   jobs_.clear();
 
@@ -96,6 +106,24 @@ std::vector<SweepResult> SweepRunner::run_all() {
     threads.reserve(pool);
     for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
     for (auto& t : threads) t.join();
+  }
+
+  if (isolate_failures) {
+    // Per-job failure isolation: surviving jobs keep their submission
+    // index and bit-identical metrics; a failed one reports its own
+    // error without taking the sweep down.
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (!errors[i]) continue;
+      try {
+        std::rethrow_exception(errors[i]);
+      } catch (const std::exception& e) {
+        results[i].error = e.what();
+      } catch (...) {
+        results[i].error = "unknown exception";
+      }
+      if (results[i].error.empty()) results[i].error = "unknown error";
+    }
+    return results;
   }
 
   for (auto& error : errors)

@@ -7,6 +7,7 @@
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "core/workloads.hpp"
+#include "sim/cancellation.hpp"
 
 namespace raidsim {
 
@@ -24,11 +25,20 @@ struct SweepJob {
   /// their own prefix, so no cross-thread state exists.
   std::string trace_out;
   double sample_interval_ms = 0.0;
+  /// Non-null: the run polls this token at event-batch boundaries and
+  /// unwinds with CancelledError when it fires (service deadlines,
+  /// watchdogs, drains). Must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 struct SweepResult {
   std::string label;
   Metrics metrics;
+  /// run_all_isolated() only: non-empty when this job threw instead of
+  /// producing metrics. run_all() never returns errored results (it
+  /// rethrows), so `ok()` is trivially true there.
+  std::string error;
+  bool ok() const { return error.empty(); }
 };
 
 /// Shards independent simulation jobs across a worker pool and hands the
@@ -61,6 +71,13 @@ class SweepRunner {
   /// after all workers have stopped.
   std::vector<SweepResult> run_all();
 
+  /// Like run_all(), but a throwing job never aborts the sweep: its
+  /// result carries the exception text in `error` (metrics default) and
+  /// every other job still runs and lands at its submission index. A
+  /// poisoned config in a thousand-point sweep costs one point, not the
+  /// sweep.
+  std::vector<SweepResult> run_all_isolated();
+
   int threads() const { return threads_; }
   std::size_t queued() const { return jobs_.size(); }
 
@@ -69,6 +86,8 @@ class SweepRunner {
     std::string label;
     std::function<Metrics()> fn;
   };
+
+  std::vector<SweepResult> run_impl(bool isolate_failures);
 
   int threads_;
   std::vector<QueuedJob> jobs_;

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "svc/json.hpp"
+
+namespace raidsim::svc {
+
+/// Blocking NDJSON client for the what-if daemon: one connection, one
+/// request line out, one response line back. Throws std::runtime_error
+/// on connect/transport failure or response timeout -- protocol-level
+/// rejections (overloaded, invalid, ...) are NOT exceptions; they come
+/// back as parsed responses for the caller to inspect.
+class Client {
+ public:
+  /// Connects immediately.
+  explicit Client(const std::string& socket_path,
+                  double recv_timeout_ms = 60000.0);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line (newline appended if missing) and wait for
+  /// the next response line.
+  std::string request_raw(const std::string& line);
+
+  /// request_raw + strict parse.
+  JsonValue request(const std::string& line);
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  double recv_timeout_ms_;
+  std::string buffer_;  // bytes past the last returned line
+};
+
+}  // namespace raidsim::svc

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/workloads.hpp"
+
+namespace raidsim::svc {
+
+/// Failure taxonomy of the what-if service. Every job submitted to the
+/// daemon terminates in exactly one of these states and the client is
+/// always told which -- there is no silent drop and no unbounded wait.
+enum class JobStatus : std::uint8_t {
+  kOk = 0,      // metrics produced (fresh run or cache hit)
+  kInvalid,     // config/request rejected by validation, never queued
+  kOverloaded,  // admission control shed the job (queue full)
+  kDraining,    // server is draining; not admitting new work
+  kFailed,      // ran but threw (after exhausting transient retries)
+  kCancelled,   // cancelled by shutdown drain or the stuck-job watchdog
+  kDeadline,    // per-job deadline expired (queued or mid-run)
+};
+
+const char* to_string(JobStatus status);
+
+/// Transient job failure: the supervisor retries these with capped
+/// exponential backoff before reporting kFailed. Anything else a job
+/// throws is treated as deterministic and fails immediately.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One what-if query: a full simulation point plus service policy knobs.
+struct JobRequest {
+  SimulationConfig config;
+  std::string trace = "trace2";  // "trace1" or "trace2"
+  WorkloadOptions workload;
+
+  /// Wall-clock deadline measured from admission; 0 = none. An expired
+  /// job is cancelled cooperatively mid-run (or skipped if still
+  /// queued) and reported as kDeadline.
+  double deadline_ms = 0.0;
+  /// Transient-failure retries allowed (capped by the supervisor).
+  int max_retries = 0;
+  /// Bypass the result-cache lookup (the fresh result is still stored).
+  /// The overload drill uses this to assert hit/fresh byte-identity.
+  bool no_cache = false;
+  /// Test hook: make the first `fail_first` attempts throw
+  /// TransientError, to exercise the retry/backoff path end to end.
+  int fail_first = 0;
+  /// Client correlation id, echoed verbatim in the response.
+  std::string id;
+};
+
+/// Terminal outcome of one job.
+struct JobResult {
+  JobStatus status = JobStatus::kFailed;
+  std::string error;            // non-ok: human-readable cause
+  std::string metrics_json;     // kOk only: Metrics::to_json bytes
+  bool cached = false;          // kOk only: served from the result cache
+  int attempts = 0;             // simulation attempts actually made
+  std::uint64_t fingerprint = 0;  // job_fingerprint of the request
+  double queue_ms = 0.0;        // admission -> worker pickup
+  double run_ms = 0.0;          // worker pickup -> terminal state
+};
+
+inline const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kInvalid: return "invalid";
+    case JobStatus::kOverloaded: return "overloaded";
+    case JobStatus::kDraining: return "draining";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+}  // namespace raidsim::svc

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace raidsim::svc {
+
+/// Parse error with the byte offset of the failure, so hostile or
+/// truncated protocol lines produce a pointed diagnostic, never a
+/// partial parse.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Minimal JSON document model for the service protocol: null, bool,
+/// double, string, array, object (string-keyed, sorted). Small on
+/// purpose -- the protocol needs exactly this much, and the repo policy
+/// is no third-party dependencies.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  JsonValue(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object lookup; null when missing or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Serialize (stable key order; doubles in %.17g, integral values
+  /// without a fraction).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one complete JSON document. Trailing non-whitespace bytes are an
+/// error (a truncated or concatenated protocol line must not half-parse).
+/// Nesting depth is capped so hostile input cannot blow the stack.
+JsonValue json_parse(const std::string& text);
+
+/// Escape a string for embedding in a JSON document (quotes included).
+std::string json_quote(const std::string& s);
+
+}  // namespace raidsim::svc

@@ -1,0 +1,222 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "svc/job_codec.hpp"
+
+namespace raidsim::svc {
+
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Serialized, full write of one response line. Returns false when the
+  /// peer is gone (the connection is then marked closed; completions for
+  /// in-flight jobs become no-ops rather than errors).
+  bool write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!open.load(std::memory_order_acquire)) return false;
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        open.store(false, std::memory_order_release);
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close_now() {
+    open.store(false, std::memory_order_release);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+Server::Server(Options options) : opts_(std::move(options)) {
+  if (opts_.socket_path.empty())
+    throw std::invalid_argument("server: socket_path is required");
+  if (opts_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
+    throw std::invalid_argument("server: socket_path too long");
+
+  if (::pipe(wake_pipe_) != 0)
+    throw std::runtime_error("server: pipe() failed");
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("server: socket() failed");
+
+  ::unlink(opts_.socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    throw std::runtime_error("server: bind(" + opts_.socket_path +
+                             ") failed: " + std::strerror(errno));
+  if (::listen(listen_fd_, 64) != 0)
+    throw std::runtime_error("server: listen() failed");
+
+  supervisor_ = std::make_unique<Supervisor>(opts_.supervisor);
+}
+
+Server::~Server() {
+  stop();
+  shutdown_everything();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) return;
+  const char byte = 'q';
+  // Best effort; async-signal-safe.
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::run() {
+  accept_loop();
+  shutdown_everything();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+      conn_threads_.emplace_back(
+          [this, conn] { serve_connection(conn); });
+    }
+  }
+}
+
+void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (conn->open.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // peer closed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > opts_.max_line_bytes) {
+      conn->write_line(encode_error_response(
+          "", JobStatus::kInvalid, "request line too long"));
+      break;
+    }
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) handle_line(conn, line);
+    }
+    buffer.erase(0, start);
+  }
+  conn->close_now();
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  JsonValue request;
+  std::string id;
+  try {
+    request = json_parse(line);
+    if (const JsonValue* idv = request.find("id");
+        idv != nullptr && idv->is_string())
+      id = idv->as_string();
+    const JsonValue* opv = request.find("op");
+    const std::string op =
+        (opv != nullptr && opv->is_string()) ? opv->as_string() : "";
+
+    if (op == "ping") {
+      conn->write_line("{\"id\":" + json_quote(id) +
+                       ",\"status\":\"ok\",\"op\":\"ping\"}\n");
+      return;
+    }
+    if (op == "stats") {
+      conn->write_line("{\"id\":" + json_quote(id) +
+                       ",\"status\":\"ok\",\"stats\":" +
+                       supervisor_->stats_json() + "}\n");
+      return;
+    }
+    if (op == "drain") {
+      conn->write_line("{\"id\":" + json_quote(id) +
+                       ",\"status\":\"ok\",\"op\":\"drain\"}\n");
+      stop();
+      return;
+    }
+    if (op != "run")
+      throw std::invalid_argument("unknown op '" + op + "'");
+
+    JobRequest job = decode_job_request(request);
+    if (job.id.empty()) job.id = id;
+    const std::string job_id = job.id;
+    supervisor_->submit(std::move(job),
+                        [conn, job_id](const JobResult& result) {
+                          conn->write_line(
+                              encode_job_response(result, job_id));
+                        });
+  } catch (const std::exception& e) {
+    conn->write_line(encode_error_response(id, JobStatus::kInvalid, e.what()));
+  }
+}
+
+void Server::shutdown_everything() {
+  // Order matters: drain first so every in-flight completion writes its
+  // response while connections are still open, THEN close connections.
+  if (supervisor_) {
+    supervisor_->drain();
+    if (opts_.log_final_stats && !final_stats_logged_.exchange(true))
+      std::fprintf(stderr, "raidsim_serve: final stats %s\n",
+                   supervisor_->stats_json().c_str());
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& conn : conns) conn->close_now();
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace raidsim::svc

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/supervisor.hpp"
+
+namespace raidsim::svc {
+
+/// Newline-delimited-JSON what-if daemon over a local (AF_UNIX) stream
+/// socket. One line in = one request; one line out = one typed response.
+/// Requests on one connection may be pipelined; `run` responses come
+/// back in completion order, matched by the client-supplied `id`.
+///
+/// Ops:
+///   {"op":"ping"}                    -> {"status":"ok","op":"ping"}
+///   {"op":"stats"}                   -> {"status":"ok","stats":{...}}
+///   {"op":"drain"}                   -> ack, then graceful shutdown
+///   {"op":"run","config":{...},...}  -> job response (svc/job_codec.hpp)
+///
+/// Shutdown (drain op, stop() from a signal handler, or destruction)
+/// always: stops admitting (late jobs get typed `draining` responses),
+/// drains the supervisor inside its budget, flushes final stats to
+/// stderr, then closes connections and the socket.
+class Server {
+ public:
+  struct Options {
+    std::string socket_path;
+    Supervisor::Options supervisor;
+    /// Protocol lines above this are rejected (typed invalid), the
+    /// connection dropped -- hostile input cannot balloon memory.
+    std::size_t max_line_bytes = 1u << 20;
+    /// Print final stats JSON to stderr on shutdown.
+    bool log_final_stats = true;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until stop() or a drain request. Blocks the calling thread.
+  void run();
+
+  /// Request graceful shutdown. Async-signal-safe (one write to a
+  /// self-pipe); callable from a SIGTERM handler.
+  void stop();
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+  Supervisor& supervisor() { return *supervisor_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void shutdown_everything();
+
+  Options opts_;
+  std::unique_ptr<Supervisor> supervisor_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> final_stats_logged_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace raidsim::svc

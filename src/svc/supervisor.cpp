@@ -1,0 +1,362 @@
+#include "svc/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/job_key.hpp"
+#include "runner/sweep_runner.hpp"
+
+namespace raidsim::svc {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+Supervisor::Supervisor(Options options)
+    : opts_(options),
+      cache_(options.cache_capacity),
+      queue_(std::max<std::size_t>(1, options.queue_capacity)),
+      epoch_(Clock::now()) {
+  opts_.workers = std::max(1, opts_.workers);
+  if (opts_.tracing)
+    tracer_ = std::make_unique<Tracer>(Tracer::Config{1u << 16});
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+Supervisor::~Supervisor() { drain(); }
+
+double Supervisor::now_ms() const { return elapsed_ms(epoch_, Clock::now()); }
+
+std::uint64_t Supervisor::span_begin(ObsPhase phase, int track) {
+  if (!tracer_) return 0;
+  std::lock_guard<std::mutex> lock(tracer_mu_);
+  return tracer_->begin(phase, 0, track, now_ms());
+}
+
+void Supervisor::span_end(std::uint64_t id, ObsPhase phase, int track) {
+  if (!tracer_ || id == 0) return;
+  std::lock_guard<std::mutex> lock(tracer_mu_);
+  tracer_->end(id, phase, 0, track, now_ms());
+}
+
+void Supervisor::span_instant(ObsPhase phase, int track) {
+  if (!tracer_) return;
+  std::lock_guard<std::mutex> lock(tracer_mu_);
+  tracer_->instant(phase, 0, track, now_ms());
+}
+
+std::size_t Supervisor::running() const {
+  std::lock_guard<std::mutex> lock(running_mu_);
+  return running_.size();
+}
+
+void Supervisor::submit(JobRequest request, Completion done) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  auto reject = [&](JobStatus status, const std::string& error,
+                    std::uint64_t fingerprint) {
+    JobResult result;
+    result.status = status;
+    result.error = error;
+    result.fingerprint = fingerprint;
+    span_instant(ObsPhase::kJobRejected, static_cast<int>(status));
+    done(result);
+  };
+
+  // Validate before anything else: a bad config is a typed kInvalid and
+  // never reaches the queue (direct API callers bypass the codec's own
+  // validation, so revalidate here).
+  try {
+    request.config.validate();
+    if (request.trace != "trace1" && request.trace != "trace2")
+      throw std::invalid_argument("unknown trace '" + request.trace + "'");
+  } catch (const std::exception& e) {
+    stats_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    reject(JobStatus::kInvalid, e.what(), 0);
+    return;
+  }
+
+  const std::string key =
+      job_canonical_key(request.config, request.trace, request.workload);
+  const std::uint64_t fingerprint = fnv1a64(key);
+
+  if (draining_.load(std::memory_order_acquire)) {
+    stats_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+    reject(JobStatus::kDraining, "server is draining", fingerprint);
+    return;
+  }
+
+  // Cache hits are served at admission: no queue slot, no worker, and
+  // the stored bytes are returned verbatim (byte-identical to the fresh
+  // run that produced them).
+  if (!request.no_cache) {
+    std::string cached_json;
+    if (cache_.lookup(key, &cached_json)) {
+      JobResult result;
+      result.status = JobStatus::kOk;
+      result.cached = true;
+      result.metrics_json = std::move(cached_json);
+      result.fingerprint = fingerprint;
+      stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+      stats_.completed_cached.fetch_add(1, std::memory_order_relaxed);
+      done(result);
+      return;
+    }
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->done = std::move(done);
+  job->key = key;
+  job->fingerprint = fingerprint;
+  job->admitted = Clock::now();
+  if (job->request.deadline_ms > 0.0) {
+    job->has_deadline = true;
+    job->deadline =
+        job->admitted + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                job->request.deadline_ms));
+  }
+  job->queue_span = span_begin(ObsPhase::kJobQueue, 0);
+
+  if (!queue_.try_push(job)) {
+    stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    span_end(job->queue_span, ObsPhase::kJobQueue, 0);
+    JobResult result;
+    result.status = JobStatus::kOverloaded;
+    result.error = "queue full (" + std::to_string(queue_.capacity()) +
+                   " jobs); retry later";
+    result.fingerprint = fingerprint;
+    span_instant(ObsPhase::kJobRejected,
+                 static_cast<int>(JobStatus::kOverloaded));
+    job->done(result);
+    return;
+  }
+  stats_.note_queue_depth(queue_.size());
+}
+
+void Supervisor::worker_loop() {
+  for (;;) {
+    std::optional<JobPtr> item = queue_.pop();
+    if (!item) return;
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    run_job(*item);
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void Supervisor::run_job(const JobPtr& job) {
+  job->started = Clock::now();
+  span_end(job->queue_span, ObsPhase::kJobQueue, 0);
+
+  JobResult result;
+  result.fingerprint = job->fingerprint;
+  result.queue_ms = elapsed_ms(job->admitted, job->started);
+
+  // Jobs that died in the queue never burn a simulation.
+  if (shutdown_.load(std::memory_order_acquire)) {
+    result.status = JobStatus::kCancelled;
+    result.error = "cancelled by shutdown drain";
+    complete(job, std::move(result));
+    return;
+  }
+  if (job->has_deadline && Clock::now() >= job->deadline) {
+    result.status = JobStatus::kDeadline;
+    result.error = "deadline expired while queued";
+    span_instant(ObsPhase::kJobDeadline, 0);
+    complete(job, std::move(result));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(running_mu_);
+    running_.push_back(job);
+  }
+  job->run_span = span_begin(ObsPhase::kJobRun, 0);
+
+  const int retries = std::min(job->request.max_retries, opts_.retry_cap);
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    result.attempts = attempt;
+    try {
+      if (attempt <= job->request.fail_first)
+        throw TransientError("injected transient failure (attempt " +
+                             std::to_string(attempt) + ")");
+      SweepJob sweep;
+      sweep.config = job->request.config;
+      sweep.trace = job->request.trace;
+      sweep.workload = job->request.workload;
+      sweep.cancel = &job->token;
+      Metrics metrics = run_sweep_job(sweep);
+      std::ostringstream os;
+      metrics.to_json(os);
+      result.status = JobStatus::kOk;
+      result.metrics_json = os.str();
+      // Store even when the lookup was bypassed, so a no_cache probe
+      // still primes the cache for the byte-identity check.
+      cache_.insert(job->key, result.metrics_json);
+      break;
+    } catch (const TransientError& e) {
+      if (attempt <= retries) {
+        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        span_instant(ObsPhase::kJobRetry, attempt);
+        if (backoff_sleep(job, attempt)) continue;
+        result.status = JobStatus::kCancelled;
+        result.error = "cancelled during retry backoff";
+        break;
+      }
+      result.status = JobStatus::kFailed;
+      result.error = std::string("transient failure persisted: ") + e.what();
+      break;
+    } catch (const CancelledError& e) {
+      switch (e.reason()) {
+        case CancelReason::kDeadline:
+          result.status = JobStatus::kDeadline;
+          result.error = "deadline expired mid-run";
+          break;
+        case CancelReason::kWatchdog:
+          result.status = JobStatus::kCancelled;
+          result.error = "watchdog cancelled a stuck job";
+          break;
+        default:
+          result.status = JobStatus::kCancelled;
+          result.error = "cancelled by shutdown drain";
+          break;
+      }
+      break;
+    } catch (const std::exception& e) {
+      result.status = JobStatus::kFailed;
+      result.error = e.what();
+      break;
+    } catch (...) {
+      result.status = JobStatus::kFailed;
+      result.error = "unknown exception";
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(running_mu_);
+    running_.erase(std::remove(running_.begin(), running_.end(), job),
+                   running_.end());
+  }
+  span_end(job->run_span, ObsPhase::kJobRun, result.attempts);
+  complete(job, std::move(result));
+}
+
+bool Supervisor::backoff_sleep(const JobPtr& job, int attempt) {
+  double delay = opts_.backoff_base_ms * std::pow(2.0, attempt - 1);
+  delay = std::min(delay, opts_.backoff_cap_ms);
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(delay));
+  // Sleep in small slices so cancellation (deadline, watchdog, drain)
+  // interrupts the backoff promptly.
+  while (Clock::now() < until) {
+    if (job->token.cancelled()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return !job->token.cancelled();
+}
+
+void Supervisor::complete(const JobPtr& job, JobResult result) {
+  result.run_ms = elapsed_ms(job->started, Clock::now());
+  switch (result.status) {
+    case JobStatus::kOk:
+      stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kFailed:
+      stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kCancelled:
+      stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kDeadline:
+      stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;  // rejections are counted at submit()
+  }
+  job->done(result);
+}
+
+void Supervisor::watchdog_loop() {
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(
+          std::max(1.0, opts_.watchdog_period_ms)));
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, period, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> running_lock(running_mu_);
+    for (const JobPtr& job : running_) {
+      if (job->token.cancelled()) continue;
+      if (job->has_deadline && now >= job->deadline) {
+        job->token.cancel(CancelReason::kDeadline);
+        span_instant(ObsPhase::kJobDeadline, 0);
+      } else if (opts_.stuck_job_ms > 0.0 &&
+                 elapsed_ms(job->started, now) > opts_.stuck_job_ms) {
+        job->token.cancel(CancelReason::kWatchdog);
+        stats_.watchdog_kills.fetch_add(1, std::memory_order_relaxed);
+        span_instant(ObsPhase::kJobWatchdog, 0);
+      }
+    }
+  }
+}
+
+void Supervisor::drain() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (drained_) return;
+    drained_ = true;
+  }
+  draining_.store(true, std::memory_order_release);
+
+  // Grace period: let queued + running work finish on its own.
+  const auto budget_end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             std::max(0.0, opts_.drain_budget_ms)));
+  while (Clock::now() < budget_end) {
+    if (queue_.size() == 0 && active_.load(std::memory_order_acquire) == 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Budget exhausted (or already idle): cancel whatever is left. Workers
+  // drain the closed queue and complete leftovers as kCancelled without
+  // running them.
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(running_mu_);
+    for (const JobPtr& job : running_) job->token.cancel(CancelReason::kShutdown);
+  }
+  queue_.close();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::string Supervisor::stats_json() const {
+  return stats_.to_json(queue_.size(), running(), cache_.size(), cache_.hits(),
+                        cache_.misses(), cache_.evictions());
+}
+
+}  // namespace raidsim::svc

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/tracer.hpp"
+#include "sim/cancellation.hpp"
+#include "svc/job.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/service_stats.hpp"
+
+namespace raidsim::svc {
+
+/// Job supervisor: the robustness core of the what-if service.
+///
+///  - Admission control: a bounded queue; a full queue is a synchronous
+///    typed kOverloaded rejection, never a blocked producer.
+///  - Deadlines: the watchdog cancels over-deadline running jobs through
+///    their CancelToken (polled by the engines at event-batch
+///    boundaries); queued jobs are rechecked at pickup.
+///  - Retries: TransientError is retried with capped exponential backoff
+///    (interruptible by cancellation); everything else fails fast.
+///  - Result cache: canonical-key LRU serving byte-identical metrics.
+///  - Watchdog: jobs running past `stuck_job_ms` are cancelled and
+///    reported -- a wedged simulation cannot pin a worker forever.
+///  - Drain: stop admitting, let in-flight work finish inside the drain
+///    budget, then cancel the rest. Every admitted job still completes
+///    with a typed terminal status.
+///
+/// The completion callback is invoked exactly once per submit() -- on
+/// the caller's thread for synchronous outcomes (invalid, overloaded,
+/// draining, cache hit) and on a worker thread otherwise. Callbacks
+/// must be thread-safe and must not call back into the Supervisor.
+class Supervisor {
+ public:
+  struct Options {
+    int workers = 2;
+    std::size_t queue_capacity = 8;
+    std::size_t cache_capacity = 128;
+    /// Hard cap on any job's max_retries request.
+    int retry_cap = 5;
+    /// Exponential backoff: base * 2^(attempt-1), capped.
+    double backoff_base_ms = 5.0;
+    double backoff_cap_ms = 250.0;
+    /// Watchdog scan period.
+    double watchdog_period_ms = 20.0;
+    /// > 0: cancel jobs running longer than this (the stuck-job guard).
+    double stuck_job_ms = 0.0;
+    /// Drain: how long to let in-flight + queued work finish before
+    /// cancelling what is left.
+    double drain_budget_ms = 5000.0;
+    /// Record service-level spans (job-queue / job-run) and instants.
+    bool tracing = false;
+  };
+
+  using Completion = std::function<void(const JobResult&)>;
+
+  explicit Supervisor(Options options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Submit one job. The completion always fires exactly once.
+  void submit(JobRequest request, Completion done);
+
+  /// Stop admitting, finish or cancel everything, join the workers.
+  /// Idempotent; also run by the destructor.
+  void drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Queue depth + running count + cache counters as one JSON object.
+  std::string stats_json() const;
+
+  const ServiceStats& stats() const { return stats_; }
+  ResultCache& cache() { return cache_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t running() const;
+
+  /// Service-level tracer (null unless Options::tracing). Single
+  /// consumer only once the service is drained.
+  const Tracer* tracer() const { return tracer_.get(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    JobRequest request;
+    Completion done;
+    std::string key;          // canonical cache key
+    std::uint64_t fingerprint = 0;
+    CancelToken token;        // stable address for the engines
+    Clock::time_point admitted{};
+    Clock::time_point deadline{};  // epoch when none
+    bool has_deadline = false;
+    Clock::time_point started{};
+    std::uint64_t queue_span = 0;
+    std::uint64_t run_span = 0;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void worker_loop();
+  void watchdog_loop();
+  void run_job(const JobPtr& job);
+  void complete(const JobPtr& job, JobResult result);
+  /// Interruptible backoff sleep; returns false when cancelled.
+  bool backoff_sleep(const JobPtr& job, int attempt);
+
+  double now_ms() const;
+  std::uint64_t span_begin(ObsPhase phase, int track);
+  void span_end(std::uint64_t id, ObsPhase phase, int track);
+  void span_instant(ObsPhase phase, int track);
+
+  Options opts_;
+  ServiceStats stats_;
+  ResultCache cache_;
+  BoundedQueue<JobPtr> queue_;
+
+  mutable std::mutex running_mu_;
+  std::vector<JobPtr> running_;
+
+  std::unique_ptr<Tracer> tracer_;
+  std::mutex tracer_mu_;
+  Clock::time_point epoch_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_{false};
+  /// Jobs between queue pop and completion -- covers the window before a
+  /// job lands in running_, so drain's idle check cannot fire early.
+  std::atomic<int> active_{0};
+  std::mutex drain_mu_;
+  bool drained_ = false;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace raidsim::svc

@@ -1,0 +1,89 @@
+#include "core/job_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace raidsim {
+namespace {
+
+TEST(JobKey, IdenticalInputsIdenticalKeys) {
+  SimulationConfig a, b;
+  WorkloadOptions wo;
+  EXPECT_EQ(job_canonical_key(a, "trace2", wo),
+            job_canonical_key(b, "trace2", wo));
+  EXPECT_EQ(job_fingerprint(a, "trace2", wo),
+            job_fingerprint(b, "trace2", wo));
+}
+
+TEST(JobKey, EveryResultDeterminingKnobChangesTheKey) {
+  const SimulationConfig base;
+  const WorkloadOptions wo;
+  const std::string key0 = job_canonical_key(base, "trace2", wo);
+
+  auto differs = [&](auto mutate, const char* what) {
+    SimulationConfig c = base;
+    WorkloadOptions w = wo;
+    std::string trace = "trace2";
+    mutate(c, w, trace);
+    EXPECT_NE(job_canonical_key(c, trace, w), key0) << what;
+  };
+  differs([](auto& c, auto&, auto&) { c.organization = Organization::kMirror; },
+          "organization");
+  differs([](auto& c, auto&, auto&) { c.array_data_disks = 11; }, "disks");
+  differs([](auto& c, auto&, auto&) { c.striping_unit_blocks = 2; }, "su");
+  differs([](auto& c, auto&, auto&) { c.sync = SyncPolicy::kReadFirst; },
+          "sync");
+  differs([](auto& c, auto&, auto&) { c.cached = true; }, "cached");
+  differs([](auto& c, auto&, auto&) { c.cache_bytes += 4096; }, "cache_bytes");
+  differs([](auto& c, auto&, auto&) { c.shards = 2; }, "shards");
+  differs([](auto& c, auto&, auto&) { c.tail.enabled = true; }, "tail");
+  differs([](auto& c, auto&, auto&) { c.channel_mb_per_second = 20.0; },
+          "channel");
+  differs([](auto&, auto& w, auto&) { w.scale = 0.5; }, "scale");
+  differs([](auto&, auto& w, auto&) { w.speed = 2.0; }, "speed");
+  differs([](auto&, auto& w, auto&) { w.seed = 1; }, "seed");
+  differs([](auto&, auto&, auto& t) { t = "trace1"; }, "trace");
+}
+
+TEST(JobKey, ThreadCountDoesNotChangeTheKey) {
+  // shard_threads never changes results (determinism contract), so two
+  // jobs differing only in thread count MUST share a cache entry.
+  SimulationConfig a, b;
+  a.shards = 4;
+  b.shards = 4;
+  a.shard_threads = 1;
+  b.shard_threads = 8;
+  const WorkloadOptions wo;
+  EXPECT_EQ(job_canonical_key(a, "trace2", wo),
+            job_canonical_key(b, "trace2", wo));
+}
+
+TEST(JobKey, TracingDoesNotChangeTheKey) {
+  SimulationConfig a, b;
+  b.obs.tracing = true;
+  b.obs.max_trace_events = 1024;
+  const WorkloadOptions wo;
+  EXPECT_EQ(job_canonical_key(a, "trace2", wo),
+            job_canonical_key(b, "trace2", wo));
+}
+
+TEST(JobKey, NearbyDoublesStayDistinct) {
+  // %.17g round-trips every IEEE double: adjacent representable values
+  // must produce different keys.
+  SimulationConfig a, b;
+  b.channel_mb_per_second =
+      std::nextafter(b.channel_mb_per_second, 1e9);
+  const WorkloadOptions wo;
+  EXPECT_NE(job_canonical_key(a, "trace2", wo),
+            job_canonical_key(b, "trace2", wo));
+}
+
+TEST(JobKey, Fnv1a64KnownVector) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+}  // namespace
+}  // namespace raidsim

@@ -1,0 +1,118 @@
+// Per-job failure isolation (SweepRunner::run_all_isolated): a poisoned
+// job in a sweep costs exactly that job. Surviving jobs keep their
+// submission order and bit-identical metrics at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/sweep_runner.hpp"
+
+namespace raidsim {
+namespace {
+
+WorkloadOptions tiny_workload(std::uint64_t seed) {
+  WorkloadOptions wo;
+  wo.scale = 0.02;
+  wo.seed = seed;
+  return wo;
+}
+
+std::string metrics_json(const Metrics& m) {
+  std::ostringstream os;
+  m.to_json(os);
+  return os.str();
+}
+
+SweepJob labelled_job(std::uint64_t seed, const std::string& label) {
+  SweepJob job;
+  job.trace = "trace2";
+  job.workload = tiny_workload(seed);
+  job.label = label;
+  return job;
+}
+
+std::vector<SweepResult> run_batch_isolated(int threads) {
+  SweepRunner runner(threads);
+  runner.submit(labelled_job(1, "a"));
+  runner.submit("poisoned", []() -> Metrics {
+    throw std::runtime_error("injected poison");
+  });
+  runner.submit(labelled_job(2, "b"));
+  SweepJob sharded = labelled_job(3, "c");
+  sharded.config.shards = 2;
+  runner.submit(sharded);
+  return runner.run_all_isolated();
+}
+
+TEST(SweepIsolation, PoisonedJobDoesNotAbortTheSweep) {
+  const std::vector<SweepResult> results = run_batch_isolated(1);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].error, "injected poison");
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[3].ok());
+  // Labels land at their submission indices.
+  EXPECT_EQ(results[0].label, "a");
+  EXPECT_EQ(results[1].label, "poisoned");
+  EXPECT_EQ(results[2].label, "b");
+  EXPECT_EQ(results[3].label, "c");
+}
+
+TEST(SweepIsolation, SurvivorsIdenticalAtOneAndFourThreads) {
+  const std::vector<SweepResult> serial = run_batch_isolated(1);
+  const std::vector<SweepResult> parallel = run_batch_isolated(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    EXPECT_EQ(serial[i].error, parallel[i].error);
+    if (serial[i].ok()) {
+      EXPECT_EQ(metrics_json(serial[i].metrics),
+                metrics_json(parallel[i].metrics))
+          << "job " << i << " diverged across thread counts";
+    }
+  }
+}
+
+TEST(SweepIsolation, AllPoisonedStillReturnsEveryError) {
+  SweepRunner runner(2);
+  for (int i = 0; i < 3; ++i) {
+    std::string label = "p";
+    label += std::to_string(i);
+    std::string what = "poison ";
+    what += std::to_string(i);
+    runner.submit(label, [what]() -> Metrics {
+      throw std::runtime_error(what);
+    });
+  }
+  const std::vector<SweepResult> results = runner.run_all_isolated();
+  ASSERT_EQ(results.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    std::string expected = "poison ";
+    expected += std::to_string(i);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].error, expected);
+  }
+}
+
+TEST(SweepIsolation, NonExceptionThrowGetsPlaceholderError) {
+  SweepRunner runner(1);
+  runner.submit("weird", []() -> Metrics { throw 42; });
+  const std::vector<SweepResult> results = runner.run_all_isolated();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].error, "unknown exception");
+}
+
+TEST(SweepIsolation, RunAllStillRethrowsFirstError) {
+  // The strict variant keeps its historical contract.
+  SweepRunner runner(2);
+  runner.submit(labelled_job(1, "x"));
+  runner.submit("boom", []() -> Metrics {
+    throw std::runtime_error("strict mode rethrows");
+  });
+  EXPECT_THROW(runner.run_all(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace raidsim

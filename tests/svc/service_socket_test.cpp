@@ -1,0 +1,144 @@
+// End-to-end protocol tests: a real Server on a real AF_UNIX socket,
+// driven by the blocking Client.
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "svc/client.hpp"
+#include "svc/job_codec.hpp"
+#include "svc/server.hpp"
+
+namespace raidsim::svc {
+namespace {
+
+class ServiceSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = "/tmp/raidsim_svc_test." + std::to_string(::getpid()) +
+                   "." + ::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name() +
+                   ".sock";
+    Server::Options opts;
+    opts.socket_path = socket_path_;
+    opts.supervisor.workers = 2;
+    opts.supervisor.queue_capacity = 4;
+    opts.supervisor.drain_budget_ms = 30000.0;
+    opts.log_final_stats = false;
+    server_ = std::make_unique<Server>(opts);
+    server_thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    server_->stop();
+    server_thread_.join();
+    server_.reset();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+  std::thread server_thread_;
+};
+
+std::string status_of(const JsonValue& v) {
+  const JsonValue* s = v.find("status");
+  return (s != nullptr && s->is_string()) ? s->as_string() : "";
+}
+
+TEST_F(ServiceSocketTest, PingPongs) {
+  Client client(socket_path_);
+  const JsonValue pong = client.request(R"({"op":"ping","id":"p1"})");
+  EXPECT_EQ(status_of(pong), "ok");
+  EXPECT_EQ(pong.find("id")->as_string(), "p1");
+}
+
+TEST_F(ServiceSocketTest, RunReturnsMetrics) {
+  Client client(socket_path_);
+  JobRequest job;
+  job.workload.scale = 0.02;
+  job.workload.seed = 3;
+  job.id = "r1";
+  const JsonValue response = client.request(encode_job_request(job));
+  EXPECT_EQ(status_of(response), "ok");
+  EXPECT_EQ(response.find("id")->as_string(), "r1");
+  const JsonValue* metrics = response.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* all = metrics->find("response");
+  ASSERT_NE(all, nullptr);
+  const JsonValue* mean = all->find("all") ? all->find("all")->find("mean_ms")
+                                           : nullptr;
+  ASSERT_NE(mean, nullptr);
+  EXPECT_GT(mean->as_number(), 0.0);
+}
+
+TEST_F(ServiceSocketTest, StatsReflectWork) {
+  Client client(socket_path_);
+  JobRequest job;
+  job.workload.scale = 0.02;
+  job.workload.seed = 4;
+  ASSERT_EQ(status_of(client.request(encode_job_request(job))), "ok");
+  const JsonValue stats = client.request(R"({"op":"stats"})");
+  ASSERT_EQ(status_of(stats), "ok");
+  const JsonValue* s = stats.find("stats");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GE(s->find("submitted")->as_number(), 1.0);
+  EXPECT_GE(s->find("completed_ok")->as_number(), 1.0);
+}
+
+TEST_F(ServiceSocketTest, MalformedLinesGetTypedInvalid) {
+  Client client(socket_path_);
+  EXPECT_EQ(status_of(client.request("not json at all")), "invalid");
+  EXPECT_EQ(status_of(client.request(R"({"op":"run","config":{"n":0}})")),
+            "invalid");
+  EXPECT_EQ(status_of(client.request(R"({"op":"nonsense"})")), "invalid");
+  // Connection survives hostile lines.
+  EXPECT_EQ(status_of(client.request(R"({"op":"ping"})")), "ok");
+}
+
+TEST_F(ServiceSocketTest, SplitAndPipelinedWritesParseCorrectly) {
+  // The server must frame on newlines, not on read() boundaries.
+  Client client(socket_path_);
+  const std::string a = R"({"op":"ping","id":"a"})" "\n";
+  const std::string b = R"({"op":"ping","id":"b"})" "\n";
+  // Two requests in one write: two responses, in order.
+  const JsonValue first = client.request(a + b);
+  const JsonValue second = json_parse(client.request_raw(""));
+  EXPECT_EQ(first.find("id")->as_string(), "a");
+  EXPECT_EQ(second.find("id")->as_string(), "b");
+}
+
+TEST_F(ServiceSocketTest, CacheHitOverProtocolIsByteIdentical) {
+  Client client(socket_path_);
+  JobRequest job;
+  job.workload.scale = 0.02;
+  job.workload.seed = 5;
+  job.no_cache = true;
+  const JsonValue fresh = client.request(encode_job_request(job));
+  job.no_cache = false;
+  const JsonValue hit = client.request(encode_job_request(job));
+  ASSERT_EQ(status_of(fresh), "ok");
+  ASSERT_EQ(status_of(hit), "ok");
+  EXPECT_TRUE(hit.find("cached")->as_bool());
+  EXPECT_EQ(fresh.find("metrics")->dump(), hit.find("metrics")->dump());
+}
+
+TEST_F(ServiceSocketTest, DrainOpShutsDownGracefully) {
+  Client client(socket_path_);
+  const JsonValue ack = client.request(R"({"op":"drain","id":"d"})");
+  EXPECT_EQ(status_of(ack), "ok");
+  server_thread_.join();  // run() returns after the drain completes
+  server_thread_ = std::thread([] {});  // keep TearDown joinable
+  EXPECT_TRUE(server_->supervisor().draining());
+  // Every submitted job is accounted for by a typed terminal/rejection.
+  const ServiceStats& s = server_->supervisor().stats();
+  EXPECT_EQ(s.submitted.load(),
+            s.terminal() + s.rejected_overload.load() +
+                s.rejected_draining.load() + s.rejected_invalid.load());
+}
+
+}  // namespace
+}  // namespace raidsim::svc

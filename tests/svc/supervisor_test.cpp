@@ -1,0 +1,236 @@
+#include "svc/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <vector>
+
+namespace raidsim::svc {
+namespace {
+
+JobRequest tiny_job(std::uint64_t seed, double scale = 0.02) {
+  JobRequest job;
+  job.trace = "trace2";
+  job.workload.scale = scale;
+  job.workload.seed = seed;
+  return job;
+}
+
+JobResult submit_and_wait(Supervisor& sup, JobRequest job) {
+  std::promise<JobResult> promise;
+  std::future<JobResult> future = promise.get_future();
+  sup.submit(std::move(job),
+             [&promise](const JobResult& r) { promise.set_value(r); });
+  return future.get();
+}
+
+TEST(Supervisor, RunsAJobToOk) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2});
+  const JobResult r = submit_and_wait(sup, tiny_job(1));
+  EXPECT_EQ(r.status, JobStatus::kOk);
+  EXPECT_FALSE(r.metrics_json.empty());
+  EXPECT_FALSE(r.cached);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_NE(r.fingerprint, 0u);
+}
+
+TEST(Supervisor, InvalidConfigIsTypedAndSynchronous) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2});
+  JobRequest bad = tiny_job(1);
+  bad.config.array_data_disks = 0;
+  const JobResult r = submit_and_wait(sup, std::move(bad));
+  EXPECT_EQ(r.status, JobStatus::kInvalid);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(sup.stats().rejected_invalid.load(), 1u);
+}
+
+TEST(Supervisor, OverloadShedsWithTypedRejection) {
+  // 1 worker + 1 queue slot; a burst of slower jobs must shed the rest
+  // synchronously as kOverloaded -- never block or drop.
+  Supervisor sup({.workers = 1, .queue_capacity = 1});
+  constexpr int kJobs = 8;
+  std::vector<std::future<JobResult>> futures;
+  std::vector<std::promise<JobResult>> promises(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(promises[i].get_future());
+    JobRequest job = tiny_job(100 + i, 0.05);
+    job.no_cache = true;
+    sup.submit(std::move(job), [&promises, i](const JobResult& r) {
+      promises[i].set_value(r);
+    });
+  }
+  int ok = 0, overloaded = 0;
+  for (auto& f : futures) {
+    const JobResult r = f.get();
+    if (r.status == JobStatus::kOk) ++ok;
+    else if (r.status == JobStatus::kOverloaded) ++overloaded;
+    else ADD_FAILURE() << "unexpected status " << to_string(r.status);
+  }
+  EXPECT_EQ(ok + overloaded, kJobs);
+  EXPECT_GE(overloaded, kJobs - 2 - 1);  // at most worker+queue+1 admitted
+  EXPECT_GT(overloaded, 0);
+  EXPECT_EQ(sup.stats().rejected_overload.load(),
+            static_cast<std::uint64_t>(overloaded));
+}
+
+TEST(Supervisor, CacheHitIsByteIdenticalToFreshRun) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2});
+  JobRequest fresh = tiny_job(7);
+  fresh.no_cache = true;  // bypass lookup; still stores
+  const JobResult first = submit_and_wait(sup, fresh);
+  ASSERT_EQ(first.status, JobStatus::kOk);
+
+  const JobResult hit = submit_and_wait(sup, tiny_job(7));
+  ASSERT_EQ(hit.status, JobStatus::kOk);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.metrics_json, first.metrics_json);  // byte identity
+  EXPECT_EQ(sup.cache().hits(), 1u);
+
+  // A different seed is a different key: no false sharing.
+  const JobResult other = submit_and_wait(sup, tiny_job(8));
+  ASSERT_EQ(other.status, JobStatus::kOk);
+  EXPECT_FALSE(other.cached);
+  EXPECT_NE(other.fingerprint, hit.fingerprint);
+}
+
+TEST(Supervisor, DeadlineCancelsMidRun) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2,
+                  .watchdog_period_ms = 5.0});
+  JobRequest job = tiny_job(9, 1.0);  // full trace2: way over deadline
+  job.deadline_ms = 30.0;
+  job.no_cache = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  const JobResult r = submit_and_wait(sup, std::move(job));
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadline);
+  EXPECT_LT(ms, 2000.0);  // cancelled promptly, not at completion
+  EXPECT_EQ(sup.stats().deadline_expired.load(), 1u);
+}
+
+TEST(Supervisor, QueuedJobPastDeadlineNeverRuns) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2});
+  // Occupy the only worker, then queue a job whose deadline expires
+  // while it waits: it must be skipped at pickup with attempts == 0.
+  std::promise<JobResult> slow_promise;
+  JobRequest slow = tiny_job(10, 0.1);
+  slow.no_cache = true;
+  sup.submit(std::move(slow), [&slow_promise](const JobResult& r) {
+    slow_promise.set_value(r);
+  });
+  JobRequest queued = tiny_job(11);
+  queued.deadline_ms = 1.0;
+  queued.no_cache = true;
+  const JobResult r = submit_and_wait(sup, std::move(queued));
+  EXPECT_EQ(r.status, JobStatus::kDeadline);
+  EXPECT_EQ(r.attempts, 0);
+  slow_promise.get_future().wait();
+}
+
+TEST(Supervisor, TransientFailuresRetryWithBackoff) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2,
+                  .backoff_base_ms = 1.0});
+  JobRequest job = tiny_job(12);
+  job.fail_first = 2;
+  job.max_retries = 3;
+  job.no_cache = true;
+  const JobResult r = submit_and_wait(sup, std::move(job));
+  EXPECT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(sup.stats().retries.load(), 2u);
+}
+
+TEST(Supervisor, ExhaustedRetriesReportFailed) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2,
+                  .backoff_base_ms = 1.0});
+  JobRequest job = tiny_job(13);
+  job.fail_first = 10;
+  job.max_retries = 2;
+  job.no_cache = true;
+  const JobResult r = submit_and_wait(sup, std::move(job));
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.attempts, 3);  // 1 + 2 retries
+  EXPECT_NE(r.error.find("transient"), std::string::npos);
+}
+
+TEST(Supervisor, RetryCapBoundsClientRequest) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2, .retry_cap = 1,
+                  .backoff_base_ms = 1.0});
+  JobRequest job = tiny_job(14);
+  job.fail_first = 10;
+  job.max_retries = 50;  // client asks for more than the cap allows
+  job.no_cache = true;
+  const JobResult r = submit_and_wait(sup, std::move(job));
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.attempts, 2);  // 1 + capped single retry
+}
+
+TEST(Supervisor, WatchdogCancelsStuckJob) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2,
+                  .watchdog_period_ms = 5.0, .stuck_job_ms = 25.0});
+  JobRequest job = tiny_job(15, 1.0);  // runs far longer than 25 ms
+  job.no_cache = true;
+  const JobResult r = submit_and_wait(sup, std::move(job));
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_NE(r.error.find("watchdog"), std::string::npos);
+  EXPECT_EQ(sup.stats().watchdog_kills.load(), 1u);
+}
+
+TEST(Supervisor, DrainCompletesEverythingTyped) {
+  Supervisor sup({.workers = 2, .queue_capacity = 4,
+                  .drain_budget_ms = 30000.0});
+  constexpr int kJobs = 6;
+  std::vector<std::promise<JobResult>> promises(kJobs);
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(promises[i].get_future());
+    JobRequest job = tiny_job(200 + i);
+    job.no_cache = true;
+    sup.submit(std::move(job), [&promises, i](const JobResult& r) {
+      promises[i].set_value(r);
+    });
+  }
+  sup.drain();
+  // Every admitted job reached a typed terminal state by drain's end.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    const JobResult r = f.get();
+    EXPECT_TRUE(r.status == JobStatus::kOk ||
+                r.status == JobStatus::kOverloaded ||
+                r.status == JobStatus::kCancelled)
+        << to_string(r.status);
+  }
+  // After drain, new work gets a typed kDraining.
+  const JobResult late = submit_and_wait(sup, tiny_job(999));
+  EXPECT_EQ(late.status, JobStatus::kDraining);
+  // Taxonomy: submitted == rejections + terminals.
+  const ServiceStats& s = sup.stats();
+  EXPECT_EQ(s.submitted.load(),
+            s.terminal() + s.rejected_overload.load() +
+                s.rejected_draining.load() + s.rejected_invalid.load());
+}
+
+TEST(Supervisor, DrainBudgetCancelsLongJobs) {
+  Supervisor sup({.workers = 1, .queue_capacity = 2,
+                  .drain_budget_ms = 20.0});
+  JobRequest job = tiny_job(16, 1.0);  // multi-second job
+  job.no_cache = true;
+  std::promise<JobResult> promise;
+  std::future<JobResult> future = promise.get_future();
+  sup.submit(std::move(job),
+             [&promise](const JobResult& r) { promise.set_value(r); });
+  const auto t0 = std::chrono::steady_clock::now();
+  sup.drain();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  const JobResult r = future.get();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_LT(ms, 5000.0);  // budget + one cancellation batch, not the full run
+}
+
+}  // namespace
+}  // namespace raidsim::svc

@@ -1,0 +1,63 @@
+# Regression test for trace_analyzer input hardening: a truncated or
+# corrupt trace JSON must exit non-zero with a line-numbered parse error,
+# and a well-formed minimal trace must still be accepted.
+#
+# Invoked as:
+#   cmake -DANALYZER=<path> -DWORK_DIR=<dir> -P trace_analyzer_corrupt_test.cmake
+
+if(NOT ANALYZER OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DANALYZER=... -DWORK_DIR=... -P ...")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- 1. A well-formed minimal trace parses (guards the test itself). ---
+set(GOOD "${WORK_DIR}/good.trace.json")
+file(WRITE "${GOOD}" [=[
+{"traceEvents":[
+{"name":"read-data","cat":"disk","ph":"X","ts":0.0,"dur":100.0,"pid":1,"tid":1},
+{"name":"host-read","cat":"host","ph":"b","id":7,"ts":0.0,"pid":1,"tid":0},
+{"name":"host-read","cat":"host","ph":"e","id":7,"ts":250.0,"pid":1,"tid":0}
+]}
+]=])
+execute_process(COMMAND "${ANALYZER}" "${GOOD}"
+  RESULT_VARIABLE good_rc OUTPUT_VARIABLE good_out ERROR_VARIABLE good_err)
+if(NOT good_rc EQUAL 0)
+  message(FATAL_ERROR "well-formed trace rejected (rc=${good_rc}): ${good_err}")
+endif()
+
+# --- 2. Truncated mid-record: non-zero exit + line-numbered error. ---
+set(BAD "${WORK_DIR}/truncated.trace.json")
+file(WRITE "${BAD}" [=[
+{"traceEvents":[
+{"name":"read-data","cat":"disk","ph":"X","ts":0.0,"dur":100.0,"pid":1,"tid":1},
+{"name":"host-read","cat":"host","ph":"b","id":7,"ts":0.
+]=])
+execute_process(COMMAND "${ANALYZER}" "${BAD}"
+  RESULT_VARIABLE bad_rc OUTPUT_VARIABLE bad_out ERROR_VARIABLE bad_err)
+if(bad_rc EQUAL 0)
+  message(FATAL_ERROR "truncated trace accepted; expected non-zero exit")
+endif()
+if(NOT bad_err MATCHES "line [0-9]+")
+  message(FATAL_ERROR "truncated-trace error lacks a line number: ${bad_err}")
+endif()
+
+# --- 3. Trailing garbage after the document is also an error. ---
+set(TRAILING "${WORK_DIR}/trailing.trace.json")
+file(WRITE "${TRAILING}" "{\"traceEvents\":[]} and then some garbage\n")
+execute_process(COMMAND "${ANALYZER}" "${TRAILING}"
+  RESULT_VARIABLE trail_rc OUTPUT_VARIABLE trail_out ERROR_VARIABLE trail_err)
+if(trail_rc EQUAL 0)
+  message(FATAL_ERROR "trailing garbage accepted; expected non-zero exit")
+endif()
+
+# --- 4. Empty "ph" value must be a parse error, not a silent skip. ---
+set(EMPTYPH "${WORK_DIR}/empty_ph.trace.json")
+file(WRITE "${EMPTYPH}"
+  "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"\",\"ts\":0}]}\n")
+execute_process(COMMAND "${ANALYZER}" "${EMPTYPH}"
+  RESULT_VARIABLE ph_rc OUTPUT_VARIABLE ph_out ERROR_VARIABLE ph_err)
+if(ph_rc EQUAL 0)
+  message(FATAL_ERROR "empty ph accepted; expected non-zero exit")
+endif()
+
+message(STATUS "trace_analyzer corrupt-input hardening: all cases rejected")

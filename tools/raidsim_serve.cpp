@@ -1,0 +1,112 @@
+// raidsim_serve: the what-if simulation daemon.
+//
+// Accepts newline-delimited JSON jobs over a local AF_UNIX socket and
+// runs them on a bounded worker pool with admission control, per-job
+// deadlines, transient-failure retries, a result cache, a stuck-job
+// watchdog, and graceful drain on SIGTERM/SIGINT (stop admitting,
+// finish or cancel in-flight work inside the drain budget, flush final
+// stats). See docs/service.md for the protocol.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+raidsim::svc::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // async-signal-safe
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: raidsim_serve --socket PATH [options]\n"
+               "  --socket PATH      AF_UNIX socket path (required)\n"
+               "  --workers N        worker threads (default 2)\n"
+               "  --queue N          admission queue capacity (default 8)\n"
+               "  --cache N          result-cache entries (default 128)\n"
+               "  --retry-cap N      max transient retries per job (default 5)\n"
+               "  --backoff-ms X     retry backoff base (default 5)\n"
+               "  --watchdog-ms X    watchdog scan period (default 20)\n"
+               "  --stuck-ms X       cancel jobs running longer than X (default off)\n"
+               "  --drain-ms X       drain budget on shutdown (default 5000)\n"
+               "  --trace-out PREFIX service-level Chrome trace on shutdown\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  raidsim::svc::Server::Options opts;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "raidsim_serve: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") opts.socket_path = value();
+    else if (arg == "--workers") opts.supervisor.workers = std::atoi(value());
+    else if (arg == "--queue")
+      opts.supervisor.queue_capacity =
+          static_cast<std::size_t>(std::atoll(value()));
+    else if (arg == "--cache")
+      opts.supervisor.cache_capacity =
+          static_cast<std::size_t>(std::atoll(value()));
+    else if (arg == "--retry-cap") opts.supervisor.retry_cap = std::atoi(value());
+    else if (arg == "--backoff-ms")
+      opts.supervisor.backoff_base_ms = std::atof(value());
+    else if (arg == "--watchdog-ms")
+      opts.supervisor.watchdog_period_ms = std::atof(value());
+    else if (arg == "--stuck-ms") opts.supervisor.stuck_job_ms = std::atof(value());
+    else if (arg == "--drain-ms")
+      opts.supervisor.drain_budget_ms = std::atof(value());
+    else if (arg == "--trace-out") {
+      trace_out = value();
+      opts.supervisor.tracing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "raidsim_serve: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (opts.socket_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    raidsim::svc::Server server(opts);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    std::fprintf(stderr, "raidsim_serve: listening on %s\n",
+                 opts.socket_path.c_str());
+    server.run();
+    if (!trace_out.empty() && server.supervisor().tracer() != nullptr) {
+      std::ofstream out(trace_out + ".trace.json");
+      raidsim::write_chrome_trace(out, *server.supervisor().tracer());
+      std::fprintf(stderr, "raidsim_serve: wrote %s.trace.json\n",
+                   trace_out.c_str());
+    }
+    g_server = nullptr;
+    std::fprintf(stderr, "raidsim_serve: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "raidsim_serve: fatal: %s\n", e.what());
+    return 1;
+  }
+}

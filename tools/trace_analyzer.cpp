@@ -156,7 +156,9 @@ JsonEvent parse_event(Scanner& sc) {
       } else if (key == "cat") {
         e.cat = sc.parse_string();
       } else if (key == "ph") {
-        e.ph = sc.parse_string()[0];
+        const std::string ph = sc.parse_string();
+        if (ph.empty()) sc.fail("empty \"ph\" value");
+        e.ph = ph[0];
       } else if (key == "ts") {
         e.ts = sc.parse_number();
       } else if (key == "dur") {
@@ -320,6 +322,10 @@ int main(int argc, char** argv) {
         sc.expect(']');
       }
     } while (sc.consume(','));
+    // A truncated or corrupt file must not half-parse silently: the
+    // document has to close its top-level object and then end.
+    sc.expect('}');
+    if (!sc.eof()) sc.fail("trailing data after top-level object");
     if (!found) {
       std::fprintf(stderr, "trace_analyzer: no traceEvents array in %s\n",
                    path.c_str());
