@@ -1,6 +1,9 @@
 // Performance harness: times the event kernel (schedule/cancel/step
-// throughput, against an embedded copy of the pre-fast-path kernel), a
-// fixed end-to-end RAID5 + Mirror replay, the sharded engine at several
+// throughput -- calendar and heap kernels against an embedded copy of
+// the pre-fast-path kernel), a fixed end-to-end RAID5 + Mirror replay,
+// a queue-discipline A/B (calendar vs heap on churn and on both
+// replays, with a fatal bit-identity check between the kernels), the
+// sharded engine at several
 // shard/thread counts (with a bit-identity check against one shard), the
 // NV-cache storage (against an embedded copy of the pre-rewrite
 // list+map storage), the latency-histogram recorder (per-op add and
@@ -110,9 +113,10 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 /// sibling every fourth execution -- the mix the simulator's disk/channel
 /// machinery produces. The captured payload mimics a completion
 /// continuation (a few scalars + a std::function).
-template <typename Queue>
-double churn_events_per_sec(std::uint64_t total_events, int width) {
-  Queue queue;
+template <typename Queue, typename... Args>
+double churn_events_per_sec(std::uint64_t total_events, int width,
+                            Args&&... args) {
+  Queue queue(std::forward<Args>(args)...);
   std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
   auto next_delay = [&lcg] {
     lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -158,21 +162,33 @@ struct ReplayResult {
 
 ReplayResult timed_replay(const raidsim::SimulationConfig& config,
                           const std::string& trace, double scale,
-                          raidsim::Metrics* out_metrics = nullptr) {
-  raidsim::SweepJob job;
-  job.config = config;
-  job.trace = trace;
-  job.workload.scale = scale;
-  const auto start = std::chrono::steady_clock::now();
-  const raidsim::Metrics m = raidsim::run_sweep_job(job);
-  ReplayResult r;
-  r.wall_ms = seconds_since(start) * 1e3;
-  r.events = m.events_executed;
-  r.events_per_sec = static_cast<double>(m.events_executed) /
-                     (r.wall_ms / 1e3);
-  r.mean_response_ms = m.mean_response_ms();
-  if (out_metrics) *out_metrics = m;
-  return r;
+                          raidsim::Metrics* out_metrics = nullptr,
+                          int reps = 1) {
+  // Best of `reps`: the replay is deterministic (identical metrics every
+  // repetition), so the fastest wall time is the least-contended sample
+  // of the same computation -- the same trick the trace-load bench uses.
+  // The CI regression guard keys on these rates, so they need to be
+  // samples of a tight distribution, not of scheduler luck.
+  ReplayResult best;
+  for (int rep = 0; rep < reps; ++rep) {
+    raidsim::SweepJob job;
+    job.config = config;
+    job.trace = trace;
+    job.workload.scale = scale;
+    const auto start = std::chrono::steady_clock::now();
+    const raidsim::Metrics m = raidsim::run_sweep_job(job);
+    ReplayResult r;
+    r.wall_ms = seconds_since(start) * 1e3;
+    r.events = m.events_executed;
+    r.events_per_sec = static_cast<double>(m.events_executed) /
+                       (r.wall_ms / 1e3);
+    r.mean_response_ms = m.mean_response_ms();
+    if (rep == 0 || r.events_per_sec > best.events_per_sec) {
+      best = r;
+      if (out_metrics) *out_metrics = m;
+    }
+  }
+  return best;
 }
 
 /// The NV-cache storage as it stood before the slab + open-addressing
@@ -472,22 +488,46 @@ int main(int argc, char** argv) {
   // ------------------------------------------------------ kernel bench
   const std::uint64_t churn_events = quick ? 400'000 : 4'000'000;
   const int churn_width = 512;
-  // Warm both allocators once so first-touch page faults do not skew
+  // Warm all allocators once so first-touch page faults do not skew
   // whichever queue runs first.
-  churn_events_per_sec<EventQueue>(50'000, churn_width);
+  churn_events_per_sec<EventQueue>(50'000, churn_width,
+                                   EventKernel::kCalendar);
+  churn_events_per_sec<EventQueue>(50'000, churn_width, EventKernel::kHeap);
   churn_events_per_sec<LegacyEventQueue>(50'000, churn_width);
-  const double kernel_new =
-      churn_events_per_sec<EventQueue>(churn_events, churn_width);
-  const double kernel_legacy =
-      churn_events_per_sec<LegacyEventQueue>(churn_events, churn_width);
+  // Best of N samples in full mode: the CI guard keys on these rates,
+  // and a single sample on a contended host measures scheduler luck.
+  const int bench_reps = quick ? 1 : 3;
+  auto best_of = [&](auto measure) {
+    double best = 0.0;
+    for (int rep = 0; rep < bench_reps; ++rep)
+      best = std::max(best, measure());
+    return best;
+  };
+  const double kernel_new = best_of([&] {
+    return churn_events_per_sec<EventQueue>(churn_events, churn_width,
+                                            EventKernel::kCalendar);
+  });
+  const double kernel_heap = best_of([&] {
+    return churn_events_per_sec<EventQueue>(churn_events, churn_width,
+                                            EventKernel::kHeap);
+  });
+  const double kernel_legacy = best_of([&] {
+    return churn_events_per_sec<LegacyEventQueue>(churn_events, churn_width);
+  });
   const double kernel_speedup = kernel_new / kernel_legacy;
+  const double kernel_vs_heap = kernel_new / kernel_heap;
 
   TablePrinter kernel_table({"kernel", "events/sec"});
-  kernel_table.add_row({"indexed 4-ary heap (current)",
+  kernel_table.add_row({"calendar queue (current)",
                         TablePrinter::num(kernel_new / 1e6, 2) + " M"});
+  kernel_table.add_row({"indexed 4-ary heap (yardstick)",
+                        TablePrinter::num(kernel_heap / 1e6, 2) + " M"});
   kernel_table.add_row({"legacy priority_queue+hash set",
                         TablePrinter::num(kernel_legacy / 1e6, 2) + " M"});
-  kernel_table.add_row({"speedup", TablePrinter::num(kernel_speedup, 2) + "x"});
+  kernel_table.add_row(
+      {"speedup vs legacy", TablePrinter::num(kernel_speedup, 2) + "x"});
+  kernel_table.add_row(
+      {"calendar vs heap", TablePrinter::num(kernel_vs_heap, 2) + "x"});
   kernel_table.print(std::cout);
   std::cout << "\n";
 
@@ -498,12 +538,17 @@ int main(int argc, char** argv) {
   SimulationConfig raid5;
   raid5.organization = Organization::kRaid5;
   raid5.cached = true;
-  const ReplayResult raid5_run = timed_replay(raid5, "trace1", scale1);
+  const int replay_reps = bench_reps;
+  Metrics raid5_metrics;
+  const ReplayResult raid5_run =
+      timed_replay(raid5, "trace1", scale1, &raid5_metrics, replay_reps);
 
   SimulationConfig mirror;
   mirror.organization = Organization::kMirror;
   mirror.cached = false;
-  const ReplayResult mirror_run = timed_replay(mirror, "trace2", scale2);
+  Metrics mirror_metrics;
+  const ReplayResult mirror_run =
+      timed_replay(mirror, "trace2", scale2, &mirror_metrics, replay_reps);
 
 
   TablePrinter replay_table(
@@ -520,6 +565,64 @@ int main(int argc, char** argv) {
                             " M"});
   replay_table.print(std::cout);
   std::cout << "\n";
+
+  // ------------------------------------- queue-discipline A/B (kernels)
+  // The same two replays driven by the heap kernel. Both kernels promise
+  // the identical (time, seq) event order, so any metric divergence here
+  // is a correctness bug in one of them, not a perf artifact -- the
+  // harness fails hard rather than publishing numbers from a broken
+  // kernel.
+  auto same_metrics = [](const Metrics& a, const Metrics& b) {
+    return a.requests == b.requests &&
+           a.response_all.count() == b.response_all.count() &&
+           a.response_all.mean() == b.response_all.mean() &&
+           a.response_all.p95() == b.response_all.p95() &&
+           a.events_executed == b.events_executed &&
+           a.disk_accesses == b.disk_accesses;
+  };
+  SimulationConfig raid5_heap = raid5;
+  raid5_heap.event_kernel = EventKernel::kHeap;
+  Metrics raid5_heap_metrics;
+  const ReplayResult raid5_heap_run = timed_replay(
+      raid5_heap, "trace1", scale1, &raid5_heap_metrics, replay_reps);
+  SimulationConfig mirror_heap = mirror;
+  mirror_heap.event_kernel = EventKernel::kHeap;
+  Metrics mirror_heap_metrics;
+  const ReplayResult mirror_heap_run = timed_replay(
+      mirror_heap, "trace2", scale2, &mirror_heap_metrics, replay_reps);
+  const bool raid5_kernels_identical =
+      same_metrics(raid5_metrics, raid5_heap_metrics);
+  const bool mirror_kernels_identical =
+      same_metrics(mirror_metrics, mirror_heap_metrics);
+
+  TablePrinter ab_table({"discipline", "churn ev/sec", "RAID5 ev/sec",
+                         "Mirror ev/sec"});
+  ab_table.add_row({"calendar", TablePrinter::num(kernel_new / 1e6, 2) + " M",
+                    TablePrinter::num(raid5_run.events_per_sec / 1e6, 2) +
+                        " M",
+                    TablePrinter::num(mirror_run.events_per_sec / 1e6, 2) +
+                        " M"});
+  ab_table.add_row(
+      {"4-ary heap", TablePrinter::num(kernel_heap / 1e6, 2) + " M",
+       TablePrinter::num(raid5_heap_run.events_per_sec / 1e6, 2) + " M",
+       TablePrinter::num(mirror_heap_run.events_per_sec / 1e6, 2) + " M"});
+  ab_table.add_row(
+      {"calendar/heap", TablePrinter::num(kernel_vs_heap, 2) + "x",
+       TablePrinter::num(
+           raid5_run.events_per_sec / raid5_heap_run.events_per_sec, 2) +
+           "x",
+       TablePrinter::num(
+           mirror_run.events_per_sec / mirror_heap_run.events_per_sec, 2) +
+           "x"});
+  ab_table.add_row({"identical", "-", raid5_kernels_identical ? "yes" : "NO",
+                    mirror_kernels_identical ? "yes" : "NO"});
+  ab_table.print(std::cout);
+  std::cout << "\n";
+  if (!raid5_kernels_identical || !mirror_kernels_identical) {
+    std::cerr << "FATAL: calendar and heap kernels produced different "
+                 "metrics on the same replay\n";
+    return 1;
+  }
 
   // ---------------------------------------------- sharded replay bench
   // The same RAID5/trace1 replay on the sharded engine at several
@@ -705,28 +808,36 @@ int main(int argc, char** argv) {
   // ------------------------------------------------ sweep-scaling bench
   const int sweep_runs = quick ? 8 : 16;
   const double sweep_scale = quick ? 0.02 : 0.05;
+  const unsigned hw_avail = hw ? hw : 1u;
   std::vector<int> thread_points{1, 2, 4};
   if (max_threads > 4) thread_points.push_back(max_threads);
+  // On a single-core host, every multi-thread point is pure scheduler
+  // overhead on top of the 1-thread number; quick mode skips them.
+  if (quick && hw_avail == 1) thread_points = {1};
 
   SimulationConfig sweep_config;
   sweep_config.organization = Organization::kRaid5;
   sweep_config.cached = true;
 
   std::vector<SweepPoint> sweep_points;
-  TablePrinter sweep_table({"threads", "wall ms", "runs/sec", "scaling"});
+  TablePrinter sweep_table(
+      {"threads", "wall ms", "runs/sec", "scaling", "saturated"});
   double base_rps = 0.0;
   for (int t : thread_points) {
     const SweepPoint p = timed_sweep(t, sweep_runs, sweep_config, sweep_scale);
     sweep_points.push_back(p);
     if (t == 1) base_rps = p.runs_per_sec;
+    // A point is saturated once it asks for at least every hardware
+    // thread: scaling beyond it measures oversubscription, not cores.
     sweep_table.add_row(
         {std::to_string(t), TablePrinter::num(p.wall_ms),
          TablePrinter::num(p.runs_per_sec, 3),
          base_rps > 0.0 ? TablePrinter::num(p.runs_per_sec / base_rps, 2) + "x"
-                        : "-"});
+                        : "-",
+         static_cast<unsigned>(p.threads) >= hw_avail ? "yes" : "no"});
   }
   sweep_table.print(std::cout);
-  std::cout << "\n";
+  std::cout << "(hardware threads available: " << hw_avail << ")\n\n";
 
   // ------------------------------------------------------- JSON export
   std::ofstream out(out_path);
@@ -737,12 +848,14 @@ int main(int argc, char** argv) {
   out.setf(std::ios::fixed);
   out.precision(3);
   out << "{\n"
-      << "  \"schema\": 3,\n"
+      << "  \"schema\": 4,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
-      << "  \"hardware_threads\": " << (hw ? hw : 1u) << ",\n"
+      << "  \"hardware_threads\": " << hw_avail << ",\n"
       << "  \"kernel\": {\n"
       << "    \"churn_events\": " << churn_events << ",\n"
       << "    \"events_per_sec\": " << kernel_new << ",\n"
+      << "    \"heap_events_per_sec\": " << kernel_heap << ",\n"
+      << "    \"speedup_vs_heap\": " << kernel_vs_heap << ",\n"
       << "    \"legacy_events_per_sec\": " << kernel_legacy << ",\n"
       << "    \"speedup_vs_legacy\": " << kernel_speedup << "\n"
       << "  },\n"
@@ -755,6 +868,27 @@ int main(int argc, char** argv) {
       << ", \"events\": " << mirror_run.events
       << ", \"events_per_sec\": " << mirror_run.events_per_sec
       << ", \"mean_response_ms\": " << mirror_run.mean_response_ms << "}\n"
+      << "  },\n"
+      << "  \"queue_disciplines\": {\n"
+      << "    \"churn\": {\"calendar_events_per_sec\": " << kernel_new
+      << ", \"heap_events_per_sec\": " << kernel_heap
+      << ", \"calendar_vs_heap\": " << kernel_vs_heap << "},\n"
+      << "    \"replays\": [\n"
+      << "      {\"name\": \"raid5_cached_trace1\", "
+      << "\"calendar_events_per_sec\": " << raid5_run.events_per_sec
+      << ", \"heap_events_per_sec\": " << raid5_heap_run.events_per_sec
+      << ", \"identical\": " << (raid5_kernels_identical ? "true" : "false")
+      << "},\n"
+      << "      {\"name\": \"mirror_uncached_trace2\", "
+      << "\"calendar_events_per_sec\": " << mirror_run.events_per_sec
+      << ", \"heap_events_per_sec\": " << mirror_heap_run.events_per_sec
+      << ", \"identical\": " << (mirror_kernels_identical ? "true" : "false")
+      << "}\n"
+      << "    ],\n"
+      << "    \"all_identical\": "
+      << (raid5_kernels_identical && mirror_kernels_identical ? "true"
+                                                              : "false")
+      << "\n"
       << "  },\n"
       << "  \"sharded\": {\n"
       << "    \"trace\": \"trace1\",\n"
@@ -800,12 +934,15 @@ int main(int argc, char** argv) {
       << "  },\n"
       << "  \"sweep\": {\n"
       << "    \"runs\": " << sweep_runs << ",\n"
+      << "    \"hardware_threads\": " << hw_avail << ",\n"
       << "    \"points\": [";
   for (std::size_t i = 0; i < sweep_points.size(); ++i) {
     const auto& p = sweep_points[i];
     out << (i ? ", " : "") << "{\"threads\": " << p.threads
         << ", \"wall_ms\": " << p.wall_ms
-        << ", \"runs_per_sec\": " << p.runs_per_sec << "}";
+        << ", \"runs_per_sec\": " << p.runs_per_sec << ", \"saturated\": "
+        << (static_cast<unsigned>(p.threads) >= hw_avail ? "true" : "false")
+        << "}";
   }
   out << "]\n"
       << "  }\n"

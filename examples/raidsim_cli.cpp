@@ -28,6 +28,10 @@
 //                             with --fail-disk/--rebuild)
 //   --shard-threads=<n>       threads for the sharded engine
 //                             (default 0 = min(shards, hw))
+//   --event-kernel=calendar|heap
+//                             event-queue priority structure (default
+//                             calendar; results are bit-identical, heap
+//                             is the differential-testing yardstick)
 //   --tail-deadline=<ms>      read deadline; on expiry escalate to an
 //                             alternate read (tail-tolerance policy)
 //   --hedge-delay=<ms>        fixed hedged-read delay (0 = off)
@@ -86,6 +90,12 @@ DiskScheduling parse_sched(const std::string& v) {
   if (v == "sstf") return DiskScheduling::kSstf;
   if (v == "scan") return DiskScheduling::kScan;
   fail("unknown scheduling policy: " + v);
+}
+
+EventKernel parse_kernel(const std::string& v) {
+  if (v == "calendar") return EventKernel::kCalendar;
+  if (v == "heap") return EventKernel::kHeap;
+  fail("unknown event kernel: " + v);
 }
 
 }  // namespace
@@ -159,6 +169,8 @@ int main(int argc, char** argv) {
       config.shards = std::atoi(v);
     } else if (const char* v = value("--shard-threads=")) {
       config.shard_threads = std::atoi(v);
+    } else if (const char* v = value("--event-kernel=")) {
+      config.event_kernel = parse_kernel(v);
     } else if (const char* v = value("--tail-deadline=")) {
       config.tail.enabled = true;
       config.tail.read_deadline_ms = std::atof(v);

@@ -121,6 +121,8 @@ std::string SimulationConfig::describe() const {
     os << " uncached";
   }
   if (tail.enabled) os << " tail-policy";
+  if (event_kernel != EventKernel::kCalendar)
+    os << " kernel=" << to_string(event_kernel);
   return os.str();
 }
 

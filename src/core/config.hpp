@@ -8,6 +8,7 @@
 #include "disk/geometry.hpp"
 #include "disk/seek_model.hpp"
 #include "layout/layout.hpp"
+#include "sim/event_queue.hpp"
 
 namespace raidsim {
 
@@ -66,6 +67,14 @@ struct SimulationConfig {
   /// Worker threads for the sharded engine; 0 = min(shards, hardware
   /// concurrency). Thread count never changes results, only wall time.
   int shard_threads = 0;
+
+  /// Priority structure backing the event kernel(s). Both kernels
+  /// execute bit-identical event sequences (ordering is always exact
+  /// (time, seq)); the calendar is faster on simulation workloads, the
+  /// heap is the differential-testing yardstick. Excluded from the job
+  /// cache key for the same reason shard_threads is: it cannot change
+  /// results.
+  EventKernel event_kernel = EventKernel::kCalendar;
 
   /// Observability (src/obs). Tracing records request-lifecycle spans by
   /// passive appends only -- it never schedules events, so a traced run

@@ -11,7 +11,7 @@ namespace raidsim {
 
 Simulator::Simulator(const SimulationConfig& config,
                      const TraceGeometry& geometry)
-    : config_(config), geometry_(geometry) {
+    : config_(config), geometry_(geometry), eq_(config.event_kernel) {
   config_.validate();
   blocks_per_array_ = static_cast<std::int64_t>(config_.array_data_disks) *
                       geometry_.blocks_per_disk;

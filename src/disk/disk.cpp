@@ -74,42 +74,49 @@ void Disk::submit(DiskRequest req) {
           tracer_->begin(ObsPhase::kDiskQueue, obs_array_, id_, p.enqueue_time);
     }
   }
+  QueueKey key{p.seq, 0, p.req.priority};
+  if (scheduling_ != DiskScheduling::kFifo)
+    key.cylinder = geometry_.locate_block(p.req.start_block).cylinder;
   queue_.push_back(std::move(p));
+  qkeys_.push_back(key);
   if (!busy_) start_next();
 }
 
 Disk::Pending Disk::pop_next() {
-  assert(!queue_.empty());
+  assert(!qkeys_.empty() && qkeys_.size() == queue_.size());
+  const std::size_t n = qkeys_.size();
   // Highest priority class present wins regardless of scheduling policy.
   DiskPriority best_priority = DiskPriority::kDestage;
-  for (const auto& p : queue_)
-    best_priority = std::max(best_priority, p.req.priority);
+  for (const QueueKey& k : qkeys_)
+    best_priority = std::max(best_priority, k.priority);
 
-  auto cylinder_of = [this](const Pending& p) {
-    return geometry_.locate_block(p.req.start_block).cylinder;
-  };
-
-  std::size_t chosen = queue_.size();
+  // Within the class, ties are broken by arrival (seq): with swap-remove
+  // the vectors are no longer arrival-ordered, so the tie-break that the
+  // old first-hit-wins scan got for free is explicit here.
+  std::size_t chosen = n;
   switch (scheduling_) {
     case DiskScheduling::kFifo: {
       std::uint64_t best_seq = 0;
-      for (std::size_t i = 0; i < queue_.size(); ++i) {
-        if (queue_[i].req.priority != best_priority) continue;
-        if (chosen == queue_.size() || queue_[i].seq < best_seq) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (qkeys_[i].priority != best_priority) continue;
+        if (chosen == n || qkeys_[i].seq < best_seq) {
           chosen = i;
-          best_seq = queue_[i].seq;
+          best_seq = qkeys_[i].seq;
         }
       }
       break;
     }
     case DiskScheduling::kSstf: {
       int best_dist = 0;
-      for (std::size_t i = 0; i < queue_.size(); ++i) {
-        if (queue_[i].req.priority != best_priority) continue;
-        const int dist = std::abs(cylinder_of(queue_[i]) - head_cylinder_);
-        if (chosen == queue_.size() || dist < best_dist) {
+      std::uint64_t best_seq = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (qkeys_[i].priority != best_priority) continue;
+        const int dist = std::abs(qkeys_[i].cylinder - head_cylinder_);
+        if (chosen == n || dist < best_dist ||
+            (dist == best_dist && qkeys_[i].seq < best_seq)) {
           chosen = i;
           best_dist = dist;
+          best_seq = qkeys_[i].seq;
         }
       }
       break;
@@ -117,27 +124,32 @@ Disk::Pending Disk::pop_next() {
     case DiskScheduling::kScan: {
       // Elevator: nearest request at or beyond the head in the sweep
       // direction; reverse when none remains.
-      for (int attempt = 0; attempt < 2 && chosen == queue_.size();
-           ++attempt) {
+      for (int attempt = 0; attempt < 2 && chosen == n; ++attempt) {
         int best_dist = 0;
-        for (std::size_t i = 0; i < queue_.size(); ++i) {
-          if (queue_[i].req.priority != best_priority) continue;
-          const int delta = cylinder_of(queue_[i]) - head_cylinder_;
+        std::uint64_t best_seq = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (qkeys_[i].priority != best_priority) continue;
+          const int delta = qkeys_[i].cylinder - head_cylinder_;
           if (scan_upward_ ? delta < 0 : delta > 0) continue;
           const int dist = std::abs(delta);
-          if (chosen == queue_.size() || dist < best_dist) {
+          if (chosen == n || dist < best_dist ||
+              (dist == best_dist && qkeys_[i].seq < best_seq)) {
             chosen = i;
             best_dist = dist;
+            best_seq = qkeys_[i].seq;
           }
         }
-        if (chosen == queue_.size()) scan_upward_ = !scan_upward_;
+        if (chosen == n) scan_upward_ = !scan_upward_;
       }
       break;
     }
   }
-  assert(chosen < queue_.size());
+  assert(chosen < n);
   Pending p = std::move(queue_[chosen]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(chosen));
+  queue_[chosen] = std::move(queue_.back());
+  queue_.pop_back();
+  qkeys_[chosen] = qkeys_.back();
+  qkeys_.pop_back();
   return p;
 }
 
@@ -242,9 +254,12 @@ void Disk::begin_service(Pending p) {
       }
       const SimTime done = plan.end_time + extra_ms;
       const std::uint64_t epoch = power_epoch_;
-      eq_.schedule_at(done, [this, shared, start, done, plan, epoch] {
+      // Capture scalars, not the whole TransferPlan: the lambda then fits
+      // InlineCallback's buffer and the schedule allocates nothing.
+      const int end_cyl = plan.end_cylinder;
+      eq_.schedule_at(done, [this, shared, start, done, end_cyl, epoch] {
         if (epoch != power_epoch_) return;  // killed by a power failure
-        complete(*shared, start, done, plan.end_cylinder);
+        complete(*shared, start, done, end_cyl);
       });
       break;
     }
@@ -265,8 +280,12 @@ void Disk::begin_service(Pending p) {
       const std::uint64_t epoch = power_epoch_;
       // A slow read pass delays read_done; schedule_rmw_write then pushes
       // the in-place rewrite onto a later whole revolution, exactly as a
-      // late gate would.
-      eq_.schedule_at(plan.end_time + extra_ms, [this, shared, start, plan,
+      // late gate would. Scalar captures keep both this lambda and the
+      // gate waiter inside their inline-storage buffers.
+      const SimTime xfer_start = plan.transfer_start;
+      const int end_cyl = plan.end_cylinder;
+      eq_.schedule_at(plan.end_time + extra_ms, [this, shared, start,
+                                                 xfer_start, end_cyl,
                                                  sector_count, min_revs,
                                                  epoch] {
         if (epoch != power_epoch_) return;  // killed by a power failure
@@ -284,20 +303,19 @@ void Disk::begin_service(Pending p) {
         auto& gate = shared->req.gate;
         if (gate && !gate->is_open()) {
           // Hold the disk: spin until the gate opens (SI policy behaviour).
-          gate->waiter_ = [this, shared, start, plan, sector_count,
-                           min_revs, epoch](SimTime opened) {
+          gate->waiter_ = [this, shared, start, xfer_start, sector_count,
+                           end_cyl, min_revs, epoch](SimTime opened) {
             if (epoch != power_epoch_) return;
-            schedule_rmw_write(shared, start, plan.transfer_start,
-                               sector_count, plan.end_cylinder, min_revs,
-                               opened);
+            schedule_rmw_write(shared, start, xfer_start, sector_count,
+                               end_cyl, min_revs, opened);
           };
         } else {
           // The write may start no earlier than the (possibly slowed)
           // read pass actually ended, whatever the gate says.
           const SimTime earliest =
               gate ? std::max(gate->ready_time(), read_done) : read_done;
-          schedule_rmw_write(shared, start, plan.transfer_start, sector_count,
-                             plan.end_cylinder, min_revs, earliest);
+          schedule_rmw_write(shared, start, xfer_start, sector_count,
+                             end_cyl, min_revs, earliest);
         }
       });
       break;
@@ -341,13 +359,23 @@ Disk::PowerFailReport Disk::power_fail() {
   powered_off_ = true;
   ++power_epoch_;  // invalidates every scheduled completion/waiter
 
-  for (auto& p : queue_) {
+  // Swap-remove leaves the queue vectors unordered; deliver the kill
+  // callbacks in arrival (seq) order so crash handling stays
+  // deterministic and matches what a FIFO walk of the queue produced.
+  std::vector<std::size_t> order(queue_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return queue_[a].seq < queue_[b].seq;
+  });
+  for (std::size_t i : order) {
+    Pending& p = queue_[i];
     ++report.queued_ops;
     if (p.req.kind != DiskOpKind::kRead)
       report.write_blocks_lost += static_cast<std::uint64_t>(p.req.block_count);
     if (p.req.on_power_fail) p.req.on_power_fail(eq_.now(), 0);
   }
   queue_.clear();
+  qkeys_.clear();
 
   if (busy_ && active_) {
     ++report.inflight_ops;

@@ -11,6 +11,7 @@
 #include "disk/seek_model.hpp"
 #include "obs/tracer.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/small_function.hpp"
 #include "util/stats.hpp"
 
 namespace raidsim {
@@ -79,7 +80,7 @@ class WriteGate {
   friend class Disk;
   bool open_ = false;
   SimTime ready_time_ = 0.0;
-  std::function<void(SimTime)> waiter_;
+  SmallFunction<void(SimTime)> waiter_;
 };
 
 /// One access submitted to a disk. Addresses are in logical blocks local
@@ -97,23 +98,33 @@ struct DiskRequest {
   /// better override it (parity RMW, full-stripe parity write, rebuild).
   ObsPhase obs_phase = ObsPhase::kAuto;
 
+  /// Completion callbacks are move-only inline-storage callables (the
+  /// same SmallFunction machinery as the event kernel's InlineCallback):
+  /// typical controller continuations live inside the request itself, so
+  /// the submit path performs no callback heap allocations. A copyable
+  /// std::function still converts implicitly (it gets wrapped), so
+  /// legacy submitters keep working; DiskRequest itself becomes
+  /// move-only, which every submit site already respects.
+
   /// Invoked when the access acquires the disk (seek begins). Used by the
   /// Disk First synchronization policies.
-  std::function<void(SimTime)> on_start;
+  SmallFunction<void(SimTime)> on_start;
   /// RMW only: invoked when the old data/parity have been read.
-  std::function<void(SimTime)> on_read_done;
+  SmallFunction<void(SimTime)> on_read_done;
   /// Invoked when the access fully completes.
-  std::function<void(SimTime)> on_complete;
+  SmallFunction<void(SimTime)> on_complete;
   /// Invoked INSTEAD of on_complete when the access faults (transient
   /// timeout or media error). Requests without a handler opt out of
-  /// fault injection entirely and always complete.
-  std::function<void(SimTime, DiskError)> on_error;
+  /// fault injection entirely and always complete. Wider inline storage:
+  /// the controller's retry continuation carries the extent, both outer
+  /// callbacks, and the backoff state.
+  SmallFunction<void(SimTime, DiskError), 128> on_error;
   /// Invoked (instead of any other callback) when the disk loses power
   /// while the request is queued or in service. `durable_blocks` is the
   /// length of the leading prefix of a write extent that reached the
   /// medium before the power failed -- always 0 for reads, for queued
   /// requests, and for RMW accesses still in their read phase.
-  std::function<void(SimTime, int durable_blocks)> on_power_fail;
+  SmallFunction<void(SimTime, int durable_blocks)> on_power_fail;
 };
 
 struct DiskStats {
@@ -242,9 +253,19 @@ class Disk {
     ObsPhase obs_phase = ObsPhase::kAuto;   // resolved service phase
   };
 
-  /// Select (and remove) the next request to service: the highest
-  /// priority class present, ordered within the class by the scheduling
-  /// policy.
+  /// Hot half of the queue: everything the scheduling scan needs, 16
+  /// bytes per entry, parallel to the cold Pending vector. The cylinder
+  /// is precomputed at submit (only under SSTF/SCAN — FIFO never reads
+  /// it), so pop_next touches neither the requests nor the geometry.
+  struct QueueKey {
+    std::uint64_t seq;
+    int cylinder;
+    DiskPriority priority;
+  };
+
+  /// Select (and remove, by swap-with-back) the next request to service:
+  /// the highest priority class present, ordered within the class by the
+  /// scheduling policy with (time-of-arrival) seq breaking ties.
   Pending pop_next();
 
   /// Timing of one contiguous transfer starting with the head at
@@ -284,7 +305,8 @@ class Disk {
   std::uint64_t next_seq_ = 0;
   DiskScheduling scheduling_;
   bool scan_upward_ = true;  // SCAN sweep direction
-  std::vector<Pending> queue_;
+  std::vector<Pending> queue_;    // cold: requests + bookkeeping
+  std::vector<QueueKey> qkeys_;   // hot: parallel scheduling keys
   DiskStats stats_;
   FaultEvaluator fault_evaluator_;
   SlowdownHook slowdown_hook_;

@@ -45,6 +45,8 @@ struct ShardedSimulator::ArrayState {
 };
 
 struct ShardedSimulator::Shard {
+  explicit Shard(EventKernel kernel) : eq(kernel) {}
+
   EventQueue eq;
   std::unique_ptr<Tracer> tracer;
   std::unique_ptr<TimeSeriesSampler> sampler;
@@ -78,7 +80,7 @@ ShardedSimulator::ShardedSimulator(const SimulationConfig& config,
   Rng root(seed);
   shards_.reserve(static_cast<std::size_t>(shard_count_));
   for (int s = 0; s < shard_count_; ++s) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_unique<Shard>(config_.event_kernel);
     shard->rng = root.split();
     if (kTracingCompiledIn && config_.obs.tracing)
       shard->tracer = std::make_unique<Tracer>(
@@ -278,6 +280,16 @@ Metrics ShardedSimulator::run(TraceStream& trace) {
     throw std::invalid_argument("ShardedSimulator: trace geometry mismatch");
 
   load_records(trace);
+
+  // Warm each shard's kernel before the drive loop: slot table sized to
+  // the steady-state event population (a few in-flight events per disk),
+  // so the hot path never reallocates mid-run.
+  for (auto& shard : shards_) {
+    std::size_t disks = 0;
+    for (const auto& array : shard->arrays)
+      disks += array.controller->disks().size();
+    shard->eq.reserve(8 * disks + 64);
+  }
 
   // Arrays the trace never touches quiesce immediately: their destage
   // timers would otherwise tick forever (the per-array discipline has no

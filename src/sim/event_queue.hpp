@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/inline_callback.hpp"
@@ -14,20 +15,72 @@ using SimTime = double;
 /// Never zero, so zero is a safe "no event" sentinel for callers.
 using EventId = std::uint64_t;
 
+/// Which priority structure backs an EventQueue. Both kernels produce
+/// bit-identical executions (ordering is decided solely by exact
+/// (time, seq) comparisons); they differ only in speed. The calendar is
+/// the default; the heap is retained as the differential-testing
+/// yardstick and as a fallback for adversarial time distributions.
+enum class EventKernel {
+  kCalendar,  ///< Circular bucketed calendar, O(1) amortized.
+  kHeap,      ///< Indexed 4-ary min-heap, O(log n), distribution-immune.
+};
+
+const char* to_string(EventKernel kernel);
+
 /// Discrete-event simulation kernel. Events are (time, callback) pairs;
 /// ties are broken by schedule order so that runs are fully deterministic.
 ///
-/// Implementation: an indexed 4-ary min-heap of 24-byte entries over a
-/// slot table holding the callbacks. Slots are reused through a free list
-/// and generation-tagged, so liveness/cancellation checks are a single
-/// integer compare (no hash-set lookups), and the callback storage is
-/// inline (InlineCallback), so the common schedule path allocates nothing.
-/// Cancellation is lazy in the heap (stale entries are dropped on pop)
-/// but eager in the slot table: the callback is destroyed and its slot
-/// recycled immediately.
+/// Two interchangeable priority structures sit over a shared slot table
+/// holding the callbacks:
+///
+///  - **Circular calendar queue** (default): an event at time t has the
+///    absolute bucket index B(t) = floor((t - epoch_) / width_) and is
+///    stored at B(t) mod nbuckets_ — buckets wrap around like days of a
+///    calendar year. An in-horizon schedule is therefore O(1): one
+///    multiply plus a push_back, no heap sift. The dispatch cursor walks
+///    absolute indices; a bucket scan consumes the entries due in the
+///    cursor's time window [start(B), start(B+1)) and leaves future-year
+///    residents in place (an entry is re-scanned once per wrap, and a
+///    wrap covers the whole live population's span, so that is O(1)
+///    amortized). When a full wrap finds nothing due, the cursor jumps
+///    straight to the bucket of the earliest live entry. The bucket
+///    count and width resize automatically on occupancy. A tiny 4-ary
+///    "overflow ladder" heap holds only events beyond 2^52 bucket
+///    widths, where absolute indices would lose integer precision —
+///    unreachable in simulation workloads.
+///  - **4-ary indexed min-heap**: the PR-3 kernel, kept as the
+///    differential yardstick.
+///
+/// Slots are reused through a free list and generation-tagged, so
+/// liveness/cancellation checks are a single integer compare (no
+/// hash-set lookups), and the callback storage is inline
+/// (InlineCallback), so the common schedule path allocates nothing.
+/// Cancellation is lazy in the priority structure (stale entries are
+/// dropped on pop or bucket scan) but eager in the slot table: the
+/// callback is destroyed and its slot recycled immediately, which keeps
+/// pending()/empty() exact under any cancellation pattern.
+///
+/// Dispatch is **batched**: the due slice of the cursor bucket is
+/// drained into a sorted batch and executed without re-touching the
+/// priority structure per event (the batch persists across
+/// step()/run()/run_until() calls, so single-stepped drains get the
+/// same amortization). A callback that schedules work *earlier* than
+/// the batch tail is ordered-inserted directly into the batch — any
+/// such event provably precedes everything outside the batch — so the
+/// exact (time, seq) order is always preserved.
 class EventQueue {
  public:
   using Callback = InlineCallback;
+
+  explicit EventQueue(EventKernel kernel = EventKernel::kCalendar);
+
+  EventKernel kernel() const { return kernel_; }
+
+  /// Pre-size the slot table (and heap, for the heap kernel) for an
+  /// expected number of concurrently pending events. Purely an
+  /// allocation warm-up; per-shard engines call this so steady-state
+  /// scheduling never touches the global allocator.
+  void reserve(std::size_t expected_pending);
 
   /// Current simulation time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
@@ -63,11 +116,21 @@ class EventQueue {
   /// Total events executed over the lifetime of the queue.
   std::uint64_t executed() const { return executed_; }
 
+  /// Calendar geometry constants, public so boundary tests can place
+  /// events exactly on bucket and year edges.
+  static constexpr std::size_t kMinBuckets = 32;
+  static constexpr double kInitialBucketWidthMs = 1.0;
+
+  /// Current bucket width (ms). Test/introspection only; changes as the
+  /// calendar resizes. Meaningless for the heap kernel.
+  double bucket_width() const { return width_; }
+  std::size_t bucket_count() const { return nbuckets_; }
+
  private:
   static constexpr std::size_t kArity = 4;
 
-  /// Heap entries carry everything the ordering needs by value, so
-  /// reheapification never touches the slot table.
+  /// Priority entries carry everything the ordering needs by value, so
+  /// moving them between buckets/heap never touches the slot table.
   struct HeapEntry {
     SimTime time;
     std::uint64_t seq;   // schedule order; FIFO tie-break at equal times
@@ -78,7 +141,7 @@ class EventQueue {
   /// Generation protocol: a slot's generation is odd while an event
   /// occupies it and even while it is free. Scheduling bumps it odd (the
   /// id captures that value); cancel/execute bumps it even, so any stale
-  /// id or heap entry mis-compares in O(1).
+  /// id or priority entry mis-compares in O(1).
   struct Slot {
     std::uint32_t gen = 0;
     Callback cb;
@@ -89,22 +152,85 @@ class EventQueue {
     return a.seq < b.seq;
   }
 
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  void pop_root();
+  // Shared slot machinery.
+  HeapEntry new_entry(SimTime when, Callback cb);
   /// Retire the live event behind `e` (slot freed, callback moved out).
   Callback take_slot(const HeapEntry& e);
   bool stale(const HeapEntry& e) const {
     return slots_[e.slot].gen != e.gen;
   }
+  void execute(const HeapEntry& e);
 
+  // 4-ary min-heap primitives, shared by the heap kernel (over heap_)
+  // and the calendar's far-future ladder (over ladder_).
+  void sift_up(std::vector<HeapEntry>& h, std::size_t i) const;
+  void sift_down(std::vector<HeapEntry>& h, std::size_t i) const;
+  void pop_root(std::vector<HeapEntry>& h) const;
+
+  // Heap kernel.
+  bool step_heap();
+  std::uint64_t run_heap(std::uint64_t limit);
+  std::uint64_t run_until_heap(SimTime until);
+
+  // Calendar kernel. Bucket indices are *absolute* (bucket j covers
+  // [start(j), start(j+1)) for all time); storage wraps at j & mask_.
+  double bucket_start(std::uint64_t j) const {
+    return epoch_ + width_ * static_cast<double>(j);
+  }
+  /// Absolute bucket index of time t, snapped to the canonical bucket
+  /// boundaries (the multiply can round across an edge).
+  std::uint64_t abs_bucket_of(SimTime t) const;
+  void insert_entry(const HeapEntry& e);
+  /// Bucket placement without the batch/overflow routing of
+  /// insert_entry; used when redistributing entries that are already
+  /// ordered correctly relative to the ladder.
+  void place_in_bucket(const HeapEntry& e);
+  /// Scan buckets in cursor order and move the due slice of the first
+  /// eligible one into batch_, sorted. Returns false when nothing
+  /// remains anywhere.
+  bool refill_batch();
+  /// Re-anchor the epoch at the overflow-ladder minimum and move the
+  /// now-representable entries into buckets. Pre: buckets hold no live
+  /// entries. Returns false if the ladder is empty too.
+  bool drain_overflow();
+  void rebuild(std::size_t new_nbuckets);
+  void maybe_shrink();
+  bool step_calendar();
+  std::uint64_t run_calendar(std::uint64_t limit);
+  std::uint64_t run_until_calendar(SimTime until);
+
+  EventKernel kernel_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
-  std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
+
+  // Heap kernel state.
+  std::vector<HeapEntry> heap_;
+
+  // Calendar kernel state.
+  std::vector<std::vector<HeapEntry>> buckets_;
+  std::vector<HeapEntry> ladder_;   // overflow only: t beyond 2^52 buckets
+  std::vector<HeapEntry> scratch_;  // rebuild staging, capacity reused
+  double width_ = kInitialBucketWidthMs;
+  double inv_width_ = 1.0 / kInitialBucketWidthMs;
+  double epoch_ = 0.0;           // time of absolute bucket 0
+  std::size_t nbuckets_ = 0;     // always a power of two
+  std::size_t mask_ = 0;         // nbuckets_ - 1
+  std::uint64_t cursor_ = 0;     // absolute index of the current bucket
+  std::size_t in_buckets_ = 0;   // entries resident in buckets (incl. stale)
+  std::uint64_t pops_since_rebuild_ = 0;
+  bool rebuilding_ = false;
+
+  // Batched-dispatch state. The batch persists across public calls:
+  // step()/run()/run_until() all dispatch from it, refilling a bucket's
+  // due slice at a time. Entries not yet dispatched live here instead of
+  // in a bucket; cancellation still works through the slot generations.
+  std::vector<HeapEntry> batch_;
+  std::size_t batch_pos_ = 0;
+  double batch_limit_ = 0.0;  // max time in batch; valid iff batch nonempty
 };
 
 }  // namespace raidsim

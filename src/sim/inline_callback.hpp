@@ -1,109 +1,15 @@
 #pragma once
 
-#include <cstddef>
-#include <new>
-#include <type_traits>
-#include <utility>
+#include "sim/small_function.hpp"
 
 namespace raidsim {
 
-/// Move-only `void()` callable with inline storage. The event kernel's
-/// schedule path stores callbacks in slot memory it owns; captures up to
-/// kInlineBytes (enough for the simulator's completion lambdas, which
-/// carry a `this`, a few scalars, and a std::function continuation) live
-/// in the slot itself, so the common schedule path performs zero heap
-/// allocations. Larger callables fall back to one heap allocation, same
-/// as std::function.
-class InlineCallback {
- public:
-  /// Sized to hold the pump/dispatch lambdas (this + TraceRecord +
-  /// stream pointer, or this + time + std::function continuation).
-  static constexpr std::size_t kInlineBytes = 64;
-
-  InlineCallback() noexcept = default;
-  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineCallback(F&& fn) {  // NOLINT(runtime/explicit)
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineBytes &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
-      ops_ = &SmallOps<Fn>::ops;
-    } else {
-      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
-      ops_ = &BigOps<Fn>::ops;
-    }
-  }
-
-  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
-    if (ops_) ops_->relocate(buf_, other.buf_);
-    other.ops_ = nullptr;
-  }
-
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
-    if (this != &other) {
-      reset();
-      ops_ = other.ops_;
-      if (ops_) ops_->relocate(buf_, other.buf_);
-      other.ops_ = nullptr;
-    }
-    return *this;
-  }
-
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
-
-  ~InlineCallback() { reset(); }
-
-  void reset() noexcept {
-    if (ops_) {
-      ops_->destroy(buf_);
-      ops_ = nullptr;
-    }
-  }
-
-  explicit operator bool() const noexcept { return ops_ != nullptr; }
-
-  void operator()() { ops_->invoke(buf_); }
-
- private:
-  struct Ops {
-    void (*invoke)(void*);
-    /// Move-construct into `dst` from `src`, destroying `src`.
-    void (*relocate)(void* dst, void* src);
-    void (*destroy)(void*);
-  };
-
-  template <typename Fn>
-  struct SmallOps {
-    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
-    static void relocate(void* dst, void* src) {
-      Fn* from = static_cast<Fn*>(src);
-      ::new (dst) Fn(std::move(*from));
-      from->~Fn();
-    }
-    static void destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
-  };
-
-  template <typename Fn>
-  struct BigOps {
-    static Fn* get(void* p) { return *static_cast<Fn**>(p); }
-    static void invoke(void* p) { (*get(p))(); }
-    static void relocate(void* dst, void* src) {
-      ::new (dst) Fn*(get(src));
-    }
-    static void destroy(void* p) { delete get(p); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
-  };
-
-  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
-  const Ops* ops_ = nullptr;
-};
+/// Move-only `void()` callable with inline storage — the event kernel's
+/// callback type. Sized to hold the pump/dispatch lambdas (this +
+/// TraceRecord + stream pointer, or this + time + continuation) without
+/// touching the heap. An alias of the general SmallFunction template; the
+/// disk layer uses wider signatures of the same machinery for per-request
+/// completion callbacks.
+using InlineCallback = SmallFunction<void()>;
 
 }  // namespace raidsim

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace raidsim {
+
+/// Move-only callable with inline storage, generalized over the call
+/// signature. The event kernel's schedule path stores callbacks in slot
+/// memory it owns, and the disk layer stores per-request completion
+/// callbacks inside the request itself; captures up to `InlineBytes`
+/// (enough for the simulator's completion lambdas, which carry a `this`,
+/// a few scalars, and a continuation) live inline, so the common
+/// schedule/submit path performs zero heap allocations. Larger callables
+/// fall back to one heap allocation, same as std::function.
+///
+/// Like std::function, operator() is const-callable regardless of the
+/// wrapped callable's constness (the target is treated as mutable state
+/// owned by the wrapper).
+template <typename Signature, std::size_t InlineBytes = 64>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& fn) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &SmallOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &BigOps<Fn>::ops;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_) ops_->relocate(buf_, other.buf_);
+    other.ops_ = nullptr;
+  }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(buf_),
+                        std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args...);
+    /// Move-construct into `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct SmallOps {
+    static R invoke(void* p, Args... args) {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct BigOps {
+    static Fn* get(void* p) { return *static_cast<Fn**>(p); }
+    static R invoke(void* p, Args... args) {
+      return (*get(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) Fn*(get(src));
+    }
+    static void destroy(void* p) { delete get(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace raidsim

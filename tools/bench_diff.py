@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Per-section delta table between two BENCH_perf.json files.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--min-delta-pct=P]
+
+Flattens every numeric leaf of both files to a dot path
+(kernel.events_per_sec, sharded.points[2].events_per_sec, ...), then
+prints one table per top-level section with baseline, current, and the
+relative delta. Keys present on only one side are reported as added or
+removed rather than failing, so the tool keeps working across schema
+bumps. Purely informational: always exits 0 on a successful comparison
+(2 on unreadable input) -- the CI regression *guard* lives in the
+workflow, this is the artifact humans read when the guard trips.
+
+--min-delta-pct hides rows whose |delta| is below the threshold
+(default 0: show everything).
+"""
+
+import json
+import sys
+
+
+def flatten(value, prefix=""):
+    """Yield (dot_path, leaf) for every numeric leaf under value."""
+    if isinstance(value, bool):
+        # bools are ints in Python; report them as 0/1 leaves so a
+        # flipped `identical` flag shows up in the table.
+        yield prefix, int(value)
+    elif isinstance(value, (int, float)):
+        yield prefix, value
+    elif isinstance(value, dict):
+        for key, child in value.items():
+            path = f"{prefix}.{key}" if prefix else key
+            yield from flatten(child, path)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            yield from flatten(child, f"{prefix}[{i}]")
+    # strings (mode, names) carry no perf signal: skipped
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def section_of(path):
+    return path.split(".", 1)[0].split("[", 1)[0]
+
+
+def fmt(value):
+    if isinstance(value, int):
+        return str(value)
+    if abs(value) >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if abs(value) >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    return f"{value:.3f}"
+
+
+def main(argv):
+    min_delta_pct = 0.0
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--min-delta-pct="):
+            min_delta_pct = float(arg.split("=", 1)[1])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print("usage: bench_diff.py BASELINE.json CURRENT.json "
+              "[--min-delta-pct=P]", file=sys.stderr)
+        return 2
+
+    base = dict(flatten(load(paths[0])))
+    cur = dict(flatten(load(paths[1])))
+
+    print(f"baseline: {paths[0]}")
+    print(f"current:  {paths[1]}")
+
+    sections = []
+    for path in list(base) + [p for p in cur if p not in base]:
+        sec = section_of(path)
+        if sec not in sections:
+            sections.append(sec)
+
+    width = max((len(p) for p in set(base) | set(cur)), default=20)
+    for sec in sections:
+        rows = []
+        for path in [p for p in base if section_of(p) == sec] + \
+                    [p for p in cur if section_of(p) == sec and
+                     p not in base]:
+            b, c = base.get(path), cur.get(path)
+            if b is None:
+                rows.append((path, "-", fmt(c), "added"))
+            elif c is None:
+                rows.append((path, fmt(b), "-", "removed"))
+            else:
+                if b == 0:
+                    delta = "0.0%" if c == 0 else "inf"
+                    pct = 0.0 if c == 0 else float("inf")
+                else:
+                    pct = (c - b) / abs(b) * 100.0
+                    delta = f"{pct:+.1f}%"
+                if abs(pct) < min_delta_pct:
+                    continue
+                rows.append((path, fmt(b), fmt(c), delta))
+        if not rows:
+            continue
+        print(f"\n== {sec} ==")
+        for path, b, c, delta in rows:
+            print(f"  {path:<{width}}  {b:>12}  ->  {c:>12}  {delta:>8}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
