@@ -14,6 +14,7 @@
 //
 // Usage: perf_harness [--quick] [--out=<path>] [--threads=<n>]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -32,8 +33,10 @@
 #include "cache/nv_cache.hpp"
 #include "core/simulator.hpp"
 #include "core/workloads.hpp"
+#include "obs/metrics_registry.hpp"
 #include "runner/sweep_runner.hpp"
 #include "sim/event_queue.hpp"
+#include "svc/supervisor.hpp"
 #include "trace/trace_io.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -405,6 +408,109 @@ HistogramBench histogram_bench(std::uint64_t total_adds) {
   return r;
 }
 
+/// Telemetry-plane cost: the same replay with the metrics registry
+/// disabled and no progress hook (the engines' fast path) versus
+/// enabled plus a no-op hook (batch-boundary path, registry feeds, hook
+/// dispatch). Also asserts the two runs' metrics are bit-identical --
+/// telemetry is passive or it is broken.
+struct TelemetryBench {
+  double events_per_sec_off = 0.0;
+  double events_per_sec_on = 0.0;
+  double overhead_pct = 0.0;
+  bool identical = false;
+};
+
+TelemetryBench telemetry_bench(const raidsim::SimulationConfig& config,
+                               const std::string& trace, double scale,
+                               int reps) {
+  auto run_once = [&](bool telemetry, raidsim::Metrics* out) {
+    raidsim::SweepJob job;
+    job.config = config;
+    job.trace = trace;
+    job.workload.scale = scale;
+    if (telemetry)
+      job.progress = [](const raidsim::ProgressSnapshot&) {};
+    raidsim::MetricsRegistry::instance().set_enabled(telemetry);
+    const auto start = std::chrono::steady_clock::now();
+    const raidsim::Metrics m = raidsim::run_sweep_job(job);
+    const double elapsed = seconds_since(start);
+    raidsim::MetricsRegistry::instance().set_enabled(true);
+    if (out) *out = m;
+    return static_cast<double>(m.events_executed) / elapsed;
+  };
+
+  TelemetryBench r;
+  raidsim::Metrics off_metrics, on_metrics;
+  for (int rep = 0; rep < reps; ++rep) {
+    r.events_per_sec_off =
+        std::max(r.events_per_sec_off, run_once(false, &off_metrics));
+    r.events_per_sec_on =
+        std::max(r.events_per_sec_on, run_once(true, &on_metrics));
+  }
+  r.overhead_pct =
+      r.events_per_sec_on > 0.0
+          ? (r.events_per_sec_off / r.events_per_sec_on - 1.0) * 1e2
+          : 0.0;
+  std::ostringstream off_json, on_json;
+  off_metrics.to_json(off_json);
+  on_metrics.to_json(on_json);
+  r.identical = off_json.str() == on_json.str();
+  return r;
+}
+
+/// Service saturation in-process (the socketless core of
+/// ext_service_saturation): a burst of distinct jobs against a small
+/// admission queue. Goodput and shed counts come from the supervisor's
+/// own terminal statuses, so these are the numbers the daemon would
+/// report.
+struct ServiceBench {
+  int offered = 0;
+  int completed_ok = 0;
+  int shed = 0;
+  double wall_ms = 0.0;
+  double goodput_per_sec = 0.0;
+  double shed_rate_per_sec = 0.0;
+  double shed_pct = 0.0;
+};
+
+ServiceBench service_bench(int offered, double scale) {
+  using raidsim::svc::JobRequest;
+  using raidsim::svc::JobResult;
+  using raidsim::svc::JobStatus;
+  using raidsim::svc::Supervisor;
+
+  ServiceBench r;
+  r.offered = offered;
+  std::atomic<int> ok{0}, shed{0}, done{0};
+  const auto start = std::chrono::steady_clock::now();
+  {
+    Supervisor sup({.workers = 2, .queue_capacity = 4});
+    for (int i = 0; i < offered; ++i) {
+      JobRequest request;
+      request.trace = "trace2";
+      request.workload.scale = scale;
+      request.workload.seed = static_cast<std::uint64_t>(i + 1);
+      request.no_cache = true;
+      request.id = "svc" + std::to_string(i);
+      sup.submit(std::move(request), [&](const JobResult& result) {
+        if (result.status == JobStatus::kOk) ok.fetch_add(1);
+        if (result.status == JobStatus::kOverloaded) shed.fetch_add(1);
+        done.fetch_add(1);
+      });
+    }
+    while (done.load() < offered)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  r.wall_ms = seconds_since(start) * 1e3;
+  r.completed_ok = ok.load();
+  r.shed = shed.load();
+  const double wall_s = r.wall_ms / 1e3;
+  r.goodput_per_sec = wall_s > 0.0 ? r.completed_ok / wall_s : 0.0;
+  r.shed_rate_per_sec = wall_s > 0.0 ? r.shed / wall_s : 0.0;
+  r.shed_pct = offered > 0 ? 1e2 * r.shed / offered : 0.0;
+  return r;
+}
+
 struct TraceLoadResult {
   std::uint64_t records = 0;
   double records_per_sec = 0.0;
@@ -724,6 +830,51 @@ int main(int argc, char** argv) {
   tracing_table.print(std::cout);
   std::cout << "\n";
 
+  // ------------------------------------------------ telemetry overhead
+  // Registry + progress hook against the bare fast path, with a fatal
+  // bit-identity check: the live telemetry plane must read as free (a
+  // couple of relaxed atomics per 4096-event batch) and must never
+  // perturb results.
+  const TelemetryBench telemetry =
+      telemetry_bench(raid5, "trace1", scale1, bench_reps);
+  TablePrinter telemetry_table({"telemetry plane", "events/sec"});
+  telemetry_table.add_row(
+      {"off (fast path)",
+       TablePrinter::num(telemetry.events_per_sec_off / 1e6, 2) + " M"});
+  telemetry_table.add_row(
+      {"on (registry + hook)",
+       TablePrinter::num(telemetry.events_per_sec_on / 1e6, 2) + " M"});
+  telemetry_table.add_row(
+      {"overhead", TablePrinter::num(telemetry.overhead_pct, 2) + " %"});
+  telemetry_table.add_row(
+      {"bit-identical", telemetry.identical ? "yes" : "NO"});
+  telemetry_table.print(std::cout);
+  std::cout << "\n";
+  if (!telemetry.identical) {
+    std::cerr << "FATAL: telemetry-on and telemetry-off runs produced "
+                 "different metrics\n";
+    return 1;
+  }
+
+  // ---------------------------------------------- service saturation
+  // The overload regime ext_service_saturation studies, reduced to the
+  // two numbers worth guarding: goodput under a shedding burst and the
+  // shed rate itself.
+  const int svc_offered = quick ? 24 : 48;
+  const double svc_scale = quick ? 0.02 : 0.05;
+  const ServiceBench svc = service_bench(svc_offered, svc_scale);
+  TablePrinter svc_table({"service saturation", "value"});
+  svc_table.add_row({"offered jobs", std::to_string(svc.offered)});
+  svc_table.add_row({"completed ok", std::to_string(svc.completed_ok)});
+  svc_table.add_row({"shed (overloaded)", std::to_string(svc.shed)});
+  svc_table.add_row(
+      {"goodput", TablePrinter::num(svc.goodput_per_sec, 2) + " jobs/sec"});
+  svc_table.add_row(
+      {"shed rate", TablePrinter::num(svc.shed_rate_per_sec, 2) + " /sec"});
+  svc_table.add_row({"shed", TablePrinter::num(svc.shed_pct, 1) + " %"});
+  svc_table.print(std::cout);
+  std::cout << "\n";
+
   // ------------------------------------------------- cache-index bench
   const std::uint64_t cache_ops = quick ? 2'000'000 : 10'000'000;
   const std::size_t cache_capacity = 16384;
@@ -848,7 +999,7 @@ int main(int argc, char** argv) {
   out.setf(std::ios::fixed);
   out.precision(3);
   out << "{\n"
-      << "  \"schema\": 4,\n"
+      << "  \"schema\": 5,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"hardware_threads\": " << hw_avail << ",\n"
       << "  \"kernel\": {\n"
@@ -931,6 +1082,23 @@ int main(int argc, char** argv) {
       << "    \"events_per_sec_off\": " << traced_off.events_per_sec << ",\n"
       << "    \"events_per_sec_on\": " << traced_on.events_per_sec << ",\n"
       << "    \"overhead_pct\": " << tracing_overhead_pct << "\n"
+      << "  },\n"
+      << "  \"telemetry\": {\n"
+      << "    \"events_per_sec_off\": " << telemetry.events_per_sec_off
+      << ",\n"
+      << "    \"events_per_sec_on\": " << telemetry.events_per_sec_on << ",\n"
+      << "    \"overhead_pct\": " << telemetry.overhead_pct << ",\n"
+      << "    \"identical\": " << (telemetry.identical ? "true" : "false")
+      << "\n"
+      << "  },\n"
+      << "  \"service\": {\n"
+      << "    \"offered_jobs\": " << svc.offered << ",\n"
+      << "    \"completed_ok\": " << svc.completed_ok << ",\n"
+      << "    \"shed\": " << svc.shed << ",\n"
+      << "    \"wall_ms\": " << svc.wall_ms << ",\n"
+      << "    \"goodput_jobs_per_sec\": " << svc.goodput_per_sec << ",\n"
+      << "    \"shed_rate_per_sec\": " << svc.shed_rate_per_sec << ",\n"
+      << "    \"shed_pct\": " << svc.shed_pct << "\n"
       << "  },\n"
       << "  \"sweep\": {\n"
       << "    \"runs\": " << sweep_runs << ",\n"

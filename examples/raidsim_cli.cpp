@@ -44,10 +44,18 @@
 //                             retry/timeout/hedge/redirect counters)
 //   --csv-header              print the --csv column names and exit
 //   --json                    full Metrics::to_json dump on stdout
+//   --progress                live heartbeat on stderr (events, sim time,
+//                             percent done); passive, results unchanged
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+
+#include "sim/progress.hpp"
 
 #include "array/rebuild.hpp"
 #include "core/reliability.hpp"
@@ -98,6 +106,44 @@ EventKernel parse_kernel(const std::string& v) {
   fail("unknown event kernel: " + v);
 }
 
+/// --progress: wall-clock-throttled heartbeat to stderr. Shard threads
+/// may call concurrently, so the throttle state is atomic. Final frame
+/// always prints, then a newline so the result table starts clean.
+ProgressFn make_heartbeat() {
+  using Clock = std::chrono::steady_clock;
+  auto last = std::make_shared<std::atomic<std::int64_t>>(0);
+  const auto epoch = Clock::now();
+  return [last, epoch](const ProgressSnapshot& s) {
+    const std::int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              epoch)
+            .count();
+    std::int64_t prev = last->load(std::memory_order_relaxed);
+    if (!s.final_frame &&
+        (now_ms - prev < 200 ||
+         !last->compare_exchange_strong(prev, now_ms,
+                                        std::memory_order_relaxed)))
+      return;
+    last->store(now_ms, std::memory_order_relaxed);
+    if (s.total > 0) {
+      std::fprintf(stderr,
+                   "\rraidsim_cli: %5.1f%%  %llu/%llu requests  "
+                   "%llu events  sim %.0f ms   ",
+                   100.0 * static_cast<double>(s.done) /
+                       static_cast<double>(s.total),
+                   static_cast<unsigned long long>(s.done),
+                   static_cast<unsigned long long>(s.total),
+                   static_cast<unsigned long long>(s.events), s.sim_ms);
+    } else {
+      std::fprintf(stderr,
+                   "\rraidsim_cli: %llu requests  %llu events  sim %.0f ms   ",
+                   static_cast<unsigned long long>(s.done),
+                   static_cast<unsigned long long>(s.events), s.sim_ms);
+    }
+    if (s.final_frame) std::fprintf(stderr, "\n");
+  };
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +156,7 @@ int main(int argc, char** argv) {
   bool rebuild = false;
   bool csv = false;
   bool json = false;
+  bool progress = false;
 
   const char* csv_header =
       "config,requests,mean_ms,read_ms,write_ms,p95_ms,p99_ms,p999_ms,"
@@ -193,6 +240,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--progress") {
+      progress = true;
     } else {
       fail("unknown flag: " + arg);
     }
@@ -214,9 +263,16 @@ int main(int argc, char** argv) {
     if (config.shards >= 1) {
       if (fail_disk >= 0)
         fail("--shards is incompatible with --fail-disk/--rebuild");
-      m = run_sharded_simulation(config, *trace, workload.seed);
+      if (progress) {
+        ShardedSimulator sim(config, trace->geometry(), workload.seed);
+        sim.set_progress_hook(make_heartbeat());
+        m = sim.run(*trace);
+      } else {
+        m = run_sharded_simulation(config, *trace, workload.seed);
+      }
     } else {
       Simulator sim(config, trace->geometry());
+      if (progress) sim.set_progress_hook(make_heartbeat());
       std::unique_ptr<RebuildProcess> rebuilder;
       if (fail_disk >= 0) {
         sim.mutable_controller(0).fail_disk(fail_disk);

@@ -6,8 +6,34 @@
 
 #include "array/cached_controller.hpp"
 #include "array/uncached_controller.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace raidsim {
+
+namespace {
+
+/// Live registry counters for the classic engine. Registered once;
+/// updates are gated inside the registry (one relaxed load when it is
+/// disabled) and only ever happen at batch boundaries or run end, never
+/// on the per-event hot path.
+struct ClassicEngineMetrics {
+  Counter& runs = MetricsRegistry::instance().counter(
+      "raidsim_engine_classic_runs_total",
+      "Completed classic-engine simulation runs");
+  Counter& events = MetricsRegistry::instance().counter(
+      "raidsim_engine_classic_events_total",
+      "Kernel events executed by the classic engine");
+  Gauge& sim_ms = MetricsRegistry::instance().gauge(
+      "raidsim_engine_classic_sim_ms_total",
+      "Simulated milliseconds advanced by the classic engine (accumulates)");
+};
+
+ClassicEngineMetrics& classic_metrics() {
+  static ClassicEngineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Simulator::Simulator(const SimulationConfig& config,
                      const TraceGeometry& geometry)
@@ -172,21 +198,41 @@ Metrics Simulator::run(TraceStream& trace) {
     throw std::invalid_argument("Simulator: trace geometry mismatch");
 
   validate_records_ = !trace.prevalidated();
+  progress_total_ = trace.size_hint();
   pump(trace);
-  if (cancel_ == nullptr) {
+  if (cancel_ == nullptr && !progress_) {
     while (eq_.step()) {
     }
   } else {
-    // Cooperative cancellation: poll the token at event-batch boundaries
-    // so a deadline or watchdog stops the run promptly without taxing
-    // the per-event hot path.
+    // Cooperative cancellation and progress share one batch boundary:
+    // poll the token / fire the hook every kCancelCheckBatch events so a
+    // deadline or watchdog stops the run promptly -- and progress frames
+    // flow -- without taxing the per-event hot path.
     for (;;) {
-      if (cancel_->cancelled()) throw CancelledError(cancel_->reason());
-      if (eq_.run(kCancelCheckBatch) < kCancelCheckBatch) break;
+      if (cancel_ != nullptr && cancel_->cancelled())
+        throw CancelledError(cancel_->reason());
+      const std::size_t ran = eq_.run(kCancelCheckBatch);
+      if (progress_) emit_progress(false);
+      if (ran < kCancelCheckBatch) break;
     }
+    if (progress_) emit_progress(true);
   }
   assert(outstanding_ == 0);
   return finalize();
+}
+
+void Simulator::emit_progress(bool final_frame) {
+  ProgressSnapshot snap;
+  snap.events = eq_.executed();
+  snap.sim_ms = eq_.now();
+  snap.done = metrics_.requests;
+  snap.total = progress_total_;
+  snap.final_frame = final_frame;
+  // Feed the live registry the delta since the last boundary so a scrape
+  // mid-run sees engine throughput, not just completed-run totals.
+  classic_metrics().events.add(snap.events - metered_events_);
+  metered_events_ = snap.events;
+  progress_(snap);
 }
 
 Metrics Simulator::drain_and_finalize() {
@@ -209,6 +255,10 @@ Metrics Simulator::finalize() {
   metrics_.arrays = arrays();
   metrics_.total_disks = total_disks();
   metrics_.events_executed = eq_.executed();
+  classic_metrics().events.add(eq_.executed() - metered_events_);
+  metered_events_ = eq_.executed();
+  classic_metrics().runs.add(1);
+  classic_metrics().sim_ms.add(metrics_.elapsed_ms);
   double channel_util = 0.0;
   metrics_.disk_accesses.reserve(static_cast<std::size_t>(metrics_.total_disks));
   metrics_.disk_utilization.reserve(

@@ -9,6 +9,7 @@
 #include "obs/tracer.hpp"
 #include "sim/cancellation.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/progress.hpp"
 #include "trace/record.hpp"
 
 namespace raidsim {
@@ -69,6 +70,12 @@ class Simulator {
   /// that the relaxed atomic load never shows up in a profile.
   static constexpr std::uint64_t kCancelCheckBatch = 4096;
 
+  /// Attach a progress observer fired every kCancelCheckBatch executed
+  /// events (plus one final snapshot after the run completes). Must be
+  /// set before run(). Passive: hooked runs stay bit-identical to
+  /// unhooked ones.
+  void set_progress_hook(ProgressFn hook) { progress_ = std::move(hook); }
+
   /// Request-lifecycle tracer, null unless config.obs.tracing.
   const Tracer* tracer() const { return tracer_.get(); }
   /// Periodic telemetry sampler, null unless config.obs.sample_interval_ms > 0.
@@ -84,6 +91,7 @@ class Simulator {
   Metrics finalize();
   void schedule_sample_tick();
   void take_sample();
+  void emit_progress(bool final_frame);
 
   SimulationConfig config_;
   TraceGeometry geometry_;
@@ -93,6 +101,9 @@ class Simulator {
   std::int64_t total_blocks_ = 0;
   EventQueue eq_;
   const CancelToken* cancel_ = nullptr;
+  ProgressFn progress_;
+  std::uint64_t progress_total_ = 0;   // trace size hint for the hook
+  std::uint64_t metered_events_ = 0;   // events already fed to the registry
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<TimeSeriesSampler> sampler_;
   EventId sampler_event_ = 0;

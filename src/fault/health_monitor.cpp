@@ -3,6 +3,34 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics_registry.hpp"
+
+namespace {
+
+/// Registry mirror of the quarantine lifecycle, so a live scrape shows
+/// fail-slow containment without waiting for the run's report.
+struct HealthMetrics {
+  raidsim::Counter& slow = raidsim::MetricsRegistry::instance().counter(
+      "raidsim_health_slow_detections_total",
+      "Disks newly flagged slow by the health monitor");
+  raidsim::Counter& quarantines =
+      raidsim::MetricsRegistry::instance().counter(
+          "raidsim_health_quarantines_total", "Disk quarantine transitions");
+  raidsim::Counter& unquarantines =
+      raidsim::MetricsRegistry::instance().counter(
+          "raidsim_health_unquarantines_total",
+          "Disk unquarantine transitions");
+  raidsim::Gauge& quarantined = raidsim::MetricsRegistry::instance().gauge(
+      "raidsim_health_quarantined_disks", "Disks currently quarantined");
+};
+
+HealthMetrics& health_metrics() {
+  static HealthMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 namespace raidsim {
 
 HealthMonitor::HealthMonitor(EventQueue& eq,
@@ -94,12 +122,15 @@ void HealthMonitor::slow_check_tick() {
         s.healthy_streak[d] = 0;
         if (++s.slow_streak[d] == 1) {
           ++slow_detections_;
+          health_metrics().slow.add(1);
           log(EventKind::kDiskSlow, static_cast<int>(a), di);
         }
         if (!s.controller->is_quarantined(di) &&
             s.slow_streak[d] >= policy.quarantine_after) {
           s.controller->set_quarantined(di, true);
           ++quarantines_;
+          health_metrics().quarantines.add(1);
+          health_metrics().quarantined.add(1.0);
           log(EventKind::kQuarantined, static_cast<int>(a), di);
         }
       } else {
@@ -108,6 +139,8 @@ void HealthMonitor::slow_check_tick() {
             ++s.healthy_streak[d] >= policy.unquarantine_after) {
           s.controller->set_quarantined(di, false);
           ++unquarantines_;
+          health_metrics().unquarantines.add(1);
+          health_metrics().quarantined.add(-1.0);
           log(EventKind::kUnquarantined, static_cast<int>(a), di);
         }
       }

@@ -1,6 +1,7 @@
 #include "runner/sharded_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <exception>
 #include <mutex>
@@ -12,11 +13,36 @@
 #include "array/uncached_controller.hpp"
 #include "core/simulator.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
 #include "sim/event_queue.hpp"
 
 namespace raidsim {
+
+namespace {
+
+/// Live registry counters for the sharded engine; shard threads feed
+/// event deltas at batch boundaries (the counter itself is sharded, so
+/// concurrent adds stay lock-free).
+struct ShardedEngineMetrics {
+  Counter& runs = MetricsRegistry::instance().counter(
+      "raidsim_engine_sharded_runs_total",
+      "Completed sharded-engine simulation runs");
+  Counter& events = MetricsRegistry::instance().counter(
+      "raidsim_engine_sharded_events_total",
+      "Kernel events executed by the sharded engine (all shards)");
+  Gauge& sim_ms = MetricsRegistry::instance().gauge(
+      "raidsim_engine_sharded_sim_ms_total",
+      "Simulated milliseconds advanced by the sharded engine (accumulates)");
+};
+
+ShardedEngineMetrics& sharded_metrics() {
+  static ShardedEngineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 /// One trace record routed to a shard, fully resolved by the coordinator:
 /// absolute arrival time (summed in global record order) and array-local
@@ -56,6 +82,14 @@ struct ShardedSimulator::Shard {
   std::vector<ShardRecord> records;
   std::size_t cursor = 0;       // next record to dispatch
   std::uint64_t outstanding = 0;
+
+  // Progress publication: written by the owning shard thread at its
+  // batch boundary (relaxed), read by whichever thread aggregates a
+  // snapshot. metered_events tracks what has been fed to the registry.
+  std::atomic<std::uint64_t> pub_events{0};
+  std::atomic<std::uint64_t> pub_done{0};
+  std::atomic<double> pub_clock{0.0};
+  std::uint64_t metered_events = 0;
 };
 
 ShardedSimulator::ShardedSimulator(const SimulationConfig& config,
@@ -165,6 +199,7 @@ void ShardedSimulator::load_records(TraceStream& trace) {
     out.is_write = rec->is_write;
     shard.records.push_back(out);
     ++shard.arrays[static_cast<std::size_t>(out.local_array)].remaining;
+    ++total_records_;
   }
 }
 
@@ -257,18 +292,69 @@ void ShardedSimulator::run_shard(Shard& shard) {
     shard.eq.cancel(shard.sampler_event);
     shard.sampler_event = 0;
   }
-  if (cancel_ == nullptr) {
+  const bool hooked = static_cast<bool>(progress_);
+  if (cancel_ == nullptr && !hooked) {
     while (shard.eq.step()) {
     }
   } else {
     for (;;) {
-      if (cancel_->cancelled()) throw CancelledError(cancel_->reason());
-      if (shard.eq.run(Simulator::kCancelCheckBatch) <
-          Simulator::kCancelCheckBatch)
-        break;
+      if (cancel_ != nullptr && cancel_->cancelled())
+        throw CancelledError(cancel_->reason());
+      const std::size_t ran = shard.eq.run(Simulator::kCancelCheckBatch);
+      // Publish this shard's position and feed the live registry the
+      // event delta; the aggregate snapshot is emitted by whichever
+      // shard crosses a boundary while the emit lock is free.
+      const std::uint64_t events = shard.eq.executed();
+      sharded_metrics().events.add(events - shard.metered_events);
+      shard.metered_events = events;
+      shard.pub_events.store(events, std::memory_order_relaxed);
+      shard.pub_done.store(
+          static_cast<std::uint64_t>(shard.cursor) - shard.outstanding,
+          std::memory_order_relaxed);
+      shard.pub_clock.store(shard.eq.now(), std::memory_order_relaxed);
+      if (hooked) maybe_emit_progress(false);
+      if (ran < Simulator::kCancelCheckBatch) break;
     }
   }
   assert(shard.outstanding == 0);
+}
+
+void ShardedSimulator::maybe_emit_progress(bool final_frame) {
+  if (!progress_) return;
+  // try_lock keeps shard kernels from queueing behind a slow hook; the
+  // final frame must not be dropped, so it takes the lock for real (no
+  // shard worker is running by then).
+  if (final_frame) {
+    progress_mu_.lock();
+  } else if (!progress_mu_.try_lock()) {
+    return;
+  }
+  ProgressSnapshot snap;
+  snap.total = total_records_;
+  snap.final_frame = final_frame;
+  // Monotone across emissions: the emit lock orders them, and per-shard
+  // published values only grow.
+  for (const auto& shard : shards_) {
+    snap.events += shard->pub_events.load(std::memory_order_relaxed);
+    snap.done += shard->pub_done.load(std::memory_order_relaxed);
+    snap.sim_ms = std::max(snap.sim_ms,
+                           shard->pub_clock.load(std::memory_order_relaxed));
+  }
+  progress_(snap);
+  progress_mu_.unlock();
+}
+
+void ShardedSimulator::dump_flight(const std::string& prefix) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (!shard.tracer) continue;
+    try {
+      export_run_artifacts(prefix + "_shard" + std::to_string(s),
+                           *shard.tracer, nullptr);
+    } catch (...) {
+      // Best effort: a failed dump must not mask the original error.
+    }
+  }
 }
 
 Metrics ShardedSimulator::run(TraceStream& trace) {
@@ -332,6 +418,20 @@ Metrics ShardedSimulator::run(TraceStream& trace) {
   for (auto& error : errors)
     if (error) std::rethrow_exception(error);
 
+  if (progress_) {
+    // Terminal snapshot: every shard has stopped, so publish exact
+    // finals and emit the one guaranteed frame.
+    for (auto& shard : shards_) {
+      shard->pub_events.store(shard->eq.executed(),
+                              std::memory_order_relaxed);
+      shard->pub_done.store(
+          static_cast<std::uint64_t>(shard->cursor) - shard->outstanding,
+          std::memory_order_relaxed);
+      shard->pub_clock.store(shard->eq.now(), std::memory_order_relaxed);
+    }
+    maybe_emit_progress(true);
+  }
+
   if (!artifact_prefix_.empty()) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       const Shard& shard = *shards_[s];
@@ -349,6 +449,9 @@ Metrics ShardedSimulator::merge() {
   for (const auto& shard : shards_) {
     metrics.elapsed_ms = std::max(metrics.elapsed_ms, shard->eq.now());
     metrics.events_executed += shard->eq.executed();
+    sharded_metrics().events.add(shard->eq.executed() -
+                                 shard->metered_events);
+    shard->metered_events = shard->eq.executed();
     for (const auto& array : shard->arrays)
       metrics.total_disks +=
           static_cast<int>(array.controller->disks().size());
@@ -391,6 +494,8 @@ Metrics ShardedSimulator::merge() {
   }
   metrics.channel_utilization =
       channel_util / static_cast<double>(array_count_);
+  sharded_metrics().runs.add(1);
+  sharded_metrics().sim_ms.add(metrics.elapsed_ms);
   return metrics;
 }
 

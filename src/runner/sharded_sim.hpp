@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "sim/cancellation.hpp"
+#include "sim/progress.hpp"
 #include "trace/record.hpp"
 #include "util/rng.hpp"
 
@@ -79,6 +81,20 @@ class ShardedSimulator {
   /// count the files are byte-identical at any thread count.
   void set_artifact_prefix(std::string prefix);
 
+  /// Attach a progress observer. Each shard publishes its event count,
+  /// clock, and completed-record tally at its cancel-poll boundary; the
+  /// shard that crosses a boundary aggregates them (sum of events/done,
+  /// max of clocks) and fires the hook -- serialized by a try-lock so a
+  /// congested hook is skipped, never queued. Snapshots are monotone.
+  /// Passive: hooked runs stay bit-identical to unhooked ones.
+  void set_progress_hook(ProgressFn hook) { progress_ = std::move(hook); }
+
+  /// Flight-recorder dump: write each shard's tracing ring to
+  /// `<prefix>_shard<k>.trace.json` right now (best effort, I/O errors
+  /// swallowed). Used by run_sweep_job when a recorded job unwinds, so
+  /// the artifact exists even though run() threw.
+  void dump_flight(const std::string& prefix) const;
+
   int shards() const { return shard_count_; }
   /// Worker threads the pool will use (resolved from config).
   int threads() const { return thread_count_; }
@@ -101,6 +117,7 @@ class ShardedSimulator {
   void schedule_sample_tick(Shard& shard);
   void take_sample(Shard& shard);
   void run_shard(Shard& shard);
+  void maybe_emit_progress(bool final_frame);
   Metrics merge();
 
   SimulationConfig config_;
@@ -111,6 +128,9 @@ class ShardedSimulator {
   int shard_count_ = 1;
   int thread_count_ = 1;
   const CancelToken* cancel_ = nullptr;
+  ProgressFn progress_;
+  std::mutex progress_mu_;
+  std::uint64_t total_records_ = 0;
   std::string artifact_prefix_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool ran_ = false;

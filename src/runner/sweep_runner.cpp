@@ -14,34 +14,57 @@ namespace raidsim {
 
 Metrics run_sweep_job(const SweepJob& job) {
   auto stream = make_workload(job.trace, job.workload);
-  // config.shards >= 1 selects the sharded engine for this single run
-  // (0 = classic single-queue engine).
-  if (job.config.shards >= 1) {
-    SimulationConfig config = job.config;
-    if (!job.trace_out.empty()) {
-      config.obs.tracing = true;
-      if (job.sample_interval_ms > 0.0)
-        config.obs.sample_interval_ms = job.sample_interval_ms;
-    }
-    return run_sharded_simulation(config, *stream, job.workload.seed,
-                                  job.trace_out, job.cancel);
-  }
-  if (job.trace_out.empty() && job.cancel == nullptr)
-    return run_simulation(job.config, *stream);
+  const bool want_trace = !job.trace_out.empty();
+  const bool want_flight = !job.flight_out.empty();
 
   SimulationConfig config = job.config;
-  if (!job.trace_out.empty()) {
+  if (want_trace) {
     config.obs.tracing = true;
     if (job.sample_interval_ms > 0.0)
       config.obs.sample_interval_ms = job.sample_interval_ms;
+  } else if (want_flight) {
+    // Flight recorder: trace into a small ring; only dumped if the run
+    // unwinds. Tracing is passive, so metrics stay bit-identical.
+    config.obs.tracing = true;
+    config.obs.max_trace_events = std::max<std::size_t>(64, job.flight_events);
   }
+
+  // config.shards >= 1 selects the sharded engine for this single run
+  // (0 = classic single-queue engine).
+  if (job.config.shards >= 1) {
+    ShardedSimulator simulator(config, stream->geometry(), job.workload.seed);
+    if (want_trace) simulator.set_artifact_prefix(job.trace_out);
+    if (job.cancel) simulator.set_cancel_token(job.cancel);
+    if (job.progress) simulator.set_progress_hook(job.progress);
+    try {
+      return simulator.run(*stream);
+    } catch (...) {
+      if (want_flight) simulator.dump_flight(job.flight_out);
+      throw;
+    }
+  }
+  if (!want_trace && !want_flight && job.cancel == nullptr && !job.progress)
+    return run_simulation(job.config, *stream);
+
   Simulator simulator(config, stream->geometry());
   if (job.cancel) simulator.set_cancel_token(job.cancel);
-  Metrics metrics = simulator.run(*stream);
-  if (!job.trace_out.empty() && simulator.tracer())
-    export_run_artifacts(job.trace_out, *simulator.tracer(),
-                         simulator.sampler());
-  return metrics;
+  if (job.progress) simulator.set_progress_hook(job.progress);
+  try {
+    Metrics metrics = simulator.run(*stream);
+    if (want_trace && simulator.tracer())
+      export_run_artifacts(job.trace_out, *simulator.tracer(),
+                           simulator.sampler());
+    return metrics;
+  } catch (...) {
+    if (want_flight && simulator.tracer()) {
+      try {
+        export_run_artifacts(job.flight_out, *simulator.tracer(), nullptr);
+      } catch (...) {
+        // Best effort: a failed dump must not mask the original error.
+      }
+    }
+    throw;
+  }
 }
 
 SweepRunner::SweepRunner(int threads) : threads_(threads) {

@@ -8,6 +8,7 @@
 #include "core/metrics.hpp"
 #include "core/workloads.hpp"
 #include "sim/cancellation.hpp"
+#include "sim/progress.hpp"
 
 namespace raidsim {
 
@@ -29,6 +30,18 @@ struct SweepJob {
   /// unwinds with CancelledError when it fires (service deadlines,
   /// watchdogs, drains). Must outlive the run.
   const CancelToken* cancel = nullptr;
+  /// Non-null: progress snapshots fired at the same batch boundaries
+  /// (streamed job progress, CLI heartbeats). Must be thread-safe for
+  /// sharded configs; passive -- results stay bit-identical.
+  ProgressFn progress;
+  /// Non-empty: flight recorder. The run traces into a small ring
+  /// (`flight_events` capacity) and, if it unwinds -- cancellation,
+  /// deadline, TransientError -- the ring is dumped to
+  /// `<flight_out>.trace.json` (sharded: `<flight_out>_shard<k>...`)
+  /// before the exception propagates, so postmortems need no
+  /// pre-arranged trace_out. No-op when tracing is compiled out.
+  std::string flight_out;
+  std::size_t flight_events = 4096;
 };
 
 struct SweepResult {

@@ -65,6 +65,27 @@ struct JobResult {
   std::uint64_t fingerprint = 0;  // job_fingerprint of the request
   double queue_ms = 0.0;        // admission -> worker pickup
   double run_ms = 0.0;          // worker pickup -> terminal state
+  /// Abnormal terminations with the flight recorder on: path of the
+  /// Chrome-trace artifact the recorder dumped (empty otherwise).
+  std::string flight_out;
+};
+
+/// One streamed progress observation for a running job, derived from the
+/// engines' batch-boundary snapshots (sim/progress.hpp) plus wall-clock
+/// bookkeeping. Successive frames for one attempt are monotone in
+/// `events` and `sim_ms`; the supervisor throttles emission to its
+/// progress_interval_ms.
+struct JobProgress {
+  std::string id;               // client correlation id
+  std::uint64_t fingerprint = 0;
+  int attempt = 1;
+  std::uint64_t events = 0;     // kernel events executed so far
+  double sim_ms = 0.0;          // simulated time reached
+  std::uint64_t done = 0;       // trace records completed
+  std::uint64_t total = 0;      // trace records in the job (0 = unknown)
+  double percent = -1.0;        // 0..100, -1 when total is unknown
+  double eta_ms = -1.0;         // wall-clock estimate, -1 when unknown
+  bool final_frame = false;     // engine finished (terminal result follows)
 };
 
 inline const char* to_string(JobStatus status) {

@@ -304,7 +304,33 @@ std::string encode_job_response(const JobResult& result,
     os << ",\"cached\":" << (result.cached ? "true" : "false")
        << ",\"metrics\":" << result.metrics_json;
   }
+  if (!result.flight_out.empty())
+    os << ",\"flight\":" << json_quote(result.flight_out);
   os << "}\n";
+  return os.str();
+}
+
+std::string encode_progress_frame(const JobProgress& progress) {
+  std::ostringstream os;
+  os << "{\"type\":\"progress\",\"id\":" << json_quote(progress.id);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(progress.fingerprint));
+  os << ",\"key\":\"" << buf << "\"";
+  os << ",\"attempt\":" << progress.attempt
+     << ",\"events\":" << progress.events;
+  std::snprintf(buf, sizeof(buf), "%.3f", progress.sim_ms);
+  os << ",\"sim_ms\":" << buf;
+  os << ",\"done\":" << progress.done << ",\"total\":" << progress.total;
+  if (progress.percent >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", progress.percent);
+    os << ",\"percent\":" << buf;
+  }
+  if (progress.eta_ms >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", progress.eta_ms);
+    os << ",\"eta_ms\":" << buf;
+  }
+  os << ",\"final\":" << (progress.final_frame ? "true" : "false") << "}\n";
   return os.str();
 }
 

@@ -31,4 +31,12 @@ std::string encode_job_response(const JobResult& result,
 std::string encode_error_response(const std::string& id, JobStatus status,
                                   const std::string& error);
 
+/// One streamed progress line (newline included):
+///   {"type":"progress","id":...,"attempt":1,"events":N,"sim_ms":T,
+///    "done":D,"total":R,"percent":P,"eta_ms":E,"final":false}
+/// `percent`/`eta_ms` are omitted when unknown. Response lines never
+/// carry "type", so clients can split frames from terminal responses on
+/// that key alone.
+std::string encode_progress_frame(const JobProgress& progress);
+
 }  // namespace raidsim::svc

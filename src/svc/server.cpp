@@ -5,11 +5,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics_registry.hpp"
 #include "svc/job_codec.hpp"
 
 namespace raidsim::svc {
@@ -177,6 +179,22 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
                        supervisor_->stats_json() + "}\n");
       return;
     }
+    if (op == "metrics") {
+      conn->write_line("{\"id\":" + json_quote(id) +
+                       ",\"status\":\"ok\",\"metrics_text\":" +
+                       json_quote(MetricsRegistry::instance().scrape()) +
+                       "}\n");
+      return;
+    }
+    if (op == "subscribe") {
+      {
+        std::lock_guard<std::mutex> lock(subs_mu_);
+        subs_.push_back(conn);
+      }
+      conn->write_line("{\"id\":" + json_quote(id) +
+                       ",\"status\":\"ok\",\"op\":\"subscribe\"}\n");
+      return;
+    }
     if (op == "drain") {
       conn->write_line("{\"id\":" + json_quote(id) +
                        ",\"status\":\"ok\",\"op\":\"drain\"}\n");
@@ -189,14 +207,36 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     JobRequest job = decode_job_request(request);
     if (job.id.empty()) job.id = id;
     const std::string job_id = job.id;
-    supervisor_->submit(std::move(job),
-                        [conn, job_id](const JobResult& result) {
-                          conn->write_line(
-                              encode_job_response(result, job_id));
-                        });
+    supervisor_->submit(
+        std::move(job),
+        [conn, job_id](const JobResult& result) {
+          conn->write_line(encode_job_response(result, job_id));
+        },
+        [this](const JobProgress& progress) { broadcast_progress(progress); });
   } catch (const std::exception& e) {
     conn->write_line(encode_error_response(id, JobStatus::kInvalid, e.what()));
   }
+}
+
+void Server::broadcast_progress(const JobProgress& progress) {
+  std::vector<std::shared_ptr<Connection>> targets;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                               [&](const std::weak_ptr<Connection>& weak) {
+                                 auto conn = weak.lock();
+                                 if (!conn ||
+                                     !conn->open.load(
+                                         std::memory_order_acquire))
+                                   return true;
+                                 targets.push_back(std::move(conn));
+                                 return false;
+                               }),
+                subs_.end());
+  }
+  if (targets.empty()) return;
+  const std::string line = encode_progress_frame(progress);
+  for (auto& conn : targets) conn->write_line(line);
 }
 
 void Server::shutdown_everything() {

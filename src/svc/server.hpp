@@ -19,8 +19,16 @@ namespace raidsim::svc {
 /// Ops:
 ///   {"op":"ping"}                    -> {"status":"ok","op":"ping"}
 ///   {"op":"stats"}                   -> {"status":"ok","stats":{...}}
+///   {"op":"metrics"}                 -> {"status":"ok","metrics_text":"..."}
+///                                       (Prometheus text exposition)
+///   {"op":"subscribe"}               -> ack, then this connection also
+///                                       receives every job's progress
+///                                       frames ({"type":"progress",...})
+///                                       interleaved with its responses
 ///   {"op":"drain"}                   -> ack, then graceful shutdown
-///   {"op":"run","config":{...},...}  -> job response (svc/job_codec.hpp)
+///   {"op":"run","config":{...},...}  -> job response (svc/job_codec.hpp);
+///                                       progress frames stream to
+///                                       subscribers while it runs
 ///
 /// Shutdown (drain op, stop() from a signal handler, or destruction)
 /// always: stops admitting (late jobs get typed `draining` responses),
@@ -61,6 +69,9 @@ class Server {
   void serve_connection(const std::shared_ptr<Connection>& conn);
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
+  /// Fan one encoded progress line out to every live subscriber (called
+  /// from worker/shard threads; write_line serializes per connection).
+  void broadcast_progress(const JobProgress& progress);
   void shutdown_everything();
 
   Options opts_;
@@ -73,6 +84,11 @@ class Server {
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> conn_threads_;
+
+  /// Progress firehose: weak so a vanished subscriber never pins its
+  /// connection; pruned on each broadcast.
+  std::mutex subs_mu_;
+  std::vector<std::weak_ptr<Connection>> subs_;
 };
 
 }  // namespace raidsim::svc

@@ -1,10 +1,14 @@
 #include "svc/supervisor.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "core/job_key.hpp"
+#include "obs/metrics_registry.hpp"
 #include "runner/sweep_runner.hpp"
 
 namespace raidsim::svc {
@@ -14,6 +18,61 @@ namespace {
 double elapsed_ms(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Live registry mirror of the service taxonomy. ServiceStats remains
+/// the source the `stats` op serves; these feed the Prometheus scrape
+/// (`metrics` op) and raidsim_top.
+struct SvcMetrics {
+  Counter& submitted = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_submitted_total", "Jobs submitted to the supervisor");
+  Counter& ok = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_ok_total", "Jobs completed with metrics");
+  Counter& cached = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_cached_total", "Jobs served from the result cache");
+  Counter& overloaded = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_overloaded_total", "Jobs shed by admission control");
+  Counter& draining = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_draining_total", "Jobs rejected while draining");
+  Counter& invalid = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_invalid_total", "Jobs rejected by validation");
+  Counter& failed = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_failed_total", "Jobs that failed terminally");
+  Counter& cancelled = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_cancelled_total",
+      "Jobs cancelled by drain or watchdog");
+  Counter& deadline = MetricsRegistry::instance().counter(
+      "raidsim_svc_jobs_deadline_total", "Jobs that missed their deadline");
+  Counter& retries = MetricsRegistry::instance().counter(
+      "raidsim_svc_retries_total", "Transient-failure retry attempts");
+  Counter& watchdog_kills = MetricsRegistry::instance().counter(
+      "raidsim_svc_watchdog_kills_total", "Stuck jobs killed by the watchdog");
+  Counter& cache_hits = MetricsRegistry::instance().counter(
+      "raidsim_svc_cache_hits_total", "Result-cache lookup hits");
+  Counter& cache_misses = MetricsRegistry::instance().counter(
+      "raidsim_svc_cache_misses_total", "Result-cache lookup misses");
+  Counter& progress_frames = MetricsRegistry::instance().counter(
+      "raidsim_svc_progress_frames_total", "Progress frames emitted");
+  Counter& flight_dumps = MetricsRegistry::instance().counter(
+      "raidsim_svc_flight_dumps_total", "Flight-recorder artifacts dumped");
+  Gauge& queue_depth = MetricsRegistry::instance().gauge(
+      "raidsim_svc_queue_depth", "Jobs waiting in the admission queue");
+  Gauge& inflight = MetricsRegistry::instance().gauge(
+      "raidsim_svc_inflight", "Jobs currently running on workers");
+  HistogramMetric& queue_ms = MetricsRegistry::instance().histogram(
+      "raidsim_svc_job_queue_ms", "Wall ms from admission to worker pickup");
+  HistogramMetric& run_ms = MetricsRegistry::instance().histogram(
+      "raidsim_svc_job_run_ms", "Wall ms from worker pickup to terminal state");
+};
+
+SvcMetrics& svc_metrics() {
+  static SvcMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -59,8 +118,10 @@ std::size_t Supervisor::running() const {
   return running_.size();
 }
 
-void Supervisor::submit(JobRequest request, Completion done) {
+void Supervisor::submit(JobRequest request, Completion done,
+                        Progress progress) {
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  svc_metrics().submitted.add(1);
 
   auto reject = [&](JobStatus status, const std::string& error,
                     std::uint64_t fingerprint) {
@@ -81,6 +142,7 @@ void Supervisor::submit(JobRequest request, Completion done) {
       throw std::invalid_argument("unknown trace '" + request.trace + "'");
   } catch (const std::exception& e) {
     stats_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics().invalid.add(1);
     reject(JobStatus::kInvalid, e.what(), 0);
     return;
   }
@@ -91,6 +153,7 @@ void Supervisor::submit(JobRequest request, Completion done) {
 
   if (draining_.load(std::memory_order_acquire)) {
     stats_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics().draining.add(1);
     reject(JobStatus::kDraining, "server is draining", fingerprint);
     return;
   }
@@ -108,14 +171,19 @@ void Supervisor::submit(JobRequest request, Completion done) {
       result.fingerprint = fingerprint;
       stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
       stats_.completed_cached.fetch_add(1, std::memory_order_relaxed);
+      svc_metrics().cache_hits.add(1);
+      svc_metrics().ok.add(1);
+      svc_metrics().cached.add(1);
       done(result);
       return;
     }
+    svc_metrics().cache_misses.add(1);
   }
 
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
   job->done = std::move(done);
+  job->progress = std::move(progress);
   job->key = key;
   job->fingerprint = fingerprint;
   job->admitted = Clock::now();
@@ -130,6 +198,7 @@ void Supervisor::submit(JobRequest request, Completion done) {
 
   if (!queue_.try_push(job)) {
     stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    svc_metrics().overloaded.add(1);
     span_end(job->queue_span, ObsPhase::kJobQueue, 0);
     JobResult result;
     result.status = JobStatus::kOverloaded;
@@ -142,6 +211,7 @@ void Supervisor::submit(JobRequest request, Completion done) {
     return;
   }
   stats_.note_queue_depth(queue_.size());
+  svc_metrics().queue_depth.set(static_cast<double>(queue_.size()));
 }
 
 void Supervisor::worker_loop() {
@@ -161,6 +231,8 @@ void Supervisor::run_job(const JobPtr& job) {
   JobResult result;
   result.fingerprint = job->fingerprint;
   result.queue_ms = elapsed_ms(job->admitted, job->started);
+  svc_metrics().queue_depth.set(static_cast<double>(queue_.size()));
+  svc_metrics().queue_ms.observe(result.queue_ms);
 
   // Jobs that died in the queue never burn a simulation.
   if (shutdown_.load(std::memory_order_acquire)) {
@@ -181,13 +253,18 @@ void Supervisor::run_job(const JobPtr& job) {
     std::lock_guard<std::mutex> lock(running_mu_);
     running_.push_back(job);
   }
+  svc_metrics().inflight.add(1.0);
   job->run_span = span_begin(ObsPhase::kJobRun, 0);
 
   const int retries = std::min(job->request.max_retries, opts_.retry_cap);
   int attempt = 0;
+  std::string flight;  // prefix of the attempt that unwound last
   for (;;) {
     ++attempt;
     result.attempts = attempt;
+    job->attempt = attempt;
+    job->attempt_started = Clock::now();
+    job->last_frame_ns.store(-1, std::memory_order_relaxed);
     try {
       if (attempt <= job->request.fail_first)
         throw TransientError("injected transient failure (attempt " +
@@ -197,6 +274,17 @@ void Supervisor::run_job(const JobPtr& job) {
       sweep.trace = job->request.trace;
       sweep.workload = job->request.workload;
       sweep.cancel = &job->token;
+      if (job->progress) {
+        JobPtr self = job;
+        sweep.progress = [this, self](const ProgressSnapshot& snap) {
+          on_engine_progress(self, snap);
+        };
+      }
+      if (!opts_.flight_dir.empty()) {
+        flight = flight_prefix(job, attempt);
+        sweep.flight_out = flight;
+        sweep.flight_events = opts_.flight_events;
+      }
       Metrics metrics = run_sweep_job(sweep);
       std::ostringstream os;
       metrics.to_json(os);
@@ -209,6 +297,7 @@ void Supervisor::run_job(const JobPtr& job) {
     } catch (const TransientError& e) {
       if (attempt <= retries) {
         stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        svc_metrics().retries.add(1);
         span_instant(ObsPhase::kJobRetry, attempt);
         if (backoff_sleep(job, attempt)) continue;
         result.status = JobStatus::kCancelled;
@@ -250,8 +339,76 @@ void Supervisor::run_job(const JobPtr& job) {
     running_.erase(std::remove(running_.begin(), running_.end(), job),
                    running_.end());
   }
+  svc_metrics().inflight.add(-1.0);
+
+  // Abnormal termination with the flight recorder on: the sweep dumped
+  // the span ring before unwinding -- surface the artifact path.
+  if (!flight.empty() && result.status != JobStatus::kOk) {
+    if (file_exists(flight + ".trace.json"))
+      result.flight_out = flight + ".trace.json";
+    else if (file_exists(flight + "_shard0.trace.json"))
+      result.flight_out = flight + "_shard0.trace.json";
+    if (!result.flight_out.empty()) svc_metrics().flight_dumps.add(1);
+  }
+
   span_end(job->run_span, ObsPhase::kJobRun, result.attempts);
   complete(job, std::move(result));
+}
+
+void Supervisor::on_engine_progress(const JobPtr& job,
+                                    const ProgressSnapshot& snap) {
+  // Throttle: non-final frames claim the next emission slot with a CAS
+  // on the last-emitted wall time; losers (concurrent shard boundaries,
+  // too-soon batches) drop the frame. Final frames always go out.
+  const auto now = Clock::now();
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count();
+  if (!snap.final_frame) {
+    const std::int64_t interval_ns = static_cast<std::int64_t>(
+        std::max(0.0, opts_.progress_interval_ms) * 1e6);
+    std::int64_t last = job->last_frame_ns.load(std::memory_order_relaxed);
+    for (;;) {
+      if (last >= 0 && now_ns - last < interval_ns) return;
+      if (job->last_frame_ns.compare_exchange_weak(last, now_ns,
+                                                   std::memory_order_relaxed))
+        break;
+    }
+  } else {
+    job->last_frame_ns.store(now_ns, std::memory_order_relaxed);
+  }
+
+  JobProgress frame;
+  frame.id = job->request.id;
+  frame.fingerprint = job->fingerprint;
+  frame.attempt = job->attempt;
+  frame.events = snap.events;
+  frame.sim_ms = snap.sim_ms;
+  frame.done = snap.done;
+  frame.total = snap.total;
+  frame.final_frame = snap.final_frame;
+  if (snap.total > 0) {
+    const double frac =
+        std::min(1.0, static_cast<double>(snap.done) /
+                          static_cast<double>(snap.total));
+    frame.percent = 100.0 * frac;
+    if (snap.done > 0 && snap.done < snap.total) {
+      const double wall = elapsed_ms(job->attempt_started, now);
+      frame.eta_ms = wall * static_cast<double>(snap.total - snap.done) /
+                     static_cast<double>(snap.done);
+    } else if (snap.done >= snap.total) {
+      frame.eta_ms = 0.0;
+    }
+  }
+  svc_metrics().progress_frames.add(1);
+  job->progress(frame);
+}
+
+std::string Supervisor::flight_prefix(const JobPtr& job, int attempt) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "/flight_%016llx_a%d",
+                static_cast<unsigned long long>(job->fingerprint), attempt);
+  return opts_.flight_dir + name;
 }
 
 bool Supervisor::backoff_sleep(const JobPtr& job, int attempt) {
@@ -271,18 +428,23 @@ bool Supervisor::backoff_sleep(const JobPtr& job, int attempt) {
 
 void Supervisor::complete(const JobPtr& job, JobResult result) {
   result.run_ms = elapsed_ms(job->started, Clock::now());
+  svc_metrics().run_ms.observe(result.run_ms);
   switch (result.status) {
     case JobStatus::kOk:
       stats_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+      svc_metrics().ok.add(1);
       break;
     case JobStatus::kFailed:
       stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      svc_metrics().failed.add(1);
       break;
     case JobStatus::kCancelled:
       stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      svc_metrics().cancelled.add(1);
       break;
     case JobStatus::kDeadline:
       stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      svc_metrics().deadline.add(1);
       break;
     default:
       break;  // rejections are counted at submit()
@@ -309,6 +471,7 @@ void Supervisor::watchdog_loop() {
                  elapsed_ms(job->started, now) > opts_.stuck_job_ms) {
         job->token.cancel(CancelReason::kWatchdog);
         stats_.watchdog_kills.fetch_add(1, std::memory_order_relaxed);
+        svc_metrics().watchdog_kills.add(1);
         span_instant(ObsPhase::kJobWatchdog, 0);
       }
     }

@@ -11,6 +11,7 @@
 
 #include "obs/tracer.hpp"
 #include "sim/cancellation.hpp"
+#include "sim/progress.hpp"
 #include "svc/job.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/result_cache.hpp"
@@ -58,9 +59,20 @@ class Supervisor {
     double drain_budget_ms = 5000.0;
     /// Record service-level spans (job-queue / job-run) and instants.
     bool tracing = false;
+    /// Minimum wall-clock spacing between progress frames per job (the
+    /// engines observe every 4096 events; the wire does not need to).
+    double progress_interval_ms = 50.0;
+    /// Non-empty: flight recorder. Every job traces into a small ring
+    /// (`flight_events` capacity) and abnormal terminations (deadline,
+    /// watchdog, shutdown cancel, exhausted retries) dump it as a
+    /// Chrome-trace artifact under this directory; the result's
+    /// `flight_out` carries the path.
+    std::string flight_dir;
+    std::size_t flight_events = 4096;
   };
 
   using Completion = std::function<void(const JobResult&)>;
+  using Progress = std::function<void(const JobProgress&)>;
 
   explicit Supervisor(Options options);
   ~Supervisor();
@@ -68,8 +80,14 @@ class Supervisor {
   Supervisor(const Supervisor&) = delete;
   Supervisor& operator=(const Supervisor&) = delete;
 
-  /// Submit one job. The completion always fires exactly once.
-  void submit(JobRequest request, Completion done);
+  /// Submit one job. The completion always fires exactly once. A
+  /// non-null `progress` receives throttled JobProgress frames while the
+  /// simulation runs (from the worker or shard threads -- must be
+  /// thread-safe); all frames precede the completion.
+  void submit(JobRequest request, Completion done, Progress progress);
+  void submit(JobRequest request, Completion done) {
+    submit(std::move(request), std::move(done), nullptr);
+  }
 
   /// Stop admitting, finish or cancel everything, join the workers.
   /// Idempotent; also run by the destructor.
@@ -95,6 +113,7 @@ class Supervisor {
   struct Job {
     JobRequest request;
     Completion done;
+    Progress progress;        // null = no frames
     std::string key;          // canonical cache key
     std::uint64_t fingerprint = 0;
     CancelToken token;        // stable address for the engines
@@ -102,6 +121,12 @@ class Supervisor {
     Clock::time_point deadline{};  // epoch when none
     bool has_deadline = false;
     Clock::time_point started{};
+    Clock::time_point attempt_started{};  // current simulation attempt
+    /// Throttle state for progress frames, nanoseconds since the
+    /// supervisor epoch; CAS-claimed so concurrent shard boundaries emit
+    /// at most one frame per interval.
+    std::atomic<std::int64_t> last_frame_ns{-1};
+    int attempt = 0;
     std::uint64_t queue_span = 0;
     std::uint64_t run_span = 0;
   };
@@ -111,6 +136,10 @@ class Supervisor {
   void watchdog_loop();
   void run_job(const JobPtr& job);
   void complete(const JobPtr& job, JobResult result);
+  /// Engine snapshot -> throttled JobProgress frame.
+  void on_engine_progress(const JobPtr& job, const ProgressSnapshot& snap);
+  /// Flight artifact prefix for one attempt of a job (empty = disabled).
+  std::string flight_prefix(const JobPtr& job, int attempt) const;
   /// Interruptible backoff sleep; returns false when cancelled.
   bool backoff_sleep(const JobPtr& job, int attempt);
 

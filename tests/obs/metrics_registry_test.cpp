@@ -1,0 +1,165 @@
+// Metrics-registry invariants: sharded counters count exactly under
+// contention, histograms keep cumulative buckets, the Prometheus scrape
+// is well-formed, and a disabled registry is inert. The registry is
+// process-global, so every assertion works on deltas, never absolutes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace raidsim {
+namespace {
+
+/// Re-enables the global registry no matter how the test exits.
+struct EnabledGuard {
+  ~EnabledGuard() { MetricsRegistry::instance().set_enabled(true); }
+};
+
+TEST(ObsMetricsRegistry, CounterCountsExactlyAcrossThreads) {
+  Counter& counter = MetricsRegistry::instance().counter(
+      "test_registry_contended_total", "test counter");
+  const std::uint64_t before = counter.value();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Relaxed per-shard atomics still never lose an increment.
+  EXPECT_EQ(counter.value() - before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetricsRegistry, RegistrationIsIdempotentAndKindChecked) {
+  Counter& a = MetricsRegistry::instance().counter("test_registry_idem_total",
+                                                   "first");
+  Counter& b = MetricsRegistry::instance().counter("test_registry_idem_total",
+                                                   "second registration");
+  EXPECT_EQ(&a, &b);
+  // Same name, different kind: refused, not silently aliased.
+  EXPECT_THROW(MetricsRegistry::instance().gauge("test_registry_idem_total",
+                                                 "as gauge"),
+               std::invalid_argument);
+  EXPECT_THROW(MetricsRegistry::instance().counter("bad name!", "spaces"),
+               std::invalid_argument);
+}
+
+TEST(ObsMetricsRegistry, GaugeSetAndAdd) {
+  Gauge& gauge =
+      MetricsRegistry::instance().gauge("test_registry_gauge", "test gauge");
+  gauge.set(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  gauge.add(2.5);
+  gauge.add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 6.0);
+  gauge.set(0.0);
+}
+
+TEST(ObsMetricsRegistry, HistogramBucketsAreCumulativeInScrape) {
+  HistogramMetric& h = MetricsRegistry::instance().histogram(
+      "test_registry_hist", "test histogram");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(1e12);  // lands in the +Inf bucket
+
+  const std::string scrape = MetricsRegistry::instance().scrape();
+  ASSERT_NE(scrape.find("# TYPE test_registry_hist histogram"),
+            std::string::npos);
+
+  // _bucket counts must be non-decreasing with le, ending at _count.
+  std::istringstream lines(scrape);
+  std::string line;
+  std::uint64_t last = 0, count = 0, buckets = 0;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("test_registry_hist_bucket{", 0) == 0) {
+      const std::uint64_t v =
+          std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+      EXPECT_GE(v, last) << line;
+      last = v;
+      ++buckets;
+      if (line.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+    } else if (line.rfind("test_registry_hist_count ", 0) == 0) {
+      count = std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+    }
+  }
+  EXPECT_GT(buckets, 2u);
+  EXPECT_TRUE(saw_inf);
+  EXPECT_GE(count, 4u);
+  EXPECT_EQ(last, count) << "+Inf bucket must equal _count";
+}
+
+TEST(ObsMetricsRegistry, ScrapeIsWellFormed) {
+  MetricsRegistry::instance().counter("test_registry_scrape_total", "help");
+  const std::string scrape = MetricsRegistry::instance().scrape();
+  ASSERT_FALSE(scrape.empty());
+  EXPECT_EQ(scrape.back(), '\n');
+  EXPECT_NE(scrape.find("# HELP test_registry_scrape_total help"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("# TYPE test_registry_scrape_total counter"),
+            std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::istringstream lines(scrape);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(ObsMetricsRegistry, DisabledRegistryIsInert) {
+  EnabledGuard guard;
+  Counter& counter = MetricsRegistry::instance().counter(
+      "test_registry_disabled_total", "test");
+  Gauge& gauge = MetricsRegistry::instance().gauge("test_registry_disabled_g",
+                                                   "test");
+  HistogramMetric& hist = MetricsRegistry::instance().histogram(
+      "test_registry_disabled_h", "test");
+  const std::uint64_t c0 = counter.value();
+  gauge.set(0.0);
+  const std::uint64_t h0 = hist.count();
+
+  MetricsRegistry::instance().set_enabled(false);
+  counter.add(100);
+  gauge.set(42.0);
+  gauge.add(7.0);
+  hist.observe(1.0);
+  MetricsRegistry::instance().set_enabled(true);
+
+  EXPECT_EQ(counter.value(), c0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.count(), h0);
+}
+
+TEST(ObsMetricsRegistry, ConcurrentHistogramObservationsKeepCount) {
+  HistogramMetric& h = MetricsRegistry::instance().histogram(
+      "test_registry_hist_mt", "test histogram");
+  const std::uint64_t before = h.count();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(0.1 * (t + 1) * (i % 100 + 1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count() - before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace raidsim

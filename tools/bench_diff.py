@@ -2,18 +2,25 @@
 """Per-section delta table between two BENCH_perf.json files.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--min-delta-pct=P]
+       bench_diff.py --selftest
 
 Flattens every numeric leaf of both files to a dot path
 (kernel.events_per_sec, sharded.points[2].events_per_sec, ...), then
 prints one table per top-level section with baseline, current, and the
 relative delta. Keys present on only one side are reported as added or
 removed rather than failing, so the tool keeps working across schema
-bumps. Purely informational: always exits 0 on a successful comparison
-(2 on unreadable input) -- the CI regression *guard* lives in the
-workflow, this is the artifact humans read when the guard trips.
+bumps (e.g. the schema-5 `telemetry` and `service` sections appear as
+"added" rows against a schema-4 baseline). Purely informational: always
+exits 0 on a successful comparison (2 on unreadable input) -- the CI
+regression *guard* lives in the workflow, this is the artifact humans
+read when the guard trips.
 
 --min-delta-pct hides rows whose |delta| is below the threshold
 (default 0: show everything).
+
+--selftest diffs two built-in fixtures spanning the schema 4 -> 5 bump
+and checks the report renders deltas, added sections, removed keys, and
+boolean leaves correctly. Exits 0 on pass, 1 on any failed check.
 """
 
 import json
@@ -61,27 +68,11 @@ def fmt(value):
     return f"{value:.3f}"
 
 
-def main(argv):
-    min_delta_pct = 0.0
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--min-delta-pct="):
-            min_delta_pct = float(arg.split("=", 1)[1])
-        elif arg in ("-h", "--help"):
-            print(__doc__)
-            return 0
-        else:
-            paths.append(arg)
-    if len(paths) != 2:
-        print("usage: bench_diff.py BASELINE.json CURRENT.json "
-              "[--min-delta-pct=P]", file=sys.stderr)
-        return 2
-
-    base = dict(flatten(load(paths[0])))
-    cur = dict(flatten(load(paths[1])))
-
-    print(f"baseline: {paths[0]}")
-    print(f"current:  {paths[1]}")
+def report(base_doc, cur_doc, min_delta_pct=0.0):
+    """Render the per-section delta table as a list of lines."""
+    base = dict(flatten(base_doc))
+    cur = dict(flatten(cur_doc))
+    lines = []
 
     sections = []
     for path in list(base) + [p for p in cur if p not in base]:
@@ -112,9 +103,86 @@ def main(argv):
                 rows.append((path, fmt(b), fmt(c), delta))
         if not rows:
             continue
-        print(f"\n== {sec} ==")
+        lines.append(f"\n== {sec} ==")
         for path, b, c, delta in rows:
-            print(f"  {path:<{width}}  {b:>12}  ->  {c:>12}  {delta:>8}")
+            lines.append(f"  {path:<{width}}  {b:>12}  ->  {c:>12}  "
+                         f"{delta:>8}")
+    return lines
+
+
+def selftest():
+    """Diff two fixtures across the schema 4 -> 5 bump and check the
+    rendering: plain deltas, whole added sections, removed keys, and
+    boolean leaves."""
+    base_doc = {
+        "schema": 4,
+        "mode": "full",
+        "kernel": {"events_per_sec": 1_000_000.0},
+        "tracing": {"events_per_sec_off": 500_000.0, "retired_key": 1.0},
+    }
+    cur_doc = {
+        "schema": 5,
+        "mode": "full",
+        "kernel": {"events_per_sec": 1_200_000.0},
+        "tracing": {"events_per_sec_off": 500_000.0},
+        "telemetry": {"overhead_pct": 0.4, "identical": True},
+        "service": {"offered_jobs": 48, "completed_ok": 10,
+                    "goodput_jobs_per_sec": 260.0, "shed_pct": 79.2},
+    }
+    text = "\n".join(report(base_doc, cur_doc))
+
+    checks = [
+        ("schema bump renders as a delta", "schema" in text),
+        ("kernel delta computed", "+20.0%" in text),
+        ("service section header", "== service ==" in text),
+        ("telemetry section header", "== telemetry ==" in text),
+        ("added leaf flagged", "service.goodput_jobs_per_sec" in text
+         and "added" in text),
+        ("removed leaf flagged", "tracing.retired_key" in text
+         and "removed" in text),
+        ("bool leaf rendered as 0/1", "telemetry.identical" in text),
+        ("unchanged leaf shows +0.0%", "+0.0%" in text),
+    ]
+    # --min-delta-pct must hide the unchanged row but keep added rows.
+    filtered = "\n".join(report(base_doc, cur_doc, min_delta_pct=5.0))
+    checks.append(("threshold hides unchanged rows",
+                   "tracing.events_per_sec_off" not in filtered))
+    checks.append(("threshold keeps added rows",
+                   "service.goodput_jobs_per_sec" in filtered))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"bench_diff selftest FAILED: {failed}", file=sys.stderr)
+        return 1
+    print(f"bench_diff selftest OK ({len(checks)} checks)")
+    return 0
+
+
+def main(argv):
+    min_delta_pct = 0.0
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--selftest":
+            return selftest()
+        if arg.startswith("--min-delta-pct="):
+            min_delta_pct = float(arg.split("=", 1)[1])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print("usage: bench_diff.py BASELINE.json CURRENT.json "
+              "[--min-delta-pct=P] | bench_diff.py --selftest",
+              file=sys.stderr)
+        return 2
+
+    print(f"baseline: {paths[0]}")
+    print(f"current:  {paths[1]}")
+    for line in report(load(paths[0]), load(paths[1]), min_delta_pct):
+        print(line)
     return 0
 
 

@@ -37,7 +37,12 @@ void usage() {
                "  --watchdog-ms X    watchdog scan period (default 20)\n"
                "  --stuck-ms X       cancel jobs running longer than X (default off)\n"
                "  --drain-ms X       drain budget on shutdown (default 5000)\n"
-               "  --trace-out PREFIX service-level Chrome trace on shutdown\n");
+               "  --trace-out PREFIX service-level Chrome trace on shutdown\n"
+               "  --flight-dir DIR   flight recorder: dump a Chrome trace of\n"
+               "                     the last spans when a job dies abnormally\n"
+               "  --flight-events N  flight-recorder ring capacity (default 4096)\n"
+               "  --progress-ms X    min spacing of streamed progress frames\n"
+               "                     (default 50)\n");
 }
 
 }  // namespace
@@ -73,6 +78,13 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") {
       trace_out = value();
       opts.supervisor.tracing = true;
+    } else if (arg == "--flight-dir") {
+      opts.supervisor.flight_dir = value();
+    } else if (arg == "--flight-events") {
+      opts.supervisor.flight_events =
+          static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--progress-ms") {
+      opts.supervisor.progress_interval_ms = std::atof(value());
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
