@@ -62,6 +62,17 @@ HealthMonitor::HealthMonitor(EventQueue& eq,
   }
 }
 
+HealthMonitor::~HealthMonitor() {
+  stop_slow_checks();
+  // Every quarantine this run entered bumped the process-global gauge;
+  // give back the ones it never released so the live scrape does not
+  // drift upward across runs in a long-lived daemon.
+  const std::uint64_t still_quarantined = quarantines_ - unquarantines_;
+  if (still_quarantined > 0)
+    health_metrics().quarantined.add(
+        -static_cast<double>(still_quarantined));
+}
+
 void HealthMonitor::log(EventKind kind, int array, int disk) {
   events_.push_back(Event{eq_.now(), kind, array, disk});
 }

@@ -93,7 +93,11 @@ class HealthMonitor {
 
   HealthMonitor(const HealthMonitor&) = delete;
   HealthMonitor& operator=(const HealthMonitor&) = delete;
-  ~HealthMonitor() { stop_slow_checks(); }
+  /// Stops the detector tick and releases this run's still-quarantined
+  /// disks from the process-wide quarantine gauge, so a long-lived
+  /// daemon's scrape reflects live state rather than accumulating every
+  /// finished run's leftovers.
+  ~HealthMonitor();
 
   /// Start the periodic slow-disk detector (no-op unless
   /// Options::slow_disk.check_interval_ms > 0). Idempotent.

@@ -116,7 +116,10 @@ MetricsRegistry& MetricsRegistry::instance() {
 
 MetricsRegistry::Entry& MetricsRegistry::lookup(const std::string& name,
                                                 Kind kind,
-                                                const std::string& help) {
+                                                const std::string& help,
+                                                double min_value,
+                                                double max_value,
+                                                std::size_t buckets) {
   if (!valid_metric_name(name))
     throw std::invalid_argument("MetricsRegistry: invalid metric name '" +
                                 name + "'");
@@ -128,35 +131,44 @@ MetricsRegistry::Entry& MetricsRegistry::lookup(const std::string& name,
                                   "' re-registered with a different kind");
     return it->second;
   }
+  // Construct the metric while mu_ is still held: two threads racing on
+  // the first registration of a name must both come away holding the
+  // same object, and scrape()/reset() must never observe an Entry whose
+  // metric pointer is still null.
   Entry entry;
   entry.kind = kind;
   entry.help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter.reset(new Counter(&enabled_));
+      break;
+    case Kind::kGauge:
+      entry.gauge.reset(new Gauge(&enabled_));
+      break;
+    case Kind::kHistogram:
+      entry.histogram.reset(
+          new HistogramMetric(&enabled_, min_value, max_value, buckets));
+      break;
+  }
   return metrics_.emplace(name, std::move(entry)).first->second;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  Entry& entry = lookup(name, Kind::kCounter, help);
-  if (!entry.counter) entry.counter.reset(new Counter(&enabled_));
-  return *entry.counter;
+  return *lookup(name, Kind::kCounter, help).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  Entry& entry = lookup(name, Kind::kGauge, help);
-  if (!entry.gauge) entry.gauge.reset(new Gauge(&enabled_));
-  return *entry.gauge;
+  return *lookup(name, Kind::kGauge, help).gauge;
 }
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             const std::string& help,
                                             double min_value, double max_value,
                                             std::size_t buckets) {
-  Entry& entry = lookup(name, Kind::kHistogram, help);
-  if (!entry.histogram)
-    entry.histogram.reset(
-        new HistogramMetric(&enabled_, min_value, max_value, buckets));
-  return *entry.histogram;
+  return *lookup(name, Kind::kHistogram, help, min_value, max_value, buckets)
+              .histogram;
 }
 
 std::string MetricsRegistry::scrape() const {

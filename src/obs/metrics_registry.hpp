@@ -172,7 +172,14 @@ class MetricsRegistry {
     std::unique_ptr<HistogramMetric> histogram;
   };
 
-  Entry& lookup(const std::string& name, Kind kind, const std::string& help);
+  /// Find-or-create under mu_. The metric object is constructed here,
+  /// while the lock is still held, so concurrent first registrations of
+  /// one name agree on a single object and scrape()/reset() never see a
+  /// half-initialized Entry. Histogram layout params are ignored for
+  /// counters/gauges.
+  Entry& lookup(const std::string& name, Kind kind, const std::string& help,
+                double min_value = 0.0, double max_value = 0.0,
+                std::size_t buckets = 0);
 
   std::atomic<bool> enabled_{true};
   mutable std::mutex mu_;

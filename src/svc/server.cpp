@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
 
 #include "obs/metrics_registry.hpp"
@@ -16,10 +19,26 @@
 
 namespace raidsim::svc {
 
+namespace {
+
+Counter& progress_drop_counter() {
+  static Counter& drops = MetricsRegistry::instance().counter(
+      "raidsim_svc_progress_drops_total",
+      "Progress frames dropped because a subscriber's buffer was full");
+  return drops;
+}
+
+}  // namespace
+
 struct Server::Connection {
   int fd = -1;
   std::mutex write_mu;
   std::atomic<bool> open{true};
+  /// Set once when this connection subscribes; job responses are then
+  /// routed through the subscriber's ordered queue (deliver_response)
+  /// so frames and the terminal response keep their wire order.
+  std::mutex sub_mu;
+  std::weak_ptr<Subscriber> sub;
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -51,6 +70,56 @@ struct Server::Connection {
   }
 };
 
+/// One progress subscriber: a bounded queue between the engine threads
+/// (producers, via broadcast_progress) and a dedicated drain thread
+/// (the only place this subscriber's socket is written once frames can
+/// flow). Producers never block on subscriber I/O: when the queue holds
+/// kMaxBufferedFrames progress frames the oldest frame is dropped --
+/// the newest frame is always the most useful one -- so a SIGSTOPped or
+/// slow reader costs itself frames, never simulation throughput. Job
+/// responses on a subscribed connection ride the same queue (marked
+/// non-droppable) so a job's final frame reaches the wire before its
+/// terminal response.
+struct Server::Subscriber {
+  static constexpr std::size_t kMaxBufferedFrames = 256;
+
+  struct Item {
+    std::string line;
+    bool droppable = false;  // true for progress frames only
+  };
+
+  std::shared_ptr<Connection> conn;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  std::size_t buffered_frames = 0;  // droppable items currently queued
+  std::uint64_t dropped = 0;
+  bool closed = false;
+  /// Drain thread exited; the entry can be reaped (join is immediate).
+  std::atomic<bool> done{false};
+  std::thread thread;
+
+  /// Enqueue under mu; returns false when the drain thread is gone (the
+  /// caller should fall back to a direct write or drop the frame).
+  bool enqueue(std::string line, bool droppable) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (closed) return false;
+    if (droppable && buffered_frames >= kMaxBufferedFrames) {
+      const auto victim =
+          std::find_if(queue.begin(), queue.end(),
+                       [](const Item& item) { return item.droppable; });
+      queue.erase(victim);  // buffered_frames > 0 => a frame exists
+      --buffered_frames;
+      ++dropped;
+      progress_drop_counter().add(1);
+    }
+    if (droppable) ++buffered_frames;
+    queue.push_back(Item{std::move(line), droppable});
+    cv.notify_one();
+    return true;
+  }
+};
+
 Server::Server(Options options) : opts_(std::move(options)) {
   if (opts_.socket_path.empty())
     throw std::invalid_argument("server: socket_path is required");
@@ -76,6 +145,7 @@ Server::Server(Options options) : opts_(std::move(options)) {
     throw std::runtime_error("server: listen() failed");
 
   supervisor_ = std::make_unique<Supervisor>(opts_.supervisor);
+  progress_drop_counter();  // register eagerly so scrapes always show it
 }
 
 Server::~Server() {
@@ -187,9 +257,16 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       return;
     }
     if (op == "subscribe") {
+      auto sub = std::make_shared<Subscriber>();
+      sub->conn = conn;
+      sub->thread = std::thread([this, sub] { drain_subscriber(sub); });
+      {
+        std::lock_guard<std::mutex> lock(conn->sub_mu);
+        conn->sub = sub;
+      }
       {
         std::lock_guard<std::mutex> lock(subs_mu_);
-        subs_.push_back(conn);
+        subs_.push_back(sub);
       }
       conn->write_line("{\"id\":" + json_quote(id) +
                        ",\"status\":\"ok\",\"op\":\"subscribe\"}\n");
@@ -209,8 +286,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     const std::string job_id = job.id;
     supervisor_->submit(
         std::move(job),
-        [conn, job_id](const JobResult& result) {
-          conn->write_line(encode_job_response(result, job_id));
+        [this, conn, job_id](const JobResult& result) {
+          deliver_response(conn, encode_job_response(result, job_id));
         },
         [this](const JobProgress& progress) { broadcast_progress(progress); });
   } catch (const std::exception& e) {
@@ -219,24 +296,64 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
 }
 
 void Server::broadcast_progress(const JobProgress& progress) {
-  std::vector<std::shared_ptr<Connection>> targets;
-  {
-    std::lock_guard<std::mutex> lock(subs_mu_);
-    subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
-                               [&](const std::weak_ptr<Connection>& weak) {
-                                 auto conn = weak.lock();
-                                 if (!conn ||
-                                     !conn->open.load(
-                                         std::memory_order_acquire))
-                                   return true;
-                                 targets.push_back(std::move(conn));
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  // Reap subscribers whose drain thread already exited (peer gone).
+  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                             [](const std::shared_ptr<Subscriber>& sub) {
+                               if (!sub->done.load(std::memory_order_acquire))
                                  return false;
-                               }),
-                subs_.end());
-  }
-  if (targets.empty()) return;
+                               if (sub->thread.joinable()) sub->thread.join();
+                               return true;
+                             }),
+              subs_.end());
+  if (subs_.empty()) return;
   const std::string line = encode_progress_frame(progress);
-  for (auto& conn : targets) conn->write_line(line);
+  for (auto& sub : subs_) sub->enqueue(line, /*droppable=*/true);
+}
+
+void Server::deliver_response(const std::shared_ptr<Connection>& conn,
+                              std::string line) {
+  // A subscribed connection's job responses go through its subscriber
+  // queue: the job's final progress frame was enqueued before this
+  // completion fired, so queue order is wire order. Everyone else gets
+  // the direct (serialized, blocking) write as before.
+  std::shared_ptr<Subscriber> sub;
+  {
+    std::lock_guard<std::mutex> lock(conn->sub_mu);
+    sub = conn->sub.lock();
+  }
+  if (sub != nullptr && sub->enqueue(line, /*droppable=*/false)) return;
+  conn->write_line(line);
+}
+
+void Server::drain_subscriber(const std::shared_ptr<Subscriber>& sub) {
+  for (;;) {
+    Subscriber::Item item;
+    {
+      std::unique_lock<std::mutex> lock(sub->mu);
+      // Timed wait so a subscriber whose peer vanished while idle (no
+      // frames flowing) is noticed and reaped instead of pinning the
+      // connection until shutdown.
+      while (!sub->closed && sub->queue.empty() &&
+             sub->conn->open.load(std::memory_order_acquire))
+        sub->cv.wait_for(lock, std::chrono::milliseconds(100));
+      if (sub->queue.empty()) break;  // closed/dead and fully flushed
+      item = std::move(sub->queue.front());
+      sub->queue.pop_front();
+      if (item.droppable) --sub->buffered_frames;
+    }
+    // Blocking is fine here: this thread serves exactly one subscriber,
+    // and close_now()'s shutdown(2) unwedges a send stuck on a full
+    // socket buffer.
+    if (!sub->conn->write_line(item.line)) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->closed = true;
+    sub->queue.clear();
+    sub->buffered_frames = 0;
+  }
+  sub->done.store(true, std::memory_order_release);
 }
 
 void Server::shutdown_everything() {
@@ -248,6 +365,33 @@ void Server::shutdown_everything() {
       std::fprintf(stderr, "raidsim_serve: final stats %s\n",
                    supervisor_->stats_json().c_str());
   }
+  // Subscriber queues may still hold responses enqueued by the drain
+  // above. Close the queues (drain threads flush what is buffered, then
+  // exit) and give them a bounded grace period BEFORE closing sockets,
+  // so a healthy subscriber receives every terminal response while a
+  // wedged one cannot hang shutdown.
+  auto close_subscribers = [](std::vector<std::shared_ptr<Subscriber>>& subs) {
+    for (auto& sub : subs) {
+      {
+        std::lock_guard<std::mutex> lock(sub->mu);
+        sub->closed = true;
+      }
+      sub->cv.notify_all();
+    }
+  };
+  std::vector<std::shared_ptr<Subscriber>> subs;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs.swap(subs_);
+  }
+  close_subscribers(subs);
+  const auto flush_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (auto& sub : subs)
+    while (!sub->done.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < flush_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
   std::vector<std::shared_ptr<Connection>> conns;
   std::vector<std::thread> threads;
   {
@@ -255,8 +399,21 @@ void Server::shutdown_everything() {
     conns.swap(conns_);
     threads.swap(conn_threads_);
   }
+  // close_now() unwedges any drain thread still stuck in send().
   for (auto& conn : conns) conn->close_now();
   for (auto& t : threads) t.join();
+
+  // Connection threads are joined, so no further subscriber can appear;
+  // sweep any that subscribed after the first swap, then join them all.
+  std::vector<std::shared_ptr<Subscriber>> stragglers;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    stragglers.swap(subs_);
+  }
+  close_subscribers(stragglers);
+  subs.insert(subs.end(), stragglers.begin(), stragglers.end());
+  for (auto& sub : subs)
+    if (sub->thread.joinable()) sub->thread.join();
 }
 
 }  // namespace raidsim::svc

@@ -24,7 +24,11 @@ namespace raidsim::svc {
 ///   {"op":"subscribe"}               -> ack, then this connection also
 ///                                       receives every job's progress
 ///                                       frames ({"type":"progress",...})
-///                                       interleaved with its responses
+///                                       interleaved with its responses.
+///                                       Delivery is best-effort: a
+///                                       reader that falls behind loses
+///                                       oldest frames first and can
+///                                       never stall a simulation.
 ///   {"op":"drain"}                   -> ack, then graceful shutdown
 ///   {"op":"run","config":{...},...}  -> job response (svc/job_codec.hpp);
 ///                                       progress frames stream to
@@ -64,14 +68,28 @@ class Server {
 
  private:
   struct Connection;
+  struct Subscriber;
 
   void accept_loop();
   void serve_connection(const std::shared_ptr<Connection>& conn);
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
-  /// Fan one encoded progress line out to every live subscriber (called
-  /// from worker/shard threads; write_line serializes per connection).
+  /// Fan one encoded progress line out to every live subscriber. Called
+  /// from worker/shard threads, so it must never block on subscriber
+  /// I/O: it only appends to each subscriber's bounded frame buffer
+  /// (dropping the oldest frame when full) and wakes that subscriber's
+  /// drain thread, which does the actual blocking writes.
   void broadcast_progress(const JobProgress& progress);
+  /// Deliver a job's terminal response. Subscribed connections get it
+  /// through their subscriber queue (non-droppable, behind any already
+  /// queued frames -- notably the job's final frame) so queue order is
+  /// wire order; everyone else gets the direct serialized write.
+  void deliver_response(const std::shared_ptr<Connection>& conn,
+                        std::string line);
+  /// Per-subscriber writer loop: pops buffered frames and writes them to
+  /// the socket. A stalled or vanished subscriber blocks only this
+  /// thread; its buffer overflows (frames drop) and the engines run on.
+  void drain_subscriber(const std::shared_ptr<Subscriber>& sub);
   void shutdown_everything();
 
   Options opts_;
@@ -85,10 +103,11 @@ class Server {
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> conn_threads_;
 
-  /// Progress firehose: weak so a vanished subscriber never pins its
-  /// connection; pruned on each broadcast.
+  /// Progress firehose: one buffered writer per subscriber so a slow
+  /// reader can never stall the simulation threads. Finished entries
+  /// are reaped on each broadcast; stragglers are joined at shutdown.
   std::mutex subs_mu_;
-  std::vector<std::weak_ptr<Connection>> subs_;
+  std::vector<std::shared_ptr<Subscriber>> subs_;
 };
 
 }  // namespace raidsim::svc

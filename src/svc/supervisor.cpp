@@ -186,6 +186,7 @@ void Supervisor::submit(JobRequest request, Completion done,
   job->progress = std::move(progress);
   job->key = key;
   job->fingerprint = fingerprint;
+  job->seq = job_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   job->admitted = Clock::now();
   if (job->request.deadline_ms > 0.0) {
     job->has_deadline = true;
@@ -405,9 +406,13 @@ void Supervisor::on_engine_progress(const JobPtr& job,
 }
 
 std::string Supervisor::flight_prefix(const JobPtr& job, int attempt) const {
-  char name[64];
-  std::snprintf(name, sizeof(name), "/flight_%016llx_a%d",
-                static_cast<unsigned long long>(job->fingerprint), attempt);
+  // The job sequence number keeps concurrent identical requests (same
+  // fingerprint, e.g. a no_cache pair) from overwriting each other's
+  // artifact.
+  char name[96];
+  std::snprintf(name, sizeof(name), "/flight_%016llx_j%llu_a%d",
+                static_cast<unsigned long long>(job->fingerprint),
+                static_cast<unsigned long long>(job->seq), attempt);
   return opts_.flight_dir + name;
 }
 

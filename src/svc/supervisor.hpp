@@ -116,6 +116,9 @@ class Supervisor {
     Progress progress;        // null = no frames
     std::string key;          // canonical cache key
     std::uint64_t fingerprint = 0;
+    /// Process-unique admission number; keeps flight artifacts of
+    /// concurrent identical requests (same fingerprint) from colliding.
+    std::uint64_t seq = 0;
     CancelToken token;        // stable address for the engines
     Clock::time_point admitted{};
     Clock::time_point deadline{};  // epoch when none
@@ -162,6 +165,7 @@ class Supervisor {
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> job_seq_{0};
   /// Jobs between queue pop and completion -- covers the window before a
   /// job lands in running_, so drain's idle check cannot fire early.
   std::atomic<int> active_{0};

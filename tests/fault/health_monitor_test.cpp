@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 
 #include "array/uncached_controller.hpp"
 #include "fault/health_monitor.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace raidsim {
 namespace {
@@ -269,6 +271,38 @@ TEST_F(HealthMonitorTest, SlowDiskIsDetectedQuarantinedAndReleased) {
   EXPECT_FALSE(monitor.slow_checks_active());
   eq.run();  // queue drains now that the tick is gone
   EXPECT_EQ(completed, 800);
+}
+
+TEST_F(HealthMonitorTest, TeardownReleasesQuarantineGauge) {
+  // The quarantine gauge is process-global; a run that ends with disks
+  // still quarantined must give its contribution back on teardown or a
+  // long-lived daemon's scrape drifts upward forever.
+  Gauge& gauge = MetricsRegistry::instance().gauge(
+      "raidsim_health_quarantined_disks", "Disks currently quarantined");
+  const double baseline = gauge.value();
+  {
+    EventQueue eq;
+    UncachedController c(eq, config(Organization::kRaid5));
+    auto opt = options(0);
+    opt.slow_disk.check_interval_ms = 50.0;
+    opt.slow_disk.ewma_threshold = 3.0;
+    opt.slow_disk.quarantine_after = 3;
+    HealthMonitor monitor(eq, c, opt);
+    c.disks()[2]->set_slowdown_hook(
+        [](const DiskRequest&, SimTime, double) { return 60.0; });
+    for (int i = 0; i < 400; ++i) {
+      const std::int64_t block = (static_cast<std::int64_t>(i) * 37) % 1440;
+      eq.schedule_at(i * 5.0, [&c, block] {
+        c.submit(ArrayRequest{block, 1, false}, [](SimTime) {});
+      });
+    }
+    monitor.start_slow_checks();
+    eq.run_until(2500.0);
+    ASSERT_TRUE(c.is_quarantined(2));
+    EXPECT_DOUBLE_EQ(gauge.value(), baseline + 1.0);
+    monitor.stop_slow_checks();
+  }  // monitor destroyed with disk 2 still quarantined
+  EXPECT_DOUBLE_EQ(gauge.value(), baseline);
 }
 
 TEST_F(HealthMonitorTest, DetectorOffByDefaultSchedulesNothing) {

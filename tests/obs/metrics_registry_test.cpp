@@ -4,6 +4,7 @@
 // process-global, so every assertion works on deltas, never absolutes.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -38,6 +39,40 @@ TEST(ObsMetricsRegistry, CounterCountsExactlyAcrossThreads) {
 
   // Relaxed per-shard atomics still never lose an increment.
   EXPECT_EQ(counter.value() - before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetricsRegistry, ConcurrentFirstRegistrationYieldsOneObject) {
+  // Regression guard: lazy metric construction used to happen after
+  // lookup() released the registry mutex, so two threads racing on the
+  // first registration of a name could each construct the metric
+  // (destroying the object the other already held a reference to), and
+  // a concurrent scrape() could dereference a still-null entry.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, &ready, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      Counter& counter = MetricsRegistry::instance().counter(
+          "test_registry_race_total", "registered concurrently");
+      seen[static_cast<std::size_t>(t)] = &counter;
+      for (int i = 0; i < kPerThread; ++i) counter.add(1);
+      // Scrapes interleaved with registration must see only complete
+      // entries (never a null metric pointer).
+      EXPECT_NE(MetricsRegistry::instance().scrape().find(
+                    "test_registry_race_total"),
+                std::string::npos);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(),
             static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 

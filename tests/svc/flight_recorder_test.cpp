@@ -78,6 +78,42 @@ TEST(FlightRecorder, DeadlineKilledJobDumpsArtifact) {
       << "artifact must be a Chrome trace";
 }
 
+TEST(FlightRecorder, ConcurrentIdenticalJobsGetDistinctArtifacts) {
+  // Two concurrent no_cache requests with the same fingerprint must not
+  // overwrite each other's artifact; the per-job sequence number keys
+  // them apart.
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  const std::string dir = ::testing::TempDir() + "flight_dup";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+
+  Supervisor sup({.workers = 2,
+                  .queue_capacity = 4,
+                  .watchdog_period_ms = 5.0,
+                  .flight_dir = dir});
+  JobRequest first = big_job("dup-a");
+  first.deadline_ms = 25.0;
+  JobRequest second = big_job("dup-b");
+  second.deadline_ms = 25.0;
+  std::promise<JobResult> pa, pb;
+  auto fa = pa.get_future();
+  auto fb = pb.get_future();
+  sup.submit(std::move(first),
+             [&pa](const JobResult& r) { pa.set_value(r); });
+  sup.submit(std::move(second),
+             [&pb](const JobResult& r) { pb.set_value(r); });
+  const JobResult ra = fa.get();
+  const JobResult rb = fb.get();
+
+  ASSERT_EQ(ra.status, JobStatus::kDeadline) << ra.error;
+  ASSERT_EQ(rb.status, JobStatus::kDeadline) << rb.error;
+  EXPECT_EQ(ra.fingerprint, rb.fingerprint);  // identical requests
+  ASSERT_FALSE(ra.flight_out.empty());
+  ASSERT_FALSE(rb.flight_out.empty());
+  EXPECT_NE(ra.flight_out, rb.flight_out);
+  EXPECT_TRUE(std::ifstream(ra.flight_out).good()) << ra.flight_out;
+  EXPECT_TRUE(std::ifstream(rb.flight_out).good()) << rb.flight_out;
+}
+
 TEST(FlightRecorder, HealthyJobLeavesNoArtifact) {
   if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
   const std::string dir = ::testing::TempDir() + "flight_healthy";

@@ -126,6 +126,58 @@ TEST_F(ServiceSocketTest, CacheHitOverProtocolIsByteIdentical) {
   EXPECT_EQ(fresh.find("metrics")->dump(), hit.find("metrics")->dump());
 }
 
+TEST_F(ServiceSocketTest, SubscribedConnectionSeesFramesBeforeResponse) {
+  // The final progress frame must reach the wire before the terminal
+  // response even though frames now travel through the subscriber's
+  // buffered drain thread while responses come from a worker thread.
+  Client sub(socket_path_);
+  ASSERT_EQ(status_of(sub.request(R"({"op":"subscribe","id":"w"})")), "ok");
+  JobRequest job;
+  job.workload.scale = 0.05;
+  job.workload.seed = 11;
+  job.no_cache = true;
+  job.id = "probe";
+  JsonValue msg = sub.request(encode_job_request(job));
+  int frames = 0;
+  double last_events = -1.0;
+  bool last_was_final = false;
+  while (msg.find("type") != nullptr &&
+         msg.find("type")->as_string() == "progress") {
+    const JsonValue* idv = msg.find("id");
+    if (idv != nullptr && idv->as_string() == "probe") {
+      ++frames;
+      const double events = msg.find("events")->as_number();
+      EXPECT_GE(events, last_events);  // frames stay ordered end-to-end
+      last_events = events;
+      last_was_final = msg.find("final")->as_bool();
+    }
+    msg = json_parse(sub.request_raw(""));
+  }
+  EXPECT_EQ(status_of(msg), "ok");
+  EXPECT_EQ(msg.find("id")->as_string(), "probe");
+  EXPECT_GE(frames, 1);
+  EXPECT_TRUE(last_was_final)
+      << "final frame must hit the wire before the response";
+}
+
+TEST_F(ServiceSocketTest, NonReadingSubscriberDoesNotBlockJobs) {
+  // A subscriber that never reads may only lose frames; jobs on other
+  // connections must keep completing, and TearDown's shutdown must not
+  // hang on the subscriber's queue.
+  Client sub(socket_path_);
+  ASSERT_EQ(status_of(sub.request(R"({"op":"subscribe"})")), "ok");
+  // From here on the subscriber never reads again.
+  Client worker(socket_path_);
+  for (int i = 0; i < 3; ++i) {
+    JobRequest job;
+    job.workload.scale = 0.02;
+    job.workload.seed = 20 + i;
+    job.no_cache = true;
+    job.id = "j" + std::to_string(i);
+    EXPECT_EQ(status_of(worker.request(encode_job_request(job))), "ok");
+  }
+}
+
 TEST_F(ServiceSocketTest, DrainOpShutsDownGracefully) {
   Client client(socket_path_);
   const JsonValue ack = client.request(R"({"op":"drain","id":"d"})");
