@@ -3,6 +3,9 @@
 // the pre-fast-path kernel), a fixed end-to-end RAID5 + Mirror replay,
 // a queue-discipline A/B (calendar vs heap on churn and on both
 // replays, with a fatal bit-identity check between the kernels), the
+// op-state allocation A/B (arena vs pool-mode OpRef vs the retired
+// make_pooled scheme on an op-churn loop and on both replays, with a
+// fatal bit-identity check and a fatal zero-heap steady-state gate), the
 // sharded engine at several
 // shard/thread counts (with a bit-identity check against one shard), the
 // NV-cache storage (against an embedded copy of the pre-rewrite
@@ -14,9 +17,11 @@
 //
 // Usage: perf_harness [--quick] [--out=<path>] [--threads=<n>]
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -38,8 +43,32 @@
 #include "sim/event_queue.hpp"
 #include "svc/supervisor.hpp"
 #include "trace/trace_io.hpp"
+#include "util/arena.hpp"
+#include "util/pool_alloc.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+
+// Global-heap traffic counter: the harness replaces the default
+// operator new/delete with counting versions so the allocation section
+// can report the steady-state global-heap allocation rate alongside the
+// op-state arena's own counter (the fatal zero-heap gate keys on the
+// arena counter; this one is context).
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -192,6 +221,93 @@ ReplayResult timed_replay(const raidsim::SimulationConfig& config,
     }
   }
   return best;
+}
+
+/// Op-state churn: keep a window of live ops; each step allocates one,
+/// fans its handle out the way an RMW chain copies its completion into
+/// barrier/gate callbacks, then retires a pseudo-random window slot.
+/// Steady state exercises exactly the allocate / copy / release path the
+/// controllers run per request. Sized for the 512-byte class (the
+/// in-flight disk op class).
+struct ChurnOp {
+  std::array<char, 480> payload;
+};
+
+constexpr int kOpWindow = 256;
+
+struct OpChurnResult {
+  double ops_per_sec = 0.0;
+  /// OpArena::heap_allocations() delta over the measured (post-warmup)
+  /// segment -- the fatal zero-heap gate for arena mode.
+  std::uint64_t op_state_heap_allocs_steady = 0;
+  /// operator new delta over the same segment (whole process, context).
+  std::uint64_t global_heap_allocs_steady = 0;
+};
+
+OpChurnResult op_churn(std::uint64_t total_ops, raidsim::OpAlloc mode) {
+  raidsim::OpArena arena(mode);
+  std::vector<raidsim::OpRef<ChurnOp>> window(kOpWindow);
+  std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+  std::uint64_t sink = 0;
+  auto step = [&](std::uint64_t i) {
+    auto op = raidsim::make_op<ChurnOp>(arena);
+    op->payload[0] = static_cast<char>(i);
+    // Four handle copies: the read barrier, the write gate, the parity
+    // countdown, and the completion continuation of a typical RMW chain.
+    auto a = op;
+    auto b = a;
+    auto c = b;
+    auto d = c;
+    sink += static_cast<std::uint64_t>(d->payload[0]) & 1u;
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    window[(lcg >> 33) % kOpWindow] = std::move(op);
+  };
+  for (std::uint64_t i = 0; i < total_ops / 10; ++i) step(i);  // warmup
+  const std::uint64_t arena_before = arena.heap_allocations();
+  const std::uint64_t global_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total_ops; ++i) step(i);
+  const double elapsed = seconds_since(start);
+  if (sink == UINT64_MAX) std::abort();  // keep the loop honest
+  OpChurnResult r;
+  r.ops_per_sec = static_cast<double>(total_ops) / elapsed;
+  r.op_state_heap_allocs_steady = arena.heap_allocations() - arena_before;
+  r.global_heap_allocs_steady =
+      g_heap_allocs.load(std::memory_order_relaxed) - global_before;
+  return r;
+}
+
+/// The same loop against the retired make_pooled/shared_ptr scheme --
+/// the yardstick the arena numbers are measured against (atomic
+/// refcounts plus a thread_local free-list lookup per alloc).
+OpChurnResult op_churn_make_pooled(std::uint64_t total_ops) {
+  std::vector<std::shared_ptr<ChurnOp>> window(kOpWindow);
+  std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+  std::uint64_t sink = 0;
+  auto step = [&](std::uint64_t i) {
+    auto op = raidsim::make_pooled<ChurnOp>();
+    op->payload[0] = static_cast<char>(i);
+    auto a = op;
+    auto b = a;
+    auto c = b;
+    auto d = c;
+    sink += static_cast<std::uint64_t>(d->payload[0]) & 1u;
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    window[(lcg >> 33) % kOpWindow] = std::move(op);
+  };
+  for (std::uint64_t i = 0; i < total_ops / 10; ++i) step(i);
+  const std::uint64_t global_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total_ops; ++i) step(i);
+  const double elapsed = seconds_since(start);
+  if (sink == UINT64_MAX) std::abort();
+  OpChurnResult r;
+  r.ops_per_sec = static_cast<double>(total_ops) / elapsed;
+  r.global_heap_allocs_steady =
+      g_heap_allocs.load(std::memory_order_relaxed) - global_before;
+  return r;
 }
 
 /// The NV-cache storage as it stood before the slab + open-addressing
@@ -730,6 +846,95 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ------------------------------------------- op-state allocation A/B
+  // Arena-mode OpRef (current) against pool-mode OpRef (the retired cost
+  // profile kept in-tree) and the make_pooled/shared_ptr scheme itself,
+  // on a pure op-churn loop and on both end-to-end replays. Both
+  // allocators promise bit-identical simulations (nothing orders by
+  // pointer value), so metric divergence is fatal; so is any steady-state
+  // global-heap allocation on the arena's op-state path.
+  const std::uint64_t op_churn_ops = quick ? 1'000'000 : 10'000'000;
+  op_churn(100'000, OpAlloc::kArena);  // warm slabs + page faults
+  op_churn(100'000, OpAlloc::kPool);
+  op_churn_make_pooled(100'000);
+  OpChurnResult arena_churn, pool_churn, pooled_churn;
+  for (int rep = 0; rep < bench_reps; ++rep) {
+    const OpChurnResult a = op_churn(op_churn_ops, OpAlloc::kArena);
+    if (rep == 0 || a.ops_per_sec > arena_churn.ops_per_sec) arena_churn = a;
+    const OpChurnResult p = op_churn(op_churn_ops, OpAlloc::kPool);
+    if (rep == 0 || p.ops_per_sec > pool_churn.ops_per_sec) pool_churn = p;
+    const OpChurnResult m = op_churn_make_pooled(op_churn_ops);
+    if (rep == 0 || m.ops_per_sec > pooled_churn.ops_per_sec)
+      pooled_churn = m;
+  }
+  const double arena_vs_pool =
+      arena_churn.ops_per_sec / pool_churn.ops_per_sec;
+  const double arena_vs_pooled =
+      arena_churn.ops_per_sec / pooled_churn.ops_per_sec;
+
+  SimulationConfig raid5_pool = raid5;
+  raid5_pool.op_alloc = OpAlloc::kPool;
+  Metrics raid5_pool_metrics;
+  const ReplayResult raid5_pool_run = timed_replay(
+      raid5_pool, "trace1", scale1, &raid5_pool_metrics, replay_reps);
+  SimulationConfig mirror_pool = mirror;
+  mirror_pool.op_alloc = OpAlloc::kPool;
+  Metrics mirror_pool_metrics;
+  const ReplayResult mirror_pool_run = timed_replay(
+      mirror_pool, "trace2", scale2, &mirror_pool_metrics, replay_reps);
+  const bool raid5_allocs_identical =
+      same_metrics(raid5_metrics, raid5_pool_metrics);
+  const bool mirror_allocs_identical =
+      same_metrics(mirror_metrics, mirror_pool_metrics);
+
+  TablePrinter alloc_table({"op allocator", "churn ops/sec", "RAID5 ev/sec",
+                            "Mirror ev/sec"});
+  alloc_table.add_row(
+      {"arena (current)",
+       TablePrinter::num(arena_churn.ops_per_sec / 1e6, 2) + " M",
+       TablePrinter::num(raid5_run.events_per_sec / 1e6, 2) + " M",
+       TablePrinter::num(mirror_run.events_per_sec / 1e6, 2) + " M"});
+  alloc_table.add_row(
+      {"pool (OpRef yardstick)",
+       TablePrinter::num(pool_churn.ops_per_sec / 1e6, 2) + " M",
+       TablePrinter::num(raid5_pool_run.events_per_sec / 1e6, 2) + " M",
+       TablePrinter::num(mirror_pool_run.events_per_sec / 1e6, 2) + " M"});
+  alloc_table.add_row(
+      {"make_pooled (retired)",
+       TablePrinter::num(pooled_churn.ops_per_sec / 1e6, 2) + " M", "-",
+       "-"});
+  alloc_table.add_row({"arena/pool", TablePrinter::num(arena_vs_pool, 2) + "x",
+                       TablePrinter::num(raid5_run.events_per_sec /
+                                             raid5_pool_run.events_per_sec,
+                                         2) +
+                           "x",
+                       TablePrinter::num(mirror_run.events_per_sec /
+                                             mirror_pool_run.events_per_sec,
+                                         2) +
+                           "x"});
+  alloc_table.add_row(
+      {"steady-state heap allocs",
+       std::to_string(arena_churn.op_state_heap_allocs_steady) +
+           " (op-state), " +
+           std::to_string(arena_churn.global_heap_allocs_steady) + " (global)",
+       "-", "-"});
+  alloc_table.add_row({"identical", "-",
+                       raid5_allocs_identical ? "yes" : "NO",
+                       mirror_allocs_identical ? "yes" : "NO"});
+  alloc_table.print(std::cout);
+  std::cout << "\n";
+  if (!raid5_allocs_identical || !mirror_allocs_identical) {
+    std::cerr << "FATAL: arena and pool op allocators produced different "
+                 "metrics on the same replay\n";
+    return 1;
+  }
+  if (arena_churn.op_state_heap_allocs_steady != 0) {
+    std::cerr << "FATAL: arena op-state path made "
+              << arena_churn.op_state_heap_allocs_steady
+              << " global-heap allocations in steady state (expected 0)\n";
+    return 1;
+  }
+
   // ---------------------------------------------- sharded replay bench
   // The same RAID5/trace1 replay on the sharded engine at several
   // shard/thread counts. Every point's merged metrics must be
@@ -999,7 +1204,7 @@ int main(int argc, char** argv) {
   out.setf(std::ios::fixed);
   out.precision(3);
   out << "{\n"
-      << "  \"schema\": 5,\n"
+      << "  \"schema\": 6,\n"
       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
       << "  \"hardware_threads\": " << hw_avail << ",\n"
       << "  \"kernel\": {\n"
@@ -1039,6 +1244,37 @@ int main(int argc, char** argv) {
       << "    \"all_identical\": "
       << (raid5_kernels_identical && mirror_kernels_identical ? "true"
                                                               : "false")
+      << "\n"
+      << "  },\n"
+      << "  \"allocation\": {\n"
+      << "    \"churn\": {\n"
+      << "      \"ops\": " << op_churn_ops << ",\n"
+      << "      \"arena_ops_per_sec\": " << arena_churn.ops_per_sec << ",\n"
+      << "      \"pool_ops_per_sec\": " << pool_churn.ops_per_sec << ",\n"
+      << "      \"make_pooled_ops_per_sec\": " << pooled_churn.ops_per_sec
+      << ",\n"
+      << "      \"arena_vs_pool\": " << arena_vs_pool << ",\n"
+      << "      \"arena_vs_make_pooled\": " << arena_vs_pooled << ",\n"
+      << "      \"op_state_heap_allocs_steady\": "
+      << arena_churn.op_state_heap_allocs_steady << ",\n"
+      << "      \"global_heap_allocs_steady\": "
+      << arena_churn.global_heap_allocs_steady << "\n"
+      << "    },\n"
+      << "    \"replays\": [\n"
+      << "      {\"name\": \"raid5_cached_trace1\", "
+      << "\"arena_events_per_sec\": " << raid5_run.events_per_sec
+      << ", \"pool_events_per_sec\": " << raid5_pool_run.events_per_sec
+      << ", \"identical\": " << (raid5_allocs_identical ? "true" : "false")
+      << "},\n"
+      << "      {\"name\": \"mirror_uncached_trace2\", "
+      << "\"arena_events_per_sec\": " << mirror_run.events_per_sec
+      << ", \"pool_events_per_sec\": " << mirror_pool_run.events_per_sec
+      << ", \"identical\": " << (mirror_allocs_identical ? "true" : "false")
+      << "}\n"
+      << "    ],\n"
+      << "    \"all_identical\": "
+      << (raid5_allocs_identical && mirror_allocs_identical ? "true"
+                                                            : "false")
       << "\n"
       << "  },\n"
       << "  \"sharded\": {\n"

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
-#include "util/pool_alloc.hpp"
+#include "util/arena.hpp"
 
 namespace raidsim {
 
@@ -76,7 +76,7 @@ void CachedController::shutdown() {
 }
 
 void CachedController::submit(const ArrayRequest& request,
-                              std::function<void(SimTime)> on_complete) {
+                              Completion on_complete) {
   if (crashed()) return;  // controller down: the request dies unanswered
   if (!on_complete) on_complete = [](SimTime) {};
   if (request.is_write) {
@@ -87,7 +87,7 @@ void CachedController::submit(const ArrayRequest& request,
 }
 
 void CachedController::submit_read(const ArrayRequest& request,
-                                   std::function<void(SimTime)> on_complete) {
+                                   Completion on_complete) {
   ++stats_.read_requests;
 
   // A multiblock request is a hit only when every block is cached
@@ -111,7 +111,7 @@ void CachedController::submit_read(const ArrayRequest& request,
   // Miss: fetch the extent from disk; dirty LRU victims displaced by the
   // fill must reach the disk before the response completes (Section 3.4).
   auto extents = layout_->map_read(request.logical_block, request.block_count);
-  auto barrier = Barrier::create(
+  auto barrier = Barrier::create(eq_.op_arena(),
       static_cast<int>(extents.size()),
       [this, bytes, on_complete = std::move(on_complete)](SimTime) mutable {
         channel_->transfer(bytes, std::move(on_complete));
@@ -139,7 +139,7 @@ void CachedController::submit_read(const ArrayRequest& request,
 }
 
 void CachedController::submit_write(const ArrayRequest& request,
-                                    std::function<void(SimTime)> on_complete) {
+                                    Completion on_complete) {
   ++stats_.write_requests;
   bool all_cached = true;
   for (int i = 0; i < request.block_count; ++i)
@@ -148,7 +148,7 @@ void CachedController::submit_write(const ArrayRequest& request,
   obs_instant(tracer_, all_cached ? ObsPhase::kCacheHit : ObsPhase::kCacheMiss,
               array_index_, -1, eq_.now(), request.obs_id);
 
-  auto state = make_pooled<StalledWrite>();
+  auto state = make_op<StalledWrite>(eq_.op_arena());
   state->blocks.reserve(static_cast<std::size_t>(request.block_count));
   for (int i = 0; i < request.block_count; ++i)
     state->blocks.push_back(request.logical_block + i);
@@ -161,7 +161,7 @@ void CachedController::submit_write(const ArrayRequest& request,
                      [this, state](SimTime) { try_cache_writes(state); });
 }
 
-void CachedController::try_cache_writes(std::shared_ptr<StalledWrite> write) {
+void CachedController::try_cache_writes(OpRef<StalledWrite> write) {
   if (crashed()) {
     // Channel transfer landed after the crash: the request dies with the
     // controller (the host never hears back).
@@ -211,12 +211,12 @@ void CachedController::pump_stalled() {
 
 void CachedController::victim_writeback(std::int64_t block,
                                         DiskPriority priority,
-                                        std::function<void(SimTime)> done) {
+                                        Completion done) {
   // The victim left the cache together with any old-data copy, so the
   // parity update takes the full read-modify-write path. RAID4 victims
   // bypass the spool (the paper's "serviced directly from disk" case).
   auto plans = layout_->map_write(block, 1);
-  auto barrier = Barrier::create(
+  auto barrier = Barrier::create(eq_.op_arena(),
       static_cast<int>(plans.size()),
       done ? std::move(done) : [](SimTime) {});
   auto never_cached = [](const PhysicalExtent&) { return false; };
@@ -314,7 +314,7 @@ void CachedController::issue_destage_run(std::int64_t start_block, int count) {
 
     const std::uint64_t span =
         obs_begin(tracer_, ObsPhase::kDestage, array_index_, -1, eq_.now());
-    auto barrier = Barrier::create(
+    auto barrier = Barrier::create(eq_.op_arena(),
         static_cast<int>(plans.size()),
         [this, sub_start, sub_count, span](SimTime t) {
           for (int b = 0; b < sub_count; ++b) cache_.end_destage(sub_start + b);
@@ -339,23 +339,23 @@ void CachedController::issue_destage_run(std::int64_t start_block, int count) {
 }
 
 void CachedController::execute_update_spooled(
-    const StripeUpdate& update, std::function<void(SimTime)> done) {
+    const StripeUpdate& update, Completion done) {
   // Data writes go to the data disks as in the plain cached path; the
   // parity update is captured in the cache (as a full parity block for
   // full stripes, as the xor of old and new data otherwise) and spooled
   // to the dedicated parity disk asynchronously. The destage of the data
   // is complete once the data are on disk -- the buffered parity is
   // already stable in the NV cache.
-  std::vector<PhysicalExtent> pieces;
+  ExtentList pieces;
   for (const auto& w : update.writes)
     for (const auto& piece : split_at_cylinders(w)) pieces.push_back(piece);
 
   const bool full = update.full_stripe;
 
   // Per-piece delta source, also needed for the audit covers below.
-  std::vector<bool> piece_old_cached(pieces.size());
+  InlineVec<char, 16> piece_old_cached;
   for (std::size_t i = 0; i < pieces.size(); ++i)
-    piece_old_cached[i] = !full && old_cached_extent(pieces[i]);
+    piece_old_cached.push_back(!full && old_cached_extent(pieces[i]) ? 1 : 0);
 
   std::vector<ParityCover> covers;
   if (auditor_) {
@@ -382,13 +382,13 @@ void CachedController::execute_update_spooled(
       !update.writes.empty()) {
     const std::uint64_t id = journal_->open(update, eq_.now());
     ++stats_.journal_intents;
-    auto pending = make_pooled<int>(2);
+    auto pending = make_op<int>(eq_.op_arena(), 2);
     intent_arrive = [this, id, pending](SimTime t) {
       if (--*pending == 0 && journal_) journal_->close(id, t);
     };
   }
 
-  auto completion = Barrier::create(
+  auto completion = Barrier::create(eq_.op_arena(),
       static_cast<int>(pieces.size()),
       [intent_arrive, done = std::move(done)](SimTime t) {
         if (intent_arrive) intent_arrive(t);
@@ -401,9 +401,12 @@ void CachedController::execute_update_spooled(
     if (!parity.valid()) return;
     for (int b = 0; b < parity.block_count; ++b) {
       const bool first = b == 0;
+      // Wrapping an EMPTY std::function would make a non-null (but
+      // throwing) Completion, so the empty case passes a true null.
       add_spool_entry(parity.start_block + b, full,
                       first ? covers : std::vector<ParityCover>{},
-                      first ? intent_arrive : nullptr);
+                      first && intent_arrive ? Completion(intent_arrive)
+                                             : Completion());
     }
   };
 
@@ -425,7 +428,7 @@ void CachedController::execute_update_spooled(
   int delta_inputs = 0;
   for (std::size_t i = 0; i < pieces.size(); ++i)
     if (!piece_old_cached[i]) ++delta_inputs;
-  auto delta_barrier = Barrier::create(delta_inputs, enqueue_parity);
+  auto delta_barrier = Barrier::create(eq_.op_arena(), delta_inputs, enqueue_parity);
   if (delta_inputs == 0) enqueue_parity(eq_.now());
 
   for (std::size_t i = 0; i < pieces.size(); ++i) {
@@ -439,7 +442,7 @@ void CachedController::execute_update_spooled(
       req.kind = DiskOpKind::kWrite;
     } else {
       req.kind = DiskOpKind::kReadModifyWrite;
-      req.gate = WriteGate::already_open();
+      req.gate = WriteGate::already_open(eq_.op_arena());
       req.on_read_done = [delta_barrier](SimTime t) {
         delta_barrier->arrive(t);
       };
@@ -455,14 +458,13 @@ void CachedController::execute_update_spooled(
 void CachedController::add_spool_entry(std::int64_t parity_block,
                                        bool full_stripe,
                                        std::vector<ParityCover> covers,
-                                       std::function<void(SimTime)> on_durable) {
-  auto it = spool_.find(parity_block);
-  if (it != spool_.end()) {
+                                       Completion on_durable) {
+  if (SpoolEntry* existing = spool_.find(parity_block)) {
     // Coalesce: a later full-stripe parity supersedes a pending delta;
     // the reserved slot is shared, so release the extra reservation.
-    it->second.full_stripe = it->second.full_stripe || full_stripe;
-    for (auto& c : covers) it->second.covers.push_back(std::move(c));
-    if (on_durable) it->second.on_durable.push_back(std::move(on_durable));
+    existing->full_stripe = existing->full_stripe || full_stripe;
+    for (auto& c : covers) existing->covers.push_back(std::move(c));
+    if (on_durable) existing->on_durable.push_back(std::move(on_durable));
     cache_.release_parity_slot();
     return;
   }
@@ -470,7 +472,7 @@ void CachedController::add_spool_entry(std::int64_t parity_block,
   entry.full_stripe = full_stripe;
   entry.covers = std::move(covers);
   if (on_durable) entry.on_durable.push_back(std::move(on_durable));
-  spool_.emplace(parity_block, std::move(entry));
+  spool_.insert(parity_block, std::move(entry));
   stats_.parity_queue_peak = std::max(stats_.parity_queue_peak, spool_.size());
   pump_spooler();
 }
@@ -479,11 +481,9 @@ void CachedController::pump_spooler() {
   if (spooling_ || spool_.empty() || crashed()) return;
   // SCAN: continue sweeping upward from the last serviced position,
   // wrapping at the end (parity block number increases with cylinder).
-  auto it = spool_.lower_bound(scan_position_);
-  if (it == spool_.end()) it = spool_.begin();
-  const std::int64_t block = it->first;
-  spooling_entry_ = std::move(it->second);
-  spool_.erase(it);
+  auto popped = spool_.pop_at_or_after(scan_position_);
+  const std::int64_t block = popped.key;
+  spooling_entry_ = std::move(popped.value);
   spooling_ = true;
   spooling_block_ = block;
   scan_position_ = block + 1;
@@ -501,7 +501,7 @@ void CachedController::pump_spooler() {
   } else {
     // Delta entry: the old parity must be read, xored, and rewritten.
     req.kind = DiskOpKind::kReadModifyWrite;
-    req.gate = WriteGate::already_open();
+    req.gate = WriteGate::already_open(eq_.op_arena());
     req.obs_phase = ObsPhase::kReadOldParity;
   }
   req.on_complete = [this, full](SimTime t) {

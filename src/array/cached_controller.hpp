@@ -1,10 +1,10 @@
 #pragma once
 
 #include <deque>
-#include <map>
 #include <vector>
 
 #include "array/controller.hpp"
+#include "array/parity_spool.hpp"
 #include "cache/nv_cache.hpp"
 
 namespace raidsim {
@@ -49,7 +49,7 @@ class CachedController : public ArrayController {
                    const CacheConfig& cache_config);
 
   void submit(const ArrayRequest& request,
-              std::function<void(SimTime)> on_complete) override;
+              Completion on_complete) override;
 
   /// Cancel the periodic destage timer (call once the workload is fully
   /// drained; in-flight work still completes).
@@ -73,9 +73,9 @@ class CachedController : public ArrayController {
 
  private:
   void submit_read(const ArrayRequest& request,
-                   std::function<void(SimTime)> on_complete);
+                   Completion on_complete);
   void submit_write(const ArrayRequest& request,
-                    std::function<void(SimTime)> on_complete);
+                    Completion on_complete);
 
   /// Try to push the request's blocks into the cache; returns false and
   /// parks the request when the cache has no usable slot.
@@ -83,9 +83,9 @@ class CachedController : public ArrayController {
     std::vector<std::int64_t> blocks;
     std::size_t next = 0;
     std::uint64_t obs_id = 0;  // host span the stall markers attach to
-    std::function<void(SimTime)> on_complete;
+    Completion on_complete;
   };
-  void try_cache_writes(std::shared_ptr<StalledWrite> write);
+  void try_cache_writes(OpRef<StalledWrite> write);
   void pump_stalled();
 
   void schedule_destage_tick();
@@ -95,10 +95,10 @@ class CachedController : public ArrayController {
   /// Synchronous writeback of an evicted dirty block; `done` fires when
   /// it is on disk (including its parity update).
   void victim_writeback(std::int64_t block, DiskPriority priority,
-                        std::function<void(SimTime)> done);
+                        Completion done);
   /// Execute one update plan routing the parity through the RAID4 spool.
   void execute_update_spooled(const StripeUpdate& update,
-                              std::function<void(SimTime)> done);
+                              Completion done);
 
   bool old_cached_extent(const PhysicalExtent& extent) const;
 
@@ -108,11 +108,11 @@ class CachedController : public ArrayController {
   struct SpoolEntry {
     bool full_stripe = false;
     std::vector<ParityCover> covers;
-    std::vector<std::function<void(SimTime)>> on_durable;
+    std::vector<Completion> on_durable;
   };
   void add_spool_entry(std::int64_t parity_block, bool full_stripe,
                        std::vector<ParityCover> covers,
-                       std::function<void(SimTime)> on_durable);
+                       Completion on_durable);
   void pump_spooler();
 
   NvCache cache_;
@@ -120,11 +120,12 @@ class CachedController : public ArrayController {
   bool parity_org_;
   EventId destage_event_ = 0;
   bool shutdown_ = false;
-  std::deque<std::shared_ptr<StalledWrite>> stalled_;
+  std::deque<OpRef<StalledWrite>> stalled_;
   std::unique_ptr<IntentJournal> journal_owned_;
 
-  // Parity spool state: key = physical block on the parity disk.
-  std::map<std::int64_t, SpoolEntry> spool_;
+  // Parity spool state: key = physical block on the parity disk. Flat
+  // hot-key/cold-body layout -- see parity_spool.hpp.
+  FlatSpool<SpoolEntry> spool_;
   std::int64_t scan_position_ = 0;
   bool spooling_ = false;
   std::int64_t spooling_block_ = -1;  // in-service entry (crash requeue)

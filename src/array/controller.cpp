@@ -6,7 +6,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
-#include "util/pool_alloc.hpp"
+#include "util/arena.hpp"
 
 namespace raidsim {
 
@@ -21,9 +21,9 @@ std::string to_string(SyncPolicy policy) {
   return "?";
 }
 
-std::shared_ptr<Barrier> Barrier::create(int count, Fire fire) {
+OpRef<Barrier> Barrier::create(OpArena& arena, int count, Fire fire) {
   assert(count >= 0);
-  return make_pooled<Barrier>(Key{}, count, std::move(fire));
+  return make_op<Barrier>(arena, Key{}, count, std::move(fire));
 }
 
 void Barrier::arrive(SimTime now) {
@@ -157,7 +157,7 @@ int ArrayController::choose_mirror_read_disk(const PhysicalExtent& extent) {
 
 void ArrayController::disk_read(const PhysicalExtent& extent,
                                 DiskPriority priority,
-                                std::function<void(SimTime)> done) {
+                                Completion done) {
   assert(extent.valid());
   if (is_degraded(extent)) {
     // Reconstruct the content from the surviving members of the parity
@@ -175,7 +175,7 @@ void ArrayController::disk_read(const PhysicalExtent& extent,
     for (const auto& group : groups)
       ops += static_cast<int>(group.member_reads.size()) +
              (group.parity.valid() ? 1 : 0);
-    auto barrier = Barrier::create(ops, std::move(done));
+    auto barrier = Barrier::create(eq_.op_arena(), ops, std::move(done));
     for (const auto& group : groups) {
       for (const auto& member : group.member_reads)
         disk_read(member, priority,
@@ -223,7 +223,7 @@ bool ArrayController::ewma_slow(int disk) const {
 
 bool ArrayController::issue_alternate_read(const PhysicalExtent& extent,
                                            DiskPriority priority,
-                                           std::function<void(SimTime)> done) {
+                                           Completion& done) {
   if (!alternate_read_available(extent)) return false;
   const auto groups = layout_->degraded_group(extent);
   if (groups.empty()) return false;
@@ -232,7 +232,7 @@ bool ArrayController::issue_alternate_read(const PhysicalExtent& extent,
     ops += static_cast<int>(group.member_reads.size()) +
            (group.parity.valid() ? 1 : 0);
   if (ops == 0) return false;
-  auto barrier = Barrier::create(ops, std::move(done));
+  auto barrier = Barrier::create(eq_.op_arena(), ops, std::move(done));
   for (const auto& group : groups) {
     for (const auto& member : group.member_reads)
       disk_read(member, priority,
@@ -250,14 +250,14 @@ namespace {
 struct HedgeState {
   bool finished = false;  // a leg already delivered the data
   bool hedged = false;    // the speculative leg has been issued
-  std::function<void(SimTime)> done;
+  Completion done;
 };
 
 }  // namespace
 
 void ArrayController::tail_read(const PhysicalExtent& extent,
                                 DiskPriority priority,
-                                std::function<void(SimTime)> done) {
+                                Completion done) {
   if (!tail_.enabled || crashed_ || is_degraded(extent)) {
     disk_read(extent, priority, std::move(done));
     return;
@@ -268,8 +268,7 @@ void ArrayController::tail_read(const PhysicalExtent& extent,
   // fires for parity organizations (and for a fully-quarantined pair,
   // where the primary still has to serve).
   if (is_quarantined(extent.disk) && extent.disk != failed_disk_) {
-    auto done_copy = done;
-    if (issue_alternate_read(extent, priority, std::move(done_copy))) {
+    if (issue_alternate_read(extent, priority, done)) {
       ++stats_.quarantine_reroutes;
       obs_instant(tracer_, ObsPhase::kRedirected, array_index_, extent.disk,
                   eq_.now());
@@ -296,7 +295,7 @@ void ArrayController::tail_read(const PhysicalExtent& extent,
     return;
   }
 
-  auto state = make_pooled<HedgeState>();
+  auto state = make_op<HedgeState>(eq_.op_arena());
   state->done = std::move(done);
 
   auto issue_hedge = [this, extent, priority, state](SimTime) {
@@ -316,7 +315,8 @@ void ArrayController::tail_read(const PhysicalExtent& extent,
         d(t);
       }
     };
-    if (issue_alternate_read(extent, priority, std::move(hedge_done))) {
+    Completion hedge_completion = std::move(hedge_done);
+    if (issue_alternate_read(extent, priority, hedge_completion)) {
       state->hedged = true;
       ++stats_.hedged_reads;
       obs_instant(tracer_, ObsPhase::kHedgeIssued, array_index_, extent.disk,
@@ -362,8 +362,8 @@ void ArrayController::tail_read(const PhysicalExtent& extent,
 
 void ArrayController::disk_write(const PhysicalExtent& extent,
                                  DiskPriority priority,
-                                 std::function<void(SimTime)> done,
-                                 std::function<void(SimTime, int)> on_power_fail,
+                                 Completion done,
+                                 PowerFail on_power_fail,
                                  ObsPhase phase) {
   assert(extent.valid());
   submit_op(extent, /*is_write=*/true, priority, std::move(done), 0,
@@ -372,9 +372,9 @@ void ArrayController::disk_write(const PhysicalExtent& extent,
 
 void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
                                 DiskPriority priority,
-                                std::function<void(SimTime)> done,
+                                Completion done,
                                 int attempt,
-                                std::function<void(SimTime, int)> on_power_fail,
+                                PowerFail on_power_fail,
                                 ObsPhase phase) {
   // A crashed controller issues nothing; the host request this op served
   // died with the crash (its completion simply never fires).
@@ -392,38 +392,53 @@ void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
     return;
   }
   Disk& disk = *disks_[static_cast<std::size_t>(extent.disk)];
+  // The completion and power-fail continuations are needed by both the
+  // success callback and the fault path (retry resubmission reuses them),
+  // so they live once in the engine's op arena; the disk's callbacks
+  // carry only an 8-byte handle each.
+  struct FaultCtx {
+    Completion done;
+    PowerFail on_power_fail;
+  };
+  auto ctx = make_op<FaultCtx>(eq_.op_arena());
+  ctx->done = std::move(done);
+  ctx->on_power_fail = std::move(on_power_fail);
   DiskRequest req;
   req.kind = is_write ? DiskOpKind::kWrite : DiskOpKind::kRead;
   req.start_block = extent.start_block;
   req.block_count = extent.block_count;
   req.priority = priority;
   req.obs_phase = phase;
-  req.on_complete = done;
-  req.on_power_fail = on_power_fail;
-  req.on_error = [this, extent, is_write, priority, done = std::move(done),
-                  attempt, on_power_fail = std::move(on_power_fail),
+  req.on_complete = [ctx](SimTime t) {
+    if (ctx->done) ctx->done(t);
+  };
+  if (ctx->on_power_fail) {
+    req.on_power_fail = [ctx](SimTime t, int durable) {
+      ctx->on_power_fail(t, durable);
+    };
+  }
+  req.on_error = [this, ctx, extent, is_write, priority, attempt,
                   phase](SimTime t, DiskError error) mutable {
     if (error == DiskError::kMedia && !is_write) {
       ++stats_.media_errors;
       // The data are reconstructed from the group and rewritten in
       // place (sector remap); the reconstruction also serves the read.
-      repair_media_error(extent, priority, std::move(done));
+      repair_media_error(extent, priority, std::move(ctx->done));
       return;
     }
     if (error == DiskError::kTransient && attempt < fault_.retry_budget) {
       ++stats_.transient_retries;
       const double backoff =
           fault_.retry_backoff_ms * static_cast<double>(1 << attempt);
-      eq_.schedule_in(backoff, [this, extent, is_write, priority,
-                                done = std::move(done), attempt,
-                                on_power_fail = std::move(on_power_fail),
-                                phase]() mutable {
-        submit_op(extent, is_write, priority, std::move(done), attempt + 1,
-                  std::move(on_power_fail), phase);
+      eq_.schedule_in(backoff, [this, ctx, extent, is_write, priority,
+                                attempt, phase]() mutable {
+        submit_op(extent, is_write, priority, std::move(ctx->done),
+                  attempt + 1, std::move(ctx->on_power_fail), phase);
       });
       return;
     }
-    handle_retry_exhaustion(extent, is_write, priority, std::move(done), t);
+    handle_retry_exhaustion(extent, is_write, priority, std::move(ctx->done),
+                            t);
   };
   disk.submit(std::move(req));
 }
@@ -431,7 +446,7 @@ void ArrayController::submit_op(const PhysicalExtent& extent, bool is_write,
 void ArrayController::handle_retry_exhaustion(const PhysicalExtent& extent,
                                               bool is_write,
                                               DiskPriority priority,
-                                              std::function<void(SimTime)> done,
+                                              Completion done,
                                               SimTime now) {
   ++stats_.retry_exhaustions;
   if (disk_dead_handler_) {
@@ -459,7 +474,7 @@ void ArrayController::handle_retry_exhaustion(const PhysicalExtent& extent,
 
 void ArrayController::repair_media_error(const PhysicalExtent& extent,
                                          DiskPriority priority,
-                                         std::function<void(SimTime)> done) {
+                                         Completion done) {
   const auto groups = layout_->degraded_group(extent);
   Disk& disk = *disks_[static_cast<std::size_t>(extent.disk)];
   if (groups.empty()) {
@@ -482,7 +497,7 @@ void ArrayController::repair_media_error(const PhysicalExtent& extent,
                  if (done) done(t);
                });
   };
-  auto barrier = Barrier::create(reads, std::move(rewrite));
+  auto barrier = Barrier::create(eq_.op_arena(), reads, std::move(rewrite));
   for (const auto& group : groups) {
     for (const auto& member : group.member_reads)
       disk_read(member, priority,
@@ -522,7 +537,7 @@ void ArrayController::note_recovery(double ms, std::uint64_t intents_replayed,
 
 ArrayController::ResyncIssue ArrayController::resync_stripe(
     const PhysicalExtent& extent, DiskPriority priority,
-    std::function<void(SimTime)> done) {
+    Completion done) {
   ResyncIssue issue;
   const auto groups = layout_->degraded_group(extent);
   if (groups.empty()) {
@@ -568,7 +583,7 @@ ArrayController::ResyncIssue ArrayController::resync_stripe(
 
   auto write_parities = [this, groups, priority, parity_extents,
                          finish = std::move(finish)](SimTime) mutable {
-    auto parity_barrier = Barrier::create(parity_extents, std::move(finish));
+    auto parity_barrier = Barrier::create(eq_.op_arena(), parity_extents, std::move(finish));
     for (const auto& g : groups)
       if (g.parity.valid())
         disk_write(
@@ -576,7 +591,7 @@ ArrayController::ResyncIssue ArrayController::resync_stripe(
             [parity_barrier](SimTime t) { parity_barrier->arrive(t); },
             nullptr, ObsPhase::kWriteParity);
   };
-  auto read_barrier = Barrier::create(reads, std::move(write_parities));
+  auto read_barrier = Barrier::create(eq_.op_arena(), reads, std::move(write_parities));
   disk_read(extent, priority,
             [read_barrier](SimTime t) { read_barrier->arrive(t); });
   for (const auto& g : groups)
@@ -587,7 +602,7 @@ ArrayController::ResyncIssue ArrayController::resync_stripe(
 }
 
 ArrayController::AuditTap ArrayController::audit_data_write(
-    const PhysicalExtent& extent, std::function<void(SimTime)> inner) {
+    const PhysicalExtent& extent, Completion inner) {
   AuditTap tap;
   if (auditor_ == nullptr || extent.logical_start < 0) {
     tap.on_complete = std::move(inner);
@@ -614,7 +629,7 @@ ArrayController::AuditTap ArrayController::audit_data_write(
 }
 
 std::vector<ParityCover> ArrayController::parity_covers(
-    const std::vector<PhysicalExtent>& writes,
+    const ExtentList& writes,
     const std::function<bool(const PhysicalExtent&)>& old_data_cached) const {
   std::vector<ParityCover> covers;
   if (auditor_ == nullptr) return covers;
@@ -633,10 +648,10 @@ std::vector<ParityCover> ArrayController::parity_covers(
   return covers;
 }
 
-std::vector<PhysicalExtent> ArrayController::split_at_cylinders(
+ExtentList ArrayController::split_at_cylinders(
     const PhysicalExtent& extent) const {
   const int bpc = disk_geometry_.blocks_per_cylinder();
-  std::vector<PhysicalExtent> out;
+  ExtentList out;
   std::int64_t pos = extent.start_block;
   std::int64_t logical = extent.logical_start;
   int remaining = extent.block_count;
@@ -654,7 +669,7 @@ std::vector<PhysicalExtent> ArrayController::split_at_cylinders(
 
 bool ArrayController::rebuild_extent(const PhysicalExtent& extent,
                                      DiskPriority priority,
-                                     std::function<void(SimTime)> done) {
+                                     Completion done) {
   const auto groups = layout_->degraded_group(extent);
   if (groups.empty()) return false;
   int reads = 0;
@@ -683,7 +698,7 @@ bool ArrayController::rebuild_extent(const PhysicalExtent& extent,
     req.on_complete = std::move(done);
     replacement.submit(std::move(req));
   };
-  auto barrier = Barrier::create(reads, std::move(write_back));
+  auto barrier = Barrier::create(eq_.op_arena(), reads, std::move(write_back));
   for (const auto& group : groups) {
     for (const auto& member : group.member_reads)
       disk_read(member, priority,
@@ -710,8 +725,8 @@ StripeUpdate ArrayController::degrade_update(const StripeUpdate& update) {
   // members. (With multiple extents per plan this reads the failed
   // extent's offsets only -- exact for the single-block writes that
   // dominate OLTP.)
-  std::vector<PhysicalExtent> surviving;
-  std::vector<PhysicalExtent> dropped;
+  ExtentList surviving;
+  ExtentList dropped;
   for (const auto& w : out.writes)
     (is_degraded(w) ? dropped : surviving).push_back(w);
   if (!dropped.empty()) {
@@ -747,7 +762,7 @@ StripeUpdate ArrayController::degrade_update(const StripeUpdate& update) {
 void ArrayController::execute_update(
     const StripeUpdate& update, DiskPriority data_priority, SyncPolicy sync,
     const std::function<bool(const PhysicalExtent&)>& old_data_cached,
-    std::function<void(SimTime)> done) {
+    Completion done) {
   if (journal_ && !crashed_ && update.parity.valid() &&
       !update.writes.empty()) {
     // Record the stripe-update intent before any disk I/O is issued; it
@@ -778,7 +793,7 @@ void ArrayController::execute_update(
 void ArrayController::execute_update_impl(
     const StripeUpdate& update, DiskPriority data_priority, SyncPolicy sync,
     const std::function<bool(const PhysicalExtent&)>& old_data_cached,
-    std::function<void(SimTime)> done) {
+    Completion done) {
   const DiskPriority parity_priority =
       parity_has_priority(sync) ? DiskPriority::kParity : data_priority;
 
@@ -786,7 +801,7 @@ void ArrayController::execute_update_impl(
   if (update.reconstruct || update.full_stripe) {
     const int op_count = static_cast<int>(update.writes.size()) +
                          (update.parity.valid() ? 1 : 0);
-    auto completion = Barrier::create(op_count, std::move(done));
+    auto completion = Barrier::create(eq_.op_arena(), op_count, std::move(done));
     for (const auto& w : update.writes) {
       auto tap = audit_data_write(
           w, [completion](SimTime t) { completion->arrive(t); });
@@ -812,7 +827,7 @@ void ArrayController::execute_update_impl(
         // Reconstruct: the parity write waits for the reads of the
         // untouched data.
         const PhysicalExtent parity = update.parity;
-        auto read_barrier = Barrier::create(
+        auto read_barrier = Barrier::create(eq_.op_arena(),
             static_cast<int>(update.reconstruct_reads.size()),
             [this, parity, parity_priority,
              parity_done = std::move(parity_done)](SimTime) mutable {
@@ -830,23 +845,27 @@ void ArrayController::execute_update_impl(
   // ---- Read-modify-write plan (small writes).
   assert(update.parity.valid());
 
-  std::vector<PhysicalExtent> data_pieces;
+  ExtentList data_pieces;
   for (const auto& w : update.writes)
     for (const auto& piece : split_at_cylinders(w)) data_pieces.push_back(piece);
-  std::vector<PhysicalExtent> parity_pieces = split_at_cylinders(update.parity);
+  // The parity pieces outlive this frame inside issue_parity (and are
+  // shared by up to two barriers), so they live in the op arena and the
+  // lambdas carry an 8-byte handle.
+  auto parity_pieces =
+      make_op<ExtentList>(eq_.op_arena(), split_at_cylinders(update.parity));
 
   const int total_ops =
-      static_cast<int>(data_pieces.size() + parity_pieces.size());
-  auto completion = Barrier::create(total_ops, std::move(done));
+      static_cast<int>(data_pieces.size() + parity_pieces->size());
+  auto completion = Barrier::create(eq_.op_arena(), total_ops, std::move(done));
 
   // The gate opens when the new parity is computable: every data piece
   // whose old content is not already in the controller must finish its
   // old-data read first.
-  auto gate = make_pooled<WriteGate>();
+  auto gate = make_op<WriteGate>(eq_.op_arena());
   int gate_inputs = 0;
-  std::vector<bool> piece_old_cached(data_pieces.size());
+  InlineVec<char, 16> piece_old_cached;
   for (std::size_t i = 0; i < data_pieces.size(); ++i) {
-    piece_old_cached[i] = old_data_cached(data_pieces[i]);
+    piece_old_cached.push_back(old_data_cached(data_pieces[i]) ? 1 : 0);
     if (!piece_old_cached[i]) ++gate_inputs;
   }
 
@@ -871,14 +890,14 @@ void ArrayController::execute_update_impl(
     }
   }
   auto parity_remaining =
-      make_pooled<int>(static_cast<int>(parity_pieces.size()));
+      make_op<int>(eq_.op_arena(), static_cast<int>(parity_pieces->size()));
 
   // Issuing the parity access(es): immediately for SI; when all old data
   // have been read for RF; when all data accesses have acquired their
   // disks for DF.
   auto issue_parity = [this, parity_pieces, parity_priority, gate,
                        completion, covers, parity_remaining](SimTime) {
-    for (const auto& piece : parity_pieces) {
+    for (const auto& piece : *parity_pieces) {
       Disk& disk = *disks_[static_cast<std::size_t>(piece.disk)];
       DiskRequest req;
       req.kind = DiskOpKind::kReadModifyWrite;
@@ -898,7 +917,7 @@ void ArrayController::execute_update_impl(
   };
 
   const bool read_first = is_read_first(sync);
-  auto read_barrier = Barrier::create(
+  auto read_barrier = Barrier::create(eq_.op_arena(),
       gate_inputs, [gate, read_first, issue_parity](SimTime t) {
         gate->open(t);
         if (read_first) issue_parity(t);
@@ -910,10 +929,10 @@ void ArrayController::execute_update_impl(
     if (read_first) issue_parity(eq_.now());
   }
 
-  std::shared_ptr<Barrier> start_barrier;
+  OpRef<Barrier> start_barrier;
   if (is_disk_first(sync)) {
     start_barrier =
-        Barrier::create(static_cast<int>(data_pieces.size()), issue_parity);
+        Barrier::create(eq_.op_arena(), static_cast<int>(data_pieces.size()), issue_parity);
   }
 
   for (std::size_t i = 0; i < data_pieces.size(); ++i) {
@@ -931,7 +950,7 @@ void ArrayController::execute_update_impl(
       // needs nothing beyond the new data, which the controller already
       // has, so its own gate is pre-opened.
       req.kind = DiskOpKind::kReadModifyWrite;
-      req.gate = WriteGate::already_open();
+      req.gate = WriteGate::already_open(eq_.op_arena());
       req.on_read_done = [read_barrier](SimTime t) {
         read_barrier->arrive(t);
       };

@@ -13,6 +13,8 @@
 #include "disk/disk.hpp"
 #include "layout/layout.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/small_function.hpp"
+#include "util/arena.hpp"
 
 namespace raidsim {
 
@@ -42,17 +44,23 @@ struct ArrayRequest {
 /// have occurred. Created with the full count; a zero count fires on
 /// creation.
 class Barrier {
-  /// Pass-key: the constructor must be reachable by allocate_shared (so
-  /// barriers come from the per-thread object pool) without letting other
-  /// code bypass create().
+  /// Pass-key: the constructor must be reachable by make_op (so barriers
+  /// come from the engine's op arena) without letting other code bypass
+  /// create().
   struct Key {
     explicit Key() = default;
   };
 
  public:
-  using Fire = std::function<void(SimTime)>;
+  /// Fire callbacks hold the continuation of a whole parity-update plan
+  /// (a done std::function plus captured extents/covers), so they get
+  /// wider inline storage than the default; anything that still
+  /// overflows falls back to one heap allocation, like std::function.
+  using Fire = SmallFunction<void(SimTime), 128>;
 
-  static std::shared_ptr<Barrier> create(int count, Fire fire);
+  /// Allocated against the engine's op arena (always the eq_.op_arena()
+  /// of the controller issuing the plan).
+  static OpRef<Barrier> create(OpArena& arena, int count, Fire fire);
 
   Barrier(Key, int count, Fire fire)
       : remaining_(count), fire_(std::move(fire)) {}
@@ -195,7 +203,7 @@ class ArrayController {
   /// Submit a request at the current simulation time; `on_complete` fires
   /// when the response is delivered to the host.
   virtual void submit(const ArrayRequest& request,
-                      std::function<void(SimTime)> on_complete) = 0;
+                      Completion on_complete) = 0;
 
   /// Stop periodic background machinery (e.g. the cached controller's
   /// destage timer) once the workload has fully drained; in-flight work
@@ -228,13 +236,13 @@ class ArrayController {
   /// write completes. Returns false when the organization has no
   /// redundancy to rebuild from.
   bool rebuild_extent(const PhysicalExtent& extent, DiskPriority priority,
-                      std::function<void(SimTime)> done);
+                      Completion done);
 
   /// Patrol-read one extent through the fault-aware read path
   /// (ScrubProcess): a latent sector error it hits is repaired in place
   /// by repair_media_error, and a degraded extent is reconstructed.
   void scrub_extent(const PhysicalExtent& extent, DiskPriority priority,
-                    std::function<void(SimTime)> done) {
+                    Completion done) {
     disk_read(extent, priority, std::move(done));
   }
 
@@ -244,7 +252,7 @@ class ArrayController {
   /// redundancy the data are lost (counted) and the blocks remapped
   /// empty. `done` fires when the rewrite (or loss accounting) is done.
   void repair_media_error(const PhysicalExtent& extent, DiskPriority priority,
-                          std::function<void(SimTime)> done);
+                          Completion done);
 
   /// Invoked when a disk exhausts its transient-retry budget and is
   /// declared dead. The handler owns the reaction (typically a
@@ -311,7 +319,7 @@ class ArrayController {
   };
   ResyncIssue resync_stripe(const PhysicalExtent& extent,
                             DiskPriority priority,
-                            std::function<void(SimTime)> done);
+                            Completion done);
 
   /// Recovery bookkeeping callback (RecoveryProcess reports here).
   void note_recovery(double ms, std::uint64_t intents_replayed, bool full);
@@ -337,7 +345,7 @@ class ArrayController {
   /// hedge escalation), and optional hedged reads (speculative redundant
   /// copy after an adaptive delay, first completion wins).
   void tail_read(const PhysicalExtent& extent, DiskPriority priority,
-                 std::function<void(SimTime)> done);
+                 Completion done);
 
   /// True when a redundant alternative exists for reading `extent`
   /// without touching extent.disk: a healthy mirror twin, or (when the
@@ -348,10 +356,12 @@ class ArrayController {
   bool ewma_slow(int disk) const;
 
   /// Issue that alternative (twin read or parity reconstruction).
-  /// Returns false -- issuing nothing -- when none is available.
+  /// Returns false -- issuing nothing -- when none is available; `done`
+  /// is consumed (moved from) only on success, so a failed attempt
+  /// leaves it intact for the caller's fallback path.
   bool issue_alternate_read(const PhysicalExtent& extent,
                             DiskPriority priority,
-                            std::function<void(SimTime)> done);
+                            Completion& done);
 
   /// True when `extent` must be served in degraded mode (on the failed
   /// disk, above the rebuild watermark).
@@ -362,15 +372,15 @@ class ArrayController {
   /// disk are transparently reconstructed from the surviving members of
   /// their parity group.
   void disk_read(const PhysicalExtent& extent, DiskPriority priority,
-                 std::function<void(SimTime)> done);
+                 Completion done);
 
   /// Issue a plain write of `extent`; `done` fires when it is on disk.
   /// `on_power_fail` (optional) is invoked instead when a crash kills the
   /// write, with the durable leading-block count. `phase` tags the
   /// tracer span (kAuto = write-data).
   void disk_write(const PhysicalExtent& extent, DiskPriority priority,
-                  std::function<void(SimTime)> done,
-                  std::function<void(SimTime, int)> on_power_fail = nullptr,
+                  Completion done,
+                  PowerFail on_power_fail = nullptr,
                   ObsPhase phase = ObsPhase::kAuto);
 
   /// Execute one parity-group update plan. `data_priority` applies to the
@@ -384,11 +394,11 @@ class ArrayController {
                       SyncPolicy sync,
                       const std::function<bool(const PhysicalExtent&)>&
                           old_data_cached,
-                      std::function<void(SimTime)> done);
+                      Completion done);
 
   /// Split an extent at cylinder boundaries (RMW accesses must not cross
   /// a cylinder).
-  std::vector<PhysicalExtent> split_at_cylinders(
+  ExtentList split_at_cylinders(
       const PhysicalExtent& extent) const;
 
   std::int64_t block_bytes(int blocks) const {
@@ -412,14 +422,14 @@ class ArrayController {
                            DiskPriority data_priority, SyncPolicy sync,
                            const std::function<bool(const PhysicalExtent&)>&
                                old_data_cached,
-                           std::function<void(SimTime)> done);
+                           Completion done);
 
   /// Fault-aware submission of a plain read/write: installs the
   /// transient-retry and media-repair handlers around the disk op.
   void submit_op(const PhysicalExtent& extent, bool is_write,
-                 DiskPriority priority, std::function<void(SimTime)> done,
+                 DiskPriority priority, Completion done,
                  int attempt,
-                 std::function<void(SimTime, int)> on_power_fail = nullptr,
+                 PowerFail on_power_fail = nullptr,
                  ObsPhase phase = ObsPhase::kAuto);
 
   /// Audit instrumentation for one data-write extent: the returned
@@ -429,23 +439,23 @@ class ArrayController {
   /// issue time (the content being written NOW, not whatever the host
   /// writes later). No-ops when no auditor is attached.
   struct AuditTap {
-    std::function<void(SimTime)> on_complete;
-    std::function<void(SimTime, int)> on_power_fail;
+    Completion on_complete;
+    PowerFail on_power_fail;
   };
   AuditTap audit_data_write(const PhysicalExtent& extent,
-                            std::function<void(SimTime)> inner);
+                            Completion inner);
 
   /// Build the parity-cover records for the data extents of an update:
   /// which generation each block's parity delta was computed against
   /// (the retained old copy for cached pieces, the on-disk content for
   /// pieces whose old data the RMW pass reads). Empty without an auditor.
   std::vector<ParityCover> parity_covers(
-      const std::vector<PhysicalExtent>& writes,
+      const ExtentList& writes,
       const std::function<bool(const PhysicalExtent&)>& old_data_cached)
       const;
   void handle_retry_exhaustion(const PhysicalExtent& extent, bool is_write,
                                DiskPriority priority,
-                               std::function<void(SimTime)> done, SimTime now);
+                               Completion done, SimTime now);
 
   SyncPolicy sync_;
   ControllerStats stats_;

@@ -28,7 +28,7 @@ class IntentJournal {
   struct Intent {
     std::uint64_t id = 0;
     SimTime opened_at = 0.0;
-    std::vector<PhysicalExtent> writes;  // data extents of the update
+    ExtentList writes;                   // data extents of the update
     PhysicalExtent parity;               // invalid when no parity
   };
 

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace raidsim {
+
+/// Flat SCAN-ordered spool: a sorted hot array of (key, slot) pairs the
+/// spooler scans, with the cold entry bodies in a separate slab recycled
+/// through a free list. Replaces the node-per-entry `std::map` the RAID4
+/// parity spool used to be: the SCAN lookup (`pop_at_or_after`) touches
+/// only the 12-byte hot records, and entry churn never hits the heap once
+/// the slab has grown to the peak queue depth.
+///
+/// Keys are unique. `V` must be default-constructible and movable; popped
+/// bodies are reset to `V{}` so recycled slots hold no stale callbacks.
+template <typename V>
+class FlatSpool {
+ public:
+  std::size_t size() const { return hot_.size(); }
+  bool empty() const { return hot_.empty(); }
+
+  /// Body for `key`, or nullptr. The pointer is invalidated by any
+  /// mutating call.
+  V* find(std::int64_t key) {
+    auto it = lower_bound(key);
+    if (it == hot_.end() || it->key != key) return nullptr;
+    return &bodies_[it->slot];
+  }
+
+  /// Insert a new entry; `key` must not be present.
+  V& insert(std::int64_t key, V&& value) {
+    auto it = lower_bound(key);
+    assert(it == hot_.end() || it->key != key);
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      bodies_[slot] = std::move(value);
+    } else {
+      slot = static_cast<std::uint32_t>(bodies_.size());
+      bodies_.push_back(std::move(value));
+    }
+    hot_.insert(it, HotKey{key, slot});
+    return bodies_[slot];
+  }
+
+  struct Popped {
+    std::int64_t key;
+    V value;
+  };
+
+  /// Remove and return the entry with the smallest key >= `from`,
+  /// wrapping to the smallest key overall (SCAN order). The spool must
+  /// not be empty.
+  Popped pop_at_or_after(std::int64_t from) {
+    assert(!hot_.empty());
+    auto it = lower_bound(from);
+    if (it == hot_.end()) it = hot_.begin();
+    Popped out{it->key, std::move(bodies_[it->slot])};
+    bodies_[it->slot] = V{};
+    free_.push_back(it->slot);
+    hot_.erase(it);
+    return out;
+  }
+
+  /// Drop every entry and release the slab.
+  void clear() {
+    hot_.clear();
+    bodies_.clear();
+    free_.clear();
+  }
+
+ private:
+  struct HotKey {
+    std::int64_t key;
+    std::uint32_t slot;
+  };
+
+  typename std::vector<HotKey>::iterator lower_bound(std::int64_t key) {
+    return std::lower_bound(
+        hot_.begin(), hot_.end(), key,
+        [](const HotKey& h, std::int64_t k) { return h.key < k; });
+  }
+
+  std::vector<HotKey> hot_;   // sorted by key; what the SCAN walks
+  std::vector<V> bodies_;     // cold entry state, indexed by slot
+  std::vector<std::uint32_t> free_;  // recycled body slots
+};
+
+}  // namespace raidsim

@@ -6,7 +6,7 @@ UncachedController::UncachedController(EventQueue& eq, const Config& config)
     : ArrayController(eq, config) {}
 
 void UncachedController::submit(const ArrayRequest& request,
-                                std::function<void(SimTime)> on_complete) {
+                                Completion on_complete) {
   if (crashed()) return;  // controller down: the request dies unanswered
   if (!on_complete) on_complete = [](SimTime) {};
   if (request.is_write) {
@@ -17,11 +17,11 @@ void UncachedController::submit(const ArrayRequest& request,
 }
 
 void UncachedController::submit_read(const ArrayRequest& request,
-                                     std::function<void(SimTime)> on_complete) {
+                                     Completion on_complete) {
   ++stats_.read_requests;
   auto extents = layout_->map_read(request.logical_block, request.block_count);
   auto barrier =
-      Barrier::create(static_cast<int>(extents.size()), std::move(on_complete));
+      Barrier::create(eq_.op_arena(), static_cast<int>(extents.size()), std::move(on_complete));
   for (auto extent : extents) {
     extent.disk = choose_mirror_read_disk(extent);
     const std::int64_t bytes = block_bytes(extent.block_count);
@@ -40,7 +40,7 @@ void UncachedController::submit_read(const ArrayRequest& request,
 }
 
 void UncachedController::submit_write(const ArrayRequest& request,
-                                      std::function<void(SimTime)> on_complete) {
+                                      Completion on_complete) {
   ++stats_.write_requests;
   const std::int64_t bytes = block_bytes(request.block_count);
   const ArrayRequest req = request;
@@ -68,7 +68,7 @@ void UncachedController::submit_write(const ArrayRequest& request,
           gens.push_back(auditor_->host_write(req.logical_block + i));
       }
       auto plans = layout_->map_write(req.logical_block, req.block_count);
-      auto barrier = Barrier::create(
+      auto barrier = Barrier::create(eq_.op_arena(),
           static_cast<int>(plans.size()),
           [this, req, gens = std::move(gens),
            done = std::move(done)](SimTime t) {

@@ -15,13 +15,13 @@ class UncachedController : public ArrayController {
   UncachedController(EventQueue& eq, const Config& config);
 
   void submit(const ArrayRequest& request,
-              std::function<void(SimTime)> on_complete) override;
+              Completion on_complete) override;
 
  private:
   void submit_read(const ArrayRequest& request,
-                   std::function<void(SimTime)> on_complete);
+                   Completion on_complete);
   void submit_write(const ArrayRequest& request,
-                    std::function<void(SimTime)> on_complete);
+                    Completion on_complete);
 };
 
 }  // namespace raidsim

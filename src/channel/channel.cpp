@@ -2,10 +2,10 @@
 
 #include <cassert>
 #include <memory>
-
-#include "util/pool_alloc.hpp"
 #include <stdexcept>
 #include <utility>
+
+#include "util/arena.hpp"
 
 namespace raidsim {
 
@@ -22,7 +22,7 @@ double Channel::transfer_ms(std::int64_t bytes) const {
 }
 
 void Channel::transfer(std::int64_t bytes,
-                       std::function<void(SimTime)> on_complete) {
+                       Completion on_complete) {
   queue_.push_back(Pending{bytes, std::move(on_complete)});
   if (!busy_) start_next();
 }
@@ -38,7 +38,7 @@ void Channel::start_next() {
   const double dur = transfer_ms(p.bytes);
   busy_ms_ += dur;
   ++transfers_;
-  auto cb = make_pooled<Pending>(std::move(p));
+  auto cb = make_op<Pending>(eq_.op_arena(), std::move(p));
   eq_.schedule_in(dur, [this, cb] {
     if (cb->on_complete) cb->on_complete(eq_.now());
     start_next();
@@ -49,7 +49,7 @@ BufferPool::BufferPool(int capacity) : capacity_(capacity), available_(capacity)
   if (capacity <= 0) throw std::invalid_argument("BufferPool: capacity <= 0");
 }
 
-void BufferPool::acquire(std::function<void()> grant) {
+void BufferPool::acquire(InlineCallback grant) {
   if (available_ > 0) {
     --available_;
     grant();

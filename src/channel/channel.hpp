@@ -21,7 +21,7 @@ class Channel {
 
   /// Queue a transfer of `bytes`; `on_complete` fires when the last byte
   /// has crossed the channel.
-  void transfer(std::int64_t bytes, std::function<void(SimTime)> on_complete);
+  void transfer(std::int64_t bytes, Completion on_complete);
 
   /// Transfer time for `bytes` with no queueing.
   double transfer_ms(std::int64_t bytes) const;
@@ -36,7 +36,7 @@ class Channel {
  private:
   struct Pending {
     std::int64_t bytes;
-    std::function<void(SimTime)> on_complete;
+    Completion on_complete;
   };
 
   void start_next();
@@ -58,7 +58,7 @@ class BufferPool {
 
   /// Acquire one buffer; `grant` runs immediately when a buffer is free,
   /// otherwise when one is released (same simulation time as release).
-  void acquire(std::function<void()> grant);
+  void acquire(InlineCallback grant);
 
   /// Return one buffer to the pool, waking the oldest waiter if any.
   void release();
@@ -72,7 +72,7 @@ class BufferPool {
  private:
   int capacity_;
   int available_;
-  std::deque<std::function<void()>> waiters_;
+  std::deque<InlineCallback> waiters_;
   std::uint64_t stalls_ = 0;
 };
 

@@ -76,6 +76,14 @@ struct SimulationConfig {
   /// results.
   EventKernel event_kernel = EventKernel::kCalendar;
 
+  /// Allocator backing per-request op state (util/arena.hpp). Arena is
+  /// the default: per-engine slabs with non-atomic OpRef refcounts. Pool
+  /// reproduces the retired thread-local/atomic cost profile and is the
+  /// differential yardstick. Like event_kernel, this cannot change
+  /// results -- runs are bit-identical under either -- so it is excluded
+  /// from the job cache key.
+  OpAlloc op_alloc = OpAlloc::kArena;
+
   /// Observability (src/obs). Tracing records request-lifecycle spans by
   /// passive appends only -- it never schedules events, so a traced run
   /// executes exactly the same kernel events as an untraced one. The

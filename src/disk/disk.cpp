@@ -2,15 +2,13 @@
 
 #include <cassert>
 #include <algorithm>
-
-#include "util/pool_alloc.hpp"
 #include <cmath>
 #include <stdexcept>
 
 namespace raidsim {
 
-std::shared_ptr<WriteGate> WriteGate::already_open() {
-  auto gate = make_pooled<WriteGate>();
+OpRef<WriteGate> WriteGate::already_open(OpArena& arena) {
+  auto gate = make_op<WriteGate>(arena);
   gate->open_ = true;
   gate->ready_time_ = 0.0;
   return gate;
@@ -246,7 +244,7 @@ void Disk::begin_service(Pending p) {
     case DiskOpKind::kWrite: {
       stats_.transfer_ms += plan.transfer_ms;
       (p.req.kind == DiskOpKind::kRead ? stats_.reads : stats_.writes)++;
-      auto shared = make_pooled<Pending>(std::move(p));
+      auto shared = make_op<Pending>(eq_.op_arena(), std::move(p));
       active_ = shared;
       if (shared->req.kind == DiskOpKind::kWrite) {
         active_write_start_ = plan.transfer_start;
@@ -275,7 +273,7 @@ void Disk::begin_service(Pending p) {
       const double rot = geometry_.rotation_ms();
       const int min_revs = std::max(
           1, static_cast<int>(std::ceil(plan.transfer_ms / rot - 1e-9)));
-      auto shared = make_pooled<Pending>(std::move(p));
+      auto shared = make_op<Pending>(eq_.op_arena(), std::move(p));
       active_ = shared;
       const std::uint64_t epoch = power_epoch_;
       // A slow read pass delays read_done; schedule_rmw_write then pushes
@@ -323,7 +321,7 @@ void Disk::begin_service(Pending p) {
   }
 }
 
-void Disk::schedule_rmw_write(std::shared_ptr<Pending> p, SimTime service_start,
+void Disk::schedule_rmw_write(OpRef<Pending> p, SimTime service_start,
                               SimTime transfer_start, int sector_count,
                               int end_cylinder, int min_revolutions,
                               SimTime earliest) {

@@ -12,6 +12,7 @@
 #include "obs/tracer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/small_function.hpp"
+#include "util/arena.hpp"
 #include "util/stats.hpp"
 
 namespace raidsim {
@@ -69,8 +70,9 @@ std::string to_string(DiskError error);
 /// Simultaneous Issue policy.
 class WriteGate {
  public:
-  /// An open gate never delays the write.
-  static std::shared_ptr<WriteGate> already_open();
+  /// An open gate never delays the write. Allocated against the engine's
+  /// op arena (always eq.op_arena() of the queue driving the disks).
+  static OpRef<WriteGate> already_open(OpArena& arena);
 
   void open(SimTime now);
   bool is_open() const { return open_; }
@@ -92,7 +94,7 @@ struct DiskRequest {
   std::int64_t start_block = 0;
   int block_count = 1;
   DiskPriority priority = DiskPriority::kNormal;
-  std::shared_ptr<WriteGate> gate;  // RMW only; null means always ready
+  OpRef<WriteGate> gate;  // RMW only; null means always ready
   /// Tracer tag for the service span. kAuto derives the phase from the op
   /// kind (read-data / write-data / read-old-data); submitters that know
   /// better override it (parity RMW, full-stripe parity write, rebuild).
@@ -287,7 +289,7 @@ class Disk {
 
   void start_next();
   void begin_service(Pending p);
-  void schedule_rmw_write(std::shared_ptr<Pending> p, SimTime service_start,
+  void schedule_rmw_write(OpRef<Pending> p, SimTime service_start,
                           SimTime transfer_start, int sector_count,
                           int end_cylinder, int min_revolutions,
                           SimTime earliest);
@@ -319,7 +321,7 @@ class Disk {
   // within an in-flight write when the lights go out.
   std::uint64_t power_epoch_ = 0;
   bool powered_off_ = false;
-  std::shared_ptr<Pending> active_;
+  OpRef<Pending> active_;
   SimTime active_write_start_ = -1.0;  // < 0: no write phase under way
   SimTime active_write_end_ = -1.0;
 };

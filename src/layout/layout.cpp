@@ -48,7 +48,7 @@ namespace {
 
 /// Append `ext` to `out`, merging with the previous extent when the two
 /// are physically contiguous on the same disk.
-void append_extent(std::vector<PhysicalExtent>& out, PhysicalExtent ext) {
+void append_extent(ExtentList& out, PhysicalExtent ext) {
   if (!out.empty()) {
     auto& prev = out.back();
     if (prev.disk == ext.disk &&
@@ -73,10 +73,10 @@ BaseLayout::BaseLayout(int data_disks, std::int64_t data_blocks_per_disk,
     throw std::invalid_argument("BaseLayout: database exceeds disk capacity");
 }
 
-std::vector<PhysicalExtent> BaseLayout::map_read(std::int64_t logical_start,
+ExtentList BaseLayout::map_read(std::int64_t logical_start,
                                                  int count) const {
   check_extent(logical_start, count);
-  std::vector<PhysicalExtent> out;
+  ExtentList out;
   std::int64_t pos = logical_start;
   int remaining = count;
   while (remaining > 0) {
@@ -113,10 +113,10 @@ MirrorLayout::MirrorLayout(int data_disks, std::int64_t data_blocks_per_disk,
     throw std::invalid_argument("MirrorLayout: database exceeds disk capacity");
 }
 
-std::vector<PhysicalExtent> MirrorLayout::map_read(std::int64_t logical_start,
+ExtentList MirrorLayout::map_read(std::int64_t logical_start,
                                                    int count) const {
   check_extent(logical_start, count);
-  std::vector<PhysicalExtent> out;
+  ExtentList out;
   std::int64_t pos = logical_start;
   int remaining = count;
   while (remaining > 0) {
@@ -173,10 +173,10 @@ Raid10Layout::Raid10Layout(int data_disks, std::int64_t data_blocks_per_disk,
         "Raid10Layout: database exceeds disk capacity");
 }
 
-std::vector<PhysicalExtent> Raid10Layout::map_read(std::int64_t logical_start,
+ExtentList Raid10Layout::map_read(std::int64_t logical_start,
                                                    int count) const {
   check_extent(logical_start, count);
-  std::vector<PhysicalExtent> out;
+  ExtentList out;
   std::int64_t pos = logical_start;
   int remaining = count;
   while (remaining > 0) {
@@ -237,9 +237,9 @@ int StripedParityLayout::data_disk(std::int64_t row, int column) const {
   return column < p ? column : column + 1;
 }
 
-std::vector<StripedParityLayout::Chunk> StripedParityLayout::chunks(
+InlineVec<StripedParityLayout::Chunk, 8> StripedParityLayout::chunks(
     std::int64_t logical_start, int count) const {
-  std::vector<Chunk> out;
+  InlineVec<Chunk, 8> out;
   std::int64_t pos = logical_start;
   int remaining = count;
   while (remaining > 0) {
@@ -255,10 +255,10 @@ std::vector<StripedParityLayout::Chunk> StripedParityLayout::chunks(
   return out;
 }
 
-std::vector<PhysicalExtent> StripedParityLayout::map_read(
+ExtentList StripedParityLayout::map_read(
     std::int64_t logical_start, int count) const {
   check_extent(logical_start, count);
-  std::vector<PhysicalExtent> out;
+  ExtentList out;
   for (const auto& ch : chunks(logical_start, count)) {
     append_extent(out, PhysicalExtent{data_disk(ch.row, ch.column),
                                       ch.row * unit_ + ch.offset, ch.count,
@@ -284,18 +284,21 @@ std::vector<StripeUpdate> StripedParityLayout::map_write(
     int modified_blocks = 0;
     int lo = unit_;
     int hi = 0;
-    std::vector<bool> column_touched(static_cast<std::size_t>(data_disks_),
-                                     false);
     for (std::size_t k = i; k < j; ++k) {
       const auto& ch = all[k];
       modified_blocks += ch.count;
       lo = std::min(lo, ch.offset);
       hi = std::max(hi, ch.offset + ch.count);
-      column_touched[static_cast<std::size_t>(ch.column)] = true;
       update.writes.push_back(PhysicalExtent{data_disk(row, ch.column),
                                              row * unit_ + ch.offset, ch.count,
                                              ch.logical_start});
     }
+    // The chunks of one row cover consecutive columns (the logical
+    // extent is contiguous, so chunk indices -- and hence columns --
+    // increase by one within the row): touched columns form the range
+    // [first_col, first_col + chunk count).
+    const int first_col = all[i].column;
+    const int last_col = all[j - 1].column;
 
     const int row_width = data_disks_ * unit_;
     update.full_stripe = (modified_blocks == row_width);
@@ -312,7 +315,7 @@ std::vector<StripeUpdate> StripedParityLayout::map_write(
       // block writes are <2% of OLTP requests, so the approximation has
       // negligible effect on timing.)
       for (int col = 0; col < data_disks_; ++col) {
-        if (column_touched[static_cast<std::size_t>(col)]) continue;
+        if (col >= first_col && col <= last_col) continue;
         update.reconstruct_reads.push_back(PhysicalExtent{
             data_disk(row, col), row * unit_ + lo, hi - lo});
       }
@@ -403,9 +406,9 @@ int ParityStripingLayout::parity_disk_of_group_at(int group,
   return static_cast<int>(((group + chunk) % m + m) % m);
 }
 
-std::vector<ParityStripingLayout::Piece> ParityStripingLayout::pieces(
+InlineVec<ParityStripingLayout::Piece, 8> ParityStripingLayout::pieces(
     std::int64_t logical_start, int count) const {
-  std::vector<Piece> out;
+  InlineVec<Piece, 8> out;
   const std::int64_t per_disk = static_cast<std::int64_t>(data_disks_) * area_;
   std::int64_t pos = logical_start;
   int remaining = count;
@@ -429,10 +432,10 @@ std::vector<ParityStripingLayout::Piece> ParityStripingLayout::pieces(
   return out;
 }
 
-std::vector<PhysicalExtent> ParityStripingLayout::map_read(
+ExtentList ParityStripingLayout::map_read(
     std::int64_t logical_start, int count) const {
   check_extent(logical_start, count);
-  std::vector<PhysicalExtent> out;
+  ExtentList out;
   for (const auto& piece : pieces(logical_start, count)) {
     append_extent(
         out, PhysicalExtent{

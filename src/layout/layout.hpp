@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/inline_vec.hpp"
+
 namespace raidsim {
 
 /// Disk array organizations studied in the paper (Table 3).
@@ -40,14 +42,20 @@ struct PhysicalExtent {
   bool valid() const { return disk >= 0 && block_count > 0; }
 };
 
+/// Result type of Layout::map_read. Inline capacity 4 covers every
+/// mapping the paper's workloads produce (a request splits at most once
+/// per striping-unit/disk boundary crossed); larger sweeps (rebuild
+/// worklists, audits) spill to the heap transparently.
+using ExtentList = InlineVec<PhysicalExtent, 4>;
+
 /// Disk accesses required to apply a write to one parity group (stripe
 /// row for RAID4/5, parity-area group for Parity Striping). For Base and
 /// Mirror there is no parity; `parity.disk` is -1 and the writes are
 /// plain.
 struct StripeUpdate {
-  PhysicalExtent parity;                         // invalid if no parity
-  std::vector<PhysicalExtent> writes;            // data extents to write
-  std::vector<PhysicalExtent> reconstruct_reads; // unmodified data to read
+  PhysicalExtent parity;           // invalid if no parity
+  ExtentList writes;               // data extents to write
+  ExtentList reconstruct_reads;    // unmodified data to read
   /// true: plain data writes; parity (if any) computed from new data plus
   /// `reconstruct_reads` and written without reading the old parity.
   /// false: read-modify-write on data extents and on the parity extent.
@@ -84,8 +92,8 @@ class Layout {
   /// Translate a logical extent into physical extents, in logical order.
   /// Extents are split at disk/stripe/area boundaries and merged when
   /// physically contiguous on the same disk.
-  virtual std::vector<PhysicalExtent> map_read(std::int64_t logical_start,
-                                               int count) const = 0;
+  virtual ExtentList map_read(std::int64_t logical_start,
+                              int count) const = 0;
 
   /// Plan the disk accesses for a write to a logical extent.
   virtual std::vector<StripeUpdate> map_write(std::int64_t logical_start,
@@ -132,8 +140,8 @@ class BaseLayout : public Layout {
 
   Organization organization() const override { return Organization::kBase; }
   int total_disks() const override { return data_disks_; }
-  std::vector<PhysicalExtent> map_read(std::int64_t logical_start,
-                                       int count) const override;
+  ExtentList map_read(std::int64_t logical_start,
+                      int count) const override;
   std::vector<StripeUpdate> map_write(std::int64_t logical_start,
                                       int count) const override;
 };
@@ -152,8 +160,8 @@ class MirrorLayout : public Layout {
 
   Organization organization() const override { return Organization::kMirror; }
   int total_disks() const override { return 2 * data_disks_; }
-  std::vector<PhysicalExtent> map_read(std::int64_t logical_start,
-                                       int count) const override;
+  ExtentList map_read(std::int64_t logical_start,
+                      int count) const override;
   std::vector<StripeUpdate> map_write(std::int64_t logical_start,
                                       int count) const override;
   int mirror_of(int disk) const override { return disk ^ 1; }
@@ -172,8 +180,8 @@ class Raid10Layout : public MirrorLayout {
                int striping_unit_blocks);
 
   Organization organization() const override { return Organization::kRaid10; }
-  std::vector<PhysicalExtent> map_read(std::int64_t logical_start,
-                                       int count) const override;
+  ExtentList map_read(std::int64_t logical_start,
+                      int count) const override;
   std::vector<StripeUpdate> map_write(std::int64_t logical_start,
                                       int count) const override;
 
@@ -195,8 +203,8 @@ class StripedParityLayout : public Layout {
 
   Organization organization() const override { return org_; }
   int total_disks() const override { return data_disks_ + 1; }
-  std::vector<PhysicalExtent> map_read(std::int64_t logical_start,
-                                       int count) const override;
+  ExtentList map_read(std::int64_t logical_start,
+                      int count) const override;
   std::vector<StripeUpdate> map_write(std::int64_t logical_start,
                                       int count) const override;
 
@@ -218,7 +226,7 @@ class StripedParityLayout : public Layout {
     int count;
     std::int64_t logical_start;
   };
-  std::vector<Chunk> chunks(std::int64_t logical_start, int count) const;
+  InlineVec<Chunk, 8> chunks(std::int64_t logical_start, int count) const;
 
   Organization org_;
   int unit_;
@@ -248,8 +256,8 @@ class ParityStripingLayout : public Layout {
     return Organization::kParityStriping;
   }
   int total_disks() const override { return data_disks_ + 1; }
-  std::vector<PhysicalExtent> map_read(std::int64_t logical_start,
-                                       int count) const override;
+  ExtentList map_read(std::int64_t logical_start,
+                      int count) const override;
   std::vector<StripeUpdate> map_write(std::int64_t logical_start,
                                       int count) const override;
 
@@ -282,7 +290,7 @@ class ParityStripingLayout : public Layout {
     int count;
     std::int64_t logical_start;
   };
-  std::vector<Piece> pieces(std::int64_t logical_start, int count) const;
+  InlineVec<Piece, 8> pieces(std::int64_t logical_start, int count) const;
 
   std::int64_t area_;
   ParityPlacement placement_;

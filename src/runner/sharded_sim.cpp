@@ -71,7 +71,7 @@ struct ShardedSimulator::ArrayState {
 };
 
 struct ShardedSimulator::Shard {
-  explicit Shard(EventKernel kernel) : eq(kernel) {}
+  Shard(EventKernel kernel, OpAlloc op_alloc) : eq(kernel, op_alloc) {}
 
   EventQueue eq;
   std::unique_ptr<Tracer> tracer;
@@ -114,7 +114,8 @@ ShardedSimulator::ShardedSimulator(const SimulationConfig& config,
   Rng root(seed);
   shards_.reserve(static_cast<std::size_t>(shard_count_));
   for (int s = 0; s < shard_count_; ++s) {
-    auto shard = std::make_unique<Shard>(config_.event_kernel);
+    auto shard =
+        std::make_unique<Shard>(config_.event_kernel, config_.op_alloc);
     shard->rng = root.split();
     if (kTracingCompiledIn && config_.obs.tracing)
       shard->tracer = std::make_unique<Tracer>(
@@ -284,6 +285,16 @@ void ShardedSimulator::take_sample(Shard& shard) {
 }
 
 void ShardedSimulator::run_shard(Shard& shard) {
+  // Debug-mode ownership window for the shard's op arena: between bind
+  // and release, only this worker thread may touch the shard's op state
+  // (construction before and teardown after the run happen on the main
+  // thread, after a join, and pass the check while unbound). The guard
+  // releases on the CancelledError unwind path too.
+  struct OwnerGuard {
+    OpArena& arena;
+    explicit OwnerGuard(OpArena& a) : arena(a) { arena.bind_owner(); }
+    ~OwnerGuard() { arena.release_owner(); }
+  } owner_guard(shard.eq.op_arena());
   if (shard.sampler) schedule_sample_tick(shard);
   pump(shard);
   // Zero-record shard (or all of its arrays idle): nothing will ever

@@ -39,7 +39,8 @@ const char* to_string(EventKernel kernel) {
   return "?";
 }
 
-EventQueue::EventQueue(EventKernel kernel) : kernel_(kernel) {
+EventQueue::EventQueue(EventKernel kernel, OpAlloc op_alloc)
+    : arena_(op_alloc), kernel_(kernel) {
   if (kernel_ == EventKernel::kCalendar) {
     nbuckets_ = kMinBuckets;
     mask_ = nbuckets_ - 1;

@@ -5,11 +5,25 @@
 #include <vector>
 
 #include "sim/inline_callback.hpp"
+#include "util/arena.hpp"
 
 namespace raidsim {
 
 /// Simulation time in milliseconds since the start of the run.
 using SimTime = double;
+
+/// Completion continuation threaded through the controller/channel/disk
+/// stack (the `done` / `on_complete` parameters). Inline storage is sized
+/// for the largest hot-path capture -- the simulator's host-completion
+/// lambda (a `this`, a few scalars, and a wrapped host callback) -- so
+/// the per-request completion chain performs zero heap allocations;
+/// larger captures fall back to one allocation, like std::function.
+using Completion = SmallFunction<void(SimTime), 80>;
+
+/// Power-fail continuation of a disk write: invoked instead of the
+/// completion when a crash kills the op, with the durable leading-block
+/// count. Captures are small (an op-state handle or a `this` + extent).
+using PowerFail = SmallFunction<void(SimTime, int), 48>;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
 /// Never zero, so zero is a safe "no event" sentinel for callers.
@@ -72,9 +86,15 @@ class EventQueue {
  public:
   using Callback = InlineCallback;
 
-  explicit EventQueue(EventKernel kernel = EventKernel::kCalendar);
+  explicit EventQueue(EventKernel kernel = EventKernel::kCalendar,
+                      OpAlloc op_alloc = OpAlloc::kArena);
 
   EventKernel kernel() const { return kernel_; }
+
+  /// Per-engine allocator for op state (util/arena.hpp). Owned here so
+  /// every OpRef captured in a pending callback is freed before the
+  /// arena dies: arena_ is the first member, hence destroyed last.
+  OpArena& op_arena() { return arena_; }
 
   /// Pre-size the slot table (and heap, for the heap kernel) for an
   /// expected number of concurrently pending events. Purely an
@@ -199,6 +219,7 @@ class EventQueue {
   std::uint64_t run_calendar(std::uint64_t limit);
   std::uint64_t run_until_calendar(SimTime until);
 
+  OpArena arena_;  // must precede everything that can hold OpRefs
   EventKernel kernel_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;

@@ -67,7 +67,7 @@ class Supervisor {
     /// watchdog, shutdown cancel, exhausted retries) dump it as a
     /// Chrome-trace artifact under this directory; the result's
     /// `flight_out` carries the path.
-    std::string flight_dir;
+    std::string flight_dir{};
     std::size_t flight_events = 4096;
   };
 

@@ -4,20 +4,68 @@
 
 namespace raidsim {
 
+namespace {
+
+std::size_t index_size_for(std::size_t keys) {
+  // Power of two holding `keys` at no more than 50% load.
+  std::size_t size = 16;
+  while (size < 2 * keys) size *= 2;
+  return size;
+}
+
+}  // namespace
+
 LruStack::LruStack(std::size_t initial_slots)
     : capacity_(initial_slots < 16 ? 16 : initial_slots),
       live_(capacity_),
-      block_at_slot_(capacity_, -1) {}
+      block_at_slot_(capacity_, -1),
+      index_keys_(index_size_for(capacity_), kEmptyKey),
+      index_vals_(index_size_for(capacity_), 0),
+      index_mask_(index_size_for(capacity_) - 1) {}
+
+const std::size_t* LruStack::find_slot(std::int64_t block) const {
+  std::size_t i = hash_block(block) & index_mask_;
+  while (index_keys_[i] != kEmptyKey) {
+    if (index_keys_[i] == block) return &index_vals_[i];
+    i = (i + 1) & index_mask_;
+  }
+  return nullptr;
+}
+
+void LruStack::insert_slot(std::int64_t block, std::size_t slot) {
+  if (2 * (count_ + 1) > index_keys_.size()) grow_table();
+  std::size_t i = hash_block(block) & index_mask_;
+  while (index_keys_[i] != kEmptyKey) i = (i + 1) & index_mask_;
+  index_keys_[i] = block;
+  index_vals_[i] = slot;
+  ++count_;
+}
+
+void LruStack::grow_table() {
+  std::vector<std::int64_t> old_keys = std::move(index_keys_);
+  std::vector<std::size_t> old_vals = std::move(index_vals_);
+  const std::size_t new_size = old_keys.size() * 2;
+  index_keys_.assign(new_size, kEmptyKey);
+  index_vals_.assign(new_size, 0);
+  index_mask_ = new_size - 1;
+  for (std::size_t j = 0; j < old_keys.size(); ++j) {
+    if (old_keys[j] == kEmptyKey) continue;
+    std::size_t i = hash_block(old_keys[j]) & index_mask_;
+    while (index_keys_[i] != kEmptyKey) i = (i + 1) & index_mask_;
+    index_keys_[i] = old_keys[j];
+    index_vals_[i] = old_vals[j];
+  }
+}
 
 void LruStack::touch(std::int64_t block) {
+  assert(block >= 0);
   if (next_slot_ == capacity_) compact();
-  auto it = slot_of_.find(block);
-  if (it != slot_of_.end()) {
-    live_.add(it->second, -1);
-    block_at_slot_[it->second] = -1;
-    it->second = next_slot_;
+  if (std::size_t* slot = find_slot(block)) {
+    live_.add(*slot, -1);
+    block_at_slot_[*slot] = -1;
+    *slot = next_slot_;
   } else {
-    slot_of_.emplace(block, next_slot_);
+    insert_slot(block, next_slot_);
   }
   block_at_slot_[next_slot_] = block;
   live_.add(next_slot_, +1);
@@ -25,7 +73,7 @@ void LruStack::touch(std::int64_t block) {
 }
 
 std::optional<std::int64_t> LruStack::at_depth(std::size_t d) const {
-  const std::size_t n = slot_of_.size();
+  const std::size_t n = count_;
   if (d >= n) return std::nullopt;
   // Depth d from the top == rank (n - d) from the bottom.
   const auto rank = static_cast<std::int64_t>(n - d);
@@ -35,17 +83,16 @@ std::optional<std::int64_t> LruStack::at_depth(std::size_t d) const {
 }
 
 std::optional<std::size_t> LruStack::depth_of(std::int64_t block) const {
-  auto it = slot_of_.find(block);
-  if (it == slot_of_.end()) return std::nullopt;
+  const std::size_t* slot = find_slot(block);
+  if (!slot) return std::nullopt;
   // Number of live slots strictly above (newer than) this one.
-  const std::int64_t newer =
-      live_.total() - live_.prefix_sum(it->second);
+  const std::int64_t newer = live_.total() - live_.prefix_sum(*slot);
   return static_cast<std::size_t>(newer);
 }
 
 void LruStack::compact() {
   // Rebuild the slot array with live blocks packed in stack order.
-  const std::size_t n = slot_of_.size();
+  const std::size_t n = count_;
   std::size_t new_capacity = capacity_;
   while (new_capacity < 2 * n + 16) new_capacity *= 2;
 
@@ -61,7 +108,9 @@ void LruStack::compact() {
   live_.reset(capacity_);
   for (std::size_t i = 0; i < n; ++i) {
     block_at_slot_[i] = packed[i];
-    slot_of_[packed[i]] = i;
+    std::size_t* slot = find_slot(packed[i]);
+    assert(slot != nullptr);
+    *slot = i;
     live_.add(i, +1);
   }
   next_slot_ = n;

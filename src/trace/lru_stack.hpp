@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "util/fenwick.hpp"
@@ -18,6 +17,14 @@ namespace raidsim {
 /// counts live slots, so "the block at depth d" is an order-statistics
 /// query. The slot array is compacted geometrically, giving amortised
 /// O(log n) per operation.
+///
+/// The block -> slot index is an open-addressed flat table (splitmix64
+/// finalizer hash, linear probing, grown at 50% load) rather than
+/// std::unordered_map: the stack sits on the trace generator's per-access
+/// path, and the node-per-key map made every cold block a heap
+/// allocation -- about a quarter of all allocations in a cached-replay
+/// run. Keys are never erased (touch only inserts or moves), so the
+/// table needs no tombstones.
 class LruStack {
  public:
   explicit LruStack(std::size_t initial_slots = 4096);
@@ -32,19 +39,45 @@ class LruStack {
   std::optional<std::size_t> depth_of(std::int64_t block) const;
 
   bool contains(std::int64_t block) const {
-    return slot_of_.find(block) != slot_of_.end();
+    return find_slot(block) != nullptr;
   }
 
-  std::size_t size() const { return slot_of_.size(); }
+  std::size_t size() const { return count_; }
 
  private:
+  static constexpr std::int64_t kEmptyKey = -1;
+
+  static std::uint64_t hash_block(std::int64_t block) {
+    // splitmix64 finalizer: full-avalanche mix of the block number.
+    auto x = static_cast<std::uint64_t>(block);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Pointer to the slot value of `block`, or nullptr when absent.
+  const std::size_t* find_slot(std::int64_t block) const;
+  std::size_t* find_slot(std::int64_t block) {
+    return const_cast<std::size_t*>(
+        static_cast<const LruStack*>(this)->find_slot(block));
+  }
+  /// Insert an absent block (doubling the table at 50% load).
+  void insert_slot(std::int64_t block, std::size_t slot);
+  void grow_table();
+
   void compact();
 
   std::size_t capacity_;
   std::size_t next_slot_ = 0;
   FenwickTree live_;
   std::vector<std::int64_t> block_at_slot_;
-  std::unordered_map<std::int64_t, std::size_t> slot_of_;
+
+  // Open-addressed index: parallel key/value arrays, power-of-two size.
+  std::vector<std::int64_t> index_keys_;
+  std::vector<std::size_t> index_vals_;
+  std::size_t index_mask_;
+  std::size_t count_ = 0;
 };
 
 }  // namespace raidsim

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace raidsim {
+
+/// Small vector with inline storage for the first `N` elements, spilling
+/// to the heap only beyond that. Restricted to trivially copyable element
+/// types so growth is a memcpy and destruction is free.
+///
+/// Exists for the address-mapping hot path: Layout::map_read produces one
+/// or two extents for virtually every request (a block run crosses a
+/// striping-unit boundary at most once for the paper's request sizes),
+/// but returning std::vector made every mapped read pay a heap
+/// allocation. With the result inline, mapping allocates nothing.
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is memcpy-based; element type must be "
+                "trivially copyable");
+  static_assert(N > 0, "InlineVec needs at least one inline slot");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+
+  InlineVec(const InlineVec& other) { append_raw(other.data(), other.size_); }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      size_ = 0;
+      append_raw(other.data(), other.size_);
+    }
+    return *this;
+  }
+
+  InlineVec(InlineVec&& other) noexcept { steal(other); }
+
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~InlineVec() { release(); }
+
+  void push_back(const T& value) {
+    if (size_ == cap_) grow(size_ + 1);
+    std::memcpy(data() + size_, &value, sizeof(T));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(size_ + 1);
+    T* p = new (data() + size_) T{std::forward<Args>(args)...};
+    ++size_;
+    return *p;
+  }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  T* data() { return heap_ ? heap_ : inline_ptr(); }
+  const T* data() const { return heap_ ? heap_ : inline_ptr(); }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* inline_ptr() { return reinterpret_cast<T*>(storage_); }
+  const T* inline_ptr() const { return reinterpret_cast<const T*>(storage_); }
+
+  void append_raw(const T* src, std::size_t n) {
+    if (n > cap_) grow(n);
+    if (n > 0) std::memcpy(data() + size_, src, n * sizeof(T));
+    size_ += n;
+  }
+
+  void grow(std::size_t need) {
+    std::size_t new_cap = cap_ * 2;
+    while (new_cap < need) new_cap *= 2;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    if (size_ > 0) std::memcpy(fresh, data(), size_ * sizeof(T));
+    if (heap_) ::operator delete(heap_);
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  /// Move guts out of `other`, leaving it empty. Heap buffers transfer
+  /// by pointer; inline contents are copied (they are at most N
+  /// trivially copyable elements).
+  void steal(InlineVec& other) {
+    size_ = other.size_;
+    if (other.heap_) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+    } else if (size_ > 0) {
+      std::memcpy(inline_ptr(), other.inline_ptr(), size_ * sizeof(T));
+    }
+    other.size_ = 0;
+  }
+
+  void release() {
+    if (heap_) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      cap_ = N;
+    }
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace raidsim

@@ -11,8 +11,9 @@ namespace raidsim {
 /// simulation churns through (barriers, stalled-write records, RMW write
 /// gates, in-flight disk op state). Blocks are recycled on a per-thread,
 /// per-size stack instead of round-tripping through the global heap; each
-/// list grows to the peak number of simultaneously-live objects of its
-/// size and then allocation is a pop / push pair.
+/// list grows with the number of simultaneously-live objects of its
+/// size (capped at pool_detail::kMaxFreeBlocks retained blocks) and then
+/// allocation is a pop / push pair.
 ///
 /// Intended for `std::allocate_shared`, where the allocation includes the
 /// shared_ptr control block, so make_shared's single-allocation layout is
@@ -22,6 +23,13 @@ namespace raidsim {
 /// the simulator never does this (each simulation runs on one thread, and
 /// shard threads are joined before their state is torn down).
 namespace pool_detail {
+
+/// Retention cap per (thread, size class): without one, a list grows to
+/// the peak number of simultaneously-live objects and never shrinks, so
+/// a single burst (one oversized run, one deep retry storm) pins that
+/// high-water mark in memory for the life of the thread. Frees beyond
+/// the cap go straight back to the heap.
+inline constexpr std::size_t kMaxFreeBlocks = 1024;
 
 struct FreeList {
   std::vector<void*> blocks;
@@ -70,8 +78,13 @@ class PoolAllocator {
       ::operator delete(p);
       return;
     }
+    auto& list = pool_detail::free_list<sizeof(T)>();
+    if (list.blocks.size() >= pool_detail::kMaxFreeBlocks) {
+      ::operator delete(p);  // list at cap: release instead of retaining
+      return;
+    }
     try {
-      pool_detail::free_list<sizeof(T)>().blocks.push_back(p);
+      list.blocks.push_back(p);
     } catch (...) {
       ::operator delete(p);  // push_back OOM: just release the block
     }

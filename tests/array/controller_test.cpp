@@ -8,8 +8,9 @@ namespace raidsim {
 namespace {
 
 TEST(Barrier, FiresAfterAllArrivals) {
+  OpArena arena(OpAlloc::kArena);
   double fired_at = -1.0;
-  auto barrier = Barrier::create(3, [&](SimTime t) { fired_at = t; });
+  auto barrier = Barrier::create(arena, 3, [&](SimTime t) { fired_at = t; });
   barrier->arrive(1.0);
   barrier->arrive(2.0);
   EXPECT_EQ(fired_at, -1.0);
@@ -18,8 +19,9 @@ TEST(Barrier, FiresAfterAllArrivals) {
 }
 
 TEST(Barrier, ExpectAddsArrivals) {
+  OpArena arena(OpAlloc::kArena);
   int fired = 0;
-  auto barrier = Barrier::create(1, [&](SimTime) { ++fired; });
+  auto barrier = Barrier::create(arena, 1, [&](SimTime) { ++fired; });
   barrier->expect(1);
   barrier->arrive(1.0);
   EXPECT_EQ(fired, 0);

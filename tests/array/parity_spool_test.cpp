@@ -1,0 +1,107 @@
+#include "array/parity_spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+
+namespace raidsim {
+namespace {
+
+TEST(FlatSpool, InsertFindPop) {
+  FlatSpool<std::string> spool;
+  EXPECT_TRUE(spool.empty());
+  spool.insert(30, "c");
+  spool.insert(10, "a");
+  spool.insert(20, "b");
+  EXPECT_EQ(spool.size(), 3u);
+  ASSERT_NE(spool.find(20), nullptr);
+  EXPECT_EQ(*spool.find(20), "b");
+  EXPECT_EQ(spool.find(25), nullptr);
+
+  auto p = spool.pop_at_or_after(15);
+  EXPECT_EQ(p.key, 20);
+  EXPECT_EQ(p.value, "b");
+  EXPECT_EQ(spool.find(20), nullptr);
+  EXPECT_EQ(spool.size(), 2u);
+}
+
+TEST(FlatSpool, PopWrapsLikeScan) {
+  FlatSpool<int> spool;
+  spool.insert(5, 50);
+  spool.insert(9, 90);
+  // Nothing at or after 10: SCAN wraps to the smallest key.
+  auto p = spool.pop_at_or_after(10);
+  EXPECT_EQ(p.key, 5);
+  EXPECT_EQ(p.value, 50);
+  p = spool.pop_at_or_after(10);
+  EXPECT_EQ(p.key, 9);
+  EXPECT_TRUE(spool.empty());
+}
+
+TEST(FlatSpool, SlotsAreRecycled) {
+  FlatSpool<int> spool;
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 0; k < 100; ++k) spool.insert(k, k * 10);
+    for (int k = 0; k < 100; ++k) {
+      auto p = spool.pop_at_or_after(k);
+      EXPECT_EQ(p.key, k);
+      EXPECT_EQ(p.value, k * 10);
+    }
+    EXPECT_TRUE(spool.empty());
+  }
+}
+
+// Differential check against std::map (the structure FlatSpool replaced
+// in CachedController): a random insert / coalesce-find / SCAN-pop
+// interleaving must stay behavior-identical.
+TEST(FlatSpool, DifferentialVsMap) {
+  FlatSpool<int> spool;
+  std::map<std::int64_t, int> ref;
+  std::mt19937 rng(7);
+  for (int step = 0; step < 5000; ++step) {
+    const std::int64_t key = static_cast<std::int64_t>(rng() % 200);
+    switch (rng() % 3) {
+      case 0: {  // insert-or-coalesce, mirroring add_spool_entry
+        int* hit = spool.find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(hit != nullptr, it != ref.end());
+        if (hit) {
+          *hit += 1;
+          it->second += 1;
+        } else {
+          spool.insert(key, int{step});
+          ref.emplace(key, step);
+        }
+        break;
+      }
+      case 1: {  // SCAN pop from a random position, wrapping
+        if (ref.empty()) break;
+        auto popped = spool.pop_at_or_after(key);
+        auto it = ref.lower_bound(key);
+        if (it == ref.end()) it = ref.begin();
+        ASSERT_EQ(popped.key, it->first);
+        ASSERT_EQ(popped.value, it->second);
+        ref.erase(it);
+        break;
+      }
+      default: {  // point lookup
+        int* hit = spool.find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(hit != nullptr, it != ref.end());
+        if (hit) {
+          ASSERT_EQ(*hit, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(spool.size(), ref.size());
+  }
+  spool.clear();
+  EXPECT_TRUE(spool.empty());
+  EXPECT_EQ(spool.size(), 0u);
+}
+
+}  // namespace
+}  // namespace raidsim

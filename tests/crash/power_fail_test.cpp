@@ -96,7 +96,7 @@ TEST_F(PowerFailTest, RmwInReadPhaseHasNoDurableBlocks) {
   req.kind = DiskOpKind::kReadModifyWrite;
   req.start_block = 0;
   req.block_count = 2;
-  req.gate = WriteGate::already_open();
+  req.gate = WriteGate::already_open(eq_.op_arena());
   req.on_power_fail = [&](SimTime, int d) { durable = d; };
   disk_.submit(std::move(req));
   // Halfway through the old-data read: the in-place write has not begun.

@@ -77,7 +77,7 @@ TEST_F(DiskTest, RmwWritesExactlyOneRevolutionAfterRead) {
   DiskRequest req;
   req.kind = DiskOpKind::kReadModifyWrite;
   req.start_block = 0;
-  req.gate = WriteGate::already_open();
+  req.gate = WriteGate::already_open(eq_.op_arena());
   req.on_read_done = [&](SimTime t) { read_done = t; };
   req.on_complete = [&](SimTime t) { completed = t; };
   disk_.submit(std::move(req));
@@ -90,7 +90,7 @@ TEST_F(DiskTest, RmwWritesExactlyOneRevolutionAfterRead) {
 }
 
 TEST_F(DiskTest, RmwHeldByClosedGateSpinsWholeRotations) {
-  auto gate = std::make_shared<WriteGate>();
+  auto gate = make_op<WriteGate>(eq_.op_arena());
   double completed = -1.0;
   DiskRequest req;
   req.kind = DiskOpKind::kReadModifyWrite;
@@ -108,7 +108,7 @@ TEST_F(DiskTest, RmwHeldByClosedGateSpinsWholeRotations) {
 }
 
 TEST_F(DiskTest, GateOpenedBeforeReadEndDoesNotHold) {
-  auto gate = std::make_shared<WriteGate>();
+  auto gate = make_op<WriteGate>(eq_.op_arena());
   double completed = -1.0;
   DiskRequest req;
   req.kind = DiskOpKind::kReadModifyWrite;
@@ -130,7 +130,7 @@ TEST_F(DiskTest, LargeRmwNeedsMultipleRevolutionsBeforeRewrite) {
   req.kind = DiskOpKind::kReadModifyWrite;
   req.start_block = 0;
   req.block_count = 10;  // 80 sectors > 48 per revolution
-  req.gate = WriteGate::already_open();
+  req.gate = WriteGate::already_open(eq_.op_arena());
   req.on_complete = [&](SimTime t) { completed = t; };
   disk_.submit(std::move(req));
   eq_.run();
@@ -142,7 +142,7 @@ TEST_F(DiskTest, RmwAcrossCylinderBoundaryIsRejected) {
   req.kind = DiskOpKind::kReadModifyWrite;
   req.start_block = geo_.blocks_per_cylinder() - 1;
   req.block_count = 2;
-  req.gate = WriteGate::already_open();
+  req.gate = WriteGate::already_open(eq_.op_arena());
   // The disk is idle, so service planning happens inside submit().
   EXPECT_THROW(disk_.submit(std::move(req)), std::logic_error);
 }

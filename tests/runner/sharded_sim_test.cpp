@@ -286,6 +286,42 @@ TEST(ShardedSim, EventKernelInvariantOnBothEngines) {
   }
 }
 
+// The op-state allocator is a pure performance knob: arena and pool runs
+// must be bit-identical on both engines at every shard/thread count
+// (nothing in the simulator orders by pointer value). This is the
+// contract that lets op_alloc stay out of the svc job cache key.
+TEST(ShardedSim, OpAllocInvariantOnBothEngines) {
+  SimulationConfig config;
+  config.organization = Organization::kRaid5;
+  config.array_data_disks = 10;
+  config.cached = true;
+  config.cache_bytes = 4 << 20;
+  WorkloadOptions wo;
+  wo.scale = 0.01;
+
+  auto classic_run = [&](EventKernel kernel, OpAlloc op_alloc) {
+    SimulationConfig c = config;
+    c.event_kernel = kernel;
+    c.op_alloc = op_alloc;
+    auto stream = make_workload("trace1", wo);
+    return run_simulation(c, *stream);
+  };
+  for (EventKernel kernel : {EventKernel::kCalendar, EventKernel::kHeap}) {
+    SCOPED_TRACE(std::string("classic engine, kernel=") + to_string(kernel));
+    expect_identical(classic_run(kernel, OpAlloc::kArena),
+                     classic_run(kernel, OpAlloc::kPool));
+  }
+
+  SimulationConfig pool_config = config;
+  pool_config.op_alloc = OpAlloc::kPool;
+  for (const auto& [shards, threads] : {std::pair{1, 1}, {4, 1}, {4, 2}}) {
+    SCOPED_TRACE("sharded engine, shards=" + std::to_string(shards) +
+                 " threads=" + std::to_string(threads));
+    expect_identical(run_sharded(config, "trace1", 0.01, shards, threads),
+                     run_sharded(pool_config, "trace1", 0.01, shards, threads));
+  }
+}
+
 // run_sweep_job dispatches on config.shards: 0 keeps the classic engine,
 // >= 1 selects the sharded engine.
 TEST(ShardedSim, SweepJobDispatchesOnShardConfig) {

@@ -1,0 +1,84 @@
+#include "util/pool_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace raidsim {
+namespace {
+
+// A size distinct from anything the library allocates through the pool,
+// so these tests own their free list entirely.
+struct Odd {
+  std::array<char, 57> bytes;
+};
+
+std::size_t list_size() {
+  return pool_detail::free_list<sizeof(Odd)>().blocks.size();
+}
+
+TEST(PoolAllocator, RecyclesWithinThread) {
+  PoolAllocator<Odd> alloc;
+  Odd* a = alloc.allocate(1);
+  alloc.deallocate(a, 1);
+  const std::size_t after_free = list_size();
+  EXPECT_GE(after_free, 1u);
+  Odd* b = alloc.allocate(1);
+  EXPECT_EQ(b, a);  // LIFO reuse of the freed block
+  EXPECT_EQ(list_size(), after_free - 1);
+  alloc.deallocate(b, 1);
+}
+
+TEST(PoolAllocator, FreeListIsCappedAfterBurst) {
+  // Regression for the unbounded-growth bug: a burst of simultaneously
+  // live blocks used to pin its high-water mark in the thread's list
+  // forever. Frees beyond kMaxFreeBlocks must return to the heap.
+  std::thread t([] {
+    PoolAllocator<Odd> alloc;
+    std::vector<Odd*> burst;
+    for (std::size_t i = 0; i < pool_detail::kMaxFreeBlocks + 500; ++i)
+      burst.push_back(alloc.allocate(1));
+    for (Odd* p : burst) alloc.deallocate(p, 1);
+    EXPECT_EQ(list_size(), pool_detail::kMaxFreeBlocks);
+  });
+  t.join();
+}
+
+TEST(PoolAllocator, CrossThreadFreeMigratesToFreeingThread) {
+  // The header documents that a block freed on a different thread than
+  // it was allocated on migrates lists. Exercise that path: the block
+  // must land on the freeing thread's list (bounded by the cap) and the
+  // allocating thread's list must be unaffected.
+  PoolAllocator<Odd> alloc;
+  Odd* p = alloc.allocate(1);
+  const std::size_t home_before = list_size();
+  std::thread t([p] {
+    PoolAllocator<Odd> remote;
+    const std::size_t remote_before = list_size();
+    remote.deallocate(p, 1);
+    EXPECT_EQ(list_size(), remote_before + 1);
+    // Reuse on the adoptive thread hands the migrated block back.
+    Odd* again = remote.allocate(1);
+    EXPECT_EQ(again, p);
+    remote.deallocate(again, 1);
+  });
+  t.join();
+  EXPECT_EQ(list_size(), home_before);  // home thread never saw the free
+}
+
+TEST(PoolAllocator, MakePooledRoundTrips) {
+  auto sp = make_pooled<Odd>();
+  sp->bytes.fill('x');
+  auto copy = sp;
+  EXPECT_EQ(sp.use_count(), 2);
+  copy.reset();
+  sp.reset();
+  auto again = make_pooled<Odd>();  // recycled control-block allocation
+  EXPECT_NE(again, nullptr);
+}
+
+}  // namespace
+}  // namespace raidsim
